@@ -1,0 +1,1 @@
+bench/exp_atm.ml: Aal5 Array Cell Epd_switch Exp_common Hashtbl Link List Packet Printf Rng Sim Stripe_atm Stripe_metrics Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+bench/exp_fairness.ml: Array Deficit Exp_common Fairness Link List Packet Printf Resequencer Rng Scheduler Sim Srr Stripe_core Stripe_metrics Stripe_netsim Stripe_packet Stripe_workload Striper

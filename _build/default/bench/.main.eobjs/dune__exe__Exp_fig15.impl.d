@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Exp_common List Stripe_metrics

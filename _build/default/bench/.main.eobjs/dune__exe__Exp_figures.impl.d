@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Cfq Deficit Exp_common List Marker Packet Printf Queue Resequencer Scheduler Srr Stripe_core Stripe_packet Striper

@@ -1,0 +1,1 @@
+bench/exp_fq.ml: Array Exp_common Fair_queue Packet Printf Queue Sim Stripe_core Stripe_metrics Stripe_netsim Stripe_packet

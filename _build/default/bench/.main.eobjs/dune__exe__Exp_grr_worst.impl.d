@@ -1,0 +1,1 @@
+bench/exp_grr_worst.ml: Array Deficit Exp_common Grr Link Marker Packet Printf Resequencer Rng Scheduler Sim Sizes Srr Stripe_core Stripe_metrics Stripe_netsim Stripe_packet Stripe_workload Striper

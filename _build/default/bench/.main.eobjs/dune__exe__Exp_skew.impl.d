@@ -1,0 +1,1 @@
+bench/exp_skew.ml: Array Deficit Exp_common Link List Packet Printf Reorder Resequencer Rng Scheduler Sim Skew_comp Srr Stripe_core Stripe_metrics Stripe_netsim Stripe_packet Striper

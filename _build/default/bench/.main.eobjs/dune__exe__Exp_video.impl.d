@@ -1,0 +1,1 @@
+bench/exp_video.ml: Array Deficit Exp_common Link List Marker Packet Printf Reorder Resequencer Rng Scheduler Sim Srr Stripe_core Stripe_metrics Stripe_netsim Stripe_packet Stripe_workload Striper

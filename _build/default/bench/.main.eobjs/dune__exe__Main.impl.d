@@ -1,0 +1,1 @@
+bench/main.ml: Exp_atm Exp_credit Exp_fairness Exp_fig15 Exp_figures Exp_fq Exp_grr_worst Exp_latency Exp_mppp Exp_mtu Exp_resync Exp_skew Exp_table1 Exp_video List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Exp_common Hashtbl Instance List Measure Printf Staged Stripe_core Stripe_packet Test Time Toolkit

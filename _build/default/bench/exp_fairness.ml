@@ -1,0 +1,161 @@
+(* B1: empirical verification of the fairness bounds (Theorem 3.2 /
+   Lemma 3.3) and the design-choice ablation of DESIGN.md §5 - SRR's
+   overdraw-and-penalize versus the strict DRR variant, plus the other
+   schedulers on identical workloads. *)
+
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+let dispatch_bytes scheduler sizes =
+  let n = Scheduler.n_channels scheduler in
+  let bytes = Array.make n 0 in
+  List.iteri
+    (fun seq size ->
+      let pkt = Packet.data ~flow:(seq mod 5) ~seq ~size () in
+      let c = Scheduler.choose scheduler pkt in
+      Scheduler.account scheduler pkt c;
+      bytes.(c) <- bytes.(c) + size)
+    sizes;
+  bytes
+
+let workloads rng =
+  [
+    ("uniform 64..1500", Stripe_workload.Genpkt.uniform ~rng ~lo:64 ~hi:1500);
+    ( "bimodal 200/1000",
+      Stripe_workload.Genpkt.bimodal ~rng ~small:200 ~large:1000 () );
+    ( "alternating 1000/200",
+      Stripe_workload.Genpkt.alternating ~small:200 ~large:1000 );
+    ("imix", Stripe_workload.Genpkt.imix ~rng);
+    ("pareto", Stripe_workload.Genpkt.pareto ~rng ~alpha:1.2 ~min_size:64 ~cap:1500);
+  ]
+
+let run () =
+  Exp_common.section
+    "B1 - fairness bound verification (Max + 2*Quantum) and scheduler ablation";
+  let n_packets = 20_000 in
+  let tbl =
+    Stripe_metrics.Table.create
+      ~title:
+        (Printf.sprintf
+           "Byte spread across 3 equal channels after %d packets (bound: dev <= Max+2Q)"
+           n_packets)
+      ~columns:[ "workload"; "scheduler"; "spread (B)"; "max dev"; "bound"; "ok"; "jain" ]
+  in
+  let rng = Rng.create 11 in
+  List.iter
+    (fun (wname, gen) ->
+      let sizes = Stripe_workload.Genpkt.take gen n_packets in
+      let schedulers =
+        [
+          ("SRR", Scheduler.srr ~quanta:[| 1500; 1500; 1500 |] ());
+          ( "DRR-strict",
+            Scheduler.of_deficit ~name:"DRR"
+              (Srr.strict_drr ~quanta:[| 1500; 1500; 1500 |] ()) );
+          ("RR", Scheduler.rr ~n:3 ());
+          ("Random", Scheduler.random_selection ~n:3 ~seed:3);
+          ("Hash", Scheduler.address_hashing ~n:3);
+        ]
+      in
+      List.iter
+        (fun (sname, sched) ->
+          (* The strict-DRR engine cannot use the packet-blind [choose];
+             drive it through select_for directly. *)
+          let bytes =
+            if sname = "DRR-strict" then begin
+              let d = Srr.strict_drr ~quanta:[| 1500; 1500; 1500 |] () in
+              let bytes = Array.make 3 0 in
+              List.iter
+                (fun size ->
+                  let c = Deficit.select_for d ~size in
+                  Deficit.consume d ~size;
+                  bytes.(c) <- bytes.(c) + size)
+                sizes;
+              bytes
+            end
+            else dispatch_bytes sched sizes
+          in
+          let bound = 1500 + (2 * 1500) in
+          let total = Array.fold_left ( + ) 0 bytes in
+          let mean = total / 3 in
+          let max_dev =
+            Array.fold_left (fun acc b -> max acc (abs (b - mean))) 0 bytes
+          in
+          Stripe_metrics.Table.add_row tbl
+            [
+              wname;
+              sname;
+              string_of_int (Fairness.spread bytes);
+              string_of_int max_dev;
+              string_of_int bound;
+              (if max_dev <= bound then "yes" else "NO");
+              Printf.sprintf "%.4f" (Fairness.jain_index bytes);
+            ])
+        schedulers)
+    (workloads rng);
+  Stripe_metrics.Table.print tbl;
+  print_endline
+    "SRR and strict DRR stay within the Lemma 3.3 bound on every workload;";
+  print_endline
+    "RR's deviation grows without bound on random variable sizes (and its";
+  print_endline
+    "byte split collapses entirely when sizes alternate over an even channel";
+  print_endline "count, cf. the GRR worst case); hashing concentrates flows.";
+  print_endline
+    "(Deviation here is measured against the mean, since non-CFQ schemes";
+  print_endline "have no round count; for SRR it coincides with K*Quantum_i.)\n";
+
+  (* Buffer sizing vs skew: the logical-reception ablation hook of
+     DESIGN.md §5. *)
+  let tbl2 =
+    Stripe_metrics.Table.create
+      ~title:"Logical-reception buffer high-water vs channel skew (SRR, 2 channels)"
+      ~columns:[ "skew (ms)"; "buffer high-water (pkts)"; "buffer high-water (bytes)" ]
+  in
+  List.iter
+    (fun skew ->
+      let sim = Sim.create () in
+      let engine = Srr.create ~quanta:[| 1500; 1500 |] () in
+      let reseq =
+        Resequencer.create ~deficit:(Deficit.clone_initial engine)
+          ~deliver:(fun ~channel:_ _ -> ())
+          ()
+      in
+      let links =
+        Array.init 2 (fun i ->
+            Link.create sim
+              ~name:(Printf.sprintf "ch%d" i)
+              ~rate_bps:10e6
+              ~prop_delay:(if i = 0 then 0.001 else 0.001 +. skew)
+              ~deliver:(fun pkt -> Resequencer.receive reseq ~channel:i pkt)
+              ())
+      in
+      let striper =
+        Striper.create
+          ~scheduler:(Scheduler.of_deficit ~name:"SRR" engine)
+          ~emit:(fun ~channel pkt ->
+            ignore (Link.send links.(channel) ~size:pkt.Packet.size pkt))
+          ()
+      in
+      let gen = Stripe_workload.Genpkt.bimodal ~rng ~small:200 ~large:1000 () in
+      let seq = ref 0 in
+      let rec tick () =
+        if Sim.now sim < 2.0 then begin
+          Striper.push striper (Packet.data ~seq:!seq ~size:(gen ()) ());
+          incr seq;
+          Sim.schedule_after sim ~delay:0.0006 tick
+        end
+      in
+      tick ();
+      Sim.run sim;
+      Stripe_metrics.Table.add_row tbl2
+        [
+          Printf.sprintf "%.0f" (skew *. 1000.0);
+          string_of_int (Resequencer.buffer_high_water_packets reseq);
+          string_of_int (Resequencer.buffer_high_water_bytes reseq);
+        ])
+    [ 0.0; 0.005; 0.02; 0.05; 0.1 ];
+  Stripe_metrics.Table.print tbl2;
+  print_endline
+    "Receiver buffering grows linearly with skew x rate: physical reception";
+  print_endline "runs ahead of logical reception by exactly the skew window.\n"

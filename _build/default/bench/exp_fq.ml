@@ -1,0 +1,101 @@
+(* Fair queuing proper (§3's foundation): the deployable DRR/SRR output
+   discipline isolating flows on one link - the algorithm whose time
+   reversal is the striping scheme. Shown against a plain FIFO queue: a
+   hog flow blasting large packets starves small flows under FIFO and is
+   contained to its fair share under DRR. *)
+
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+(* Three flows into a 10 Mbps link: a hog (1500 B packets as fast as it
+   can), and two modest interactive flows (300 B at a paced rate).
+   Service discipline drains the shared link. *)
+type result = { hog_p95_ms : float; small_p95_ms : float }
+
+let run_discipline ~drr =
+  let sim = Sim.create () in
+  let served = Array.make 3 0 in
+  let hog_latency = Stripe_metrics.Summary.create ~keep_samples:true () in
+  let small_latency = Stripe_metrics.Summary.create ~keep_samples:true () in
+  let fq = Fair_queue.create ~quanta:[| 1500; 1500; 1500 |] () in
+  let fifo : (int * Packet.t) Queue.t = Queue.create () in
+  let link_busy = ref false in
+  let rate = 10e6 in
+  let rec serve () =
+    let next =
+      if drr then Fair_queue.dequeue fq
+      else Queue.take_opt fifo
+    in
+    match next with
+    | None -> link_busy := false
+    | Some (flow, pkt) ->
+      link_busy := true;
+      let ser = float_of_int (pkt.Packet.size * 8) /. rate in
+      Sim.schedule_after sim ~delay:ser (fun () ->
+          served.(flow) <- served.(flow) + pkt.Packet.size;
+          Stripe_metrics.Summary.add
+            (if flow = 0 then hog_latency else small_latency)
+            (Sim.now sim -. pkt.Packet.born);
+          serve ())
+  in
+  let offer flow pkt =
+    if drr then Fair_queue.enqueue fq ~flow pkt else Queue.add (flow, pkt) fifo;
+    if not !link_busy then serve ()
+  in
+  let seq = ref 0 in
+  (* Hog: 1500 B every 0.4 ms = 30 Mbps offered, 3x the link. *)
+  let rec hog () =
+    if Sim.now sim < 2.0 then begin
+      offer 0 (Packet.data ~seq:!seq ~born:(Sim.now sim) ~size:1500 ());
+      incr seq;
+      Sim.schedule_after sim ~delay:0.0004 hog
+    end
+  in
+  (* Small flows: 300 B every 2 ms = 1.2 Mbps each. *)
+  let rec small flow () =
+    if Sim.now sim < 2.0 then begin
+      offer flow (Packet.data ~seq:!seq ~born:(Sim.now sim) ~size:300 ());
+      incr seq;
+      Sim.schedule_after sim ~delay:0.002 (small flow)
+    end
+  in
+  hog ();
+  small 1 ();
+  small 2 ();
+  Sim.run sim;
+  ignore served;
+  {
+    hog_p95_ms = 1000.0 *. Stripe_metrics.Summary.percentile hog_latency 95.0;
+    small_p95_ms = 1000.0 *. Stripe_metrics.Summary.percentile small_latency 95.0;
+  }
+
+let run () =
+  Exp_common.section
+    "Fair queuing foundation (Section 3) - DRR/SRR flow isolation on one link";
+  let tbl =
+    Stripe_metrics.Table.create
+      ~title:
+        "10 Mbps link; flow 0 offers 30 Mbps of 1500-B packets, flows 1-2 \
+         offer 1.2 Mbps of 300-B packets each"
+      ~columns:
+        [ "discipline"; "small flows p95 latency (ms)"; "hog p95 latency (ms)" ]
+  in
+  let row name r =
+    Stripe_metrics.Table.add_row tbl
+      [
+        name;
+        Printf.sprintf "%.2f" r.small_p95_ms;
+        Printf.sprintf "%.1f" r.hog_p95_ms;
+      ]
+  in
+  row "FIFO" (run_discipline ~drr:false);
+  row "DRR/SRR fair queuing" (run_discipline ~drr:true);
+  Stripe_metrics.Table.print tbl;
+  print_endline
+    "Fair queuing decouples the small flows' latency from the hog's queue";
+  print_endline
+    "(three orders of magnitude here) while the overloaded hog absorbs its";
+  print_endline
+    "own backlog. This is the [SV94] algorithm whose causal, backlogged form";
+  print_endline "the paper time-reverses into the striping scheme (Theorem 3.1).\n"

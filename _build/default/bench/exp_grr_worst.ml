@@ -1,0 +1,106 @@
+(* The §6.2 worst-case experiment: PVC tuned so both interfaces have the
+   same application throughput (where GRR reduces to RR), workload
+   strictly alternating 1000-byte and 200-byte packets. The paper
+   measured SRR at 11.2 Mbps and GRR collapsing to 6.8 Mbps, because GRR
+   puts every large packet on one interface. Also included: the random
+   mixture on the same setup, where GRR and SRR are comparable — GRR's
+   failure is adversarial, not average-case. *)
+
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+(* Both "interfaces" at the same application-level rate; deterministic
+   alternation vs random mixture. *)
+let run_case ~scheme_name ~engine ~alternating () =
+  let sim = Sim.create () in
+  let rng = Rng.create 7 in
+  let goodput = Stripe_metrics.Throughput.create () in
+  Stripe_metrics.Throughput.start_at goodput 0.0;
+  let reseq = ref None in
+  let links =
+    Array.init 2 (fun i ->
+        Link.create sim
+          ~name:(Printf.sprintf "if%d" i)
+          ~rate_bps:6e6 ~prop_delay:0.002
+          ~deliver:(fun pkt ->
+            match !reseq with
+            | Some r -> Resequencer.receive r ~channel:i pkt
+            | None -> ())
+          ())
+  in
+  reseq :=
+    Some
+      (Resequencer.create ~deficit:(Deficit.clone_initial engine)
+         ~deliver:(fun ~channel:_ pkt ->
+           Stripe_metrics.Throughput.account goodput ~now:(Sim.now sim)
+             ~bytes:pkt.Packet.size)
+         ());
+  let sched = Scheduler.of_deficit ~name:scheme_name engine in
+  let striper =
+    Striper.create ~scheduler:sched
+      ~marker:(Marker.make ~every_rounds:8 ())
+      ~now:(fun () -> Sim.now sim)
+      ~emit:(fun ~channel pkt ->
+        ignore (Link.send links.(channel) ~size:pkt.Packet.size pkt))
+      ()
+  in
+  let gen =
+    if alternating then
+      Stripe_workload.Genpkt.alternating ~small:Sizes.small_packet
+        ~large:Sizes.large_packet
+    else
+      Stripe_workload.Genpkt.bimodal ~rng ~small:Sizes.small_packet
+        ~large:Sizes.large_packet ()
+  in
+  (* Backlogged sender paced just above aggregate capacity: feed packets
+     whenever any transmit queue has room. *)
+  let duration = 4.0 in
+  let seq = ref 0 in
+  let rec feed () =
+    if Sim.now sim < duration then begin
+      let queued c = Link.queue_bytes links.(c) in
+      if queued 0 + queued 1 < 40_000 then begin
+        for _ = 1 to 8 do
+          Striper.push striper (Packet.data ~seq:!seq ~size:(gen ()) ());
+          incr seq
+        done
+      end;
+      Sim.schedule_after sim ~delay:0.002 feed
+    end
+  in
+  feed ();
+  Sim.run sim;
+  float_of_int (Stripe_metrics.Throughput.bytes goodput * 8) /. duration /. 1e6
+
+let run () =
+  Exp_common.section
+    "GRR worst case (Section 6.2) - equal-rate interfaces, alternating 1000/200 B";
+  let tbl =
+    Stripe_metrics.Table.create ~title:"Striped throughput (Mbps)"
+      ~columns:[ "Workload"; "SRR"; "GRR(=RR here)"; "SRR/GRR" ]
+  in
+  let srr () = Srr.create ~quanta:[| 1000; 1000 |] () in
+  let grr () = Grr.create ~ratios:[| 1; 1 |] () in
+  let srr_alt = run_case ~scheme_name:"SRR" ~engine:(srr ()) ~alternating:true () in
+  let grr_alt = run_case ~scheme_name:"GRR" ~engine:(grr ()) ~alternating:true () in
+  let srr_mix = run_case ~scheme_name:"SRR" ~engine:(srr ()) ~alternating:false () in
+  let grr_mix = run_case ~scheme_name:"GRR" ~engine:(grr ()) ~alternating:false () in
+  Stripe_metrics.Table.add_row tbl
+    [
+      "alternating 1000/200";
+      Printf.sprintf "%.1f" srr_alt;
+      Printf.sprintf "%.1f" grr_alt;
+      Printf.sprintf "%.2fx" (srr_alt /. grr_alt);
+    ];
+  Stripe_metrics.Table.add_row tbl
+    [
+      "random 1000/200 mix";
+      Printf.sprintf "%.1f" srr_mix;
+      Printf.sprintf "%.1f" grr_mix;
+      Printf.sprintf "%.2fx" (srr_mix /. grr_mix);
+    ];
+  Stripe_metrics.Table.print tbl;
+  print_endline
+    "Paper: SRR 11.2 Mbps vs GRR 6.8 Mbps (1.65x) on the alternating sequence;";
+  print_endline "on random mixes the two are comparable.\n"

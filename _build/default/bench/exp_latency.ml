@@ -1,0 +1,113 @@
+(* Latency ablation: what logical reception costs in delay. The §4
+   blocking discipline holds fast-channel packets until the slow
+   channel's turn passes, so per-packet latency inherits the skew the
+   buffers absorb; without resequencing latency is minimal but order is
+   lost. Reported as distribution percentiles against the channel skew. *)
+
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+type mode =
+  | Logical_reception
+  | No_resequencing
+
+let run_one ~mode ~skew =
+  let sim = Sim.create () in
+  let rng = Rng.create 5 in
+  let lat = Stripe_metrics.Summary.create ~keep_samples:true () in
+  let reorder = Reorder.create () in
+  let observe pkt =
+    Stripe_metrics.Summary.add lat (Sim.now sim -. pkt.Packet.born);
+    Reorder.observe reorder ~seq:pkt.Packet.seq
+  in
+  let engine = Srr.create ~quanta:[| 1400; 1400 |] () in
+  let receive =
+    match mode with
+    | Logical_reception ->
+      let r =
+        Resequencer.create ~deficit:(Deficit.clone_initial engine)
+          ~deliver:(fun ~channel:_ pkt -> observe pkt)
+          ()
+      in
+      fun ~channel pkt -> Resequencer.receive r ~channel pkt
+    | No_resequencing ->
+      fun ~channel:_ pkt -> if not (Packet.is_marker pkt) then observe pkt
+  in
+  let links =
+    Array.init 2 (fun i ->
+        Link.create sim
+          ~name:(Printf.sprintf "ch%d" i)
+          ~rate_bps:10e6
+          ~prop_delay:(0.002 +. (if i = 1 then skew else 0.0))
+          ~deliver:(fun pkt -> receive ~channel:i pkt)
+          ())
+  in
+  let striper =
+    Striper.create
+      ~scheduler:(Scheduler.of_deficit ~name:"SRR" engine)
+      ?marker:
+        (match mode with
+        | Logical_reception -> Some (Marker.make ~every_rounds:8 ())
+        | No_resequencing -> None)
+      ~now:(fun () -> Sim.now sim)
+      ~emit:(fun ~channel pkt ->
+        ignore (Link.send links.(channel) ~size:pkt.Packet.size pkt))
+      ()
+  in
+  let seq = ref 0 in
+  let rec tick () =
+    if !seq < 4000 then begin
+      Striper.push striper
+        (Packet.data ~seq:!seq ~born:(Sim.now sim)
+           ~size:(if Rng.bool rng then 200 else 1000)
+           ());
+      incr seq;
+      Sim.schedule_after sim ~delay:0.0006 tick
+    end
+  in
+  tick ();
+  Sim.run sim;
+  (lat, Reorder.out_of_order reorder)
+
+let run () =
+  Exp_common.section
+    "Latency ablation - the delay cost of logical reception vs channel skew";
+  let tbl =
+    Stripe_metrics.Table.create
+      ~title:
+        "Per-packet latency (ms) over two 10 Mbps channels, channel 2 slower \
+         by the skew"
+      ~columns:
+        [
+          "skew (ms)"; "mode"; "p50"; "p95"; "p99"; "max"; "out-of-order";
+        ]
+  in
+  List.iter
+    (fun skew ->
+      List.iter
+        (fun (label, mode) ->
+          let lat, ooo = run_one ~mode ~skew in
+          let ms p = Printf.sprintf "%.2f" (1000.0 *. Stripe_metrics.Summary.percentile lat p) in
+          Stripe_metrics.Table.add_row tbl
+            [
+              Printf.sprintf "%.0f" (1000.0 *. skew);
+              label;
+              ms 50.0;
+              ms 95.0;
+              ms 99.0;
+              Printf.sprintf "%.2f" (1000.0 *. Stripe_metrics.Summary.max_value lat);
+              string_of_int ooo;
+            ])
+        [ ("logical reception", Logical_reception); ("none", No_resequencing) ])
+    [ 0.0; 0.005; 0.020; 0.050 ];
+  Stripe_metrics.Table.print tbl;
+  print_endline
+    "Logical reception pins every packet's latency to the slower channel's";
+  print_endline
+    "(the price of order without headers); without resequencing fast-channel";
+  print_endline
+    "packets arrive early but half the stream is misordered. Applications";
+  print_endline
+    "that need order anyway (TCP, MPEG - Section 7) pay the skew either way,";
+  print_endline "in the striping layer or in their own reassembly buffers.\n"

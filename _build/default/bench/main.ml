@@ -1,0 +1,47 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation. Run with no argument for all experiments, or name one:
+
+     dune exec bench/main.exe -- [table1|fig2-3|fig5-6|fig8-13|fig15|
+                                  grr-worst|resync-loss|marker-freq|
+                                  marker-pos|credit|video|fairness|micro] *)
+
+let experiments =
+  [
+    ("table1", fun () -> Exp_table1.run ());
+    ("fig2-3", fun () -> Exp_figures.run_fig2_3 ());
+    ("fig5-6", fun () -> Exp_figures.run_fig5_6 ());
+    ("fig8-13", fun () -> Exp_figures.run_fig8_13 ());
+    ("fig15", fun () -> Exp_fig15.run ());
+    ("grr-worst", fun () -> Exp_grr_worst.run ());
+    ("resync-loss", fun () -> Exp_resync.run_e1 ());
+    ("marker-freq", fun () -> Exp_resync.run_e2 ());
+    ("marker-pos", fun () -> Exp_resync.run_e3 ());
+    ("credit", fun () -> Exp_credit.run ());
+    ("video", fun () -> Exp_video.run ());
+    ("fairness", fun () -> Exp_fairness.run ());
+    ("mtu", fun () -> Exp_mtu.run ());
+    ("skew", fun () -> Exp_skew.run ());
+    ("atm-epd", fun () -> Exp_atm.run ());
+    ("mppp", fun () -> Exp_mppp.run ());
+    ("fq", fun () -> Exp_fq.run ());
+    ("latency", fun () -> Exp_latency.run ());
+    ("micro", fun () -> Micro.run ());
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+    print_endline
+      "Reproducing 'A Reliable and Scalable Striping Protocol' (SIGCOMM 1996)";
+    print_endline "All experiments; pass a name to run one (see bench/main.ml).\n";
+    List.iter (fun (_, f) -> f ()) experiments
+  | [| _; name |] -> (
+    match List.assoc_opt name experiments with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown experiment %S; known: %s\n" name
+        (String.concat ", " (List.map fst experiments));
+      exit 1)
+  | _ ->
+    prerr_endline "usage: main.exe [experiment]";
+    exit 1

@@ -1,0 +1,405 @@
+(* stripe-sim: run a configurable striping scenario and report load
+   sharing, ordering and recovery metrics.
+
+   Examples:
+     dune exec bin/stripe_sim.exe -- \
+       --channel 10e6:0.001 --channel 4e6:0.020 \
+       --scheduler srr --packets 5000 --workload bimodal
+
+     dune exec bin/stripe_sim.exe -- \
+       --channel 8e6:0.005:0.2 --channel 8e6:0.005:0.2 \
+       --scheduler srr --markers 4 --packets 20000 --loss-stop 0.5
+
+     dune exec bin/stripe_sim.exe -- --mode mppp --packets 5000
+     dune exec bin/stripe_sim.exe -- --mode fragment --packets 5000 *)
+
+open Cmdliner
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+type channel_conf = { rate : float; delay : float; loss : float }
+
+let parse_channel s =
+  match String.split_on_char ':' s with
+  | [ rate; delay ] -> (
+    match (float_of_string_opt rate, float_of_string_opt delay) with
+    | Some rate, Some delay -> Ok { rate; delay; loss = 0.0 }
+    | _ -> Error (`Msg ("bad channel spec: " ^ s)))
+  | [ rate; delay; loss ] -> (
+    match
+      (float_of_string_opt rate, float_of_string_opt delay, float_of_string_opt loss)
+    with
+    | Some rate, Some delay, Some loss -> Ok { rate; delay; loss }
+    | _ -> Error (`Msg ("bad channel spec: " ^ s)))
+  | _ -> Error (`Msg ("channel spec must be RATE:DELAY[:LOSS], got " ^ s))
+
+let channel_conv =
+  Arg.conv (parse_channel, fun fmt c ->
+      Format.fprintf fmt "%g:%g:%g" c.rate c.delay c.loss)
+
+let channels =
+  Arg.(
+    value
+    & opt_all channel_conv
+        [
+          { rate = 10e6; delay = 0.001; loss = 0.0 };
+          { rate = 10e6; delay = 0.010; loss = 0.0 };
+        ]
+    & info [ "c"; "channel" ] ~docv:"RATE:DELAY[:LOSS]"
+        ~doc:
+          "Add a channel: bits/s, one-way delay in seconds, optional loss \
+           probability. Repeatable.")
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt (enum [ ("srr", `Srr); ("rr", `Rr); ("grr", `Grr); ("random", `Random) ]) `Srr
+    & info [ "s"; "scheduler" ] ~docv:"SCHED"
+        ~doc:"Striping algorithm: $(b,srr), $(b,rr), $(b,grr) or $(b,random).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("quasi", `Quasi); ("seq", `Seq); ("none", `None);
+             ("mppp", `Mppp); ("fragment", `Fragment);
+           ])
+        `Quasi
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Resequencing mode: $(b,quasi) = logical reception + markers (the \
+           paper's strIPe), $(b,seq) = sequence-number headers (guaranteed \
+           FIFO), $(b,none) = arrival order, $(b,mppp) = Multilink PPP \
+           fragments (RFC 1717), $(b,fragment) = OSIRIS-style minipackets.")
+
+let packets =
+  Arg.(
+    value & opt int 10_000
+    & info [ "n"; "packets" ] ~docv:"N" ~doc:"Number of packets to stripe.")
+
+let workload =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("bimodal", `Bimodal); ("alternating", `Alternating);
+             ("uniform", `Uniform); ("imix", `Imix); ("fixed", `Fixed);
+           ])
+        `Bimodal
+    & info [ "w"; "workload" ] ~docv:"DIST"
+        ~doc:
+          "Packet size distribution: $(b,bimodal) 200/1000, \
+           $(b,alternating) 1000/200, $(b,uniform) 64..1500, $(b,imix), or \
+           $(b,fixed) 1000.")
+
+let markers =
+  Arg.(
+    value & opt int 4
+    & info [ "m"; "markers" ] ~docv:"K"
+        ~doc:"Send resynchronization markers every K rounds; 0 disables them.")
+
+let loss_stop =
+  Arg.(
+    value & opt (some float) None
+    & info [ "loss-stop" ] ~docv:"FRACTION"
+        ~doc:
+          "Stop all channel loss after this fraction of the run, to measure \
+           resynchronization (e.g. 0.5).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Replay a stored packet trace (see Trace_file; one packet per \
+           line: time seq size flow frame) instead of generating a \
+           workload. Overrides $(b,--packets) and $(b,--workload).")
+
+(* One delivery sink shared by every mode. *)
+type sink = {
+  reorder : Reorder.t;
+  recovery : Stripe_metrics.Recovery.t;
+  goodput : Stripe_metrics.Throughput.t;
+}
+
+let make_sink () =
+  {
+    reorder = Reorder.create ();
+    recovery = Stripe_metrics.Recovery.create ();
+    goodput = Stripe_metrics.Throughput.create ();
+  }
+
+let sink_deliver sink sim pkt =
+  Reorder.observe sink.reorder ~seq:pkt.Packet.seq;
+  Stripe_metrics.Recovery.observe sink.recovery ~now:(Sim.now sim)
+    ~seq:pkt.Packet.seq;
+  Stripe_metrics.Throughput.account sink.goodput ~now:(Sim.now sim)
+    ~bytes:pkt.Packet.size
+
+let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
+    loss_stop seed trace_file =
+  let n = List.length channel_confs in
+  if n = 0 then `Error (false, "need at least one channel")
+  else begin
+    let confs = Array.of_list channel_confs in
+    let sim = Sim.create () in
+    let rng = Rng.create seed in
+    let rates = Array.map (fun c -> c.rate) confs in
+    let engine_opt =
+      match sched_kind with
+      | `Srr -> Some (Srr.for_rates ~rates_bps:rates ~quantum_unit:1500 ())
+      | `Rr -> Some (Rr.create ~n ())
+      | `Grr -> Some (Grr.for_rates ~rates_bps:rates ())
+      | `Random -> None
+    in
+    let make_scheduler () =
+      match engine_opt with
+      | Some e ->
+        Scheduler.of_deficit
+          ~name:
+            (match sched_kind with
+            | `Srr -> "SRR" | `Rr -> "RR" | `Grr -> "GRR" | `Random -> ".")
+          e
+      | None -> Scheduler.random_selection ~n ~seed
+    in
+    let sink = make_sink () in
+    let lossy = ref true in
+    let errors_stop = ref None in
+    (* The wire: mode-specific payloads share polymorphic links via a
+       variant. *)
+    let make_links receive =
+      Array.mapi
+        (fun i conf ->
+          Link.create sim
+            ~name:(Printf.sprintf "ch%d" i)
+            ~rate_bps:conf.rate ~prop_delay:conf.delay
+            ~deliver:(fun (is_marker, payload) ->
+              let dropped =
+                !lossy && conf.loss > 0.0 && (not is_marker)
+                && Rng.bernoulli rng ~p:conf.loss
+              in
+              if not dropped then receive i payload)
+            ())
+        confs
+    in
+    (* Per-mode plumbing returns: push, describe (extra stats lines). *)
+    let push, describe =
+      match mode with
+      | `Quasi | `None | `Seq ->
+        let scheduler = make_scheduler () in
+        let receive_cell = ref (fun _ _ -> ()) in
+        let links = make_links (fun i pkt -> !receive_cell i pkt) in
+        let deliver pkt = sink_deliver sink sim pkt in
+        let reseq_stats = ref (fun () -> []) in
+        (match mode, engine_opt with
+        | `Quasi, Some e ->
+          let r =
+            Resequencer.create ~deficit:(Deficit.clone_initial e)
+              ~deliver:(fun ~channel:_ pkt -> deliver pkt)
+              ()
+          in
+          receive_cell := (fun i pkt -> Resequencer.receive r ~channel:i pkt);
+          reseq_stats :=
+            (fun () ->
+              [
+                Printf.sprintf
+                  "resequencer: skips=%d buffered-high-water=%d pkts"
+                  (Resequencer.skips r)
+                  (Resequencer.buffer_high_water_packets r);
+              ])
+        | `Seq, _ ->
+          let r =
+            Seq_resequencer.create
+              ?deficit:(Option.map Deficit.clone_initial engine_opt)
+              ~n_channels:n ~deliver ()
+          in
+          receive_cell := (fun i pkt -> Seq_resequencer.receive r ~channel:i pkt);
+          reseq_stats :=
+            (fun () ->
+              [
+                Printf.sprintf
+                  "seq mode: fast-path=%d detected-losses=%d (guaranteed FIFO)"
+                  (Seq_resequencer.fast_deliveries r)
+                  (Seq_resequencer.detected_losses r);
+              ])
+        | (`Quasi | `None), _ ->
+          receive_cell :=
+            (fun _ pkt -> if not (Packet.is_marker pkt) then deliver pkt)
+        | (`Mppp | `Fragment), _ -> assert false (* handled below *));
+        let striper =
+          Striper.create ~scheduler
+            ?marker:
+              (match mode, engine_opt with
+              | `Quasi, Some _ when marker_rounds > 0 ->
+                Some (Marker.make ~every_rounds:marker_rounds ())
+              | _ -> None)
+            ~now:(fun () -> Sim.now sim)
+            ~emit:(fun ~channel pkt ->
+              ignore
+                (Link.send links.(channel) ~size:pkt.Packet.size
+                   (Packet.is_marker pkt, pkt)))
+            ()
+        in
+        ( Striper.push striper,
+          fun () ->
+            List.concat
+              [
+                Array.to_list
+                  (Array.mapi
+                     (fun i _ ->
+                       Printf.sprintf "  ch%d: %7d pkts %9d bytes" i
+                         (Striper.channel_packets striper i)
+                         (Striper.channel_bytes striper i))
+                     links);
+                [ Printf.sprintf "markers: %d" (Striper.markers_sent striper) ];
+                !reseq_stats ();
+              ] )
+      | `Mppp ->
+        let receiver = ref None in
+        let links =
+          make_links (fun i frag ->
+              match !receiver with
+              | Some r -> Mppp.Receiver.receive r ~link:i frag
+              | None -> ())
+        in
+        let rx =
+          Mppp.Receiver.create ~n_links:n
+            ~deliver:(fun pkt -> sink_deliver sink sim pkt)
+            ()
+        in
+        receiver := Some rx;
+        let sender =
+          Mppp.Sender.create ~scheduler:(make_scheduler ())
+            ~emit:(fun ~link f ->
+              ignore (Link.send links.(link) ~size:(Mppp.wire_size f) (false, f)))
+            ()
+        in
+        ( Mppp.Sender.push sender,
+          fun () ->
+            [
+              Printf.sprintf "mppp: fragments=%d header-bytes=%d lost=%d discarded=%d"
+                (Mppp.Sender.fragments_sent sender)
+                (Mppp.Sender.header_bytes_sent sender)
+                (Mppp.Receiver.lost_fragments rx)
+                (Mppp.Receiver.discarded_datagrams rx);
+            ] )
+      | `Fragment ->
+        let reasm = ref None in
+        let links =
+          make_links (fun i frag ->
+              match !reasm with
+              | Some r -> Fragmenter.Reassembler.receive r ~channel:i frag
+              | None -> ())
+        in
+        let rx =
+          Fragmenter.Reassembler.create ~n_channels:n
+            ~deliver:(fun pkt -> sink_deliver sink sim pkt)
+            ()
+        in
+        reasm := Some rx;
+        let sender =
+          Fragmenter.Sender.create ~shares:rates
+            ~emit:(fun ~channel f ->
+              ignore
+                (Link.send links.(channel) ~size:(Fragmenter.wire_size f)
+                   (false, f)))
+            ()
+        in
+        ( Fragmenter.Sender.push sender,
+          fun () ->
+            [
+              Printf.sprintf "fragmenting: %d minipackets/datagram, dropped=%d"
+                n
+                (Fragmenter.Reassembler.dropped_incomplete rx);
+            ] )
+    in
+    let gen =
+      match workload_kind with
+      | `Bimodal -> Stripe_workload.Genpkt.bimodal ~rng ~small:200 ~large:1000 ()
+      | `Alternating -> Stripe_workload.Genpkt.alternating ~small:200 ~large:1000
+      | `Uniform -> Stripe_workload.Genpkt.uniform ~rng ~lo:64 ~hi:1500
+      | `Imix -> Stripe_workload.Genpkt.imix ~rng
+      | `Fixed -> Stripe_workload.Genpkt.fixed 1000
+    in
+    let aggregate = Array.fold_left (fun a c -> a +. c.rate) 0.0 confs in
+    let interval = 700.0 *. 8.0 /. (aggregate *. 0.9) in
+    let n_offered =
+      match trace_file with
+      | Some path ->
+        let entries = Stripe_workload.Trace_file.load path in
+        let n = List.length entries in
+        List.iteri
+          (fun i e ->
+            Sim.schedule sim ~at:e.Stripe_workload.Trace_file.time (fun () ->
+                push e.Stripe_workload.Trace_file.packet;
+                match loss_stop with
+                | Some frac
+                  when float_of_int (i + 1) >= frac *. float_of_int n
+                       && !errors_stop = None ->
+                  errors_stop := Some (Sim.now sim);
+                  lossy := false
+                | Some _ | None -> ()))
+          entries;
+        n
+      | None ->
+        let seq = ref 0 in
+        let rec tick () =
+          if !seq < n_packets then begin
+            push (Packet.data ~seq:!seq ~born:(Sim.now sim) ~size:(gen ()) ());
+            incr seq;
+            (match loss_stop with
+            | Some frac
+              when float_of_int !seq >= frac *. float_of_int n_packets
+                   && !errors_stop = None ->
+              errors_stop := Some (Sim.now sim);
+              lossy := false
+            | Some _ | None -> ());
+            Sim.schedule_after sim ~delay:interval tick
+          end
+        in
+        tick ();
+        n_packets
+    in
+    Sim.run sim;
+    Printf.printf "channels: %d  packets: %d  mode: %s\n" n n_offered
+      (match mode with
+      | `Quasi -> "quasi-FIFO (logical reception + markers)"
+      | `Seq -> "guaranteed FIFO (sequence numbers)"
+      | `None -> "no resequencing"
+      | `Mppp -> "Multilink PPP (RFC 1717)"
+      | `Fragment -> "fragmenting minipackets");
+    List.iter print_endline (describe ());
+    Printf.printf "delivered: %d  out-of-order: %d  max displacement: %d\n"
+      (Reorder.observed sink.reorder)
+      (Reorder.out_of_order sink.reorder)
+      (Reorder.max_displacement sink.reorder);
+    Printf.printf "goodput: %.2f Mbps\n"
+      (Stripe_metrics.Throughput.mbps sink.goodput);
+    (match !errors_stop with
+    | Some t -> (
+      match Stripe_metrics.Recovery.resync_time sink.recovery ~errors_stop:t with
+      | Some dt ->
+        Printf.printf "resync after losses stopped: %.2f ms\n" (1000.0 *. dt)
+      | None -> Printf.printf "stream did not resynchronize\n")
+    | None -> ());
+    `Ok ()
+  end
+
+let cmd =
+  let doc = "simulate reliable and scalable channel striping (SIGCOMM 1996)" in
+  let info = Cmd.info "stripe-sim" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
+       $ markers $ loss_stop $ seed $ trace_file))
+
+let () = exit (Cmd.eval cmd)

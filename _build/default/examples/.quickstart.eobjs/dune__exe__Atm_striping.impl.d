@@ -1,0 +1,1 @@
+examples/atm_striping.ml: Array Cell Link List Packet Printf Rng Sim Stripe_atm Stripe_core Stripe_netsim Stripe_packet Stripe_vc

@@ -1,0 +1,1 @@
+examples/atm_striping.mli:

@@ -1,0 +1,1 @@
+examples/dissimilar_links.ml: Arp Iface Ip Link Node Packet Printf Rng Routing Sim Stripe_core Stripe_ipstack Stripe_layer Stripe_metrics Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+examples/dissimilar_links.mli:

@@ -1,0 +1,1 @@
+examples/duality.ml: Array Cfq Fair_queue Fun List Packet Printf Rng Scheduler Srr String Stripe_core Stripe_netsim Stripe_packet Striper

@@ -1,0 +1,1 @@
+examples/lossy_resync.ml: Array Deficit Link Marker Packet Printf Reorder Resequencer Rng Scheduler Sim Srr Stripe_core Stripe_metrics Stripe_netsim Stripe_packet Striper

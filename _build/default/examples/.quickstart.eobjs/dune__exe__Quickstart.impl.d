@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Deficit Fun Link List Marker Packet Printf Resequencer Rng Scheduler Sim Srr Stripe_core Stripe_netsim Stripe_packet Striper

@@ -1,0 +1,1 @@
+examples/video_striping.ml: Array Deficit Link List Marker Packet Playback Printf Reorder Resequencer Rng Scheduler Sim Srr Stripe_core Stripe_netsim Stripe_packet Stripe_workload Striper Video

@@ -1,0 +1,1 @@
+lib/atm/epd_switch.ml: Cell Hashtbl Option Stripe_netsim

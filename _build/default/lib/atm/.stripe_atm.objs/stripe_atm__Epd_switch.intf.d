@@ -1,0 +1,1 @@
+lib/atm/epd_switch.mli: Cell Stripe_netsim

@@ -1,0 +1,1 @@
+lib/atm/stripe_vc.ml: Aal5 Array Cell List Packet Stripe_core Stripe_packet

@@ -1,0 +1,1 @@
+lib/atm/stripe_vc.mli: Cell Stripe_core Stripe_packet

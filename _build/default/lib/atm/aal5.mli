@@ -1,0 +1,36 @@
+(** AAL5 segmentation and reassembly.
+
+    A datagram of [n] bytes becomes [ceil((n + 8) / 48)] cells (8 bytes
+    of AAL5 trailer with length and CRC), the last cell marked
+    end-of-frame. Reassembly accumulates cells per VC until the EOF cell
+    and then validates the frame — the CRC check is modeled as "every
+    cell of exactly this frame present, in order": any lost or foreign
+    cell corrupts the frame, which is discarded, exactly the behavior
+    that makes partial frames worthless and early discard valuable
+    [RF94]. *)
+
+val cells_for : int -> int
+(** Number of cells an [n]-byte datagram needs. *)
+
+val wire_bytes : int -> int
+(** Total wire bytes for an [n]-byte datagram ([cells_for n * 53]). *)
+
+val segment : vci:int -> Stripe_packet.Packet.t -> Cell.t list
+(** Cut a datagram into its AAL5 cells on the given VC. *)
+
+module Reassembler : sig
+  type t
+
+  val create : deliver:(Stripe_packet.Packet.t -> unit) -> unit -> t
+  (** Reassembles one VC's cell stream. [deliver] receives reconstructed
+      datagrams. *)
+
+  val receive : t -> Cell.t -> unit
+  (** OAM cells are ignored here (demultiplex them before reassembly). *)
+
+  val delivered : t -> int
+
+  val corrupted_frames : t -> int
+  (** Frames discarded because cells were missing or interleaved (the
+      modeled CRC failure). *)
+end

@@ -1,0 +1,1 @@
+lib/core/cfq.ml: Array Deficit List Stripe_netsim

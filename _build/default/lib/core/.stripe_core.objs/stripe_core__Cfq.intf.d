@@ -1,0 +1,1 @@
+lib/core/cfq.mli: Deficit

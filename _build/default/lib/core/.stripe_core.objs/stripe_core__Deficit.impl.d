@@ -1,0 +1,1 @@
+lib/core/deficit.ml: Array Format String

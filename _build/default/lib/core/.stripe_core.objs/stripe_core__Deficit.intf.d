@@ -1,0 +1,1 @@
+lib/core/deficit.mli: Format

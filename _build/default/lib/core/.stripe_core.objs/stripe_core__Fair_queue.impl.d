@@ -1,0 +1,1 @@
+lib/core/fair_queue.ml: Array Fifo_queue Packet Queue Stripe_packet

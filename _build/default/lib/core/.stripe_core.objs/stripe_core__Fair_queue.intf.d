@@ -1,0 +1,1 @@
+lib/core/fair_queue.mli: Stripe_packet

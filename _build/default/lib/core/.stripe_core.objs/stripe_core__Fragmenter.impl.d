@@ -1,0 +1,1 @@
+lib/core/fragmenter.ml: Array Hashtbl Packet Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/fragmenter.mli: Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/grr.ml: Array Deficit Float

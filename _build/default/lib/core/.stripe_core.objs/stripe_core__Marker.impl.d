@@ -1,0 +1,1 @@
+lib/core/marker.ml: Deficit Option Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/marker.mli: Deficit Stripe_packet

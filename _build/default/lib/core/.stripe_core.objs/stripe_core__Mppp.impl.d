@@ -1,0 +1,1 @@
+lib/core/mppp.ml: Array Hashtbl Packet Scheduler Stripe_packet

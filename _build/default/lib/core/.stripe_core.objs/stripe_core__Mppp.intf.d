@@ -1,0 +1,1 @@
+lib/core/mppp.mli: Scheduler Stripe_packet

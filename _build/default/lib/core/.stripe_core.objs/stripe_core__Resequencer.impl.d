@@ -1,0 +1,1 @@
+lib/core/resequencer.ml: Array Deficit Fifo_queue Fun List Packet Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/resequencer.mli: Deficit Stripe_packet

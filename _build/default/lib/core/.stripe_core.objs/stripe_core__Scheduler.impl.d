@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Deficit Grr Packet Rr Srr Stripe_netsim Stripe_packet

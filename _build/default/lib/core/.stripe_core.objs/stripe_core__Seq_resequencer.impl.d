@@ -1,0 +1,1 @@
+lib/core/seq_resequencer.ml: Array Deficit Fifo_queue List Packet Stripe_packet

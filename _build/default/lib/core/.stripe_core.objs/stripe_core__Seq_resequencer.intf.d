@@ -1,0 +1,1 @@
+lib/core/seq_resequencer.mli: Deficit Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/skew_comp.ml: Array Packet Stripe_netsim Stripe_packet

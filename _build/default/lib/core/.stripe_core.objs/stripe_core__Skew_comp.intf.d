@@ -1,0 +1,1 @@
+lib/core/skew_comp.mli: Stripe_netsim Stripe_packet

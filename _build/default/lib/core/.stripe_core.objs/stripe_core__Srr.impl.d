@@ -1,0 +1,1 @@
+lib/core/srr.ml: Array Deficit Float Printf

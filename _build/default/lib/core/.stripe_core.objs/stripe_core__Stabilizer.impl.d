@@ -1,0 +1,1 @@
+lib/core/stabilizer.ml: Packet Resequencer Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/stabilizer.mli: Resequencer Stripe_packet

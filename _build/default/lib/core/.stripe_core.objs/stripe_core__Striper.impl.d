@@ -1,0 +1,1 @@
+lib/core/striper.ml: Array Deficit Marker Option Packet Scheduler Stripe_packet

@@ -1,0 +1,1 @@
+lib/core/striper.mli: Marker Scheduler Stripe_packet

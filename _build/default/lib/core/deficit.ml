@@ -1,0 +1,135 @@
+type cost =
+  | Bytes
+  | Packets
+
+type stamp = { round : int; dc : int }
+
+type event =
+  | Begin_visit of { channel : int; round : int; dc : int }
+  | Consume of { channel : int; round : int; dc_before : int; dc_after : int }
+  | End_visit of { channel : int; round : int; dc : int }
+  | New_round of { round : int }
+
+type t = {
+  quanta : int array;
+  cost_mode : cost;
+  overdraw : bool;
+  n : int;
+  dcs : int array;
+  mutable ptr : int;
+  mutable g : int;
+  mutable serving : bool;
+  mutable hook : (event -> unit) option;
+}
+
+let create ?(cost = Bytes) ?(overdraw = true) ~quanta () =
+  let n = Array.length quanta in
+  if n = 0 then invalid_arg "Deficit.create: no channels";
+  Array.iter
+    (fun q -> if q <= 0 then invalid_arg "Deficit.create: quantum must be positive")
+    quanta;
+  {
+    quanta = Array.copy quanta;
+    cost_mode = cost;
+    overdraw;
+    n;
+    dcs = Array.make n 0;
+    ptr = 0;
+    g = 0;
+    serving = false;
+    hook = None;
+  }
+
+let clone_initial t =
+  create ~cost:t.cost_mode ~overdraw:t.overdraw ~quanta:t.quanta ()
+
+let reinit t =
+  Array.fill t.dcs 0 t.n 0;
+  t.ptr <- 0;
+  t.g <- 0;
+  t.serving <- false
+
+let n_channels t = t.n
+let quanta t = Array.copy t.quanta
+let cost t = t.cost_mode
+let round t = t.g
+let current t = t.ptr
+let in_service t = t.serving
+let dc t c = t.dcs.(c)
+let set_dc t c v = t.dcs.(c) <- v
+let set_round t g = t.g <- g
+let set_hook t hook = t.hook <- hook
+
+let emit t ev = match t.hook with None -> () | Some f -> f ev
+
+let cost_of t size = match t.cost_mode with Bytes -> size | Packets -> 1
+
+let begin_visit t =
+  if not t.serving then begin
+    t.dcs.(t.ptr) <- t.dcs.(t.ptr) + t.quanta.(t.ptr);
+    t.serving <- true;
+    emit t (Begin_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) })
+  end
+
+let advance t =
+  emit t (End_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) });
+  t.serving <- false;
+  t.ptr <- t.ptr + 1;
+  if t.ptr = t.n then begin
+    t.ptr <- 0;
+    t.g <- t.g + 1;
+    emit t (New_round { round = t.g })
+  end
+
+let rec select t =
+  if not t.overdraw then
+    invalid_arg "Deficit.select: non-overdraw engine needs select_for";
+  begin_visit t;
+  if t.dcs.(t.ptr) > 0 then t.ptr
+  else begin
+    advance t;
+    select t
+  end
+
+let rec select_for t ~size =
+  if t.overdraw then select t
+  else begin
+    begin_visit t;
+    if t.dcs.(t.ptr) >= cost_of t size then t.ptr
+    else begin
+      advance t;
+      select_for t ~size
+    end
+  end
+
+let consume t ~size =
+  if not t.serving then
+    invalid_arg "Deficit.consume: no visit in progress (call select first)";
+  let before = t.dcs.(t.ptr) in
+  let after = before - cost_of t size in
+  t.dcs.(t.ptr) <- after;
+  emit t (Consume { channel = t.ptr; round = t.g; dc_before = before; dc_after = after });
+  if after <= 0 then advance t
+
+let next_stamp t c =
+  if c < 0 || c >= t.n then invalid_arg "Deficit.next_stamp: bad channel";
+  if t.serving && c = t.ptr && t.dcs.(c) > 0 then { round = t.g; dc = t.dcs.(c) }
+  else begin
+    (* Determine the first round in which channel [c] will be visited
+       again, then simulate quantum additions until its DC is positive —
+       mirroring [select]'s skipping of deeply negative channels. *)
+    let first_round =
+      if c > t.ptr then t.g
+      else if c = t.ptr && not t.serving then t.g
+      else t.g + 1
+    in
+    let rec settle r dc_val =
+      let dc_val = dc_val + t.quanta.(c) in
+      if dc_val > 0 then { round = r; dc = dc_val } else settle (r + 1) dc_val
+    in
+    settle first_round t.dcs.(c)
+  end
+
+let pp_state fmt t =
+  Format.fprintf fmt "ptr=%d round=%d serving=%b dcs=[%s]" t.ptr t.g t.serving
+    (String.concat "; " (Array.to_list (Array.map string_of_int t.dcs)))

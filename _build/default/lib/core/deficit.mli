@@ -1,0 +1,136 @@
+(** Deficit-counter round-robin engine.
+
+    This is the state machine underlying all three round-robin schedulers
+    in the paper, in both of their roles (fair queuing and load sharing):
+
+    - {b SRR} (Surplus Round Robin, §3.5): byte cost, byte quanta. A
+      channel may {e overdraw} — the deficit counter (DC) goes negative by
+      up to one maximum packet — and is penalized by that surplus in the
+      next round.
+    - {b RR} (ordinary round robin): packet cost, quantum 1 — one packet
+      per channel per round.
+    - {b GRR} (generalized round robin, §6.2): packet cost, quantum
+      [k_i] = the closest integer ratio of channel bandwidths.
+
+    The engine also implements the {e implicit packet numbering} of §5:
+    every packet sent while the pointer is at channel [c] is implicitly
+    stamped with the pair [(R, D)] — the global round number and the DC
+    value immediately before the send. [next_stamp] computes the stamp the
+    {e next} data packet on a given channel will carry; this is exactly
+    what marker packets transmit.
+
+    State is mutable; an instance is used either by a sender (striping) or
+    a receiver (resequencing). The receiver starts from the same initial
+    state, which [clone_initial] provides. *)
+
+type cost =
+  | Bytes  (** DC counts bytes; packets cost their size. *)
+  | Packets  (** DC counts packets; every packet costs 1. *)
+
+type stamp = { round : int; dc : int }
+(** Implicit packet number: round number and DC before the send. *)
+
+type event =
+  | Begin_visit of { channel : int; round : int; dc : int }
+      (** Quantum just added; [dc] is the post-addition value. *)
+  | Consume of { channel : int; round : int; dc_before : int; dc_after : int }
+      (** A packet charged to [channel]. *)
+  | End_visit of { channel : int; round : int; dc : int }
+      (** Pointer moving on; [dc] is the carried surplus/deficit. *)
+  | New_round of { round : int }  (** Pointer wrapped; [round] is the new round. *)
+
+type t
+
+val create : ?cost:cost -> ?overdraw:bool -> quanta:int array -> unit -> t
+(** [create ~quanta ()] builds an engine over [Array.length quanta]
+    channels. Every quantum must be positive. [cost] defaults to [Bytes];
+    [overdraw] defaults to [true] (SRR semantics). With [overdraw:false]
+    the engine behaves like strict DRR: a channel whose DC cannot cover
+    the next packet is passed over instead of overdrawing — this variant
+    is {e not} usable for logical reception (the selection then depends on
+    the packet, making the receiver unable to simulate the sender; see
+    §3.1 on non-causal algorithms) and is provided for the fairness
+    ablation only. *)
+
+val clone_initial : t -> t
+(** Fresh engine with the same configuration, at the initial state. This
+    is what a receiver uses to simulate the sender. The event hook is not
+    copied. *)
+
+val reinit : t -> unit
+(** Reset the engine in place to its initial state (pointer at channel
+    0, round 0, all deficit counters 0): the reset step of §5's crash
+    recovery. The hook is kept. *)
+
+val n_channels : t -> int
+val quanta : t -> int array
+val cost : t -> cost
+
+val round : t -> int
+(** Global round number [G]; starts at 0 and increments when the pointer
+    wraps from the last channel to the first. *)
+
+val current : t -> int
+(** Channel the round-robin pointer is at. No side effects. *)
+
+val in_service : t -> bool
+(** Whether the current channel's visit has begun (quantum added). *)
+
+val dc : t -> int -> int
+(** [dc t c] is channel [c]'s deficit counter. *)
+
+val set_dc : t -> int -> int -> unit
+(** Force a channel's DC (marker resynchronization at the receiver). *)
+
+val set_round : t -> int -> unit
+(** Force the global round number. Fault injection for self-stabilization
+    tests (a corrupted [G] is the failure {!Stabilizer} exists to catch);
+    no protocol component calls this. *)
+
+val select : t -> int
+(** The CFQ selector [f(s)] for overdraw mode: returns the channel the
+    next packet must go to, beginning the visit (adding the quantum) if
+    needed, and skipping channels whose DC stays non-positive even after
+    their quantum (possible only when a quantum is smaller than a packet).
+    Idempotent until the next [consume]. Raises [Invalid_argument] in
+    non-overdraw mode, where selection needs the packet size — use
+    [select_for]. *)
+
+val select_for : t -> size:int -> int
+(** Selector for non-overdraw (strict DRR) mode: skips channels whose DC
+    cannot cover [size] this round. Also valid in overdraw mode, where it
+    ignores [size] and equals [select]. *)
+
+val consume : t -> size:int -> unit
+(** The CFQ update [g(s, p)]: charge a packet of [size] bytes to the
+    current channel. Decrements the DC by the packet's cost and ends the
+    visit when the DC is no longer positive (overdraw mode) — the paper's
+    "packets are sent from that queue as long as the DC is positive". In
+    non-overdraw mode the visit ends when the DC cannot cover another
+    maximal packet only at the next [select_for], so [consume] just
+    decrements. Must be preceded by a [select]/[select_for]. *)
+
+val begin_visit : t -> unit
+(** Low-level: add the quantum to the current channel if its visit has not
+    begun. Exposed for the receiver-side resynchronization logic, which
+    must decide whether to skip a channel {e before} granting it a
+    quantum. *)
+
+val advance : t -> unit
+(** Low-level: end the current visit (whether or not it began) and move
+    the pointer to the next channel, incrementing the round on wrap. Used
+    by the receiver to skip a channel whose marker round number is ahead
+    (§5). *)
+
+val next_stamp : t -> int -> stamp
+(** [next_stamp t c] is the implicit number [(R, D)] that the next data
+    packet sent on channel [c] will carry, given the current state. This
+    accounts for whether [c] has already been served in the current round
+    and for any rounds [c] would be skipped while its DC recovers. *)
+
+val set_hook : t -> (event -> unit) option -> unit
+(** Install an observer of engine transitions (used for the Figure 5/6
+    golden traces and by the marker emission policy). *)
+
+val pp_state : Format.formatter -> t -> unit
+(** One-line state dump: pointer, round, DCs. *)

@@ -1,0 +1,51 @@
+type report = {
+  rounds : int;
+  bytes : int array;
+  entitlement : int array;
+  deviation : int array;
+  max_deviation : int;
+  bound : int;
+  within_bound : bool;
+}
+
+let measure ~deficit ~bytes ~max_packet =
+  let quanta = Deficit.quanta deficit in
+  let n = Array.length quanta in
+  if Array.length bytes <> n then invalid_arg "Fairness.measure: arity mismatch";
+  let k = Deficit.round deficit in
+  let entitlement = Array.map (fun q -> k * q) quanta in
+  let deviation = Array.init n (fun i -> abs (bytes.(i) - entitlement.(i))) in
+  let max_deviation = Array.fold_left max 0 deviation in
+  let max_quantum = Array.fold_left max 0 quanta in
+  let bound = max_packet + (2 * max_quantum) in
+  {
+    rounds = k;
+    bytes = Array.copy bytes;
+    entitlement;
+    deviation;
+    max_deviation;
+    bound;
+    within_bound = max_deviation <= bound;
+  }
+
+let spread bytes =
+  if Array.length bytes = 0 then 0
+  else
+    Array.fold_left max bytes.(0) bytes - Array.fold_left min bytes.(0) bytes
+
+let jain_index bytes =
+  let n = Array.length bytes in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left (fun a b -> a +. float_of_int b) 0.0 bytes in
+    let sumsq =
+      Array.fold_left (fun a b -> a +. (float_of_int b *. float_of_int b)) 0.0 bytes
+    in
+    if sumsq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sumsq)
+  end
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "rounds=%d max_deviation=%d bound=%d within=%b jain=%.4f bytes=[%s]" r.rounds
+    r.max_deviation r.bound r.within_bound (jain_index r.bytes)
+    (String.concat "; " (Array.to_list (Array.map string_of_int r.bytes)))

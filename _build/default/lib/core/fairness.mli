@@ -1,0 +1,35 @@
+(** Throughput-fairness measurement (§3.3).
+
+    Fairness of a load-sharing execution is judged by the bytes allocated
+    to each channel. For SRR the paper bounds the deviation of channel [i]
+    from its entitlement [K * Quantum_i] after [K] rounds by
+    [Max + 2 * Quantum] (Lemma 3.3); for a deterministic scheme to be
+    fair, deviations must stay bounded by a constant as executions grow. *)
+
+type report = {
+  rounds : int;  (** Completed rounds [K]. *)
+  bytes : int array;  (** Bytes actually allocated per channel. *)
+  entitlement : int array;  (** [K * Quantum_i] per channel. *)
+  deviation : int array;  (** [|bytes_i - entitlement_i|]. *)
+  max_deviation : int;
+  bound : int;  (** [Max + 2 * Quantum] for the supplied max packet size. *)
+  within_bound : bool;
+}
+
+val measure : deficit:Deficit.t -> bytes:int array -> max_packet:int -> report
+(** [measure ~deficit ~bytes ~max_packet] evaluates an execution that left
+    the engine in its current state having carried [bytes.(i)] data bytes
+    on channel [i]. For packet-cost engines (RR/GRR) the entitlement is
+    computed in packets; pass packet counts as [bytes] and [1] as
+    [max_packet]. *)
+
+val spread : int array -> int
+(** [spread bytes] is [max - min] over channels — the pairwise-imbalance
+    view of fairness ("the difference in the bits allocated to any two
+    queues differs by at most a constant"). *)
+
+val jain_index : int array -> float
+(** Jain's fairness index in [0, 1]; 1 is perfectly fair. A modern summary
+    statistic used by the benchmarks alongside the paper's bound. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,86 @@
+(** Fragmenting striping (minipackets), the road not taken by strIPe.
+
+    §6.2 notes that strIPe "restricts the maximum packet size ... to the
+    minimum MTU of the underlying physical interfaces", that throughput
+    depends strongly on MTU ("we obtain throughputs in excess of 70 Mbps
+    over an ATM interface using 8 KB sized packets"), and that the
+    limitation applies to "any striping algorithm that does not
+    internally fragment and reassemble packets". The Gigabit-testbed
+    adaptors the paper surveys — notably OSIRIS [DP94], where "a single
+    packet is sent as a number of minipackets on each channel and a
+    parallel reassembly of the packets is done at the receiver" — do
+    fragment, at the price of modifying what travels on the wire.
+
+    This module implements that alternative so the trade-off can be
+    measured: every datagram is split into one {e minipacket per
+    channel}, sized proportionally to the channel shares (so load sharing
+    is exact by construction), each carrying a small fragment header.
+    Because every channel carries a piece of every datagram, the bundle
+    MTU is roughly the {e sum} of member MTUs, and the receiver detects a
+    dead datagram as soon as every channel has moved past its id —
+    reassembly is parallel and delivery is in datagram order
+    (guaranteed FIFO; this is a modify-the-packets scheme, so carrying
+    ids is fair game).
+
+    Costs, also measurable: header overhead per channel per datagram,
+    per-fragment processing at both ends, and the loss amplification of
+    needing all fragments — exactly the §7 argument for striping whole
+    packets when AAL boundaries matter. *)
+
+val header_size : int
+(** Wire overhead per fragment (8 bytes). *)
+
+type fragment = {
+  fg_id : int;  (** Datagram id, consecutive from 0 per sender. *)
+  fg_channel : int;
+  fg_n : int;  (** Number of fragments (= channels). *)
+  fg_payload : int;  (** Bytes of the datagram carried here (may be 0). *)
+  fg_total : int;  (** Original datagram size. *)
+  fg_seq : int;  (** Original [Packet.seq], measurement metadata. *)
+  fg_frame : int;
+  fg_born : float;
+}
+
+val wire_size : fragment -> int
+(** [fg_payload + header_size]. *)
+
+module Sender : sig
+  type t
+
+  val create :
+    shares:float array ->
+    emit:(channel:int -> fragment -> unit) ->
+    unit ->
+    t
+  (** [shares] weight the byte split across channels (typically the
+      channel rates). Every push emits exactly one fragment per channel,
+      possibly payload-free on channels whose share rounds to zero —
+      keeping the every-channel-sees-every-id invariant the reassembler's
+      loss detection relies on. *)
+
+  val push : t -> Stripe_packet.Packet.t -> unit
+
+  val pushed : t -> int
+
+  val channel_payload_bytes : t -> int -> int
+  (** Datagram bytes (headers excluded) sent to a channel. *)
+end
+
+module Reassembler : sig
+  type t
+
+  val create :
+    n_channels:int -> deliver:(Stripe_packet.Packet.t -> unit) -> unit -> t
+  (** [deliver] receives reconstructed datagrams in id order. *)
+
+  val receive : t -> channel:int -> fragment -> unit
+
+  val delivered : t -> int
+
+  val dropped_incomplete : t -> int
+  (** Datagrams abandoned because a fragment was lost (detected once
+      every channel had advanced past the id). *)
+
+  val pending : t -> int
+  (** Datagrams with at least one fragment received, not yet released. *)
+end

@@ -1,0 +1,16 @@
+let create ~ratios () =
+  Array.iter
+    (fun k -> if k <= 0 then invalid_arg "Grr.create: ratios must be positive")
+    ratios;
+  Deficit.create ~cost:Packets ~overdraw:true ~quanta:ratios ()
+
+let for_rates ~rates_bps () =
+  if Array.length rates_bps = 0 then invalid_arg "Grr.for_rates: no channels";
+  Array.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Grr.for_rates: rates must be positive")
+    rates_bps;
+  let slowest = Array.fold_left min rates_bps.(0) rates_bps in
+  let ratios =
+    Array.map (fun r -> max 1 (int_of_float (Float.round (r /. slowest)))) rates_bps
+  in
+  create ~ratios ()

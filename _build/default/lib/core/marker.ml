@@ -1,0 +1,22 @@
+type position =
+  | Round_start
+  | Mid_round
+  | Round_end
+
+type policy = {
+  every_rounds : int;
+  position : position;
+  credit_of : (int -> int) option;
+}
+
+let make ?credit_of ?(position = Round_end) ~every_rounds () =
+  if every_rounds < 1 then invalid_arg "Marker.make: every_rounds must be >= 1";
+  { every_rounds; position; credit_of }
+
+let default = make ~every_rounds:4 ()
+
+let packet_for policy ~deficit ~channel ~now =
+  let stamp = Deficit.next_stamp deficit channel in
+  let credit = Option.map (fun f -> f channel) policy.credit_of in
+  Stripe_packet.Packet.marker ?credit ~channel ~round:stamp.Deficit.round
+    ~dc:stamp.Deficit.dc ~born:now ()

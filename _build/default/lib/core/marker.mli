@@ -1,0 +1,46 @@
+(** Marker packet emission policy (§5, §6.3).
+
+    The sender periodically sends a marker packet on {e each} channel
+    carrying the implicit packet number — round number and deficit counter
+    — of the next data packet to be sent on that channel. Markers are
+    control packets distinguished from data by a link-level codepoint;
+    data packets are never modified.
+
+    Two knobs matter experimentally (§6.3): the {e frequency} (markers
+    every [every_rounds] rounds — higher frequency shrinks the window of
+    out-of-order delivery after a loss) and the {e position} of emission
+    within a round — the paper measured the fewest out-of-order deliveries
+    with markers at the beginning or end of a round, and recommends the
+    end. Optionally each marker piggybacks a flow-control credit for its
+    channel (the FCVC scheme of [KC93], §6.3). *)
+
+type position =
+  | Round_start
+      (** Markers for all channels are emitted together, just before the
+          first data packet of a marked round is dispatched. *)
+  | Mid_round
+      (** The marker for channel [c] is emitted as soon as [c]'s service
+          visit in a marked round completes, staggering markers across the
+          round. *)
+  | Round_end
+      (** Markers for all channels are emitted together, immediately after
+          the last data packet of a marked round. *)
+
+type policy = {
+  every_rounds : int;  (** Emit markers every this many rounds; >= 1. *)
+  position : position;
+  credit_of : (int -> int) option;
+      (** Per-channel credit to piggyback, if flow control is active. *)
+}
+
+val default : policy
+(** Every 4 rounds, at the round end (the position the paper found best),
+    no credits. *)
+
+val make : ?credit_of:(int -> int) -> ?position:position -> every_rounds:int -> unit -> policy
+
+val packet_for :
+  policy -> deficit:Deficit.t -> channel:int -> now:float -> Stripe_packet.Packet.t
+(** Build the marker packet for [channel] from the sender's current
+    engine state: it carries [Deficit.next_stamp deficit channel] and the
+    channel's credit if the policy supplies one. *)

@@ -1,0 +1,172 @@
+open Stripe_packet
+
+let header_size = 4
+
+type fragment = {
+  mp_seq : int;
+  mp_begin : bool;
+  mp_end : bool;
+  mp_payload : int;
+  mp_dg_seq : int;
+  mp_dg_size : int;
+}
+
+let wire_size f = f.mp_payload + header_size
+
+module Sender = struct
+  type t = {
+    scheduler : Scheduler.t;
+    threshold : int;
+    emit : link:int -> fragment -> unit;
+    mutable next_seq : int;
+    mutable n_pushed : int;
+    mutable n_fragments : int;
+    mutable header_bytes : int;
+  }
+
+  let create ~scheduler ?(fragment_threshold = 1500) ~emit () =
+    if fragment_threshold <= 0 then
+      invalid_arg "Mppp.Sender.create: fragment_threshold must be positive";
+    {
+      scheduler;
+      threshold = fragment_threshold;
+      emit;
+      next_seq = 0;
+      n_pushed = 0;
+      n_fragments = 0;
+      header_bytes = 0;
+    }
+
+  let emit_fragment t frag =
+    (* Dispatch each fragment through the scheduler as its own unit; SRR
+       charges the fragment's wire size. *)
+    let carrier =
+      Packet.data ~seq:frag.mp_seq ~size:(wire_size frag) ()
+    in
+    let link = Scheduler.choose t.scheduler carrier in
+    Scheduler.account t.scheduler carrier link;
+    t.n_fragments <- t.n_fragments + 1;
+    t.header_bytes <- t.header_bytes + header_size;
+    t.emit ~link frag
+
+  let push t pkt =
+    if Packet.is_marker pkt then invalid_arg "Mppp.Sender.push: marker";
+    t.n_pushed <- t.n_pushed + 1;
+    let total = pkt.Packet.size in
+    let rec cut offset =
+      let remaining = total - offset in
+      if remaining > 0 then begin
+        let payload = min t.threshold remaining in
+        emit_fragment t
+          {
+            mp_seq = t.next_seq;
+            mp_begin = offset = 0;
+            mp_end = offset + payload = total;
+            mp_payload = payload;
+            mp_dg_seq = pkt.Packet.seq;
+            mp_dg_size = total;
+          };
+        t.next_seq <- t.next_seq + 1;
+        cut (offset + payload)
+      end
+    in
+    cut 0
+
+  let pushed t = t.n_pushed
+  let fragments_sent t = t.n_fragments
+  let header_bytes_sent t = t.header_bytes
+end
+
+module Receiver = struct
+  type t = {
+    n : int;
+    deliver : Packet.t -> unit;
+    buffered : (int, fragment) Hashtbl.t;  (* mp_seq -> fragment *)
+    link_max : int array;  (* highest mp_seq seen per link; -1 initially *)
+    mutable next : int;  (* next mp_seq to release *)
+    mutable assembling : (int * int * int) option;  (* dg_seq, size, got *)
+    mutable skipping : bool;  (* discard until the next Begin fragment *)
+    mutable n_delivered : int;
+    mutable n_lost : int;
+    mutable n_discarded : int;
+  }
+
+  let create ~n_links ~deliver () =
+    if n_links <= 0 then invalid_arg "Mppp.Receiver.create: no links";
+    {
+      n = n_links;
+      deliver;
+      buffered = Hashtbl.create 256;
+      link_max = Array.make n_links (-1);
+      next = 0;
+      assembling = None;
+      skipping = false;
+      n_delivered = 0;
+      n_lost = 0;
+      n_discarded = 0;
+    }
+
+  let abandon_assembly t =
+    match t.assembling with
+    | Some _ ->
+      t.assembling <- None;
+      t.n_discarded <- t.n_discarded + 1
+    | None -> ()
+
+  let process t f =
+    if f.mp_begin then begin
+      (* A new datagram starts; any partial one is dead. *)
+      abandon_assembly t;
+      t.skipping <- false;
+      t.assembling <- Some (f.mp_dg_seq, f.mp_dg_size, f.mp_payload)
+    end
+    else if not t.skipping then begin
+      match t.assembling with
+      | Some (dg, size, got) -> t.assembling <- Some (dg, size, got + f.mp_payload)
+      | None -> (* middle fragment with no beginning: drop *) t.skipping <- true
+    end;
+    if f.mp_end && not t.skipping then begin
+      match t.assembling with
+      | Some (dg, size, got) when got = size ->
+        t.assembling <- None;
+        t.n_delivered <- t.n_delivered + 1;
+        t.deliver (Packet.data ~seq:dg ~size ())
+      | Some _ ->
+        abandon_assembly t;
+        t.skipping <- true
+      | None -> ()
+    end
+
+  (* The RFC's M: the minimum over links of the latest sequence number
+     delivered by each link. Since links are FIFO and stamp sequence
+     numbers increasingly, nothing <= M can still arrive. *)
+  let horizon t = Array.fold_left min max_int t.link_max
+
+  let rec release t =
+    match Hashtbl.find_opt t.buffered t.next with
+    | Some f ->
+      Hashtbl.remove t.buffered t.next;
+      process t f;
+      t.next <- t.next + 1;
+      release t
+    | None ->
+      if t.next < horizon t then begin
+        (* Lost for sure: skip it and resynchronize at the next Begin. *)
+        t.n_lost <- t.n_lost + 1;
+        abandon_assembly t;
+        t.skipping <- true;
+        t.next <- t.next + 1;
+        release t
+      end
+
+  let receive t ~link f =
+    if link < 0 || link >= t.n then invalid_arg "Mppp.Receiver.receive: bad link";
+    if f.mp_seq > t.link_max.(link) then t.link_max.(link) <- f.mp_seq;
+    if f.mp_seq >= t.next then Hashtbl.replace t.buffered f.mp_seq f;
+    release t
+
+  let delivered t = t.n_delivered
+  let lost_fragments t = t.n_lost
+  let discarded_datagrams t = t.n_discarded
+  let pending t = Hashtbl.length t.buffered
+end

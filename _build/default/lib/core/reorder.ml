@@ -1,0 +1,58 @@
+type t = {
+  mutable n : int;
+  mutable max_seq : int;
+  mutable min_seq : int;
+  mutable late : int;
+  mutable max_disp : int;
+  mutable dups : int;
+  mutable last_seq : int;  (* previous delivery, for suffix tracking *)
+  mutable suffix : int;  (* current strictly increasing suffix length *)
+  mutable last_disorder : int;
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    n = 0;
+    max_seq = min_int;
+    min_seq = max_int;
+    late = 0;
+    max_disp = 0;
+    dups = 0;
+    last_seq = min_int;
+    suffix = 0;
+    last_disorder = -1;
+    seen = Hashtbl.create 1024;
+  }
+
+let observe t ~seq =
+  if Hashtbl.mem t.seen seq then t.dups <- t.dups + 1
+  else Hashtbl.add t.seen seq ();
+  if seq < t.max_seq then begin
+    t.late <- t.late + 1;
+    if t.max_seq - seq > t.max_disp then t.max_disp <- t.max_seq - seq
+  end;
+  if seq > t.last_seq then t.suffix <- t.suffix + 1
+  else begin
+    t.suffix <- 1;
+    t.last_disorder <- t.n
+  end;
+  t.last_seq <- seq;
+  if seq > t.max_seq then t.max_seq <- seq;
+  if seq < t.min_seq then t.min_seq <- seq;
+  t.n <- t.n + 1
+
+let observed t = t.n
+
+let out_of_order t = t.late
+
+let max_displacement t = t.max_disp
+
+let missing t =
+  if t.n = 0 then 0 else t.max_seq - t.min_seq + 1 - (t.n - t.dups)
+
+let duplicates t = t.dups
+
+let is_sorted_suffix t = t.suffix
+
+let last_disorder_index t = t.last_disorder

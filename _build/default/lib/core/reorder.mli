@@ -1,0 +1,42 @@
+(** Out-of-order delivery metrics.
+
+    Observes the stream a receiver hands to the application and counts
+    misordering relative to the sender's input sequence, using the
+    measurement-only [seq] metadata on data packets. An {e out-of-order
+    delivery} is a packet whose [seq] is smaller than some previously
+    delivered [seq] (late packet); {e displacement} is how far it arrived
+    after its in-order position. This is what the §6.3 marker frequency
+    and position experiments report. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> seq:int -> unit
+
+val observed : t -> int
+(** Packets observed. *)
+
+val out_of_order : t -> int
+(** Late deliveries: packets with [seq] below the running maximum. *)
+
+val max_displacement : t -> int
+(** Largest [max_seq_seen - seq] over late deliveries. *)
+
+val missing : t -> int
+(** Sequence numbers skipped and never delivered so far, assuming the
+    sender numbered packets consecutively from the first observed one:
+    [max_seq - min_seq + 1 - observed - duplicates]. *)
+
+val duplicates : t -> int
+(** Packets whose [seq] was already delivered (should be zero under this
+    protocol; tracked defensively). *)
+
+val is_sorted_suffix : t -> int
+(** Length of the longest strictly increasing suffix of the delivery
+    sequence — used to verify FIFO delivery was restored and persisted
+    after losses stop. *)
+
+val last_disorder_index : t -> int
+(** Index (0-based, in delivery order) of the last late delivery, or -1
+    if the whole stream was in order. *)

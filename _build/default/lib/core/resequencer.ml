@@ -1,0 +1,183 @@
+open Stripe_packet
+
+type t = {
+  d : Deficit.t;
+  n : int;
+  buffers : Packet.t Fifo_queue.t array;
+  force : Deficit.stamp option array;
+      (* Pending marker state per channel: the (round, DC) of the next
+         data packet, to be enforced when the scan reaches that round. *)
+  deliver : channel:int -> Packet.t -> unit;
+  on_credit : (int -> int -> unit) option;
+  reset_pending : bool array;
+      (* Channels whose stream has reached a reset marker; when all have,
+         the receiver reinitializes (crash-recovery barrier, §5). *)
+  mutable n_data_buffered : int;
+  mutable n_delivered : int;
+  mutable n_skips : int;
+  mutable n_markers : int;
+  mutable n_resets : int;
+  mutable waiting : int option;
+}
+
+let create ~deficit ?on_credit ~deliver () =
+  let n = Deficit.n_channels deficit in
+  {
+    d = deficit;
+    n;
+    buffers = Array.init n (fun _ -> Fifo_queue.create ());
+    force = Array.make n None;
+    deliver;
+    on_credit;
+    reset_pending = Array.make n false;
+    n_data_buffered = 0;
+    n_delivered = 0;
+    n_skips = 0;
+    n_markers = 0;
+    n_resets = 0;
+    waiting = None;
+  }
+
+let apply_marker t (m : Packet.marker) =
+  t.n_markers <- t.n_markers + 1;
+  let c = m.m_channel in
+  if c < 0 || c >= t.n then
+    invalid_arg "Resequencer: marker names an unknown channel";
+  t.force.(c) <- Some { Deficit.round = m.m_round; dc = m.m_dc };
+  match t.on_credit, m.m_credit with
+  | Some f, Some k -> f c k
+  | Some _, None | None, _ -> ()
+
+(* Markers take effect in their FIFO position within the channel's
+   stream: absorb any markers at the head of the current channel's buffer
+   before deciding how to serve it. A marker's (r, d) describes exactly
+   the next data packet behind it on the same channel. Absorption stops
+   at a reset marker: everything behind it belongs to the next epoch and
+   stays buffered until the reset barrier completes. *)
+let rec absorb_markers t c =
+  match Fifo_queue.peek t.buffers.(c) with
+  | Some pkt when Packet.is_marker pkt ->
+    let m = Packet.get_marker pkt in
+    if m.Packet.m_reset then begin
+      ignore (Fifo_queue.pop t.buffers.(c));
+      t.n_markers <- t.n_markers + 1;
+      t.reset_pending.(c) <- true
+    end
+    else begin
+      ignore (Fifo_queue.pop t.buffers.(c));
+      apply_marker t m;
+      absorb_markers t c
+    end
+  | Some _ | None -> ()
+
+(* The receiver's scan: serve the current channel per the simulated
+   sender algorithm; skip channels whose marker round is ahead of the
+   receiver's global round (condition C1 of §5); block when the packet
+   logically due next has not physically arrived. *)
+let rec progress t =
+  let c = Deficit.current t.d in
+  if not t.reset_pending.(c) then absorb_markers t c;
+  if t.reset_pending.(c) then begin
+    if Array.for_all Fun.id t.reset_pending then begin
+      (* Barrier complete: adopt the fresh epoch. *)
+      Deficit.reinit t.d;
+      Array.fill t.force 0 t.n None;
+      Array.fill t.reset_pending 0 t.n false;
+      t.n_resets <- t.n_resets + 1;
+      t.waiting <- None;
+      progress t
+    end
+    else begin
+      (* This channel's old epoch is over; keep draining the others. *)
+      Deficit.advance t.d;
+      progress t
+    end
+  end
+  else
+    match t.force.(c) with
+  | Some s when s.Deficit.round > Deficit.round t.d ->
+    (* We lost packets on [c] and arrived "too early": skip it this round
+       and wait for our round number to catch up with the marker's. *)
+    t.n_skips <- t.n_skips + 1;
+    Deficit.advance t.d;
+    progress t
+  | force_state ->
+    (if not (Deficit.in_service t.d) then begin
+       Deficit.begin_visit t.d;
+       match force_state with
+       | Some s ->
+         (* The marker gives the authoritative DC for serving the next
+            data packet, superseding our simulated value. *)
+         Deficit.set_dc t.d c s.Deficit.dc;
+         t.force.(c) <- None
+       | None -> ()
+     end
+     else
+       match force_state with
+       | Some s when s.Deficit.round <= Deficit.round t.d ->
+         (* Mid-visit correction within the same round. *)
+         Deficit.set_dc t.d c s.Deficit.dc;
+         t.force.(c) <- None
+       | Some _ | None -> ());
+    if Deficit.dc t.d c <= 0 then begin
+      Deficit.advance t.d;
+      progress t
+    end
+    else begin
+      match Fifo_queue.pop t.buffers.(c) with
+      | None -> t.waiting <- Some c (* Block: logical reception waits here. *)
+      | Some pkt ->
+        t.waiting <- None;
+        t.n_data_buffered <- t.n_data_buffered - 1;
+        t.n_delivered <- t.n_delivered + 1;
+        t.deliver ~channel:c pkt;
+        Deficit.consume t.d ~size:pkt.Packet.size;
+        progress t
+    end
+
+let receive t ~channel pkt =
+  if channel < 0 || channel >= t.n then
+    invalid_arg "Resequencer.receive: bad channel";
+  Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
+  if not (Packet.is_marker pkt) then t.n_data_buffered <- t.n_data_buffered + 1;
+  progress t
+
+let delivered t = t.n_delivered
+
+let pending t = t.n_data_buffered
+
+let blocked_on t = t.waiting
+
+let skips t = t.n_skips
+
+let markers_seen t = t.n_markers
+
+let resets t = t.n_resets
+
+let round t = Deficit.round t.d
+
+let buffer_high_water_packets t =
+  (* Per-channel high waters do not peak simultaneously in general, but
+     their sum bounds the simultaneous total and matches it for the
+     common block-on-one-channel pattern. *)
+  Array.fold_left (fun acc b -> acc + Fifo_queue.high_water_packets b) 0 t.buffers
+
+let buffer_high_water_bytes t =
+  Array.fold_left (fun acc b -> acc + Fifo_queue.high_water_bytes b) 0 t.buffers
+
+let drain t =
+  let out = ref [] in
+  let remaining = ref true in
+  while !remaining do
+    remaining := false;
+    Array.iter
+      (fun b ->
+        match Fifo_queue.pop b with
+        | Some pkt ->
+          if not (Packet.is_marker pkt) then out := pkt :: !out;
+          remaining := true
+        | None -> ())
+      t.buffers
+  done;
+  t.n_data_buffered <- 0;
+  List.rev !out

@@ -1,0 +1,87 @@
+(** Logical reception: receiver-side resequencing without packet headers.
+
+    The receiver separates {e physical} reception (a packet arriving on a
+    channel, which merely appends it to that channel's buffer) from
+    {e logical} reception: the receiver runs the {e same} CFQ algorithm as
+    the sender's striper to know which channel the next packet must come
+    from, removes packets in that order, and {b blocks} on the expected
+    channel while buffering arrivals on the others (§4). With no loss this
+    reproduces the sender's input sequence exactly (Theorem 4.1),
+    whatever the per-channel skews.
+
+    Loss desynchronizes the simulation, after which delivery is only
+    {e quasi-FIFO}. Recovery uses the marker protocol of §5: a marker on
+    channel [c] carries the implicit number [(r, d)] — round and deficit
+    counter — of the next data packet {e behind it} on [c]. Markers are
+    therefore processed in their FIFO position within the channel's
+    stream: they are buffered like data and take effect when logical
+    reception reaches them (data buffered ahead of a marker is served
+    under the pre-marker state it belongs to). When a marker takes
+    effect the receiver records [(r, d)] for [c]; during its round-robin
+    scan it {b skips} any channel whose recorded round exceeds its own
+    global round [G]: it has lost packets on [c] and arrived "too early",
+    so it must wait that many rounds before visiting [c] again — this
+    enforces condition C1 (never deliver a higher-round packet before a
+    lower-round one). When the scan's round reaches [r], the channel's DC
+    is pinned to [d], resynchronizing the simulation. Once a marker has
+    been delivered on every channel after errors stop, FIFO delivery is
+    restored (Theorem 5.1).
+
+    The implementation is event-driven: call [receive] for every physical
+    arrival; the resequencer invokes [deliver] zero or more times,
+    re-entering its scan until it must block again. *)
+
+type t
+
+val create :
+  deficit:Deficit.t ->
+  ?on_credit:(int -> int -> unit) ->
+  deliver:(channel:int -> Stripe_packet.Packet.t -> unit) ->
+  unit ->
+  t
+(** [create ~deficit ~deliver ()] builds a resequencer simulating the
+    given engine, which must be a fresh engine at the sender's initial
+    state — use [Deficit.clone_initial] on the sender's. [deliver] is
+    called with each packet in logical-reception order, together with the
+    channel it was drawn from (as a real implementation would know from
+    the buffer it popped — used e.g. for per-channel flow-control
+    accounting). [on_credit c k] is invoked when a marker on channel [c]
+    piggybacks credit [k]. *)
+
+val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
+(** Physical reception of a packet (data or marker) on a channel. *)
+
+val delivered : t -> int
+(** Data packets delivered so far. *)
+
+val pending : t -> int
+(** Data packets buffered awaiting logical reception. *)
+
+val blocked_on : t -> int option
+(** The channel the receiver is currently waiting on, if any. *)
+
+val skips : t -> int
+(** Channel visits skipped by the marker rule [r_c > G]. *)
+
+val markers_seen : t -> int
+
+val resets : t -> int
+(** Completed reset barriers (§5 crash recovery): the receiver
+    reinitialized after reaching a {!Striper.send_reset} marker on every
+    channel. Pre-reset stragglers are delivered best-effort; delivery is
+    FIFO again from the first post-reset packet. *)
+
+val round : t -> int
+(** The receiver's global round number [G]. *)
+
+val buffer_high_water_packets : t -> int
+(** Largest total buffered-packet count observed — how much physical
+    reception ran ahead of logical reception (sizes real buffers against
+    skew). *)
+
+val buffer_high_water_bytes : t -> int
+
+val drain : t -> Stripe_packet.Packet.t list
+(** Remove and return all still-buffered data packets, interleaved
+    round-robin from the per-channel buffers. For end-of-run accounting in
+    finite experiments; not part of the protocol. *)

@@ -1,0 +1,3 @@
+let create ~n () =
+  if n <= 0 then invalid_arg "Rr.create: n must be positive";
+  Deficit.create ~cost:Packets ~overdraw:true ~quanta:(Array.make n 1) ()

@@ -1,0 +1,17 @@
+(** Ordinary round robin striping.
+
+    The simplest scheme of §2.1: the sender sends packets in round-robin
+    order on the channels, one packet per channel per round, regardless of
+    packet size. It is causal (the state is just the pointer; [f] is the
+    identity, [g] increments the pointer), so logical reception applies,
+    but it provides poor load sharing with variable-length packets — if
+    big and small packets alternate over two channels, all the big packets
+    ride one channel — and its throughput over dissimilar links is limited
+    by the slowest link (Figure 15).
+
+    Implemented as the deficit engine in packet-cost mode with all quanta
+    equal to 1, which gives RR the same implicit (round, DC) packet
+    numbering that the marker protocol needs — the round-number-only
+    markers of the §5 walkthrough are exactly this. *)
+
+val create : n:int -> unit -> Deficit.t

@@ -1,0 +1,106 @@
+open Stripe_packet
+
+type t = {
+  sched_name : string;
+  is_causal : bool;
+  n : int;
+  choose_fn : Packet.t -> int;
+  account_fn : Packet.t -> int -> unit;
+  engine : Deficit.t option;
+  remake : unit -> t;
+}
+
+let name t = t.sched_name
+let causal t = t.is_causal
+let n_channels t = t.n
+let choose t pkt = t.choose_fn pkt
+let account t pkt c = t.account_fn pkt c
+let deficit t = t.engine
+let reset t = t.remake ()
+
+let rec make ~name ~causal ~n ~fresh () =
+  let choose_fn, account_fn, engine = fresh () in
+  {
+    sched_name = name;
+    is_causal = causal;
+    n;
+    choose_fn;
+    account_fn;
+    engine;
+    remake = (fun () -> make ~name ~causal ~n ~fresh ());
+  }
+
+let of_deficit ~name d =
+  (* The engine handed in backs the first instance, so callers can install
+     hooks on it; [reset] rebuilds a fresh engine at the initial state. *)
+  let first = ref (Some d) in
+  let fresh () =
+    let engine =
+      match !first with
+      | Some e ->
+        first := None;
+        e
+      | None -> Deficit.clone_initial d
+    in
+    let choose_fn (_ : Packet.t) = Deficit.select engine in
+    let account_fn (pkt : Packet.t) (_ : int) =
+      Deficit.consume engine ~size:pkt.size
+    in
+    (choose_fn, account_fn, Some engine)
+  in
+  make ~name ~causal:true ~n:(Deficit.n_channels d) ~fresh ()
+
+let srr ?max_packet ~quanta () =
+  of_deficit ~name:"SRR" (Srr.create ?max_packet ~quanta ())
+
+let rr ~n () = of_deficit ~name:"RR" (Rr.create ~n ())
+
+let grr ~ratios () = of_deficit ~name:"GRR" (Grr.create ~ratios ())
+
+let random_selection ~n ~seed =
+  if n <= 0 then invalid_arg "Scheduler.random_selection: n must be positive";
+  let fresh () =
+    let rng = Stripe_netsim.Rng.create seed in
+    let pending = ref None in
+    let choose_fn (_ : Packet.t) =
+      match !pending with
+      | Some c -> c
+      | None ->
+        let c = Stripe_netsim.Rng.int rng n in
+        pending := Some c;
+        c
+    in
+    let account_fn (_ : Packet.t) (_ : int) = pending := None in
+    (choose_fn, account_fn, None)
+  in
+  make ~name:"Random" ~causal:false ~n ~fresh ()
+
+let shortest_queue ~queue_bytes ~n =
+  if n <= 0 then invalid_arg "Scheduler.shortest_queue: n must be positive";
+  let fresh () =
+    let choose_fn (_ : Packet.t) =
+      let best = ref 0 and best_bytes = ref (queue_bytes 0) in
+      for c = 1 to n - 1 do
+        let b = queue_bytes c in
+        if b < !best_bytes then begin
+          best := c;
+          best_bytes := b
+        end
+      done;
+      !best
+    in
+    let account_fn (_ : Packet.t) (_ : int) = () in
+    (choose_fn, account_fn, None)
+  in
+  make ~name:"SQF" ~causal:false ~n ~fresh ()
+
+let address_hashing ~n =
+  if n <= 0 then invalid_arg "Scheduler.address_hashing: n must be positive";
+  let fresh () =
+    (* Knuth multiplicative hash over the flow label. *)
+    let hash flow = (flow * 2654435761) land max_int mod n in
+    let choose_fn (pkt : Packet.t) = hash pkt.flow in
+    let account_fn (_ : Packet.t) (_ : int) = () in
+    (choose_fn, account_fn, None)
+  in
+  make ~name:"Hash" ~causal:false ~n ~fresh ()

@@ -1,0 +1,61 @@
+(** Unified sender-side channel selector.
+
+    A [Scheduler.t] is what the striper consults to dispatch each data
+    packet: [choose] picks a channel (possibly looking at the packet, for
+    the non-causal baselines), [account] records the dispatch. For the CFQ
+    family the scheduler embeds a {!Deficit} engine, which additionally
+    enables marker emission and logical reception; for the baselines of
+    §2.1 — shortest queue first (Linux EQL), address-based hashing and
+    random selection [Bay95] — [deficit] is [None] and no FIFO machinery
+    is available, which is precisely the comparison Table 1 draws. *)
+
+type t
+
+val name : t -> string
+
+val causal : t -> bool
+(** Whether a receiver can simulate the selection from previously
+    delivered packets alone (§3.1). *)
+
+val n_channels : t -> int
+
+val choose : t -> Stripe_packet.Packet.t -> int
+(** Channel for the next packet. For CFQ schedulers this is [f(s)] and
+    ignores the packet; repeated calls before [account] return the same
+    channel. *)
+
+val account : t -> Stripe_packet.Packet.t -> int -> unit
+(** [account t pkt c] after dispatching [pkt] to channel [c]; [g(s, p)]
+    for CFQ schedulers. *)
+
+val deficit : t -> Deficit.t option
+(** The embedded engine for SRR/RR/GRR; enables markers and logical
+    reception. [None] for the non-causal baselines. *)
+
+val of_deficit : name:string -> Deficit.t -> t
+(** CFQ-family scheduler around an engine. The given engine is used as
+    the live state (so hooks installed on it observe the scheduler). *)
+
+val srr : ?max_packet:int -> quanta:int array -> unit -> t
+val rr : n:int -> unit -> t
+val grr : ratios:int array -> unit -> t
+
+val random_selection : n:int -> seed:int -> t
+(** Random channel per packet (the [Bay95] Random Selection scheme).
+    Shares load in expectation; provides no FIFO delivery. Marked
+    non-causal: the receiver is not assumed to share the seed. *)
+
+val shortest_queue : queue_bytes:(int -> int) -> n:int -> t
+(** Shortest Queue First, as in the Linux EQL serial-line driver: each
+    packet goes to the channel whose transmit queue currently holds the
+    fewest bytes, per the [queue_bytes] oracle. Non-causal — the selection
+    depends on instantaneous queue state the receiver cannot see. *)
+
+val address_hashing : n:int -> t
+(** Address-based hashing [Bay95]: the packet's flow label is hashed to a
+    channel, so all packets of one flow share a channel. FIFO per flow,
+    but no load sharing across packets of a single flow. *)
+
+val reset : t -> t
+(** A scheduler with the same configuration at its initial state (fresh
+    deficit engine / RNG). *)

@@ -1,0 +1,161 @@
+open Stripe_packet
+
+type t = {
+  d : Deficit.t option;
+  n : int;
+  buffers : Packet.t Fifo_queue.t array;
+  deliver : Packet.t -> unit;
+  mutable next : int;
+  mutable in_sync : bool;  (* fast path valid *)
+  mutable n_delivered : int;
+  mutable n_losses : int;
+  mutable n_failed : int;
+  mutable n_fast : int;
+}
+
+let create ?deficit ~n_channels ~deliver () =
+  if n_channels <= 0 then invalid_arg "Seq_resequencer.create: no channels";
+  (match deficit with
+  | Some d when Deficit.n_channels d <> n_channels ->
+    invalid_arg "Seq_resequencer.create: deficit arity mismatch"
+  | Some _ | None -> ());
+  {
+    d = deficit;
+    n = n_channels;
+    buffers = Array.init n_channels (fun _ -> Fifo_queue.create ());
+    deliver;
+    next = 0;
+    in_sync = deficit <> None;
+    n_delivered = 0;
+    n_losses = 0;
+    n_failed = 0;
+    n_fast = 0;
+  }
+
+let head_seq t c =
+  match Fifo_queue.peek t.buffers.(c) with
+  | Some pkt -> Some pkt.Packet.seq
+  | None -> None
+
+let deliver_from t c =
+  match Fifo_queue.pop t.buffers.(c) with
+  | Some pkt ->
+    t.n_delivered <- t.n_delivered + 1;
+    t.next <- t.next + 1;
+    t.deliver pkt;
+    pkt
+  | None -> assert false
+
+(* Sequence-driven delivery: scan buffer heads for the next number; when
+   every channel has provably moved past a gap, skip it. Per-channel FIFO
+   guarantees heads are the per-channel minima, so heads suffice. Heads
+   below [next] are stale — duplicates from retransmission — and are
+   discarded so they cannot wedge the scan. *)
+let rec sequenced_progress t =
+  for c = 0 to t.n - 1 do
+    let rec drop_stale () =
+      match head_seq t c with
+      | Some s when s < t.next ->
+        ignore (Fifo_queue.pop t.buffers.(c));
+        drop_stale ()
+      | Some _ | None -> ()
+    in
+    drop_stale ()
+  done;
+  let found = ref None in
+  for c = 0 to t.n - 1 do
+    if !found = None && head_seq t c = Some t.next then found := Some c
+  done;
+  match !found with
+  | Some c ->
+    ignore (deliver_from t c);
+    sequenced_progress t
+  | None ->
+    let all_nonempty = ref true in
+    let min_head = ref max_int in
+    for c = 0 to t.n - 1 do
+      match head_seq t c with
+      | Some s -> if s < !min_head then min_head := s
+      | None -> all_nonempty := false
+    done;
+    if !all_nonempty && !min_head > t.next then begin
+      (* The missing numbers can no longer arrive on any channel. *)
+      t.n_losses <- t.n_losses + (!min_head - t.next);
+      t.next <- !min_head;
+      sequenced_progress t
+    end
+(* else: wait for more arrivals. *)
+
+let break_sync t =
+  t.in_sync <- false;
+  t.n_failed <- t.n_failed + 1;
+  sequenced_progress t
+
+(* Logical-reception fast path: the simulation names the channel; the
+   sequence number only confirms. *)
+let rec fast_progress t d =
+  let c = Deficit.current d in
+  if not (Deficit.in_service d) then Deficit.begin_visit d;
+  if Deficit.dc d c <= 0 then begin
+    Deficit.advance d;
+    fast_progress t d
+  end
+  else
+    match Fifo_queue.peek t.buffers.(c) with
+    | Some pkt when pkt.Packet.seq = t.next ->
+      let pkt = deliver_from t c in
+      t.n_fast <- t.n_fast + 1;
+      Deficit.consume d ~size:pkt.Packet.size;
+      fast_progress t d
+    | Some _ ->
+      (* The head is not the expected packet: a loss broke the
+         simulation. *)
+      break_sync t
+    | None ->
+      (* The expected packet may still be in flight on [c] — unless
+         another channel already holds the next number, which proves the
+         simulation wrong. *)
+      let elsewhere = ref false in
+      for c' = 0 to t.n - 1 do
+        if c' <> c && head_seq t c' = Some t.next then elsewhere := true
+      done;
+      if !elsewhere then break_sync t
+(* else: block on [c], exactly like logical reception. *)
+
+let progress t =
+  match t.d with
+  | Some d when t.in_sync -> fast_progress t d
+  | Some _ | None -> sequenced_progress t
+
+let receive t ~channel pkt =
+  if channel < 0 || channel >= t.n then
+    invalid_arg "Seq_resequencer.receive: bad channel";
+  if not (Packet.is_marker pkt) then begin
+    Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
+    progress t
+  end
+
+let delivered t = t.n_delivered
+
+let pending t = Array.fold_left (fun acc b -> acc + Fifo_queue.length b) 0 t.buffers
+
+let next_seq t = t.next
+
+let detected_losses t = t.n_losses
+
+let confirmations_failed t = t.n_failed
+
+let fast_deliveries t = t.n_fast
+
+let drain t =
+  let all =
+    Array.to_list t.buffers
+    |> List.concat_map (fun b ->
+           let rec pop acc =
+             match Fifo_queue.pop b with
+             | Some pkt -> pop (pkt :: acc)
+             | None -> List.rev acc
+           in
+           pop [])
+  in
+  List.sort Packet.compare_seq all

@@ -1,0 +1,71 @@
+(** Guaranteed-FIFO resequencing with sequence numbers.
+
+    The "with header" rows of Table 1: when a sequence number {e can} be
+    added to each packet, FIFO delivery can be guaranteed outright —
+    including across loss — rather than quasi-FIFO. §4 observes that even
+    then logical reception earns its keep: "logical reception can be used
+    to avoid such sorting. The sequence number inserted by the sender is
+    now needed only for confirmation, since logical reception suffices
+    for FIFO delivery."
+
+    This resequencer therefore runs two paths:
+
+    - {b Fast path}: simulate the sender's CFQ algorithm exactly like
+      {!Resequencer}; the head of the expected channel is delivered after
+      a constant-time {e confirmation} that its sequence number is the
+      next one. No searching or sorting happens while the simulation
+      holds (the loss-free common case).
+    - {b Sequenced path}: after a confirmation failure (a loss broke the
+      simulation), delivery is driven by sequence numbers alone: the
+      channel holding the next sequence number is found by scanning the
+      buffer heads — per-channel FIFO means only heads need examining.
+
+    Losses are {e detected}, never reordered past: if every channel's
+    buffer head has advanced beyond the expected sequence number, the
+    missing packets can no longer arrive (channels are FIFO) and the gap
+    is skipped. If some channel's buffer is empty the expected packet may
+    still be in flight there, so the receiver waits — a real deployment
+    would add a timeout; finite experiments use [drain].
+
+    In this mode the [Packet.seq] field is an on-the-wire header, which
+    is precisely the cost the header-free protocol avoids. *)
+
+type t
+
+val create :
+  ?deficit:Deficit.t ->
+  n_channels:int ->
+  deliver:(Stripe_packet.Packet.t -> unit) ->
+  unit ->
+  t
+(** [create ~n_channels ~deliver ()] builds a sequence-number
+    resequencer. Passing [?deficit] (a fresh engine mirroring the
+    sender's, as for {!Resequencer}) enables the logical-reception fast
+    path; without it every delivery scans the buffer heads. [first_seq]
+    is 0. *)
+
+val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
+(** Physical arrival. Markers are not used in this mode and are
+    ignored. *)
+
+val delivered : t -> int
+
+val pending : t -> int
+
+val next_seq : t -> int
+(** The sequence number delivery is waiting for. *)
+
+val detected_losses : t -> int
+(** Sequence numbers skipped because every channel had provably moved
+    past them. *)
+
+val confirmations_failed : t -> int
+(** Fast-path confirmation failures (each marks a simulation break). *)
+
+val fast_deliveries : t -> int
+(** Packets delivered by the logical-reception fast path, i.e. without
+    scanning. *)
+
+val drain : t -> Stripe_packet.Packet.t list
+(** Remaining buffered packets in sequence order (end-of-run
+    accounting). *)

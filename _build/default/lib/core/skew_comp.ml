@@ -1,0 +1,44 @@
+open Stripe_packet
+
+type t = {
+  sim : Stripe_netsim.Sim.t;
+  comp : float array;
+  deliver : Packet.t -> unit;
+  (* Release strictly in adjusted-time order even when equal-delay
+     releases collide: the event queue's FIFO tie-break plus a single
+     release path gives a deterministic order. *)
+  mutable n_delivered : int;
+  mutable n_held : int;
+}
+
+let create sim ~skews ~deliver () =
+  let n = Array.length skews in
+  if n = 0 then invalid_arg "Skew_comp.create: no channels";
+  Array.iter
+    (fun s -> if s < 0.0 then invalid_arg "Skew_comp.create: negative skew")
+    skews;
+  let max_skew = Array.fold_left max 0.0 skews in
+  {
+    sim;
+    comp = Array.map (fun s -> max_skew -. s) skews;
+    deliver;
+    n_delivered = 0;
+    n_held = 0;
+  }
+
+let receive t ~channel pkt =
+  if channel < 0 || channel >= Array.length t.comp then
+    invalid_arg "Skew_comp.receive: bad channel";
+  if not (Packet.is_marker pkt) then begin
+    t.n_held <- t.n_held + 1;
+    Stripe_netsim.Sim.schedule_after t.sim ~delay:t.comp.(channel) (fun () ->
+        t.n_held <- t.n_held - 1;
+        t.n_delivered <- t.n_delivered + 1;
+        t.deliver pkt)
+  end
+
+let delivered t = t.n_delivered
+
+let held t = t.n_held
+
+let compensation t c = t.comp.(c)

@@ -1,0 +1,40 @@
+(** Skew-compensation resequencing — the BONDING-style baseline.
+
+    §2.1: BONDING and the proposed ATM AIM standard reorder by {e delay
+    compensation}: if each channel's skew is known and tightly bounded,
+    delaying channel [c]'s arrivals by [max_skew - skew_c] equalizes the
+    paths, and round-robin pickup reproduces the send order. §2 is
+    explicit about the weakness this module exists to demonstrate: "we
+    allow the end-to-end latency or skew across each channel to be
+    potentially different and to vary on a packet to packet basis ...
+    This also rules out simple solutions to the resequencing problem
+    based on skew compensation, if the skew cannot be bounded."
+
+    The implementation holds each arrival until its equalization delay
+    has elapsed, then releases in (adjusted-time, arrival-index) order.
+    With constant skews matching the configuration this is exact FIFO;
+    with jitter beyond the configured bounds, misordering leaks through —
+    the ablation benchmark quantifies exactly that, against logical
+    reception which needs no skew knowledge at all. *)
+
+type t
+
+val create :
+  Stripe_netsim.Sim.t ->
+  skews:float array ->
+  deliver:(Stripe_packet.Packet.t -> unit) ->
+  unit ->
+  t
+(** [skews.(c)] is the configured one-way delay of channel [c]; channel
+    [c]'s arrivals are held for [max skews - skews.(c)] seconds. *)
+
+val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
+(** Markers are ignored (this scheme predates them). *)
+
+val delivered : t -> int
+
+val held : t -> int
+(** Packets currently in the equalization buffers. *)
+
+val compensation : t -> int -> float
+(** The hold time applied to a channel. *)

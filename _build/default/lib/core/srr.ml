@@ -1,0 +1,44 @@
+let check_max_packet ~max_packet quanta =
+  match max_packet with
+  | None -> ()
+  | Some m ->
+    Array.iter
+      (fun q ->
+        if q < m then
+          invalid_arg
+            (Printf.sprintf
+               "Srr.create: quantum %d below max packet size %d violates the \
+                marker-recovery precondition (Quantum_i >= Max)"
+               q m))
+      quanta
+
+let create ?max_packet ~quanta () =
+  check_max_packet ~max_packet quanta;
+  Deficit.create ~cost:Bytes ~overdraw:true ~quanta ()
+
+let create_uniform ?max_packet ~n ~quantum () =
+  if n <= 0 then invalid_arg "Srr.create_uniform: n must be positive";
+  create ?max_packet ~quanta:(Array.make n quantum) ()
+
+let for_rates ?max_packet ~rates_bps ~quantum_unit () =
+  if Array.length rates_bps = 0 then invalid_arg "Srr.for_rates: no channels";
+  Array.iter
+    (fun r -> if r <= 0.0 then invalid_arg "Srr.for_rates: rates must be positive")
+    rates_bps;
+  if quantum_unit <= 0 then invalid_arg "Srr.for_rates: quantum_unit must be positive";
+  let slowest = Array.fold_left min rates_bps.(0) rates_bps in
+  let quanta =
+    Array.map
+      (fun r ->
+        int_of_float (Float.round (float_of_int quantum_unit *. r /. slowest)))
+      rates_bps
+  in
+  check_max_packet ~max_packet quanta;
+  create ~quanta ()
+
+let fairness_bound d =
+  let quanta = Deficit.quanta d in
+  let max_quantum = Array.fold_left max 0 quanta in
+  max_quantum + (2 * max_quantum)
+
+let strict_drr ~quanta () = Deficit.create ~cost:Bytes ~overdraw:false ~quanta ()

@@ -1,0 +1,44 @@
+(** Surplus Round Robin (§3.5).
+
+    Each channel [i] has a quantum of service [Quantum_i] in bytes,
+    proportional to its bandwidth, and a deficit counter initialized to 0.
+    When a channel is selected its DC is incremented by its quantum;
+    packets are charged to the channel while the DC is positive; once the
+    DC becomes non-positive the next channel is selected. A channel that
+    overdraws its account is penalized by the surplus in the next round.
+
+    Fairness (Theorem 3.2 / Lemma 3.3): after any [K] rounds, the bytes
+    carried by channel [i] differ from [K * Quantum_i] by at most
+    [Max + 2 * Quantum] where [Max] is the maximum packet size and
+    [Quantum] the largest quantum. [fairness_bound] computes this bound.
+
+    For the marker recovery protocol (Theorem 5.1) each quantum should be
+    at least the maximum packet size, so no channel is ever skipped merely
+    because its DC has not recovered; [create] checks this when
+    [max_packet] is supplied. *)
+
+val create : ?max_packet:int -> quanta:int array -> unit -> Deficit.t
+(** [create ~quanta ()] builds an SRR engine (byte cost, overdraw
+    allowed). If [max_packet] is given, raises [Invalid_argument] unless
+    every quantum is at least [max_packet] — the precondition of the
+    marker recovery theorem. *)
+
+val create_uniform : ?max_packet:int -> n:int -> quantum:int -> unit -> Deficit.t
+(** All channels share one quantum — the equal-capacity case. *)
+
+val for_rates : ?max_packet:int -> rates_bps:float array -> quantum_unit:int -> unit -> Deficit.t
+(** Weighted SRR for channels of different capacities (§3.5's
+    generalization): channel quanta are proportional to [rates_bps],
+    scaled so the {e smallest} quantum equals [quantum_unit]. *)
+
+val fairness_bound : Deficit.t -> int
+(** [Max + 2 * Quantum] with [Max] conservatively taken as the largest
+    quantum (the largest packet the engine is meant to carry) — the
+    deviation bound of Lemma 3.3. *)
+
+val strict_drr : quanta:int array -> unit -> Deficit.t
+(** The non-overdrawing DRR-style variant for the fairness ablation: a
+    channel whose DC cannot cover the next packet is passed over rather
+    than overdrawn. Not causal as a striping algorithm (the selection
+    depends on the packet being dispatched), hence unusable for logical
+    reception; see DESIGN.md §5. *)

@@ -1,0 +1,64 @@
+open Stripe_packet
+
+type t = {
+  tolerance : int;
+  suspect_after : int;
+  reseq : Resequencer.t;
+  request_reset : unit -> unit;
+  mutable consecutive : int;
+  mutable n_suspicious : int;
+  mutable n_resets : int;
+  mutable awaiting_reset : bool;
+}
+
+let create ?(tolerance = 2) ?(suspect_after = 3) ~resequencer ~request_reset ()
+    =
+  if tolerance < 0 then invalid_arg "Stabilizer.create: negative tolerance";
+  if suspect_after < 1 then invalid_arg "Stabilizer.create: suspect_after < 1";
+  {
+    tolerance;
+    suspect_after;
+    reseq = resequencer;
+    request_reset;
+    consecutive = 0;
+    n_suspicious = 0;
+    n_resets = 0;
+    awaiting_reset = false;
+  }
+
+let inspect t pkt =
+  match pkt.Packet.kind with
+  | Packet.Data -> ()
+  | Packet.Marker m ->
+    if m.m_reset then begin
+      (* The reset we asked for (or a spontaneous one): state will be
+         reinitialized; stand down. *)
+      t.consecutive <- 0;
+      t.awaiting_reset <- false
+    end
+    else begin
+      (* Compare the marker's snapshot of the sender with our local
+         round. The receiver always lags the sender (packets in flight),
+         so markers legitimately run ahead — and if our G was corrupted
+         *low*, the rc > G skip rule self-heals by fast-forwarding. The
+         unrecoverable direction is G corrupted *high*: no marker can
+         pull it back, delivery numbering stays wrong forever. Hence the
+         asymmetric test: a marker behind our round beyond tolerance is
+         the corruption signature. *)
+      let local_round = Resequencer.round t.reseq in
+      let gap = local_round - m.m_round in
+      if gap > t.tolerance then begin
+        t.n_suspicious <- t.n_suspicious + 1;
+        t.consecutive <- t.consecutive + 1;
+        if t.consecutive >= t.suspect_after && not t.awaiting_reset then begin
+          t.n_resets <- t.n_resets + 1;
+          t.awaiting_reset <- true;
+          t.request_reset ()
+        end
+      end
+      else t.consecutive <- 0
+    end
+
+let suspicious_markers t = t.n_suspicious
+
+let resets_requested t = t.n_resets

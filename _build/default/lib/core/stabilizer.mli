@@ -1,0 +1,53 @@
+(** Self-stabilization monitor for the receiver.
+
+    Theorem 5.1 covers channel errors (detectable loss/corruption). For
+    arbitrary {e state} corruption — a receiver variable flipped by a
+    software bug or memory error — §5 notes the marker algorithm can be
+    made self-stabilizing "by periodically running a snapshot [CL85] and
+    then doing a reset [Var93]", and that node crashes are handled by a
+    reset.
+
+    This module is that watchdog, built on the observation that every
+    marker is a {e local snapshot} of the sender's state for one channel:
+    the receiver's own (round, DC) expectation for the channel is
+    directly comparable to the marker's. A bounded disagreement is normal
+    (losses in flight, skew between channels); persistent disagreement
+    beyond what markers themselves repair means the state is corrupt
+    (e.g. the global round counter was damaged, which ordinary marker
+    application cannot fix because the skip rule only waits, forever, if
+    [G] jumped {e ahead} of the sender).
+
+    The monitor inspects each marker on arrival. Disagreement is judged
+    asymmetrically: markers legitimately run {e ahead} of the receiver
+    (packets in flight), and a receiver round corrupted {e low}
+    self-heals through the skip rule — but a round corrupted {e high} is
+    unrecoverable by markers alone (no skip ever fires again, and the
+    implicit numbering stays wrong). So when [suspect_after] consecutive
+    markers trail the local round by more than [tolerance], the monitor
+    invokes [request_reset] — wired, over any control path, to
+    {!Striper.send_reset} at the sender, whose barrier restores a clean
+    epoch (§5's reset). *)
+
+type t
+
+val create :
+  ?tolerance:int ->
+  ?suspect_after:int ->
+  resequencer:Resequencer.t ->
+  request_reset:(unit -> unit) ->
+  unit ->
+  t
+(** [tolerance] (default 2 rounds) is the disagreement considered
+    explainable by in-flight loss; [suspect_after] (default 3) the
+    consecutive suspicious markers needed to declare corruption.
+    [request_reset] is debounced: it will not fire again until a marker
+    has agreed with the local state (i.e. the reset took effect). *)
+
+val inspect : t -> Stripe_packet.Packet.t -> unit
+(** Feed every arriving packet (markers are examined, data ignored)
+    {e before} handing it to the resequencer. *)
+
+val suspicious_markers : t -> int
+(** Markers that disagreed beyond tolerance. *)
+
+val resets_requested : t -> int

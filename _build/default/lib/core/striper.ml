@@ -1,0 +1,136 @@
+open Stripe_packet
+
+type t = {
+  sched : Scheduler.t;
+  marker : Marker.policy option;
+  now : unit -> float;
+  emit : channel:int -> Packet.t -> unit;
+  mutable n_pushed : int;
+  mutable b_pushed : int;
+  mutable n_markers : int;
+  per_chan_packets : int array;
+  per_chan_bytes : int array;
+  mutable next_mark_round : int;
+      (* First round >= this value triggers the next marker batch
+         (Round_start / Round_end positions). *)
+  mutable mid_marked : bool array;
+      (* Mid_round: which channels already got their marker in the current
+         marked round. *)
+  mutable mid_round : int;  (* Round the [mid_marked] flags refer to. *)
+}
+
+let create ~scheduler ?marker ?(now = fun () -> 0.0) ~emit () =
+  (match marker, Scheduler.deficit scheduler with
+  | Some _, None ->
+    invalid_arg
+      "Striper.create: marker policy requires a CFQ (deficit-based) scheduler"
+  | _ -> ());
+  let n = Scheduler.n_channels scheduler in
+  {
+    sched = scheduler;
+    marker;
+    now;
+    emit;
+    n_pushed = 0;
+    b_pushed = 0;
+    n_markers = 0;
+    per_chan_packets = Array.make n 0;
+    per_chan_bytes = Array.make n 0;
+    next_mark_round = 0;
+    mid_marked = Array.make n false;
+    mid_round = -1;
+  }
+
+let emit_marker t policy d channel =
+  let pkt = Marker.packet_for policy ~deficit:d ~channel ~now:(t.now ()) in
+  t.n_markers <- t.n_markers + 1;
+  t.emit ~channel pkt
+
+let emit_marker_batch t policy d =
+  for c = 0 to Scheduler.n_channels t.sched - 1 do
+    emit_marker t policy d c
+  done
+
+(* Round-boundary marker batches: trigger once per marked round. *)
+let boundary_markers t policy d =
+  let r = Deficit.round d in
+  if r >= t.next_mark_round then begin
+    emit_marker_batch t policy d;
+    t.next_mark_round <- ((r / policy.Marker.every_rounds) + 1) * policy.Marker.every_rounds
+  end
+
+let mid_round_markers t policy d ~served_channel ~round_of_service =
+  if round_of_service mod policy.Marker.every_rounds = 0 then begin
+    if t.mid_round <> round_of_service then begin
+      Array.fill t.mid_marked 0 (Array.length t.mid_marked) false;
+      t.mid_round <- round_of_service
+    end;
+    if not t.mid_marked.(served_channel) then begin
+      t.mid_marked.(served_channel) <- true;
+      emit_marker t policy d served_channel
+    end
+  end
+
+let push t pkt =
+  if Packet.is_marker pkt then
+    invalid_arg "Striper.push: markers are generated internally";
+  (* Select first: for CFQ schedulers this begins the visit, settling the
+     round number the packet belongs to. *)
+  let c = Scheduler.choose t.sched pkt in
+  (match t.marker, Scheduler.deficit t.sched with
+  | Some ({ position = Round_start; _ } as policy), Some d ->
+    boundary_markers t policy d
+  | Some _, _ | None, _ -> ());
+  let round_before =
+    match Scheduler.deficit t.sched with
+    | Some d -> Deficit.round d
+    | None -> 0
+  in
+  t.emit ~channel:c pkt;
+  t.n_pushed <- t.n_pushed + 1;
+  t.b_pushed <- t.b_pushed + pkt.size;
+  t.per_chan_packets.(c) <- t.per_chan_packets.(c) + 1;
+  t.per_chan_bytes.(c) <- t.per_chan_bytes.(c) + pkt.size;
+  Scheduler.account t.sched pkt c;
+  (match t.marker, Scheduler.deficit t.sched with
+  | Some ({ position = Round_end; _ } as policy), Some d ->
+    (* Fire when the account call wrapped into a marked round: the batch
+       then follows all data of the completed round. *)
+    if Deficit.round d > round_before then boundary_markers t policy d
+  | Some ({ position = Mid_round; _ } as policy), Some d ->
+    (* Fire for channel [c] as soon as its visit ends mid-round. *)
+    if Deficit.current d <> c || not (Deficit.in_service d) then
+      mid_round_markers t policy d ~served_channel:c ~round_of_service:round_before
+  | Some { position = Round_start; _ }, Some _ -> ()
+  | Some _, None | None, _ -> ())
+
+let send_reset t =
+  match Scheduler.deficit t.sched with
+  | None -> invalid_arg "Striper.send_reset: requires a CFQ scheduler"
+  | Some d ->
+    Deficit.reinit d;
+    (* Fresh-epoch stamps: every channel's next packet is (0, quantum). *)
+    let now = t.now () in
+    for channel = 0 to Scheduler.n_channels t.sched - 1 do
+      let stamp = Deficit.next_stamp d channel in
+      let pkt =
+        Packet.marker ~reset:true ~channel ~round:stamp.Deficit.round
+          ~dc:stamp.Deficit.dc ~born:now ()
+      in
+      t.n_markers <- t.n_markers + 1;
+      t.emit ~channel pkt
+    done;
+    (* Periodic-marker bookkeeping restarts with the epoch. *)
+    t.next_mark_round <- 0;
+    t.mid_round <- -1;
+    Array.fill t.mid_marked 0 (Array.length t.mid_marked) false
+
+let pushed_packets t = t.n_pushed
+let pushed_bytes t = t.b_pushed
+let markers_sent t = t.n_markers
+let channel_packets t c = t.per_chan_packets.(c)
+let channel_bytes t c = t.per_chan_bytes.(c)
+
+let rounds t = Option.map Deficit.round (Scheduler.deficit t.sched)
+
+let scheduler t = t.sched

@@ -1,0 +1,57 @@
+(** Sender-side channel striping (the load-sharing half of the protocol).
+
+    A striper wraps a {!Scheduler} and dispatches each data packet pushed
+    into it to the channel the scheduler selects, calling the [emit]
+    callback — typically wired to a simulated link's [send]. With a CFQ
+    scheduler and a {!Marker.policy}, it also interleaves marker packets
+    at the policy's positions; markers ride the same channels but are
+    invisible to the scheduler's accounting (they are control packets
+    outside the data schedule, distinguished on the wire by their
+    codepoint).
+
+    The striper never buffers: load sharing has no notion of empty input
+    queues (§3.1) — state only advances when a packet is pushed, so any
+    offered traffic pattern is handled, not just backlogged sources. *)
+
+type t
+
+val create :
+  scheduler:Scheduler.t ->
+  ?marker:Marker.policy ->
+  ?now:(unit -> float) ->
+  emit:(channel:int -> Stripe_packet.Packet.t -> unit) ->
+  unit ->
+  t
+(** [create ~scheduler ~emit ()] builds a striper. Supplying [~marker]
+    requires the scheduler to embed a deficit engine (SRR/RR/GRR); raises
+    [Invalid_argument] otherwise. [now] timestamps marker packets
+    (defaults to a constant 0). *)
+
+val push : t -> Stripe_packet.Packet.t -> unit
+(** Dispatch one data packet. Raises [Invalid_argument] if handed a
+    marker — markers are generated internally. *)
+
+val send_reset : t -> unit
+(** Crash-recovery reset (§5): reinitialize the striping state to its
+    initial value and emit a {e reset marker} on every channel. Data
+    pushed afterwards belongs to the fresh epoch; a {!Resequencer}
+    reinitializes once the reset marker has reached it on every channel,
+    restoring synchronization regardless of how corrupt the previous
+    state was. Requires a CFQ scheduler; raises [Invalid_argument]
+    otherwise. *)
+
+val pushed_packets : t -> int
+val pushed_bytes : t -> int
+val markers_sent : t -> int
+
+val channel_packets : t -> int -> int
+(** Data packets dispatched to a given channel so far. *)
+
+val channel_bytes : t -> int -> int
+(** Data bytes dispatched to a given channel so far — the "bits allocated
+    to a channel" of the fairness definition (§3.3), in bytes. *)
+
+val rounds : t -> int option
+(** Completed rounds, for CFQ schedulers. *)
+
+val scheduler : t -> Scheduler.t

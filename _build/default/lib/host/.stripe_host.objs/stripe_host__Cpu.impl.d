@@ -1,0 +1,1 @@
+lib/host/cpu.ml: Stripe_netsim

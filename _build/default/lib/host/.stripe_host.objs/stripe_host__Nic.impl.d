@@ -1,0 +1,1 @@
+lib/host/nic.ml: Cpu List Queue Stripe_netsim

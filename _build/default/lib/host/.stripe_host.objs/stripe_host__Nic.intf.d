@@ -1,0 +1,1 @@
+lib/host/nic.mli: Cpu Stripe_netsim

@@ -1,0 +1,1 @@
+lib/ipstack/arp.ml: Hashtbl Ip List Stripe_netsim

@@ -1,0 +1,1 @@
+lib/ipstack/arp.mli: Ip Stripe_netsim

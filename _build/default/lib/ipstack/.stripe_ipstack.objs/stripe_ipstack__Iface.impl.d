@@ -1,0 +1,1 @@
+lib/ipstack/iface.ml: Arp Ip List Printf Queue Stripe_netsim Stripe_packet

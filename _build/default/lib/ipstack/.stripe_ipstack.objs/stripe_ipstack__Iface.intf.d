@@ -1,0 +1,1 @@
+lib/ipstack/iface.mli: Arp Ip Stripe_netsim Stripe_packet

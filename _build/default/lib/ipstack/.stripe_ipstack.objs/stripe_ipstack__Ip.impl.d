@@ -1,0 +1,1 @@
+lib/ipstack/ip.ml: Format Printf String Stripe_packet

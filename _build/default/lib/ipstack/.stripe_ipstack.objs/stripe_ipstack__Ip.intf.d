@@ -1,0 +1,1 @@
+lib/ipstack/ip.mli: Format Stripe_packet

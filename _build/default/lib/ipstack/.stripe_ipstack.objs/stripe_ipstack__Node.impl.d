@@ -1,0 +1,1 @@
+lib/ipstack/node.ml: Iface Ip List Routing Stripe_layer

@@ -1,0 +1,1 @@
+lib/ipstack/node.mli: Iface Ip Routing Stripe_layer

@@ -1,0 +1,1 @@
+lib/ipstack/routing.ml: Ip List

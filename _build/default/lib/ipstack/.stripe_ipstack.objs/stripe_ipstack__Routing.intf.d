@@ -1,0 +1,1 @@
+lib/ipstack/routing.mli: Ip

@@ -1,0 +1,1 @@
+lib/ipstack/stripe_layer.ml: Array Hashtbl Iface Ip Packet Printf Stripe_core Stripe_packet

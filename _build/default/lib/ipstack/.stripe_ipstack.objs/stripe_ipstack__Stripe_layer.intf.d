@@ -1,0 +1,1 @@
+lib/ipstack/stripe_layer.mli: Iface Ip Stripe_core

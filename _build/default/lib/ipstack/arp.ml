@@ -1,0 +1,59 @@
+type mac = int
+
+type entry = { mac : mac; expires : float }
+
+type t = {
+  sim : Stripe_netsim.Sim.t;
+  entry_ttl : float;
+  resolve_delay : float;
+  lookup : Ip.addr -> mac option;
+  cache : (Ip.addr, entry) Hashtbl.t;
+  in_flight : (Ip.addr, (mac option -> unit) list ref) Hashtbl.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+}
+
+let create sim ?(entry_ttl = 600.0) ?(resolve_delay = 0.001) ~lookup () =
+  {
+    sim;
+    entry_ttl;
+    resolve_delay;
+    lookup;
+    cache = Hashtbl.create 64;
+    in_flight = Hashtbl.create 8;
+    n_hits = 0;
+    n_misses = 0;
+  }
+
+let cached t a =
+  match Hashtbl.find_opt t.cache a with
+  | Some e when e.expires > Stripe_netsim.Sim.now t.sim -> Some e.mac
+  | Some _ ->
+    Hashtbl.remove t.cache a;
+    None
+  | None -> None
+
+let insert t a mac =
+  Hashtbl.replace t.cache a
+    { mac; expires = Stripe_netsim.Sim.now t.sim +. t.entry_ttl }
+
+let resolve t a k =
+  match cached t a with
+  | Some mac ->
+    t.n_hits <- t.n_hits + 1;
+    k (Some mac)
+  | None -> (
+    t.n_misses <- t.n_misses + 1;
+    match Hashtbl.find_opt t.in_flight a with
+    | Some waiters -> waiters := k :: !waiters
+    | None ->
+      let waiters = ref [ k ] in
+      Hashtbl.add t.in_flight a waiters;
+      Stripe_netsim.Sim.schedule_after t.sim ~delay:t.resolve_delay (fun () ->
+          Hashtbl.remove t.in_flight a;
+          let answer = t.lookup a in
+          (match answer with Some mac -> insert t a mac | None -> ());
+          List.iter (fun k -> k answer) (List.rev !waiters)))
+
+let misses t = t.n_misses
+let hits t = t.n_hits

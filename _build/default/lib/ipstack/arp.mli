@@ -1,0 +1,38 @@
+(** Address resolution for IP convergence layers.
+
+    §6.1: "The convergence layer is responsible for mapping IP addresses
+    to data link addresses". This models an ARP-like cache with aging and
+    an asynchronous resolution path: a miss queues the caller and
+    completes after a configurable resolution delay by consulting the
+    LAN's oracle (the simulation's stand-in for broadcasting a request
+    and receiving the owner's reply). Entries expire so re-resolution
+    traffic and its latency are represented. *)
+
+type mac = int
+
+type t
+
+val create :
+  Stripe_netsim.Sim.t ->
+  ?entry_ttl:float ->
+  ?resolve_delay:float ->
+  lookup:(Ip.addr -> mac option) ->
+  unit ->
+  t
+(** [entry_ttl] defaults to 600 s; [resolve_delay] — the simulated
+    request/reply round trip — to 1 ms. *)
+
+val resolve : t -> Ip.addr -> (mac option -> unit) -> unit
+(** [resolve t a k] calls [k (Some mac)] immediately on a cache hit, or
+    after the resolution delay otherwise; [k None] if the oracle does not
+    know the address. Concurrent misses for one address share a single
+    resolution. *)
+
+val insert : t -> Ip.addr -> mac -> unit
+(** Prime the cache (gratuitous ARP / static entry). *)
+
+val cached : t -> Ip.addr -> mac option
+(** Non-aging peek, honoring expiry. *)
+
+val misses : t -> int
+val hits : t -> int

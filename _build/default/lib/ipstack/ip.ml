@@ -1,0 +1,40 @@
+type addr = int
+
+let addr s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    let part x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 -> v
+      | Some _ | None -> invalid_arg ("Ip.addr: bad octet in " ^ s)
+    in
+    (part a lsl 24) lor (part b lsl 16) lor (part c lsl 8) lor part d
+  | _ -> invalid_arg ("Ip.addr: expected dotted quad, got " ^ s)
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((a lsr 24) land 0xFF)
+    ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF)
+    (a land 0xFF)
+
+let network a ~prefix =
+  if prefix < 0 || prefix > 32 then invalid_arg "Ip.network: bad prefix";
+  if prefix = 0 then 0 else a land (0xFFFFFFFF lsl (32 - prefix)) land 0xFFFFFFFF
+
+let same_network a b ~prefix = network a ~prefix = network b ~prefix
+
+type t = {
+  src : addr;
+  dst : addr;
+  proto : int;
+  body : Stripe_packet.Packet.t;
+}
+
+let make ~src ~dst ?(proto = 17) body = { src; dst; proto; body }
+
+let size t = t.body.Stripe_packet.Packet.size
+
+let pp fmt t =
+  Format.fprintf fmt "%s -> %s proto=%d %a" (addr_to_string t.src)
+    (addr_to_string t.dst) t.proto Stripe_packet.Packet.pp t.body

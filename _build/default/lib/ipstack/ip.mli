@@ -1,0 +1,37 @@
+(** Minimal IP datagram model.
+
+    Only what the strIPe architecture of §6.1 needs: 32-bit addresses
+    with dotted-quad notation, network masks for routing, and a datagram
+    that wraps a transport payload. The datagram's [body] is a
+    {!Stripe_packet.Packet.t}; its [size] is the full IP datagram length
+    on the wire (header included), which is what striping charges to
+    deficit counters. strIPe never modifies datagrams — it stripes them
+    whole. *)
+
+type addr = int
+(** IPv4 address as a non-negative int (host order). *)
+
+val addr : string -> addr
+(** [addr "192.168.1.2"] parses dotted-quad notation. Raises
+    [Invalid_argument] on malformed input. *)
+
+val addr_to_string : addr -> string
+
+val network : addr -> prefix:int -> addr
+(** [network a ~prefix] masks [a] to its leading [prefix] bits. *)
+
+val same_network : addr -> addr -> prefix:int -> bool
+
+type t = {
+  src : addr;
+  dst : addr;
+  proto : int;  (** Transport protocol number (6 TCP-lite, 17 UDP-lite). *)
+  body : Stripe_packet.Packet.t;  (** Payload; [body.size] includes the IP header. *)
+}
+
+val make : src:addr -> dst:addr -> ?proto:int -> Stripe_packet.Packet.t -> t
+
+val size : t -> int
+(** Wire size of the datagram = [body.size]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+open Stripe_packet
+
+type t = {
+  layer_name : string;
+  members : Iface.t array;
+  bundle_mtu : int;
+  striper : Stripe_core.Striper.t;
+  reseq : Stripe_core.Resequencer.t option;
+  deliver_up : Ip.t -> unit;
+  reorder_stats : Stripe_core.Reorder.t;
+  (* A real kernel keeps the frame <-> datagram association by passing
+     mbuf pointers through the striping layer; the simulation passes the
+     protocol-visible Packet.t through striper/resequencer and
+     reassociates the enclosing datagram via the measurement-only [seq]
+     id, which is unique per sender stream and never consulted by the
+     protocol logic itself. *)
+  rx_envelopes : (int, Ip.t) Hashtbl.t;
+  mutable tx_envelope : Ip.t option;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+}
+
+let deliver_ip t ip =
+  t.n_delivered <- t.n_delivered + 1;
+  Stripe_core.Reorder.observe t.reorder_stats ~seq:ip.Ip.body.Packet.seq;
+  t.deliver_up ip
+
+let create ~name ~members ~scheduler ?marker ?now ?(resequence = true)
+    ~deliver_up () =
+  let n = Array.length members in
+  if n = 0 then invalid_arg "Stripe_layer.create: no member interfaces";
+  if Stripe_core.Scheduler.n_channels scheduler <> n then
+    invalid_arg "Stripe_layer.create: scheduler arity <> member count";
+  let bundle_mtu =
+    Array.fold_left (fun acc m -> min acc (Iface.mtu m)) max_int members
+  in
+  let rx_envelopes = Hashtbl.create 1024 in
+  let reorder_stats = Stripe_core.Reorder.create () in
+  (* The striper's and resequencer's callbacks need the layer record,
+     which needs them in turn; tie the knot through a forward cell. *)
+  let self = ref None in
+  let force_self () =
+    match !self with
+    | Some layer -> layer
+    | None -> assert false
+  in
+  let striper =
+    Stripe_core.Striper.create ~scheduler ?marker ?now
+      ~emit:(fun ~channel pkt ->
+        let layer = force_self () in
+        let frame =
+          if Packet.is_marker pkt then Iface.Marker_frame pkt
+          else
+            match layer.tx_envelope with
+            | Some ip -> Iface.Striped_frame ip
+            | None -> invalid_arg "Stripe_layer: data emit without envelope"
+        in
+        Iface.send layer.members.(channel) frame)
+      ()
+  in
+  let reseq =
+    if not resequence then None
+    else
+      match Stripe_core.Scheduler.deficit scheduler with
+      | None ->
+        invalid_arg
+          "Stripe_layer.create: logical reception requires a CFQ scheduler \
+           (pass ~resequence:false for non-causal baselines)"
+      | Some d ->
+        Some
+          (Stripe_core.Resequencer.create
+             ~deficit:(Stripe_core.Deficit.clone_initial d)
+             ~deliver:(fun ~channel:_ pkt ->
+               let layer = force_self () in
+               match Hashtbl.find_opt layer.rx_envelopes pkt.Packet.seq with
+               | Some ip ->
+                 Hashtbl.remove layer.rx_envelopes pkt.Packet.seq;
+                 deliver_ip layer ip
+               | None ->
+                 invalid_arg "Stripe_layer: resequencer delivered unknown packet")
+             ())
+  in
+  let layer =
+    {
+      layer_name = name;
+      members;
+      bundle_mtu;
+      striper;
+      reseq;
+      deliver_up;
+      reorder_stats;
+      rx_envelopes;
+      tx_envelope = None;
+      n_sent = 0;
+      n_delivered = 0;
+    }
+  in
+  self := Some layer;
+  (* Register receive-side demux on every member. *)
+  Array.iteri
+    (fun channel m ->
+      let on_striped frame =
+        match frame with
+        | Iface.Striped_frame ip -> (
+          match layer.reseq with
+          | Some r ->
+            Hashtbl.replace layer.rx_envelopes ip.Ip.body.Packet.seq ip;
+            Stripe_core.Resequencer.receive r ~channel ip.Ip.body
+          | None -> deliver_ip layer ip)
+        | Iface.Marker_frame pkt -> (
+          match layer.reseq with
+          | Some r -> Stripe_core.Resequencer.receive r ~channel pkt
+          | None -> ())
+        | Iface.Ip_frame _ -> ()
+      in
+      Iface.set_handler m Iface.Cp_striped_ip on_striped;
+      Iface.set_handler m Iface.Cp_marker on_striped)
+    members;
+  layer
+
+let name t = t.layer_name
+let mtu t = t.bundle_mtu
+
+let send t ip =
+  if Ip.size ip > t.bundle_mtu then
+    invalid_arg
+      (Printf.sprintf "Stripe_layer.send(%s): datagram %d exceeds bundle MTU %d"
+         t.layer_name (Ip.size ip) t.bundle_mtu);
+  t.n_sent <- t.n_sent + 1;
+  t.tx_envelope <- Some ip;
+  Stripe_core.Striper.push t.striper ip.Ip.body;
+  t.tx_envelope <- None
+
+let send_reset t = Stripe_core.Striper.send_reset t.striper
+
+let n_members t = Array.length t.members
+let member_queue_bytes t i = Iface.queue_bytes t.members.(i)
+let sent_datagrams t = t.n_sent
+let delivered_datagrams t = t.n_delivered
+let markers_sent t = Stripe_core.Striper.markers_sent t.striper
+let reorder t = t.reorder_stats
+let resequencer t = t.reseq
+let striper t = t.striper

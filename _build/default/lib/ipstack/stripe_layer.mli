@@ -1,0 +1,67 @@
+(** The strIPe virtual interface (§6.1).
+
+    strIPe sits between IP and several real interfaces as one more IP
+    convergence layer: a {e virtual} interface that IP routes packets to
+    exactly like a real one. On the send side it runs the striping
+    algorithm over the member interfaces, transmitting unmodified IP
+    datagrams under the [Cp_striped_ip] codepoint and marker packets under
+    [Cp_marker]; on the receive side the members hand striped frames to
+    the layer's resequencer, which restores order before passing
+    datagrams up to IP. Striping is thereby transparent to IP and
+    everything above it.
+
+    The layer's MTU is the minimum MTU of its members (§6.1: striping
+    restricts the bundle MTU to the smallest member MTU, which is why the
+    paper recommends striping links with similar MTUs). *)
+
+type t
+
+val create :
+  name:string ->
+  members:Iface.t array ->
+  scheduler:Stripe_core.Scheduler.t ->
+  ?marker:Stripe_core.Marker.policy ->
+  ?now:(unit -> float) ->
+  ?resequence:bool ->
+  deliver_up:(Ip.t -> unit) ->
+  unit ->
+  t
+(** [create ~name ~members ~scheduler ~deliver_up ()] builds the virtual
+    interface and registers itself as the [Cp_striped_ip] and [Cp_marker]
+    handler on every member. The scheduler's channel count must equal the
+    member count. [resequence] (default [true]) enables logical
+    reception; with [false] arriving datagrams go straight up in physical
+    arrival order — the "no logical reception" variants of Figure 15. *)
+
+val name : t -> string
+
+val mtu : t -> int
+(** Minimum member MTU. *)
+
+val send : t -> Ip.t -> unit
+(** Stripe one IP datagram. Raises [Invalid_argument] if it exceeds the
+    bundle MTU. *)
+
+val send_reset : t -> unit
+(** Emit the §5 crash-recovery reset barrier on every member (see
+    {!Stripe_core.Striper.send_reset}): the peer layer's resequencer
+    reinitializes once the barrier reaches it on all members. Used when
+    the host's striping state was reinitialized (reboot) or a watchdog
+    detected corruption. *)
+
+val n_members : t -> int
+
+val member_queue_bytes : t -> int -> int
+(** Transmit queue occupancy of member [i] — the oracle for an SQF
+    scheduler over this bundle. *)
+
+val sent_datagrams : t -> int
+val delivered_datagrams : t -> int
+val markers_sent : t -> int
+val reorder : t -> Stripe_core.Reorder.t
+(** Misordering statistics of the stream delivered up to IP. *)
+
+val resequencer : t -> Stripe_core.Resequencer.t option
+(** The logical-reception engine, when [resequence] is on. *)
+
+val striper : t -> Stripe_core.Striper.t

@@ -1,0 +1,55 @@
+type t = { mutable rev_log : (float * int) list; mutable n : int }
+
+let create () = { rev_log = []; n = 0 }
+
+let observe t ~now ~seq =
+  t.rev_log <- (now, seq) :: t.rev_log;
+  t.n <- t.n + 1
+
+let deliveries t = t.n
+
+let log t = List.rev t.rev_log
+
+(* Walk the delivery log backwards, maintaining the start of the longest
+   strictly-increasing suffix. *)
+let suffix_start t =
+  match t.rev_log with
+  | [] -> None
+  | (tm, seq) :: rest ->
+    let rec walk acc_time acc_seq = function
+      | [] -> Some acc_time
+      | (tm', seq') :: rest ->
+        if seq' < acc_seq then walk tm' seq' rest else Some acc_time
+    in
+    walk tm seq rest
+
+let resync_time t ~errors_stop =
+  match suffix_start t with
+  | None -> None
+  | Some start ->
+    (* The suffix must contain at least one delivery after errors stop;
+       otherwise nothing was ever delivered post-recovery to witness it. *)
+    let witnessed =
+      List.exists (fun (tm, _) -> tm >= start && tm >= errors_stop) t.rev_log
+    in
+    if not witnessed then None
+    else Some (max 0.0 (start -. errors_stop))
+
+let in_order_after t ~time =
+  let tail = List.filter (fun (tm, _) -> tm > time) (log t) in
+  let rec check last = function
+    | [] -> true
+    | (_, seq) :: rest -> if seq > last then check seq rest else false
+  in
+  check min_int tail
+
+let out_of_order_after t ~time =
+  let tail = List.filter (fun (tm, _) -> tm > time) (log t) in
+  let late = ref 0 in
+  let max_seen = ref min_int in
+  List.iter
+    (fun (_, seq) ->
+      if seq < !max_seen then incr late;
+      if seq > !max_seen then max_seen := seq)
+    tail;
+  !late

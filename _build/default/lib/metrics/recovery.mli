@@ -1,0 +1,31 @@
+(** Synchronization-recovery measurement (§6.3, Theorem 5.1).
+
+    Records each delivery as a [(time, seq)] pair. Given the instant
+    channel errors stopped, [resync_time] finds how long after that
+    instant the delivered stream became — and stayed — in order, i.e. the
+    time at which quasi-FIFO turned back into FIFO. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> now:float -> seq:int -> unit
+
+val deliveries : t -> int
+
+val resync_time : t -> errors_stop:float -> float option
+(** [resync_time t ~errors_stop] is [Some (t_sync -. errors_stop)] where
+    [t_sync] is the earliest delivery time at or after [errors_stop] from
+    which the remaining stream is strictly increasing in [seq] (and at
+    least one delivery follows, so an empty tail does not count as
+    recovery). [None] if the stream never recovers, or recovers only
+    vacuously. If delivery was already in order at [errors_stop], the
+    result is [Some 0.]. *)
+
+val in_order_after : t -> time:float -> bool
+(** Whether every delivery strictly after [time] arrived in increasing
+    [seq] order. *)
+
+val out_of_order_after : t -> time:float -> int
+(** Late deliveries (seq below the running maximum of the tail) strictly
+    after [time]. *)

@@ -1,0 +1,65 @@
+type t = {
+  keep : bool;
+  mutable n : int;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sum : float;
+  mutable samples : float list;
+}
+
+let create ?(keep_samples = false) () =
+  {
+    keep = keep_samples;
+    n = 0;
+    mean_acc = 0.0;
+    m2 = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+    sum = 0.0;
+    samples = [];
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sum <- t.sum +. x;
+  if t.keep then t.samples <- x :: t.samples
+
+let count t = t.n
+
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Summary.min_value: empty";
+  t.mn
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Summary.max_value: empty";
+  t.mx
+
+let total t = t.sum
+
+let percentile t p =
+  if not t.keep then invalid_arg "Summary.percentile: samples not kept";
+  if t.n = 0 then invalid_arg "Summary.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
+  let sorted = List.sort compare t.samples in
+  let arr = Array.of_list sorted in
+  let rank =
+    int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1
+  in
+  arr.(max 0 (min (t.n - 1) rank))
+
+let pp fmt t =
+  if t.n = 0 then Format.fprintf fmt "n=0"
+  else
+    Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+      (stddev t) t.mn t.mx

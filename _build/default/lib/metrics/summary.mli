@@ -1,0 +1,35 @@
+(** Streaming summary statistics.
+
+    Single-pass mean/variance (Welford) plus min/max, with optional full
+    retention for exact percentiles. Used by the benchmark harness to
+    report distributions of per-packet latency, buffer occupancy, and
+    recovery times. *)
+
+type t
+
+val create : ?keep_samples:bool -> unit -> t
+(** [keep_samples] (default [false]) retains every observation so
+    [percentile] is exact; otherwise [percentile] raises. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 with fewer than two observations. *)
+
+val min_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> float
+(** Raises [Invalid_argument] when empty. *)
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]; nearest-rank on retained
+    samples. Raises if empty or samples were not kept. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = {
+  mutable epoch : float option;
+  mutable last : float;
+  mutable b : int;
+  mutable n : int;
+}
+
+let create () = { epoch = None; last = 0.0; b = 0; n = 0 }
+
+let start_at t at = t.epoch <- Some at
+
+let account t ~now ~bytes =
+  (match t.epoch with None -> t.epoch <- Some now | Some _ -> ());
+  if now > t.last then t.last <- now;
+  t.b <- t.b + bytes;
+  t.n <- t.n + 1
+
+let bytes t = t.b
+
+let packets t = t.n
+
+let duration t =
+  match t.epoch with None -> 0.0 | Some e -> max 0.0 (t.last -. e)
+
+let bps t =
+  let d = duration t in
+  if d <= 0.0 then 0.0 else float_of_int (t.b * 8) /. d
+
+let mbps t = bps t /. 1e6

@@ -1,0 +1,27 @@
+(** Throughput measurement.
+
+    Accumulates delivered bytes against simulated time and reports rates
+    in bits per second and megabits per second, matching the units of
+    Figure 15 (application-level Mbps). *)
+
+type t
+
+val create : unit -> t
+
+val account : t -> now:float -> bytes:int -> unit
+(** Record a delivery of [bytes] at simulated time [now]. *)
+
+val start_at : t -> float -> unit
+(** Set the measurement epoch (defaults to the first [account] time). *)
+
+val bytes : t -> int
+
+val packets : t -> int
+
+val duration : t -> float
+(** Time from the epoch to the latest accounted delivery. *)
+
+val bps : t -> float
+(** Average bits per second over [duration]; 0 if no time has passed. *)
+
+val mbps : t -> float

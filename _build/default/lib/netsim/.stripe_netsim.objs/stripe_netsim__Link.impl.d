@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Loss Printf Queue Rng Sim

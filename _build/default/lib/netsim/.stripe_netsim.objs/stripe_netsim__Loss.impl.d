@@ -1,0 +1,1 @@
+lib/netsim/loss.ml: Printf Rng

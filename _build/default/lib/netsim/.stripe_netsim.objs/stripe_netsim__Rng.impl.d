@@ -1,0 +1,1 @@
+lib/netsim/rng.ml: Array Int64

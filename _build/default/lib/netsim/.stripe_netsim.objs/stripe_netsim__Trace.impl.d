@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Format List

@@ -1,0 +1,24 @@
+(** Priority queue of timed events, keyed by simulated time.
+
+    Ties are broken by insertion order so that events scheduled at the same
+    instant fire in the order they were scheduled — this keeps simulations
+    fully deterministic. Implemented as a growable binary heap. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** [add q ~time v] inserts [v] to fire at [time]. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event as [(time, value)]. *)
+
+val clear : 'a t -> unit

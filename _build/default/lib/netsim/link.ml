@@ -1,0 +1,120 @@
+type 'a t = {
+  sim : Sim.t;
+  link_name : string;
+  mutable rate : float;
+  prop_delay : float;
+  jitter : (Rng.t -> float) option;
+  rng : Rng.t;
+  loss : Loss.t;
+  txq_capacity_bytes : int option;
+  link_mtu : int option;
+  deliver : 'a -> unit;
+  txq : (int * 'a) Queue.t;
+  mutable txq_bytes : int;
+  mutable serializing : bool;
+  mutable last_arrival : float;
+  mutable n_sent : int;
+  mutable b_sent : int;
+  mutable n_delivered : int;
+  mutable b_delivered : int;
+  mutable n_lost : int;
+  mutable n_txq_drops : int;
+}
+
+let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
+    ?txq_capacity_bytes ?mtu ~deliver () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate_bps must be > 0";
+  if prop_delay < 0.0 then invalid_arg "Link.create: negative prop_delay";
+  {
+    sim;
+    link_name = name;
+    rate = rate_bps;
+    prop_delay;
+    jitter;
+    rng = (match rng with Some r -> r | None -> Rng.create 0);
+    loss = (match loss with Some l -> l | None -> Loss.none ());
+    txq_capacity_bytes;
+    link_mtu = mtu;
+    deliver;
+    txq = Queue.create ();
+    txq_bytes = 0;
+    serializing = false;
+    last_arrival = 0.0;
+    n_sent = 0;
+    b_sent = 0;
+    n_delivered = 0;
+    b_delivered = 0;
+    n_lost = 0;
+    n_txq_drops = 0;
+  }
+
+(* Start serializing the packet at the head of the transmit queue. When
+   serialization finishes, schedule the arrival (propagation + jitter,
+   clamped to preserve FIFO) and start on the next queued packet. *)
+let rec start_serialize t =
+  match Queue.take_opt t.txq with
+  | None -> t.serializing <- false
+  | Some (size, payload) ->
+    t.serializing <- true;
+    t.txq_bytes <- t.txq_bytes - size;
+    let ser_time = float_of_int (size * 8) /. t.rate in
+    Sim.schedule_after t.sim ~delay:ser_time (fun () ->
+        t.n_sent <- t.n_sent + 1;
+        t.b_sent <- t.b_sent + size;
+        if Loss.drop t.loss t.rng then t.n_lost <- t.n_lost + 1
+        else begin
+          let extra =
+            match t.jitter with None -> 0.0 | Some j -> max 0.0 (j t.rng)
+          in
+          let arrival =
+            max (Sim.now t.sim +. t.prop_delay +. extra) t.last_arrival
+          in
+          t.last_arrival <- arrival;
+          Sim.schedule t.sim ~at:arrival (fun () ->
+              t.n_delivered <- t.n_delivered + 1;
+              t.b_delivered <- t.b_delivered + size;
+              t.deliver payload)
+        end;
+        start_serialize t)
+
+let send t ~size payload =
+  if size <= 0 then invalid_arg "Link.send: size must be positive";
+  (match t.link_mtu with
+  | Some m when size > m ->
+    invalid_arg
+      (Printf.sprintf "Link.send: size %d exceeds MTU %d on %s" size m
+         t.link_name)
+  | Some _ | None -> ());
+  let overflow =
+    match t.txq_capacity_bytes with
+    | Some cap -> t.txq_bytes + size > cap
+    | None -> false
+  in
+  if overflow then begin
+    t.n_txq_drops <- t.n_txq_drops + 1;
+    false
+  end
+  else begin
+    Queue.add (size, payload) t.txq;
+    t.txq_bytes <- t.txq_bytes + size;
+    if not t.serializing then start_serialize t;
+    true
+  end
+
+let name t = t.link_name
+let mtu t = t.link_mtu
+let rate_bps t = t.rate
+
+let set_rate_bps t rate =
+  if rate <= 0.0 then invalid_arg "Link.set_rate_bps: rate must be > 0";
+  t.rate <- rate
+
+let queue_bytes t = t.txq_bytes
+let queue_packets t = Queue.length t.txq
+let busy t = t.serializing
+let sent_packets t = t.n_sent
+let sent_bytes t = t.b_sent
+let delivered_packets t = t.n_delivered
+let delivered_bytes t = t.b_delivered
+let lost_packets t = t.n_lost
+let txq_drops t = t.n_txq_drops

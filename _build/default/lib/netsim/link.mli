@@ -1,0 +1,79 @@
+(** Simulated FIFO channel.
+
+    This is the paper's "channel" abstraction (§2): a logical FIFO path
+    with a service rate, a propagation delay that may vary packet to
+    packet (skew/jitter), and a loss process. FIFO order is preserved even
+    under jitter — the model clamps each arrival to be no earlier than the
+    previous arrival, matching the paper's assumption that each channel
+    delivers in order while skew varies.
+
+    The link is generic in its payload type; callers pass the wire size of
+    each payload explicitly, so this module has no dependency on any
+    particular packet format.
+
+    A link owns a transmit queue of bounded byte capacity: packets sent
+    while the serializer is busy queue up; packets that would overflow the
+    queue are dropped at the sender (tail drop), which is how congestion
+    loss arises in the flow-control experiments. *)
+
+type 'a t
+
+val create :
+  Sim.t ->
+  ?name:string ->
+  rate_bps:float ->
+  prop_delay:float ->
+  ?jitter:(Rng.t -> float) ->
+  ?rng:Rng.t ->
+  ?loss:Loss.t ->
+  ?txq_capacity_bytes:int ->
+  ?mtu:int ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a t
+(** [create sim ~rate_bps ~prop_delay ~deliver ()] makes a link that calls
+    [deliver payload] at each arrival instant.
+
+    - [rate_bps]: serialization rate in bits per second (must be > 0).
+    - [prop_delay]: base one-way propagation delay in seconds.
+    - [jitter]: extra per-packet delay drawn at each transmission
+      (default: none). Arrivals remain FIFO regardless.
+    - [loss]: loss process applied per packet (default: lossless).
+    - [txq_capacity_bytes]: transmit queue bound (default: unbounded).
+    - [mtu]: maximum payload size accepted; oversized sends raise
+      [Invalid_argument] (default: no limit). *)
+
+val send : 'a t -> size:int -> 'a -> bool
+(** [send t ~size payload] queues a packet for transmission. Returns
+    [false] if the transmit queue was full and the packet was dropped at
+    the sender; [true] if it was accepted (it may still be lost in
+    flight). Raises [Invalid_argument] if [size] exceeds the MTU or is
+    not positive. *)
+
+val name : 'a t -> string
+
+val mtu : 'a t -> int option
+
+val rate_bps : 'a t -> float
+
+val set_rate_bps : 'a t -> float -> unit
+(** Change the service rate for subsequently transmitted packets (models
+    the paper's variable-rate ATM PVC). *)
+
+val queue_bytes : 'a t -> int
+(** Bytes currently waiting in the transmit queue (excluding the packet
+    being serialized). Used by the shortest-queue-first baseline. *)
+
+val queue_packets : 'a t -> int
+
+val busy : 'a t -> bool
+(** Whether the serializer is currently transmitting a packet. *)
+
+(** Cumulative counters since creation. *)
+
+val sent_packets : 'a t -> int
+val sent_bytes : 'a t -> int
+val delivered_packets : 'a t -> int
+val delivered_bytes : 'a t -> int
+val lost_packets : 'a t -> int
+val txq_drops : 'a t -> int

@@ -1,0 +1,52 @@
+type kind =
+  | None_
+  | Bernoulli of float
+  | Gilbert of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_good : float;
+      loss_bad : float;
+      mutable bad : bool;
+    }
+  | Every of { n : int; mutable count : int }
+
+type t = kind
+
+let none () = None_
+
+let check_p name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Loss: %s=%g not a probability" name p)
+
+let bernoulli ~p =
+  check_p "p" p;
+  Bernoulli p
+
+let gilbert ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad =
+  check_p "p_good_to_bad" p_good_to_bad;
+  check_p "p_bad_to_good" p_bad_to_good;
+  check_p "loss_good" loss_good;
+  check_p "loss_bad" loss_bad;
+  Gilbert { p_good_to_bad; p_bad_to_good; loss_good; loss_bad; bad = false }
+
+let deterministic_every n =
+  if n < 1 then invalid_arg "Loss.deterministic_every: n must be >= 1";
+  Every { n; count = 0 }
+
+let drop t rng =
+  match t with
+  | None_ -> false
+  | Bernoulli p -> Rng.bernoulli rng ~p
+  | Gilbert g ->
+    (if g.bad then begin
+       if Rng.bernoulli rng ~p:g.p_bad_to_good then g.bad <- false
+     end
+     else if Rng.bernoulli rng ~p:g.p_good_to_bad then g.bad <- true);
+    Rng.bernoulli rng ~p:(if g.bad then g.loss_bad else g.loss_good)
+  | Every e ->
+    e.count <- e.count + 1;
+    if e.count = e.n then begin
+      e.count <- 0;
+      true
+    end
+    else false

@@ -1,0 +1,38 @@
+(** Packet loss processes.
+
+    The paper's channels "can be subject to packet loss and corruption",
+    including burst errors (§2). Corruption is modeled as loss: the paper
+    assumes "any packet corruption causes the packet to be discarded, and
+    not handed over to the resequencing algorithm" (§5). Two processes are
+    provided: independent Bernoulli loss and a two-state Gilbert–Elliott
+    model for bursty loss. A loss process is stateful; create one per
+    channel. *)
+
+type t
+
+val none : unit -> t
+(** Never drops. *)
+
+val bernoulli : p:float -> t
+(** Independent loss with probability [p] per packet. *)
+
+val gilbert :
+  p_good_to_bad:float ->
+  p_bad_to_good:float ->
+  loss_good:float ->
+  loss_bad:float ->
+  t
+(** Two-state Markov (Gilbert–Elliott) loss. At each packet the chain may
+    switch state; the packet is then dropped with the loss probability of
+    the current state. Models the paper's "burst errors", including
+    channels that occasionally deviate from FIFO delivery (§2). *)
+
+val drop : t -> Rng.t -> bool
+(** [drop t rng] advances the process one packet and reports whether that
+    packet is lost. *)
+
+val deterministic_every : int -> t
+(** [deterministic_every n] drops exactly every [n]-th packet (the 1st,
+    [n+1]-th, ... survive; packet number [n], [2n], ... are dropped).
+    Useful for reproducible walkthroughs such as Figures 8–13. Requires
+    [n >= 1]. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable clock : float;
+  mutable stopped : bool;
+  events : (unit -> unit) Eventq.t;
+}
+
+let create () = { clock = 0.0; stopped = false; events = Eventq.create () }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %g is before now (%g)" at t.clock);
+  Eventq.add t.events ~time:at f
+
+let schedule_after t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let step t =
+  match Eventq.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopped then continue := false else continue := step t
+  done
+
+let run_until t horizon =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopped then continue := false
+    else
+      match Eventq.peek_time t.events with
+      | Some time when time <= horizon -> ignore (step t)
+      | Some _ | None -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let pending t = Eventq.length t.events
+
+let stop t = t.stopped <- true

@@ -1,0 +1,19 @@
+type t = { mutable rev_events : (float * string) list }
+
+let create () = { rev_events = [] }
+
+let record t ~time msg = t.rev_events <- (time, msg) :: t.rev_events
+
+let recordf t ~time fmt =
+  Format.kasprintf (fun msg -> record t ~time msg) fmt
+
+let events t = List.rev t.rev_events
+
+let messages t = List.map snd (events t)
+
+let clear t = t.rev_events <- []
+
+let pp fmt t =
+  List.iter
+    (fun (time, msg) -> Format.fprintf fmt "%.6f  %s@." time msg)
+    (events t)

@@ -1,0 +1,26 @@
+(** Event trace recorder.
+
+    Collects timestamped textual events during a simulation run. Used for
+    the golden tests that replay the paper's worked examples (Figures 5–6
+    and 8–13) and for debugging. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> string -> unit
+
+val recordf :
+  t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [recordf t ~time fmt ...] records a formatted event. *)
+
+val events : t -> (float * string) list
+(** Events in recording order. *)
+
+val messages : t -> string list
+(** Just the message strings, in recording order. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One event per line as ["%.6f  %s"]. *)

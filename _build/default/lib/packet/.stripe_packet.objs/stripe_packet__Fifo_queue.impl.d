@@ -1,0 +1,1 @@
+lib/packet/fifo_queue.ml: List Option Queue

@@ -1,0 +1,39 @@
+type 'a t = {
+  q : ('a * int) Queue.t;
+  mutable total_bytes : int;
+  mutable hw_packets : int;
+  mutable hw_bytes : int;
+}
+
+let create () = { q = Queue.create (); total_bytes = 0; hw_packets = 0; hw_bytes = 0 }
+
+let push t ~size v =
+  Queue.add (v, size) t.q;
+  t.total_bytes <- t.total_bytes + size;
+  if Queue.length t.q > t.hw_packets then t.hw_packets <- Queue.length t.q;
+  if t.total_bytes > t.hw_bytes then t.hw_bytes <- t.total_bytes
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some (v, size) ->
+    t.total_bytes <- t.total_bytes - size;
+    Some v
+
+let peek t = Option.map fst (Queue.peek_opt t.q)
+
+let is_empty t = Queue.is_empty t.q
+
+let length t = Queue.length t.q
+
+let bytes t = t.total_bytes
+
+let high_water_packets t = t.hw_packets
+
+let high_water_bytes t = t.hw_bytes
+
+let clear t =
+  Queue.clear t.q;
+  t.total_bytes <- 0
+
+let to_list t = List.map fst (List.of_seq (Queue.to_seq t.q))

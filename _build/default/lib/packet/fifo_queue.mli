@@ -1,0 +1,35 @@
+(** FIFO packet buffer with byte accounting.
+
+    Used for the per-channel receive buffers of logical reception (§4) and
+    for transmit queues. Tracks current and high-water occupancy in both
+    packets and bytes, which the benchmarks report to size real buffers
+    against channel skew. The size of each element is supplied at [push]
+    so the queue stays generic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> size:int -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove the oldest element. *)
+
+val peek : 'a t -> 'a option
+(** Oldest element without removing it. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val bytes : 'a t -> int
+
+val high_water_packets : 'a t -> int
+(** Maximum simultaneous occupancy (packets) observed since creation. *)
+
+val high_water_bytes : 'a t -> int
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first. O(n). *)

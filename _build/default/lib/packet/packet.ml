@@ -1,0 +1,67 @@
+type marker = {
+  m_channel : int;
+  m_round : int;
+  m_dc : int;
+  m_credit : int option;
+  m_reset : bool;
+}
+
+type kind =
+  | Data
+  | Marker of marker
+
+type t = {
+  seq : int;
+  size : int;
+  kind : kind;
+  flow : int;
+  frame : int;
+  off : int;
+  born : float;
+}
+
+let marker_size = 32
+
+let data ?(flow = 0) ?(frame = -1) ?(off = -1) ?(born = 0.0) ~seq ~size () =
+  if size <= 0 then invalid_arg "Packet.data: size must be positive";
+  { seq; size; kind = Data; flow; frame; off; born }
+
+let marker ?credit ?(reset = false) ~channel ~round ~dc ~born () =
+  {
+    seq = -1;
+    size = marker_size;
+    kind =
+      Marker
+        {
+          m_channel = channel;
+          m_round = round;
+          m_dc = dc;
+          m_credit = credit;
+          m_reset = reset;
+        };
+    flow = 0;
+    frame = -1;
+    off = -1;
+    born;
+  }
+
+let is_marker t = match t.kind with Marker _ -> true | Data -> false
+
+let get_marker t =
+  match t.kind with
+  | Marker m -> m
+  | Data -> invalid_arg "Packet.get_marker: data packet"
+
+let pp fmt t =
+  match t.kind with
+  | Data -> Format.fprintf fmt "#%d(%dB)" t.seq t.size
+  | Marker m ->
+    Format.fprintf fmt "M(ch=%d,R=%d,DC=%d%s%s)" m.m_channel m.m_round m.m_dc
+      (match m.m_credit with
+      | None -> ""
+      | Some c -> Printf.sprintf ",credit=%d" c)
+      (if m.m_reset then ",reset" else "")
+
+let equal a b = a = b
+
+let compare_seq a b = compare a.seq b.seq

@@ -1,0 +1,75 @@
+(** Packets exchanged over striped channels.
+
+    A packet is either a {e data} packet or a {e marker} packet. The paper
+    is emphatic that data packets are never modified by the striping
+    protocol — no sequence number or header is added. Marker packets are
+    control packets distinguished from data by a link-level {e codepoint}
+    (e.g. a different Ethernet type field), which exists out of band of
+    the payload (§5).
+
+    Consequently the [seq] field here is {b measurement metadata only}: it
+    records the position of the packet in the sender's input stream so
+    that tests and benchmarks can detect misordering, exactly like the
+    packet labels a–f in the paper's figures. No protocol component is
+    allowed to read [seq] of a data packet to make decisions (the
+    resequencer works purely from arrival channels and marker contents).
+
+    Markers carry the sender's per-channel implicit packet number: the
+    round number and deficit-counter value the next data packet on that
+    channel will be sent with, plus an optional piggybacked flow-control
+    credit (§6.3). *)
+
+type marker = {
+  m_channel : int;  (** Sender's number for the channel the marker rides. *)
+  m_round : int;  (** Round number of the next data packet on the channel. *)
+  m_dc : int;  (** Deficit counter value for that next data packet. *)
+  m_credit : int option;  (** Piggybacked FCVC credit, if flow control is on. *)
+  m_reset : bool;
+      (** Reset barrier (§5: node crashes are handled "by doing a
+          reset"): the sender reinitialized its state; data behind this
+          marker belongs to the fresh epoch. The receiver reinitializes
+          once it has reached the reset marker on every channel. *)
+}
+
+type kind =
+  | Data
+  | Marker of marker
+
+type t = {
+  seq : int;  (** Measurement-only: position in the sender's input stream. *)
+  size : int;  (** Wire size in bytes. *)
+  kind : kind;
+  flow : int;  (** Flow/address label, used only by the hashing baseline. *)
+  frame : int;  (** Application frame id (video workloads); -1 otherwise. *)
+  off : int;
+      (** Transport byte offset — what a TCP-like header would carry;
+          opaque to the striping protocol. -1 when unused. Retransmissions
+          share [off] but get a fresh [seq]. *)
+  born : float;  (** Simulated time the packet entered the sender. *)
+}
+
+val marker_size : int
+(** Wire size of a marker packet (bytes). Small — the paper's marker only
+    carries a counter. *)
+
+val data :
+  ?flow:int -> ?frame:int -> ?off:int -> ?born:float -> seq:int -> size:int ->
+  unit -> t
+(** [data ~seq ~size ()] builds a data packet. [size] must be positive. *)
+
+val marker :
+  ?credit:int -> ?reset:bool -> channel:int -> round:int -> dc:int ->
+  born:float -> unit -> t
+(** Build a marker packet; [reset] defaults to [false]. Markers have
+    [seq = -1]. *)
+
+val is_marker : t -> bool
+
+val get_marker : t -> marker
+(** Raises [Invalid_argument] on a data packet. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. ["#12(550B)"] for data, ["M(ch=1,R=7,DC=300)"] for markers. *)
+
+val equal : t -> t -> bool
+val compare_seq : t -> t -> int

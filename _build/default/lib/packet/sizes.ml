@@ -1,0 +1,11 @@
+let ethernet_mtu = 1500
+let ethernet_overhead = 38
+let atm_cell = 53
+let ip_header = 20
+let small_packet = 200
+let large_packet = 1000
+
+let atm_overhead_for n =
+  if n < 0 then invalid_arg "Sizes.atm_overhead_for: negative size";
+  let cells = (n + 8 + 47) / 48 in
+  (cells * atm_cell) - n

@@ -1,0 +1,1 @@
+lib/transport/duplex.ml: Array Credit Option Packet Printf Queue Socket_stripe Stripe_core Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+lib/transport/duplex.mli: Socket_stripe Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+lib/transport/socket_stripe.ml: Array Credit Packet Printf Queue Stripe_core Stripe_netsim Stripe_packet

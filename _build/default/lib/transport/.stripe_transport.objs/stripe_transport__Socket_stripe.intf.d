@@ -1,0 +1,1 @@
+lib/transport/socket_stripe.mli: Stripe_core Stripe_netsim Stripe_packet

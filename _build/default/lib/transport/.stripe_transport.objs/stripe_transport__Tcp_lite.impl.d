@@ -1,0 +1,1 @@
+lib/transport/tcp_lite.ml: Float Hashtbl List Stripe_netsim

@@ -1,0 +1,1 @@
+lib/transport/tcp_lite.mli: Stripe_netsim

@@ -1,0 +1,1 @@
+lib/transport/udp_lite.ml: Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+lib/transport/udp_lite.mli: Stripe_netsim Stripe_packet

@@ -1,0 +1,70 @@
+module Sender = struct
+  type t = {
+    sent_counts : int array;
+    advertised : int array;
+    allowance : int array;  (* presumed-lost packets, per channel *)
+    mutable n_stalls : int;
+  }
+
+  let create ~n_channels ~initial_limit =
+    if n_channels <= 0 then invalid_arg "Credit.Sender.create: no channels";
+    if initial_limit < 0 then invalid_arg "Credit.Sender.create: negative limit";
+    {
+      sent_counts = Array.make n_channels 0;
+      advertised = Array.make n_channels initial_limit;
+      allowance = Array.make n_channels 0;
+      n_stalls = 0;
+    }
+
+  let limit t ~channel = t.advertised.(channel) + t.allowance.(channel)
+
+  let can_send t ~channel =
+    let ok = t.sent_counts.(channel) < limit t ~channel in
+    if not ok then t.n_stalls <- t.n_stalls + 1;
+    ok
+
+  let record_send t ~channel =
+    if t.sent_counts.(channel) >= limit t ~channel then
+      invalid_arg "Credit.Sender.record_send: no credit";
+    t.sent_counts.(channel) <- t.sent_counts.(channel) + 1
+
+  let update_limit t ~channel ~limit =
+    if limit > t.advertised.(channel) then t.advertised.(channel) <- limit
+
+  let presume_lost t ~channel =
+    t.allowance.(channel) <- t.allowance.(channel) + 1
+
+  let presumed t ~channel = t.allowance.(channel)
+  let sent t ~channel = t.sent_counts.(channel)
+  let stalls t = t.n_stalls
+end
+
+module Receiver = struct
+  type t = {
+    buffer : int;
+    arrived : int array;
+    consumed : int array;
+  }
+
+  let create ~n_channels ~buffer =
+    if n_channels <= 0 then invalid_arg "Credit.Receiver.create: no channels";
+    if buffer <= 0 then invalid_arg "Credit.Receiver.create: buffer must be positive";
+    {
+      buffer;
+      arrived = Array.make n_channels 0;
+      consumed = Array.make n_channels 0;
+    }
+
+  let occupancy t ~channel = t.arrived.(channel) - t.consumed.(channel)
+
+  let accept t ~channel = occupancy t ~channel < t.buffer
+
+  let record_arrival t ~channel = t.arrived.(channel) <- t.arrived.(channel) + 1
+
+  let record_consume t ~channel =
+    if occupancy t ~channel <= 0 then
+      invalid_arg "Credit.Receiver.record_consume: buffer empty";
+    t.consumed.(channel) <- t.consumed.(channel) + 1
+
+  let current_limit t ~channel = t.consumed.(channel) + t.buffer
+end

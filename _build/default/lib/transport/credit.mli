@@ -1,0 +1,76 @@
+(** Credit-based flow control (FCVC, Kung & Chapman [KC93], §6.3).
+
+    For channels that provide no flow control — UDP sockets — the paper
+    found the FCVC credit scheme "very effective in eliminating packet
+    loss due to channel congestion", with credits piggybacked on periodic
+    marker packets.
+
+    The scheme uses cumulative counters, so lost credit messages are
+    harmless (any later message supersedes them): per channel, the
+    receiver advertises a {e limit} — the total number of packets it has
+    ever been able to accept, i.e. packets already consumed by the
+    application plus its buffer capacity. The sender transmits on a
+    channel only while its cumulative send count stays below the latest
+    advertised limit. *)
+
+module Sender : sig
+  type t
+
+  val create : n_channels:int -> initial_limit:int -> t
+  (** [initial_limit] is the credit each channel starts with (the
+      receiver's buffer capacity, learned at connection setup). *)
+
+  val can_send : t -> channel:int -> bool
+
+  val record_send : t -> channel:int -> unit
+  (** Raises [Invalid_argument] if the channel has no credit — callers
+      must check [can_send]. *)
+
+  val update_limit : t -> channel:int -> limit:int -> unit
+  (** Apply an advertised limit; stale (lower) values are ignored. *)
+
+  val presume_lost : t -> channel:int -> unit
+  (** Credit resynchronization for lossy channels (the analogue of FCVC's
+      credit-sync procedure): a data packet that was lost in flight never
+      reaches the receiver's buffer, so its credit would otherwise be
+      burned forever and the sender could deadlock once losses exceed the
+      buffer size. When the sender has solid evidence a packet died — it
+      has been stalled for far longer than the in-flight time with no
+      limit movement — it presumes one loss, permanently raising its
+      effective limit for the channel by one. A wrong presumption can
+      overrun the receiver by at most the number of presumptions, which
+      the caller bounds by presuming slowly (see {!Duplex}). *)
+
+  val presumed : t -> channel:int -> int
+  (** Losses presumed so far on a channel. *)
+
+  val sent : t -> channel:int -> int
+
+  val limit : t -> channel:int -> int
+  (** Effective limit: the latest advertisement plus the loss
+      allowance. *)
+
+  val stalls : t -> int
+  (** Times [can_send] returned [false] — back-pressure events. *)
+end
+
+module Receiver : sig
+  type t
+
+  val create : n_channels:int -> buffer:int -> t
+  (** [buffer] is the per-channel buffer capacity in packets. *)
+
+  val accept : t -> channel:int -> bool
+  (** Whether a newly arriving packet fits the channel's buffer. With a
+      correct sender this never returns [false]; without flow control it
+      is the drop decision. *)
+
+  val record_arrival : t -> channel:int -> unit
+  val record_consume : t -> channel:int -> unit
+  (** The application drained one packet from the channel's buffer. *)
+
+  val current_limit : t -> channel:int -> int
+  (** The cumulative limit to advertise: consumed + buffer capacity. *)
+
+  val occupancy : t -> channel:int -> int
+end

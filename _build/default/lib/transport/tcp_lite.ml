@@ -1,0 +1,175 @@
+module Sender = struct
+  type segment = { off : int; len : int }
+
+  type t = {
+    sim : Stripe_netsim.Sim.t;
+    window : int;
+    base_rto : float;
+    next_segment_size : unit -> int;
+    transmit : off:int -> size:int -> unit;
+    mutable snd_una : int;
+    mutable snd_nxt : int;
+    mutable outstanding : segment list;  (* oldest first *)
+    mutable running : bool;
+    mutable alive : bool;
+    mutable rto : float;
+    mutable timer_version : int;
+    mutable n_segments : int;
+    mutable n_retx : int;
+    mutable n_timeouts : int;
+  }
+
+  let create sim ?(window = 131072) ?(rto = 0.2) ~next_segment_size ~transmit () =
+    if window <= 0 then invalid_arg "Tcp_lite.Sender.create: window must be positive";
+    if rto <= 0.0 then invalid_arg "Tcp_lite.Sender.create: rto must be positive";
+    {
+      sim;
+      window;
+      base_rto = rto;
+      next_segment_size;
+      transmit;
+      snd_una = 0;
+      snd_nxt = 0;
+      outstanding = [];
+      running = false;
+      alive = true;
+      rto;
+      timer_version = 0;
+      n_segments = 0;
+      n_retx = 0;
+      n_timeouts = 0;
+    }
+
+  let in_flight t = t.snd_nxt - t.snd_una
+
+  let rec arm_timer t =
+    t.timer_version <- t.timer_version + 1;
+    let version = t.timer_version in
+    Stripe_netsim.Sim.schedule_after t.sim ~delay:t.rto (fun () ->
+        if t.alive && version = t.timer_version && t.outstanding <> [] then begin
+          (* Go-back-N: resend everything outstanding, oldest first. *)
+          t.n_timeouts <- t.n_timeouts + 1;
+          t.rto <- Float.min (t.rto *. 2.0) (t.base_rto *. 8.0);
+          List.iter
+            (fun seg ->
+              t.n_retx <- t.n_retx + 1;
+              t.n_segments <- t.n_segments + 1;
+              t.transmit ~off:seg.off ~size:seg.len)
+            t.outstanding;
+          arm_timer t
+        end)
+
+  let fill t =
+    if t.running && t.alive then begin
+      let progressed = ref false in
+      let continue = ref true in
+      while !continue do
+        if in_flight t >= t.window then continue := false
+        else begin
+          let size = t.next_segment_size () in
+          if size <= 0 then invalid_arg "Tcp_lite: segment size must be positive";
+          let seg = { off = t.snd_nxt; len = size } in
+          t.outstanding <- t.outstanding @ [ seg ];
+          t.snd_nxt <- t.snd_nxt + size;
+          t.n_segments <- t.n_segments + 1;
+          progressed := true;
+          t.transmit ~off:seg.off ~size
+        end
+      done;
+      if !progressed && t.outstanding <> [] then arm_timer t
+    end
+
+  let start t =
+    t.running <- true;
+    fill t
+
+  let stop t = t.running <- false
+
+  let shutdown t =
+    t.running <- false;
+    t.alive <- false;
+    t.timer_version <- t.timer_version + 1
+
+  let on_ack t a =
+    if a > t.snd_una then begin
+      t.snd_una <- a;
+      t.outstanding <-
+        List.filter (fun seg -> seg.off + seg.len > a) t.outstanding;
+      t.rto <- t.base_rto;
+      if t.outstanding = [] then t.timer_version <- t.timer_version + 1
+      else arm_timer t;
+      fill t
+    end
+
+  let bytes_acked t = t.snd_una
+  let segments_sent t = t.n_segments
+  let retransmissions t = t.n_retx
+  let timeouts t = t.n_timeouts
+end
+
+module Receiver = struct
+  type t = {
+    send_ack : int -> unit;
+    deliver : bytes:int -> unit;
+    mutable next : int;
+    buffered : (int, int) Hashtbl.t;  (* off -> len *)
+    mutable n_ooo : int;
+    mutable n_dup : int;
+    mutable delivered : int;
+  }
+
+  let create ~send_ack ~deliver () =
+    {
+      send_ack;
+      deliver;
+      next = 0;
+      buffered = Hashtbl.create 64;
+      n_ooo = 0;
+      n_dup = 0;
+      delivered = 0;
+    }
+
+  let drain_contiguous t =
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt t.buffered t.next with
+      | Some len ->
+        Hashtbl.remove t.buffered t.next;
+        t.next <- t.next + len;
+        t.delivered <- t.delivered + len;
+        t.deliver ~bytes:len
+      | None -> continue := false
+    done
+
+  let rx t ~off ~len =
+    if len <= 0 then invalid_arg "Tcp_lite.Receiver.rx: bad length";
+    let result =
+      if off + len <= t.next || Hashtbl.mem t.buffered off then begin
+        t.n_dup <- t.n_dup + 1;
+        `Duplicate
+      end
+      else if off = t.next then begin
+        t.next <- t.next + len;
+        t.delivered <- t.delivered + len;
+        t.deliver ~bytes:len;
+        drain_contiguous t;
+        `In_order
+      end
+      else begin
+        (* A hole precedes this segment: park it for reassembly. Segments
+           never overlap partially in this model (sender always cuts at
+           the same offsets), so offset identity suffices. *)
+        Hashtbl.replace t.buffered off len;
+        t.n_ooo <- t.n_ooo + 1;
+        `Out_of_order
+      end
+    in
+    t.send_ack t.next;
+    result
+
+  let rcv_nxt t = t.next
+  let bytes_delivered t = t.delivered
+  let ooo_segments t = t.n_ooo
+  let duplicate_segments t = t.n_dup
+  let reassembly_buffered t = Hashtbl.length t.buffered
+end

@@ -1,0 +1,85 @@
+(** Simplified reliable byte-stream transport.
+
+    The Figure 15 measurements run "a sending program which sent a random
+    mixture of small and large packets to the receiving program ... over
+    a TCP connection". What that TCP contributes to the experiment is:
+    (a) a backlogged sender that keeps the striping layer's transmit
+    queues full, paced by a window; (b) in-order application delivery via
+    a reassembly buffer, so striping-induced reordering costs receiver
+    work rather than correctness; (c) recovery of genuinely lost
+    segments. [Tcp_lite] provides exactly those: sliding window on byte
+    offsets, cumulative ACKs, go-back-N on timeout.
+
+    Deliberately absent (and irrelevant to the reproduced effects at the
+    paper's loss-free saturation points): congestion control, fast
+    retransmit — the latter intentionally, because packet reordering
+    below the striping layer would trigger spurious fast retransmits and
+    the paper's variants without logical reception still achieve close to
+    full throughput, implying a reorder-tolerant receiver.
+
+    Segmentation is delegated to a size generator so the application's
+    packet-size mixture — the paper's experimental variable — passes
+    through unchanged. *)
+
+module Sender : sig
+  type t
+
+  val create :
+    Stripe_netsim.Sim.t ->
+    ?window:int ->
+    ?rto:float ->
+    next_segment_size:(unit -> int) ->
+    transmit:(off:int -> size:int -> unit) ->
+    unit ->
+    t
+  (** [window] (bytes, default 131072) bounds unacknowledged data; [rto]
+      (default 0.2 s) is the fixed retransmission timeout, doubled on
+      consecutive timeouts up to 8×. [next_segment_size] is consulted for
+      every new segment; [transmit] puts a segment on the wire. *)
+
+  val start : t -> unit
+  (** Begin backlogged transmission: fill the window and keep it full as
+      ACKs arrive. *)
+
+  val stop : t -> unit
+  (** Stop offering new data (outstanding segments are still
+      retransmitted until acknowledged or [shutdown]). *)
+
+  val shutdown : t -> unit
+  (** Stop everything, including retransmission. *)
+
+  val on_ack : t -> int -> unit
+  (** Cumulative acknowledgment: the receiver's next expected byte. *)
+
+  val bytes_acked : t -> int
+  val segments_sent : t -> int
+  val retransmissions : t -> int
+  val timeouts : t -> int
+  val in_flight : t -> int
+  (** Unacknowledged bytes. *)
+end
+
+module Receiver : sig
+  type t
+
+  val create :
+    send_ack:(int -> unit) ->
+    deliver:(bytes:int -> unit) ->
+    unit ->
+    t
+  (** [send_ack] transmits a cumulative ACK (called on every received
+      segment); [deliver] reports in-order bytes reaching the
+      application. *)
+
+  val rx : t -> off:int -> len:int -> [ `In_order | `Out_of_order | `Duplicate ]
+  (** Process a segment; the return value lets callers charge
+      differentiated processing costs (out-of-order segments cost more —
+      the receiver-bottleneck effect of §6.2/§7). *)
+
+  val rcv_nxt : t -> int
+  val bytes_delivered : t -> int
+  val ooo_segments : t -> int
+  val duplicate_segments : t -> int
+  val reassembly_buffered : t -> int
+  (** Segments currently parked in the reassembly buffer. *)
+end

@@ -1,0 +1,20 @@
+type t = {
+  sock_name : string;
+  link : Stripe_packet.Packet.t Stripe_netsim.Link.t;
+  mutable n_sent : int;
+  mutable n_received : int;
+}
+
+let create ~name ~link () = { sock_name = name; link; n_sent = 0; n_received = 0 }
+
+let send t pkt =
+  t.n_sent <- t.n_sent + 1;
+  Stripe_netsim.Link.send t.link ~size:pkt.Stripe_packet.Packet.size pkt
+
+let rx_entry t app pkt =
+  t.n_received <- t.n_received + 1;
+  app pkt
+
+let name t = t.sock_name
+let sent t = t.n_sent
+let received t = t.n_received

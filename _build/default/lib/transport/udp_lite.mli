@@ -1,0 +1,28 @@
+(** Unreliable datagram endpoint — a UDP socket over one simulated link.
+
+    No acknowledgment, no retransmission, no flow control of its own:
+    exactly the kind of channel §6.3 stripes over and then protects with
+    the {!Credit} scheme. Pairs a transmit link with an application
+    receive callback and keeps send/receive counters. *)
+
+type t
+
+val create :
+  name:string ->
+  link:Stripe_packet.Packet.t Stripe_netsim.Link.t ->
+  unit ->
+  t
+(** Wire the peer's receive side separately: give the link's [deliver]
+    callback to the receiving endpoint via {!rx_entry}. *)
+
+val send : t -> Stripe_packet.Packet.t -> bool
+(** Transmit a datagram; [false] if the link's transmit queue dropped
+    it. *)
+
+val rx_entry : t -> (Stripe_packet.Packet.t -> unit) -> Stripe_packet.Packet.t -> unit
+(** [rx_entry t app pkt] — receive-side entry point: counts and passes to
+    [app]. Partially apply to obtain a link [deliver] callback. *)
+
+val name : t -> string
+val sent : t -> int
+val received : t -> int

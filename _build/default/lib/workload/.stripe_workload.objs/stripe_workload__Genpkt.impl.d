@@ -1,0 +1,1 @@
+lib/workload/genpkt.ml: List Stripe_netsim

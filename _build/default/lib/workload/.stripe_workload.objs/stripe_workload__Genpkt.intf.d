@@ -1,0 +1,1 @@
+lib/workload/genpkt.mli: Stripe_netsim

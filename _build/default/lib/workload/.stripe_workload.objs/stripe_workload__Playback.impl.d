@@ -1,0 +1,1 @@
+lib/workload/playback.ml: Array Format Video

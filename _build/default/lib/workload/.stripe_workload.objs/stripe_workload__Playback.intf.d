@@ -1,0 +1,1 @@
+lib/workload/playback.mli: Format Video

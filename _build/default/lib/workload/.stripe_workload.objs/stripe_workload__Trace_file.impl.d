@@ -1,0 +1,1 @@
+lib/workload/trace_file.ml: Buffer Fun List Printf String Stripe_packet Video

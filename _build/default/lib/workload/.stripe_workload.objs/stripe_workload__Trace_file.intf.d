@@ -1,0 +1,1 @@
+lib/workload/trace_file.mli: Stripe_packet Video

@@ -1,0 +1,1 @@
+lib/workload/video.ml: Array List Stripe_netsim Stripe_packet

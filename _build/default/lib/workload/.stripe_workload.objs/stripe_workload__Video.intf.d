@@ -1,0 +1,1 @@
+lib/workload/video.mli: Stripe_netsim Stripe_packet

@@ -1,0 +1,43 @@
+type t = unit -> int
+
+let fixed size =
+  if size <= 0 then invalid_arg "Genpkt.fixed: size must be positive";
+  fun () -> size
+
+let alternating ~small ~large =
+  if small <= 0 || large <= 0 then invalid_arg "Genpkt.alternating: bad sizes";
+  let next_large = ref true in
+  fun () ->
+    let size = if !next_large then large else small in
+    next_large := not !next_large;
+    size
+
+let bimodal ~rng ?(p_small = 0.5) ~small ~large () =
+  if small <= 0 || large <= 0 then invalid_arg "Genpkt.bimodal: bad sizes";
+  fun () -> if Stripe_netsim.Rng.bernoulli rng ~p:p_small then small else large
+
+let uniform ~rng ~lo ~hi =
+  if lo <= 0 || hi < lo then invalid_arg "Genpkt.uniform: bad bounds";
+  fun () -> lo + Stripe_netsim.Rng.int rng (hi - lo + 1)
+
+let imix ~rng =
+  let sizes = [| 40; 40; 40; 40; 40; 40; 40; 576; 576; 576; 576; 1500 |] in
+  fun () -> Stripe_netsim.Rng.pick rng sizes
+
+let pareto ~rng ?(alpha = 1.2) ~min_size ~cap =
+  if min_size <= 0 || cap < min_size then invalid_arg "Genpkt.pareto: bad bounds";
+  if alpha <= 0.0 then invalid_arg "Genpkt.pareto: alpha must be positive";
+  fun () ->
+    let u = max 1e-12 (Stripe_netsim.Rng.float rng 1.0) in
+    let x = float_of_int min_size /. (u ** (1.0 /. alpha)) in
+    min cap (int_of_float x)
+
+let counted gen =
+  let total = ref 0 in
+  ( total,
+    fun () ->
+      let size = gen () in
+      total := !total + size;
+      size )
+
+let take gen n = List.init n (fun _ -> gen ())

@@ -1,0 +1,38 @@
+(** Packet-size generators.
+
+    The paper's experiments are parameterized by packet-size mixtures: "a
+    random mixture of small and large packets" for Figure 15, and "bigger
+    (1000 bytes) packets alternating with the smaller (200 bytes) ones" —
+    the deterministic worst case that collapses GRR while leaving SRR
+    unaffected (§6.2). A generator is a thunk producing the next packet
+    size in bytes. *)
+
+type t = unit -> int
+
+val fixed : int -> t
+
+val alternating : small:int -> large:int -> t
+(** Deterministic [large, small, large, small, ...] — the GRR worst-case
+    sequence (starts with [large]). *)
+
+val bimodal : rng:Stripe_netsim.Rng.t -> ?p_small:float -> small:int -> large:int -> unit -> t
+(** Random mixture: [small] with probability [p_small] (default 0.5),
+    else [large]. *)
+
+val uniform : rng:Stripe_netsim.Rng.t -> lo:int -> hi:int -> t
+(** Uniform on [\[lo, hi\]]. *)
+
+val imix : rng:Stripe_netsim.Rng.t -> t
+(** The classic Internet mix: 40 B : 576 B : 1500 B in 7 : 4 : 1
+    proportion. *)
+
+val pareto : rng:Stripe_netsim.Rng.t -> ?alpha:float -> min_size:int -> cap:int -> t
+(** Heavy-tailed sizes, capped at [cap] (an MTU); [alpha] defaults to
+    1.2. *)
+
+val counted : t -> int ref * t
+(** Instrument a generator: the returned reference counts total bytes
+    produced. *)
+
+val take : t -> int -> int list
+(** First [n] sizes of a generator. *)

@@ -1,0 +1,1 @@
+test/test_atm.ml: Aal5 Alcotest Array Cell Epd_switch Fun Link List Packet Printf Rng Sim Stripe_atm Stripe_core Stripe_netsim Stripe_packet Stripe_vc

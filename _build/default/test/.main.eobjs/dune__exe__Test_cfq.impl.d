@@ -1,0 +1,1 @@
+test/test_cfq.ml: Alcotest Array Cfq Gen List QCheck QCheck_alcotest Rr Srr Stripe_core

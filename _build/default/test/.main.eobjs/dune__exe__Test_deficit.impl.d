@@ -1,0 +1,1 @@
+test/test_deficit.ml: Alcotest Array Deficit Format Gen Grr List QCheck QCheck_alcotest Rr Srr Stripe_core Stripe_netsim

@@ -1,0 +1,1 @@
+test/test_eventq.ml: Alcotest Eventq List QCheck QCheck_alcotest Stripe_netsim

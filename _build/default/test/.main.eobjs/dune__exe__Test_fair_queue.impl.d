@@ -1,0 +1,1 @@
+test/test_fair_queue.ml: Alcotest Array Deficit Fair_queue Gen List Option Packet Printf QCheck QCheck_alcotest Srr Stripe_core Stripe_netsim Stripe_packet

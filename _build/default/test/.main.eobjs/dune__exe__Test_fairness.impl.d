@@ -1,0 +1,1 @@
+test/test_fairness.ml: Alcotest Array Deficit Fairness Gen List QCheck QCheck_alcotest Reorder Srr Stripe_core

@@ -1,0 +1,1 @@
+test/test_fragmenter.ml: Alcotest Array Fragmenter Fun List Packet Printf QCheck QCheck_alcotest Queue Stripe_core Stripe_netsim Stripe_packet

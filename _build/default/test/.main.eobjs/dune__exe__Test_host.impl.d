@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Cpu List Nic Printf Sim Stripe_host Stripe_netsim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arp Iface Ip Link Node Packet Printf Rng Routing Sim Stripe_core Stripe_host Stripe_ipstack Stripe_layer Stripe_netsim Stripe_packet Stripe_transport

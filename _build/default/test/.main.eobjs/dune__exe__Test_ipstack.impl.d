@@ -1,0 +1,1 @@
+test/test_ipstack.ml: Alcotest Arp Array Fun Iface Ip Link List Node Packet Printf Rng Routing Sim Stripe_core Stripe_ipstack Stripe_layer Stripe_netsim Stripe_packet

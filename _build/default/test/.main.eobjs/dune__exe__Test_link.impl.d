@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Link List Loss Rng Sim Stripe_netsim

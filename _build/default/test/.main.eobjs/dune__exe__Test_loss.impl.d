@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest List Loss Printf Rng Stripe_netsim

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Arp Format Iface Ip Link List Node Packet Printf Sim String Stripe_core Stripe_host Stripe_ipstack Stripe_layer Stripe_metrics Stripe_netsim Stripe_packet Trace

@@ -1,0 +1,1 @@
+test/test_mppp.ml: Alcotest Array List Mppp Packet QCheck QCheck_alcotest Queue Scheduler Stripe_core Stripe_netsim Stripe_packet

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Fifo_queue Format List Packet QCheck QCheck_alcotest Sizes Stripe_packet

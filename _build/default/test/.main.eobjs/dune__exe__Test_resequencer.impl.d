@@ -1,0 +1,1 @@
+test/test_resequencer.ml: Alcotest Array Deficit Fun Gen List Marker Packet QCheck QCheck_alcotest Queue Resequencer Scheduler Srr Stripe_core Stripe_netsim Stripe_packet Striper

@@ -1,0 +1,1 @@
+test/test_reset.ml: Alcotest Array Deficit Fun List Packet QCheck QCheck_alcotest Queue Resequencer Scheduler Srr Stripe_core Stripe_netsim Stripe_packet Striper

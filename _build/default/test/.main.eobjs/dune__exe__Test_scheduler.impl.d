@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array List Packet Scheduler Stripe_core Stripe_packet

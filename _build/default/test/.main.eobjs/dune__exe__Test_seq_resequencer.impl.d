@@ -1,0 +1,1 @@
+test/test_seq_resequencer.ml: Alcotest Array Deficit Fun List Packet QCheck QCheck_alcotest Queue Scheduler Seq_resequencer Srr Stripe_core Stripe_netsim Stripe_packet Striper

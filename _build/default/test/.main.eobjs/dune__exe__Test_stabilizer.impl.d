@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Array Deficit Fun List Marker Packet Queue Resequencer Scheduler Srr Stabilizer Stripe_core Stripe_packet Striper

@@ -1,0 +1,1 @@
+test/test_striper.ml: Alcotest Array Deficit Fairness Gen Hashtbl List Marker Option Packet Printf QCheck QCheck_alcotest Scheduler Srr Stripe_core Stripe_netsim Stripe_packet Striper

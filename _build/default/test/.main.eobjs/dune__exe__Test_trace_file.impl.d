@@ -1,0 +1,1 @@
+test/test_trace_file.ml: Alcotest Array Filename Fun List Packet Printf Stripe_core Stripe_netsim Stripe_packet Stripe_workload Sys Trace_file Video

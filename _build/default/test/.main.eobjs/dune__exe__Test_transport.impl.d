@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Credit Link List Loss Packet Printf Rng Sim Socket_stripe Stripe_core Stripe_netsim Stripe_packet Stripe_transport Tcp_lite

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Genpkt List Playback Printf Rng Stripe_netsim Stripe_packet Stripe_workload Video

@@ -1,0 +1,119 @@
+(* Tests for fairness measurement and the Reorder metrics. *)
+
+open Stripe_core
+
+let test_measure_basics () =
+  let d = Srr.create ~quanta:[| 500; 500 |] () in
+  (* Drive two full rounds with perfectly balanced traffic. *)
+  List.iter
+    (fun size ->
+      ignore (Deficit.select d);
+      Deficit.consume d ~size)
+    [ 500; 500; 500; 500 ];
+  let report = Fairness.measure ~deficit:d ~bytes:[| 1000; 1000 |] ~max_packet:500 in
+  Alcotest.(check int) "rounds" 2 report.Fairness.rounds;
+  Alcotest.(check (list int)) "entitlement" [ 1000; 1000 ]
+    (Array.to_list report.Fairness.entitlement);
+  Alcotest.(check int) "max deviation" 0 report.Fairness.max_deviation;
+  Alcotest.(check int) "bound" (500 + 1000) report.Fairness.bound;
+  Alcotest.(check bool) "within bound" true report.Fairness.within_bound
+
+let test_measure_violation () =
+  let d = Srr.create ~quanta:[| 100; 100 |] () in
+  List.iter
+    (fun size ->
+      ignore (Deficit.select d);
+      Deficit.consume d ~size)
+    [ 100; 100; 100; 100 ];
+  let report = Fairness.measure ~deficit:d ~bytes:[| 2000; 0 |] ~max_packet:100 in
+  Alcotest.(check bool) "gross imbalance flagged" false report.Fairness.within_bound
+
+let test_measure_arity () =
+  let d = Srr.create ~quanta:[| 100; 100 |] () in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Fairness.measure: arity mismatch") (fun () ->
+      ignore (Fairness.measure ~deficit:d ~bytes:[| 1 |] ~max_packet:100))
+
+let test_spread () =
+  Alcotest.(check int) "spread" 700 (Fairness.spread [| 300; 1000; 500 |]);
+  Alcotest.(check int) "spread singleton" 0 (Fairness.spread [| 5 |]);
+  Alcotest.(check int) "spread empty" 0 (Fairness.spread [||])
+
+let test_jain_index () =
+  Alcotest.(check (float 1e-9)) "perfect fairness" 1.0
+    (Fairness.jain_index [| 100; 100; 100 |]);
+  Alcotest.(check (float 1e-9)) "single-channel hog over n=2" 0.5
+    (Fairness.jain_index [| 100; 0 |]);
+  Alcotest.(check (float 1e-9)) "empty treated as fair" 1.0 (Fairness.jain_index [||])
+
+let test_reorder_in_order_stream () =
+  let r = Reorder.create () in
+  List.iter (fun seq -> Reorder.observe r ~seq) [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "observed" 5 (Reorder.observed r);
+  Alcotest.(check int) "no late packets" 0 (Reorder.out_of_order r);
+  Alcotest.(check int) "suffix covers all" 5 (Reorder.is_sorted_suffix r);
+  Alcotest.(check int) "no disorder index" (-1) (Reorder.last_disorder_index r)
+
+let test_reorder_late_packet () =
+  let r = Reorder.create () in
+  List.iter (fun seq -> Reorder.observe r ~seq) [ 0; 1; 4; 2; 3; 5 ];
+  Alcotest.(check int) "two late deliveries" 2 (Reorder.out_of_order r);
+  Alcotest.(check int) "displacement of 2 after 4" 2 (Reorder.max_displacement r);
+  Alcotest.(check int) "disorder at index 3" 3 (Reorder.last_disorder_index r)
+
+let test_reorder_missing () =
+  let r = Reorder.create () in
+  List.iter (fun seq -> Reorder.observe r ~seq) [ 0; 1; 3; 5 ];
+  Alcotest.(check int) "two holes" 2 (Reorder.missing r)
+
+let test_reorder_duplicates_simple () =
+  let r = Reorder.create () in
+  List.iter (fun seq -> Reorder.observe r ~seq) [ 0; 1; 1; 2 ];
+  Alcotest.(check int) "duplicate counted once" 1 (Reorder.duplicates r)
+
+let prop_reorder_sorted_never_flags =
+  QCheck.Test.make ~name:"reorder: strictly increasing stream is clean"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) small_nat)
+    (fun xs ->
+      let sorted = List.sort_uniq compare xs in
+      let r = Reorder.create () in
+      List.iter (fun seq -> Reorder.observe r ~seq) sorted;
+      Reorder.out_of_order r = 0
+      && Reorder.is_sorted_suffix r = List.length sorted)
+
+let prop_reorder_counts_inversions_vs_max =
+  QCheck.Test.make
+    ~name:"reorder: late count equals packets below running max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 1000))
+    (fun xs ->
+      let r = Reorder.create () in
+      List.iter (fun seq -> Reorder.observe r ~seq) xs;
+      let expected =
+        let max_seen = ref min_int and late = ref 0 in
+        List.iter
+          (fun x ->
+            if x < !max_seen then incr late;
+            if x > !max_seen then max_seen := x)
+          xs;
+        !late
+      in
+      Reorder.out_of_order r = expected)
+
+let suites =
+  [
+    ( "fairness+reorder",
+      [
+        Alcotest.test_case "measure basics" `Quick test_measure_basics;
+        Alcotest.test_case "measure violation" `Quick test_measure_violation;
+        Alcotest.test_case "measure arity" `Quick test_measure_arity;
+        Alcotest.test_case "spread" `Quick test_spread;
+        Alcotest.test_case "jain index" `Quick test_jain_index;
+        Alcotest.test_case "reorder clean stream" `Quick test_reorder_in_order_stream;
+        Alcotest.test_case "reorder late packet" `Quick test_reorder_late_packet;
+        Alcotest.test_case "reorder missing" `Quick test_reorder_missing;
+        Alcotest.test_case "reorder duplicates" `Quick test_reorder_duplicates_simple;
+        QCheck_alcotest.to_alcotest prop_reorder_sorted_never_flags;
+        QCheck_alcotest.to_alcotest prop_reorder_counts_inversions_vs_max;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the FIFO link model: serialization timing, FIFO preservation
+   under jitter, rate changes, MTU, transmit-queue overflow, and
+   counters. *)
+
+open Stripe_netsim
+
+let make_link ?jitter ?rng ?loss ?txq_capacity_bytes ?mtu ~rate_bps ~prop_delay
+    () =
+  let sim = Sim.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create sim ~name:"test" ~rate_bps ~prop_delay ?jitter ?rng ?loss
+      ?txq_capacity_bytes ?mtu
+      ~deliver:(fun v -> arrivals := (Sim.now sim, v) :: !arrivals)
+      ()
+  in
+  (sim, link, fun () -> List.rev !arrivals)
+
+let test_serialization_timing () =
+  (* 1000 bytes at 8 Mbps = 1 ms serialization; +2 ms propagation. *)
+  let sim, link, arrivals = make_link ~rate_bps:8e6 ~prop_delay:0.002 () in
+  ignore (Link.send link ~size:1000 "p1");
+  Sim.run sim;
+  match arrivals () with
+  | [ (t, "p1") ] -> Alcotest.(check (float 1e-9)) "arrival at 3 ms" 0.003 t
+  | _ -> Alcotest.fail "expected exactly one arrival"
+
+let test_back_to_back_serialization () =
+  let sim, link, arrivals = make_link ~rate_bps:8e6 ~prop_delay:0.0 () in
+  ignore (Link.send link ~size:1000 1);
+  ignore (Link.send link ~size:1000 2);
+  Sim.run sim;
+  match arrivals () with
+  | [ (t1, 1); (t2, 2) ] ->
+    Alcotest.(check (float 1e-9)) "first at 1 ms" 0.001 t1;
+    Alcotest.(check (float 1e-9)) "second serialized after first" 0.002 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_fifo_under_jitter () =
+  let rng = Rng.create 42 in
+  let sim, link, arrivals =
+    make_link ~rate_bps:1e6 ~prop_delay:0.001
+      ~jitter:(fun r -> Rng.float r 0.050)
+      ~rng ()
+  in
+  for i = 1 to 200 do
+    ignore (Link.send link ~size:100 i)
+  done;
+  Sim.run sim;
+  let vals = List.map snd (arrivals ()) in
+  Alcotest.(check (list int)) "jitter never reorders a FIFO channel"
+    (List.init 200 (fun i -> i + 1))
+    vals;
+  let times = List.map fst (arrivals ()) in
+  let monotone = List.for_all2 (fun a b -> a <= b) times (List.tl times @ [ infinity ]) in
+  Alcotest.(check bool) "arrival times non-decreasing" true monotone
+
+let test_rate_change () =
+  let sim, link, arrivals = make_link ~rate_bps:8e6 ~prop_delay:0.0 () in
+  ignore (Link.send link ~size:1000 1);
+  Sim.run sim;
+  Link.set_rate_bps link 16e6;
+  ignore (Link.send link ~size:1000 2);
+  Sim.run sim;
+  match arrivals () with
+  | [ (t1, 1); (t2, 2) ] ->
+    Alcotest.(check (float 1e-9)) "slow rate" 0.001 t1;
+    Alcotest.(check (float 1e-9)) "fast rate" 0.0015 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_loss_counting () =
+  let rng = Rng.create 9 in
+  let sim, link, arrivals =
+    make_link ~rate_bps:1e9 ~prop_delay:0.0 ~loss:(Loss.bernoulli ~p:0.5) ~rng ()
+  in
+  for i = 1 to 1000 do
+    ignore (Link.send link ~size:100 i)
+  done;
+  Sim.run sim;
+  let delivered = List.length (arrivals ()) in
+  Alcotest.(check int) "sent counter" 1000 (Link.sent_packets link);
+  Alcotest.(check int) "lost + delivered = sent" 1000
+    (Link.lost_packets link + Link.delivered_packets link);
+  Alcotest.(check int) "delivered counter matches callback" delivered
+    (Link.delivered_packets link);
+  Alcotest.(check bool) "roughly half lost" true
+    (Link.lost_packets link > 400 && Link.lost_packets link < 600)
+
+let test_mtu_enforcement () =
+  let _, link, _ = make_link ~rate_bps:1e6 ~prop_delay:0.0 ~mtu:1500 () in
+  Alcotest.check_raises "oversize send raises"
+    (Invalid_argument "Link.send: size 1501 exceeds MTU 1500 on test")
+    (fun () -> ignore (Link.send link ~size:1501 ()))
+
+let test_bad_size () =
+  let _, link, _ = make_link ~rate_bps:1e6 ~prop_delay:0.0 () in
+  Alcotest.check_raises "zero size raises"
+    (Invalid_argument "Link.send: size must be positive") (fun () ->
+      ignore (Link.send link ~size:0 ()))
+
+let test_txq_overflow () =
+  let sim, link, arrivals =
+    make_link ~rate_bps:1e6 ~prop_delay:0.0 ~txq_capacity_bytes:1000 ()
+  in
+  (* First packet starts serializing immediately (leaves the queue);
+     then 1000 bytes of queue fill; the next is dropped. *)
+  let results = List.init 4 (fun i -> Link.send link ~size:500 i) in
+  Alcotest.(check (list bool)) "fourth packet tail-dropped"
+    [ true; true; true; false ] results;
+  Alcotest.(check int) "drop counted" 1 (Link.txq_drops link);
+  Sim.run sim;
+  Alcotest.(check int) "three delivered" 3 (List.length (arrivals ()))
+
+let test_queue_accounting () =
+  let sim, link, _ = make_link ~rate_bps:1e6 ~prop_delay:0.0 () in
+  ignore (Link.send link ~size:500 1);
+  ignore (Link.send link ~size:300 2);
+  ignore (Link.send link ~size:200 3);
+  (* Packet 1 is being serialized; 2 and 3 wait in the queue. *)
+  Alcotest.(check int) "queued bytes" 500 (Link.queue_bytes link);
+  Alcotest.(check int) "queued packets" 2 (Link.queue_packets link);
+  Alcotest.(check bool) "busy while serializing" true (Link.busy link);
+  Sim.run sim;
+  Alcotest.(check int) "drained" 0 (Link.queue_bytes link);
+  Alcotest.(check bool) "idle after drain" false (Link.busy link)
+
+let test_byte_counters () =
+  let sim, link, _ = make_link ~rate_bps:1e6 ~prop_delay:0.0 () in
+  ignore (Link.send link ~size:700 1);
+  ignore (Link.send link ~size:300 2);
+  Sim.run sim;
+  Alcotest.(check int) "sent bytes" 1000 (Link.sent_bytes link);
+  Alcotest.(check int) "delivered bytes" 1000 (Link.delivered_bytes link)
+
+let test_invalid_create () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "zero rate rejected"
+    (Invalid_argument "Link.create: rate_bps must be > 0") (fun () ->
+      ignore
+        (Link.create sim ~rate_bps:0.0 ~prop_delay:0.0 ~deliver:ignore ()))
+
+let suites =
+  [
+    ( "link",
+      [
+        Alcotest.test_case "serialization timing" `Quick test_serialization_timing;
+        Alcotest.test_case "back-to-back" `Quick test_back_to_back_serialization;
+        Alcotest.test_case "fifo under jitter" `Quick test_fifo_under_jitter;
+        Alcotest.test_case "rate change" `Quick test_rate_change;
+        Alcotest.test_case "loss counting" `Quick test_loss_counting;
+        Alcotest.test_case "mtu" `Quick test_mtu_enforcement;
+        Alcotest.test_case "bad size" `Quick test_bad_size;
+        Alcotest.test_case "txq overflow" `Quick test_txq_overflow;
+        Alcotest.test_case "queue accounting" `Quick test_queue_accounting;
+        Alcotest.test_case "byte counters" `Quick test_byte_counters;
+        Alcotest.test_case "invalid create" `Quick test_invalid_create;
+      ] );
+  ]

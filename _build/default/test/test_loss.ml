@@ -1,0 +1,112 @@
+(* Tests for loss processes: rates, burstiness of Gilbert-Elliott, and the
+   deterministic drop pattern used in golden walkthroughs. *)
+
+open Stripe_netsim
+
+let rate process rng n =
+  let dropped = ref 0 in
+  for _ = 1 to n do
+    if Loss.drop process rng then incr dropped
+  done;
+  float_of_int !dropped /. float_of_int n
+
+let test_none () =
+  let rng = Rng.create 1 in
+  Alcotest.(check (float 0.0)) "lossless drops nothing" 0.0
+    (rate (Loss.none ()) rng 1000)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 2 in
+  let r = rate (Loss.bernoulli ~p:0.2) rng 100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bernoulli rate %.3f near 0.2" r)
+    true
+    (abs_float (r -. 0.2) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 3 in
+  Alcotest.(check (float 0.0)) "p=0 never drops" 0.0
+    (rate (Loss.bernoulli ~p:0.0) rng 1000);
+  Alcotest.(check (float 0.0)) "p=1 always drops" 1.0
+    (rate (Loss.bernoulli ~p:1.0) rng 1000)
+
+let test_bernoulli_validation () =
+  Alcotest.check_raises "p > 1 rejected"
+    (Invalid_argument "Loss: p=1.5 not a probability") (fun () ->
+      ignore (Loss.bernoulli ~p:1.5))
+
+(* Gilbert-Elliott with a lossy bad state must produce longer loss runs
+   than a Bernoulli process of the same average rate. *)
+let test_gilbert_burstiness () =
+  let rng = Rng.create 4 in
+  let mean_run process rng n =
+    let runs = ref 0 and losses = ref 0 and in_run = ref false in
+    for _ = 1 to n do
+      if Loss.drop process rng then begin
+        incr losses;
+        if not !in_run then begin
+          incr runs;
+          in_run := true
+        end
+      end
+      else in_run := false
+    done;
+    if !runs = 0 then 0.0 else float_of_int !losses /. float_of_int !runs
+  in
+  let gilbert =
+    Loss.gilbert ~p_good_to_bad:0.01 ~p_bad_to_good:0.2 ~loss_good:0.0
+      ~loss_bad:0.9
+  in
+  let g_run = mean_run gilbert rng 200_000 in
+  let b_run = mean_run (Loss.bernoulli ~p:0.05) rng 200_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gilbert run %.2f > bernoulli run %.2f" g_run b_run)
+    true (g_run > b_run *. 1.5)
+
+let test_gilbert_rate_bounds () =
+  let rng = Rng.create 5 in
+  let g =
+    Loss.gilbert ~p_good_to_bad:0.05 ~p_bad_to_good:0.05 ~loss_good:0.0
+      ~loss_bad:1.0
+  in
+  let r = rate g rng 100_000 in
+  (* Symmetric chain spends half its time in each state. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "gilbert rate %.3f near 0.5" r)
+    true
+    (abs_float (r -. 0.5) < 0.03)
+
+let test_deterministic_every () =
+  let rng = Rng.create 6 in
+  let p = Loss.deterministic_every 3 in
+  let pattern = List.init 9 (fun _ -> Loss.drop p rng) in
+  Alcotest.(check (list bool)) "every 3rd packet dropped"
+    [ false; false; true; false; false; true; false; false; true ]
+    pattern
+
+let test_deterministic_every_one () =
+  let rng = Rng.create 7 in
+  let p = Loss.deterministic_every 1 in
+  Alcotest.(check (float 0.0)) "n=1 drops everything" 1.0 (rate p rng 100)
+
+let test_deterministic_validation () =
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Loss.deterministic_every: n must be >= 1") (fun () ->
+      ignore (Loss.deterministic_every 0))
+
+let suites =
+  [
+    ( "loss",
+      [
+        Alcotest.test_case "none" `Quick test_none;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+        Alcotest.test_case "bernoulli validation" `Quick test_bernoulli_validation;
+        Alcotest.test_case "gilbert burstiness" `Quick test_gilbert_burstiness;
+        Alcotest.test_case "gilbert rate" `Quick test_gilbert_rate_bounds;
+        Alcotest.test_case "deterministic every" `Quick test_deterministic_every;
+        Alcotest.test_case "deterministic n=1" `Quick test_deterministic_every_one;
+        Alcotest.test_case "deterministic validation" `Quick
+          test_deterministic_validation;
+      ] );
+  ]

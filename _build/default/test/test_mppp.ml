@@ -1,0 +1,172 @@
+(* Tests for the RFC 1717 Multilink PPP implementation: fragmentation
+   format, min-sequence loss detection, reassembly, and the guaranteed
+   FIFO property the header buys. *)
+
+open Stripe_core
+open Stripe_packet
+
+let collect ~threshold pkts =
+  let out = ref [] in
+  let sender =
+    Mppp.Sender.create
+      ~scheduler:(Scheduler.rr ~n:2 ())
+      ~fragment_threshold:threshold
+      ~emit:(fun ~link f -> out := (link, f) :: !out)
+      ()
+  in
+  List.iter (Mppp.Sender.push sender) pkts;
+  (sender, List.rev !out)
+
+let test_small_packet_single_fragment () =
+  let _, frags = collect ~threshold:1500 [ Packet.data ~seq:0 ~size:500 () ] in
+  match frags with
+  | [ (_, f) ] ->
+    Alcotest.(check bool) "begin set" true f.Mppp.mp_begin;
+    Alcotest.(check bool) "end set" true f.Mppp.mp_end;
+    Alcotest.(check int) "payload" 500 f.Mppp.mp_payload;
+    Alcotest.(check int) "wire adds the multilink header" (500 + 4)
+      (Mppp.wire_size f)
+  | _ -> Alcotest.fail "expected one fragment"
+
+let test_large_packet_fragments () =
+  let _, frags = collect ~threshold:1000 [ Packet.data ~seq:0 ~size:2500 () ] in
+  Alcotest.(check int) "three fragments" 3 (List.length frags);
+  let fs = List.map snd frags in
+  Alcotest.(check (list bool)) "begin flags" [ true; false; false ]
+    (List.map (fun f -> f.Mppp.mp_begin) fs);
+  Alcotest.(check (list bool)) "end flags" [ false; false; true ]
+    (List.map (fun f -> f.Mppp.mp_end) fs);
+  Alcotest.(check (list int)) "payload split" [ 1000; 1000; 500 ]
+    (List.map (fun f -> f.Mppp.mp_payload) fs);
+  Alcotest.(check (list int)) "consecutive sequence numbers" [ 0; 1; 2 ]
+    (List.map (fun f -> f.Mppp.mp_seq) fs)
+
+let test_sender_accounting () =
+  let sender, frags =
+    collect ~threshold:1000
+      [ Packet.data ~seq:0 ~size:2500 (); Packet.data ~seq:1 ~size:300 () ]
+  in
+  Alcotest.(check int) "datagrams pushed" 2 (Mppp.Sender.pushed sender);
+  Alcotest.(check int) "fragments" 4 (Mppp.Sender.fragments_sent sender);
+  Alcotest.(check int) "header overhead" (4 * 4)
+    (Mppp.Sender.header_bytes_sent sender);
+  Alcotest.(check int) "emitted equals counted" 4 (List.length frags)
+
+(* Round-trip with per-link FIFO interleaving and optional loss. *)
+let roundtrip ~seed ~loss_p ~threshold ~sizes =
+  let rng = Stripe_netsim.Rng.create seed in
+  let wires = Array.init 2 (fun _ -> Queue.create ()) in
+  let sender =
+    Mppp.Sender.create
+      ~scheduler:(Scheduler.srr ~quanta:[| 1500; 1500 |] ())
+      ~fragment_threshold:threshold
+      ~emit:(fun ~link f -> Queue.add f wires.(link))
+      ()
+  in
+  List.iteri
+    (fun seq size -> Mppp.Sender.push sender (Packet.data ~seq ~size ()))
+    sizes;
+  let delivered = ref [] in
+  let receiver =
+    Mppp.Receiver.create ~n_links:2
+      ~deliver:(fun pkt -> delivered := pkt :: !delivered)
+      ()
+  in
+  let rec shuttle () =
+    let live =
+      Array.to_list wires
+      |> List.mapi (fun i q -> (i, q))
+      |> List.filter (fun (_, q) -> not (Queue.is_empty q))
+    in
+    match live with
+    | [] -> ()
+    | live ->
+      let l, q = List.nth live (Stripe_netsim.Rng.int rng (List.length live)) in
+      let f = Queue.pop q in
+      if not (Stripe_netsim.Rng.bernoulli rng ~p:loss_p) then
+        Mppp.Receiver.receive receiver ~link:l f;
+      shuttle ()
+  in
+  shuttle ();
+  (List.rev !delivered, receiver)
+
+let test_lossless_roundtrip () =
+  let rng = Stripe_netsim.Rng.create 9 in
+  let sizes = List.init 300 (fun _ -> 100 + Stripe_netsim.Rng.int rng 4000) in
+  let out, rx = roundtrip ~seed:1 ~loss_p:0.0 ~threshold:1500 ~sizes in
+  Alcotest.(check (list (pair int int))) "exact FIFO with sizes"
+    (List.mapi (fun i s -> (i, s)) sizes)
+    (List.map (fun p -> (p.Packet.seq, p.Packet.size)) out);
+  Alcotest.(check int) "no losses detected" 0 (Mppp.Receiver.lost_fragments rx)
+
+let test_loss_detected_and_fifo_kept () =
+  let sizes = List.init 500 (fun _ -> 3000) in
+  let out, rx = roundtrip ~seed:2 ~loss_p:0.03 ~threshold:1500 ~sizes in
+  let seqs = List.map (fun p -> p.Packet.seq) out in
+  Alcotest.(check bool) "delivery strictly increasing despite loss" true
+    (let rec incr_ok = function
+       | a :: (b :: _ as rest) -> a < b && incr_ok rest
+       | _ -> true
+     in
+     incr_ok seqs);
+  Alcotest.(check bool) "lost fragments detected via min-sequence rule" true
+    (Mppp.Receiver.lost_fragments rx > 0);
+  Alcotest.(check bool) "clipped datagrams discarded whole" true
+    (Mppp.Receiver.discarded_datagrams rx > 0)
+
+let test_min_sequence_waits_for_quiet_link () =
+  (* Fragment 1 missing while link 1 has shown nothing beyond it: the
+     receiver must wait, because it could still arrive there. *)
+  let rx = Mppp.Receiver.create ~n_links:2 ~deliver:(fun _ -> ()) () in
+  let frag seq = {
+    Mppp.mp_seq = seq; mp_begin = true; mp_end = true; mp_payload = 100;
+    mp_dg_seq = seq; mp_dg_size = 100;
+  } in
+  Mppp.Receiver.receive rx ~link:0 (frag 0);
+  Mppp.Receiver.receive rx ~link:0 (frag 2);
+  Alcotest.(check int) "only fragment 0 delivered" 1 (Mppp.Receiver.delivered rx);
+  Alcotest.(check int) "fragment 2 parked" 1 (Mppp.Receiver.pending rx);
+  (* The missing fragment arrives late on the other link. *)
+  Mppp.Receiver.receive rx ~link:1 (frag 1);
+  Alcotest.(check int) "all three out in order" 3 (Mppp.Receiver.delivered rx);
+  Alcotest.(check int) "no false loss" 0 (Mppp.Receiver.lost_fragments rx)
+
+let test_min_sequence_skips_proven_loss () =
+  let rx = Mppp.Receiver.create ~n_links:2 ~deliver:(fun _ -> ()) () in
+  let frag seq = {
+    Mppp.mp_seq = seq; mp_begin = true; mp_end = true; mp_payload = 100;
+    mp_dg_seq = seq; mp_dg_size = 100;
+  } in
+  Mppp.Receiver.receive rx ~link:0 (frag 0);
+  Mppp.Receiver.receive rx ~link:0 (frag 2);
+  (* Link 1 shows seq 3: both links are past 1, so it is lost. *)
+  Mppp.Receiver.receive rx ~link:1 (frag 3);
+  Alcotest.(check int) "gap skipped" 1 (Mppp.Receiver.lost_fragments rx);
+  Alcotest.(check int) "2 and 3 released" 3 (Mppp.Receiver.delivered rx)
+
+let prop_mppp_guaranteed_fifo =
+  QCheck.Test.make ~name:"mppp: strictly increasing delivery under any loss"
+    ~count:60
+    QCheck.(pair (int_range 0 500) (float_range 0.0 0.3))
+    (fun (seed, loss_p) ->
+      let rng = Stripe_netsim.Rng.create (seed + 7) in
+      let sizes = List.init 200 (fun _ -> 100 + Stripe_netsim.Rng.int rng 5000) in
+      let out, _ = roundtrip ~seed ~loss_p ~threshold:1400 ~sizes in
+      let seqs = List.map (fun p -> p.Packet.seq) out in
+      List.sort_uniq compare seqs = seqs)
+
+let suites =
+  [
+    ( "mppp",
+      [
+        Alcotest.test_case "single fragment" `Quick test_small_packet_single_fragment;
+        Alcotest.test_case "fragmentation" `Quick test_large_packet_fragments;
+        Alcotest.test_case "sender accounting" `Quick test_sender_accounting;
+        Alcotest.test_case "lossless roundtrip" `Quick test_lossless_roundtrip;
+        Alcotest.test_case "loss detection" `Quick test_loss_detected_and_fifo_kept;
+        Alcotest.test_case "waits for quiet link" `Quick
+          test_min_sequence_waits_for_quiet_link;
+        Alcotest.test_case "skips proven loss" `Quick test_min_sequence_skips_proven_loss;
+        QCheck_alcotest.to_alcotest prop_mppp_guaranteed_fifo;
+      ] );
+  ]

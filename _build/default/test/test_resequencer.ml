@@ -1,0 +1,285 @@
+(* Tests for logical reception and marker-based synchronization recovery:
+   Theorem 4.1 (FIFO without loss), quasi-FIFO under loss, the Figures
+   8-13 walkthrough as a golden test, and Theorem 5.1 (recovery) as a
+   randomized property. *)
+
+open Stripe_core
+open Stripe_packet
+
+(* A synchronous sender/receiver pair: the striper's emissions per channel
+   are appended to per-channel wires; [deliver_in_order] feeds the
+   receiver each wire's packets under an arbitrary interleaving that
+   preserves per-channel FIFO (which is all the protocol assumes). *)
+module Pair = struct
+  type t = {
+    striper : Striper.t;
+    reseq : Resequencer.t;
+    wires : Packet.t Queue.t array;
+    delivered : int list ref;
+  }
+
+  let create ?marker ~quanta () =
+    let n = Array.length quanta in
+    let engine = Srr.create ~quanta () in
+    let sched = Scheduler.of_deficit ~name:"SRR" engine in
+    let wires = Array.init n (fun _ -> Queue.create ()) in
+    let delivered = ref [] in
+    let reseq =
+      Resequencer.create ~deficit:(Deficit.clone_initial engine)
+        ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+        ()
+    in
+    let striper =
+      Striper.create ~scheduler:sched ?marker
+        ~emit:(fun ~channel pkt -> Queue.add pkt wires.(channel))
+        ()
+    in
+    { striper; reseq; wires; delivered }
+
+  let send t sizes =
+    List.iteri
+      (fun seq size -> Striper.push t.striper (Packet.data ~seq ~size ()))
+      sizes
+
+  (* Deliver all wire contents with a per-step random choice of channel —
+     any interleaving that keeps each channel FIFO. [drop] filters
+     packets by global arrival index. *)
+  let shuttle ?(drop = fun _ _ -> false) ~rng t =
+    let idx = ref 0 in
+    let nonempty () =
+      Array.to_list t.wires
+      |> List.mapi (fun i q -> (i, q))
+      |> List.filter (fun (_, q) -> not (Queue.is_empty q))
+    in
+    let rec go () =
+      match nonempty () with
+      | [] -> ()
+      | live ->
+        let c, q = List.nth live (Stripe_netsim.Rng.int rng (List.length live)) in
+        let pkt = Queue.pop q in
+        incr idx;
+        if not (drop !idx pkt) then Resequencer.receive t.reseq ~channel:c pkt;
+        go ()
+    in
+    go ()
+
+  let delivered t = List.rev !(t.delivered)
+end
+
+let test_theorem41_fifo_no_loss () =
+  let rng = Stripe_netsim.Rng.create 1 in
+  let pair = Pair.create ~quanta:[| 1500; 1500; 1500 |] () in
+  let sizes = List.init 500 (fun _ -> 50 + Stripe_netsim.Rng.int rng 1450) in
+  Pair.send pair sizes;
+  Pair.shuttle ~rng pair;
+  Alcotest.(check (list int)) "receiver output = sender input"
+    (List.init 500 Fun.id) (Pair.delivered pair)
+
+let prop_theorem41 =
+  QCheck.Test.make
+    ~name:"logical reception: FIFO for any sizes, quanta and interleaving"
+    ~count:100
+    QCheck.(triple (int_range 1 5) (int_range 0 10_000)
+              (list_of_size (Gen.int_range 0 300) (int_range 1 1500)))
+    (fun (n, seed, sizes) ->
+      let rng = Stripe_netsim.Rng.create seed in
+      let pair = Pair.create ~quanta:(Array.make n 1500) () in
+      Pair.send pair sizes;
+      Pair.shuttle ~rng pair;
+      Pair.delivered pair = List.init (List.length sizes) Fun.id)
+
+let test_blocking_on_expected_channel () =
+  (* The §4 narrative: receiver must not deliver packet N+1 from a fast
+     channel before packet 2 arrives on the slow one. *)
+  let engine = Srr.create ~quanta:[| 100; 100 |] () in
+  let delivered = ref [] in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+      ()
+  in
+  let p seq = Packet.data ~seq ~size:100 () in
+  (* Sender sends 0 -> ch0, 1 -> ch1, 2 -> ch0. Fast channel 0 delivers
+     both its packets first. *)
+  Resequencer.receive reseq ~channel:0 (p 0);
+  Resequencer.receive reseq ~channel:0 (p 2);
+  Alcotest.(check (list int)) "only packet 0 delivered" [ 0 ] (List.rev !delivered);
+  Alcotest.(check (option int)) "blocked on channel 1" (Some 1)
+    (Resequencer.blocked_on reseq);
+  Alcotest.(check int) "packet 2 buffered" 1 (Resequencer.pending reseq);
+  Resequencer.receive reseq ~channel:1 (p 1);
+  Alcotest.(check (list int)) "unblocked in order" [ 0; 1; 2 ] (List.rev !delivered)
+
+let test_quasi_fifo_without_markers () =
+  (* Round robin example of §4: losing one packet permanently reorders
+     when no resynchronization exists. *)
+  let rng = Stripe_netsim.Rng.create 2 in
+  let pair = Pair.create ~quanta:[| 100; 100 |] () in
+  Pair.send pair (List.init 40 (fun _ -> 100));
+  (* Drop the sender's 7th emission (a data packet, no markers here). *)
+  Pair.shuttle ~rng ~drop:(fun idx _ -> idx = 7) pair;
+  let out = Pair.delivered pair in
+  let sorted = List.sort compare out in
+  Alcotest.(check bool) "delivery is misordered after the loss" true (out <> sorted);
+  Alcotest.(check int) "everything else still delivered once... eventually buffered"
+    39
+    (List.length out + Resequencer.pending pair.Pair.reseq)
+
+(* Figures 8-13: two equal channels, equal-size packets, quantum = packet
+   size (SRR reduces to RR). Packet 7 (1-indexed; seq 6) is lost on
+   channel 0. A marker sent before round 7 (1-indexed) resynchronizes.
+   Expected delivery (paper, 1-indexed): 1..6, 9, 8, 11, 10, 12, 13..18. *)
+let test_figures_8_13_walkthrough () =
+  let engine = Srr.create ~quanta:[| 100; 100 |] () in
+  let sched = Scheduler.of_deficit ~name:"SRR" engine in
+  let delivered = ref [] in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+      ()
+  in
+  let arrivals = Queue.create () in
+  let striper =
+    Striper.create ~scheduler:sched
+      ~marker:(Marker.make ~position:Marker.Round_end ~every_rounds:6 ())
+      ~emit:(fun ~channel pkt -> Queue.add (channel, pkt) arrivals)
+      ()
+  in
+  for seq = 0 to 17 do
+    Striper.push striper (Packet.data ~seq ~size:100 ())
+  done;
+  (* Equal channels: arrival order equals send order; drop seq 6. *)
+  Queue.iter
+    (fun (channel, pkt) ->
+      if pkt.Packet.seq <> 6 then Resequencer.receive reseq ~channel pkt)
+    arrivals;
+  Alcotest.(check (list int)) "paper's recovery sequence"
+    [ 0; 1; 2; 3; 4; 5; 8; 7; 10; 9; 11; 12; 13; 14; 15; 16; 17 ]
+    (List.rev !delivered);
+  Alcotest.(check bool) "receiver skipped a channel visit" true
+    (Resequencer.skips reseq >= 1);
+  Alcotest.(check int) "nothing left buffered" 0 (Resequencer.pending reseq)
+
+let run_recovery ~seed ~loss_p ~n_channels ~every_rounds =
+  (* Lossy phase, then lossless phase: Theorem 5.1 says delivery must be
+     FIFO from (shortly after) the moment losses stop. *)
+  let rng = Stripe_netsim.Rng.create seed in
+  let quanta = Array.make n_channels 1500 in
+  let pair =
+    Pair.create ~marker:(Marker.make ~every_rounds ()) ~quanta ()
+  in
+  let n_lossy = 600 and n_clean = 600 in
+  let sizes =
+    List.init (n_lossy + n_clean) (fun _ -> 50 + Stripe_netsim.Rng.int rng 1450)
+  in
+  Pair.send pair sizes;
+  (* Drop only packets from the lossy prefix of the sender's stream. *)
+  let drop _idx pkt =
+    (not (Packet.is_marker pkt))
+    && pkt.Packet.seq < n_lossy
+    && Stripe_netsim.Rng.bernoulli rng ~p:loss_p
+  in
+  Pair.shuttle ~rng ~drop pair;
+  let out = Pair.delivered pair in
+  (* Theorem 5.1 promises FIFO once a marker has been delivered on every
+     channel after errors stop; allow a recovery window of packets past
+     the loss boundary before demanding order, but require the whole tail
+     to be present. *)
+  let slack = 200 in
+  let tail = List.filter (fun seq -> seq >= n_lossy + slack) out in
+  let in_order = List.sort compare tail = tail in
+  let complete = List.length tail = n_clean - slack in
+  (in_order, complete)
+
+let test_recovery_moderate_loss () =
+  let in_order, complete = run_recovery ~seed:5 ~loss_p:0.3 ~n_channels:2 ~every_rounds:4 in
+  Alcotest.(check bool) "clean-phase tail complete" true complete;
+  Alcotest.(check bool) "clean-phase tail in order" true in_order
+
+let test_recovery_extreme_loss () =
+  (* The paper measured recovery at loss rates up to 80 %. *)
+  let in_order, complete = run_recovery ~seed:6 ~loss_p:0.8 ~n_channels:3 ~every_rounds:2 in
+  Alcotest.(check bool) "survives 80% loss" true (in_order && complete)
+
+let prop_recovery =
+  QCheck.Test.make
+    ~name:"marker recovery: FIFO restored after losses stop (any rate/shape)"
+    ~count:40
+    QCheck.(triple (int_range 0 1000) (float_range 0.05 0.8) (int_range 2 4))
+    (fun (seed, loss_p, n_channels) ->
+      let in_order, complete =
+        run_recovery ~seed ~loss_p ~n_channels ~every_rounds:3
+      in
+      in_order && complete)
+
+let test_marker_credit_callback () =
+  let engine = Srr.create ~quanta:[| 100 |] () in
+  let credits = ref [] in
+  let reseq =
+    Resequencer.create ~deficit:engine
+      ~on_credit:(fun c k -> credits := (c, k) :: !credits)
+      ~deliver:(fun ~channel:_ _ -> ())
+      ()
+  in
+  Resequencer.receive reseq ~channel:0
+    (Packet.marker ~credit:55 ~channel:0 ~round:0 ~dc:100 ~born:0.0 ());
+  Alcotest.(check (list (pair int int))) "credit surfaced" [ (0, 55) ] !credits
+
+let test_drain () =
+  let engine = Srr.create ~quanta:[| 100; 100 |] () in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ _ -> ())
+      ()
+  in
+  (* Two packets buffered on channel 1 while blocked on channel 0. *)
+  Resequencer.receive reseq ~channel:1 (Packet.data ~seq:10 ~size:100 ());
+  Resequencer.receive reseq ~channel:1 (Packet.data ~seq:11 ~size:100 ());
+  Alcotest.(check int) "buffered" 2 (Resequencer.pending reseq);
+  let drained = Resequencer.drain reseq in
+  Alcotest.(check (list int)) "drain returns them in channel order" [ 10; 11 ]
+    (List.map (fun p -> p.Packet.seq) drained);
+  Alcotest.(check int) "empty after drain" 0 (Resequencer.pending reseq)
+
+let test_bad_channel_rejected () =
+  let engine = Srr.create ~quanta:[| 100 |] () in
+  let reseq =
+    Resequencer.create ~deficit:engine ~deliver:(fun ~channel:_ _ -> ()) ()
+  in
+  Alcotest.check_raises "bad channel"
+    (Invalid_argument "Resequencer.receive: bad channel") (fun () ->
+      Resequencer.receive reseq ~channel:5 (Packet.data ~seq:0 ~size:10 ()))
+
+let test_buffer_high_water () =
+  let engine = Srr.create ~quanta:[| 100; 100 |] () in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ _ -> ())
+      ()
+  in
+  for i = 0 to 9 do
+    Resequencer.receive reseq ~channel:1 (Packet.data ~seq:(i * 2 + 1) ~size:100 ())
+  done;
+  Alcotest.(check bool) "high water reflects skew run-ahead" true
+    (Resequencer.buffer_high_water_packets reseq >= 10)
+
+let suites =
+  [
+    ( "resequencer",
+      [
+        Alcotest.test_case "theorem 4.1 FIFO" `Quick test_theorem41_fifo_no_loss;
+        Alcotest.test_case "blocking semantics" `Quick test_blocking_on_expected_channel;
+        Alcotest.test_case "quasi-FIFO without markers" `Quick
+          test_quasi_fifo_without_markers;
+        Alcotest.test_case "figures 8-13 walkthrough" `Quick
+          test_figures_8_13_walkthrough;
+        Alcotest.test_case "recovery at 30% loss" `Quick test_recovery_moderate_loss;
+        Alcotest.test_case "recovery at 80% loss" `Quick test_recovery_extreme_loss;
+        Alcotest.test_case "marker credit callback" `Quick test_marker_credit_callback;
+        Alcotest.test_case "drain" `Quick test_drain;
+        Alcotest.test_case "bad channel" `Quick test_bad_channel_rejected;
+        Alcotest.test_case "buffer high water" `Quick test_buffer_high_water;
+        QCheck_alcotest.to_alcotest prop_theorem41;
+        QCheck_alcotest.to_alcotest prop_recovery;
+      ] );
+  ]

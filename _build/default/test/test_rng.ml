@@ -1,0 +1,117 @@
+(* Tests for the deterministic RNG: reproducibility, stream splitting,
+   range correctness, and rough distribution sanity. *)
+
+open Stripe_netsim
+
+let test_determinism () =
+  let a = Rng.create 1234 and b = Rng.create 1234 in
+  let xs = List.init 100 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 100 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "equal seeds give equal streams" true (xs = ys)
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "different seeds differ" true (xs <> ys)
+
+let test_split_independence () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "split stream differs from parent" true (xs <> ys)
+
+let test_int_range () =
+  let rng = Rng.create 7 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then ok := false
+  done;
+  Alcotest.(check bool) "int stays in [0, n)" true !ok
+
+let test_int_covers_range () =
+  let rng = Rng.create 8 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 buckets hit" true (Array.for_all Fun.id seen)
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    if v < 0.0 || v >= 3.5 then ok := false
+  done;
+  Alcotest.(check bool) "float stays in [0, x)" true !ok
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 5 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "bernoulli(0.3) rate %.3f within 1.5%%" rate)
+    true
+    (abs_float (rate -. 0.3) < 0.015)
+
+let test_exponential_mean () =
+  let rng = Rng.create 6 in
+  let sum = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean %.3f near 2.0" mean)
+    true
+    (abs_float (mean -. 2.0) < 0.05)
+
+let test_uniform_bounds () =
+  let rng = Rng.create 12 in
+  let ok = ref true in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng ~lo:5.0 ~hi:6.0 in
+    if v < 5.0 || v >= 6.0 then ok := false
+  done;
+  Alcotest.(check bool) "uniform in [lo, hi)" true !ok
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "shuffle preserves elements" true
+    (Array.to_list sorted = List.init 20 Fun.id)
+
+let suites =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick test_split_independence;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int coverage" `Quick test_int_covers_range;
+        Alcotest.test_case "int bad bound" `Quick test_int_rejects_nonpositive;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+        Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+      ] );
+  ]

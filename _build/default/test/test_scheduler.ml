@@ -1,0 +1,137 @@
+(* Tests for the unified scheduler interface and the non-causal baselines
+   of §2.1 (Table 1's rows). *)
+
+open Stripe_core
+open Stripe_packet
+
+let pkt ?(flow = 0) ~seq ~size () = Packet.data ~flow ~seq ~size ()
+
+let dispatch sched packets =
+  List.map
+    (fun p ->
+      let c = Scheduler.choose sched p in
+      Scheduler.account sched p c;
+      c)
+    packets
+
+let test_srr_metadata () =
+  let s = Scheduler.srr ~quanta:[| 500; 500 |] () in
+  Alcotest.(check string) "name" "SRR" (Scheduler.name s);
+  Alcotest.(check bool) "causal" true (Scheduler.causal s);
+  Alcotest.(check int) "channels" 2 (Scheduler.n_channels s);
+  Alcotest.(check bool) "has deficit engine" true (Scheduler.deficit s <> None)
+
+let test_srr_ignores_flow () =
+  let s = Scheduler.srr ~quanta:[| 500; 500 |] () in
+  let order =
+    dispatch s
+      [ pkt ~flow:1 ~seq:0 ~size:550 (); pkt ~flow:9 ~seq:1 ~size:200 () ]
+  in
+  Alcotest.(check (list int)) "SRR assignment independent of flow" [ 0; 1 ] order
+
+let test_choose_idempotent () =
+  let s = Scheduler.srr ~quanta:[| 500; 500 |] () in
+  let p = pkt ~seq:0 ~size:100 () in
+  let c1 = Scheduler.choose s p in
+  let c2 = Scheduler.choose s p in
+  Alcotest.(check int) "repeated choose stable" c1 c2
+
+let test_rr_alternates () =
+  let s = Scheduler.rr ~n:2 () in
+  let packets = List.init 6 (fun i -> pkt ~seq:i ~size:(100 * (i + 1)) ()) in
+  Alcotest.(check (list int)) "pure alternation" [ 0; 1; 0; 1; 0; 1 ]
+    (dispatch s packets)
+
+let test_grr_ratio () =
+  let s = Scheduler.grr ~ratios:[| 3; 1 |] () in
+  let packets = List.init 8 (fun i -> pkt ~seq:i ~size:100 ()) in
+  Alcotest.(check (list int)) "3:1 interleave" [ 0; 0; 0; 1; 0; 0; 0; 1 ]
+    (dispatch s packets)
+
+let test_random_selection_spread () =
+  let s = Scheduler.random_selection ~n:3 ~seed:1 in
+  Alcotest.(check bool) "non-causal" false (Scheduler.causal s);
+  Alcotest.(check bool) "no deficit" true (Scheduler.deficit s = None);
+  let counts = Array.make 3 0 in
+  List.iter
+    (fun c -> counts.(c) <- counts.(c) + 1)
+    (dispatch s (List.init 3000 (fun i -> pkt ~seq:i ~size:100 ())));
+  Alcotest.(check bool) "roughly uniform" true
+    (Array.for_all (fun c -> c > 800 && c < 1200) counts)
+
+let test_shortest_queue_picks_min () =
+  let queues = [| 500; 100; 300 |] in
+  let s = Scheduler.shortest_queue ~queue_bytes:(fun i -> queues.(i)) ~n:3 in
+  Alcotest.(check int) "min queue chosen" 1
+    (Scheduler.choose s (pkt ~seq:0 ~size:100 ()));
+  queues.(1) <- 900;
+  Alcotest.(check int) "tracks changing queues" 2
+    (Scheduler.choose s (pkt ~seq:1 ~size:100 ()))
+
+let test_shortest_queue_tie_lowest_index () =
+  let s = Scheduler.shortest_queue ~queue_bytes:(fun _ -> 42) ~n:4 in
+  Alcotest.(check int) "tie broken to lowest index" 0
+    (Scheduler.choose s (pkt ~seq:0 ~size:100 ()))
+
+let test_hashing_per_flow_affinity () =
+  let s = Scheduler.address_hashing ~n:4 in
+  let flow_channel flow = Scheduler.choose s (pkt ~flow ~seq:0 ~size:100 ()) in
+  let stable = List.for_all (fun f -> flow_channel f = flow_channel f) [ 1; 2; 3; 99 ] in
+  Alcotest.(check bool) "same flow always maps to same channel" true stable
+
+let test_hashing_spreads_flows () =
+  let s = Scheduler.address_hashing ~n:4 in
+  let channels =
+    List.init 64 (fun f -> Scheduler.choose s (pkt ~flow:f ~seq:0 ~size:100 ()))
+  in
+  let distinct = List.sort_uniq compare channels in
+  Alcotest.(check bool) "many flows hit several channels" true
+    (List.length distinct >= 3)
+
+let test_hashing_single_flow_no_sharing () =
+  (* Table 1's criticism: packets of one flow all ride one channel. *)
+  let s = Scheduler.address_hashing ~n:4 in
+  let channels =
+    dispatch s (List.init 50 (fun i -> pkt ~flow:7 ~seq:i ~size:1000 ()))
+  in
+  Alcotest.(check int) "one channel used" 1
+    (List.length (List.sort_uniq compare channels))
+
+let test_reset_restores_initial_state () =
+  let s = Scheduler.srr ~quanta:[| 500; 500 |] () in
+  let run sched =
+    dispatch sched (List.init 10 (fun i -> pkt ~seq:i ~size:(137 * (i mod 5 + 1)) ()))
+  in
+  let first = run s in
+  let again = run (Scheduler.reset s) in
+  Alcotest.(check (list int)) "reset replays identically" first again
+
+let test_reset_random_replays () =
+  let s = Scheduler.random_selection ~n:3 ~seed:42 in
+  let run sched =
+    dispatch sched (List.init 50 (fun i -> pkt ~seq:i ~size:10 ()))
+  in
+  let first = run s in
+  let again = run (Scheduler.reset s) in
+  Alcotest.(check (list int)) "seeded randomness replays" first again
+
+let suites =
+  [
+    ( "scheduler",
+      [
+        Alcotest.test_case "srr metadata" `Quick test_srr_metadata;
+        Alcotest.test_case "srr ignores flow" `Quick test_srr_ignores_flow;
+        Alcotest.test_case "choose idempotent" `Quick test_choose_idempotent;
+        Alcotest.test_case "rr alternates" `Quick test_rr_alternates;
+        Alcotest.test_case "grr ratio" `Quick test_grr_ratio;
+        Alcotest.test_case "random spread" `Quick test_random_selection_spread;
+        Alcotest.test_case "sqf picks min" `Quick test_shortest_queue_picks_min;
+        Alcotest.test_case "sqf tie break" `Quick test_shortest_queue_tie_lowest_index;
+        Alcotest.test_case "hashing affinity" `Quick test_hashing_per_flow_affinity;
+        Alcotest.test_case "hashing spreads flows" `Quick test_hashing_spreads_flows;
+        Alcotest.test_case "hashing no sharing" `Quick
+          test_hashing_single_flow_no_sharing;
+        Alcotest.test_case "reset srr" `Quick test_reset_restores_initial_state;
+        Alcotest.test_case "reset random" `Quick test_reset_random_replays;
+      ] );
+  ]

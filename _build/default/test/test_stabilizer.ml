@@ -1,0 +1,173 @@
+(* Tests for the self-stabilization watchdog: detection of a corrupted
+   receiver round and automatic recovery through the reset barrier. *)
+
+open Stripe_core
+open Stripe_packet
+
+type rig = {
+  striper : Striper.t;
+  reseq : Resequencer.t;
+  receiver_engine : Deficit.t;
+  stabilizer : Stabilizer.t;
+  wires : Packet.t Queue.t array;
+  delivered : int list ref;
+}
+
+let make ?tolerance ?suspect_after () =
+  let quanta = [| 1000; 1000 |] in
+  let engine = Srr.create ~quanta () in
+  let wires = Array.init 2 (fun _ -> Queue.create ()) in
+  let delivered = ref [] in
+  let receiver_engine = Deficit.clone_initial engine in
+  let reseq =
+    Resequencer.create ~deficit:receiver_engine
+      ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+      ()
+  in
+  let striper_cell = ref None in
+  let stabilizer =
+    Stabilizer.create ?tolerance ?suspect_after ~resequencer:reseq
+      ~request_reset:(fun () ->
+        (* The control path back to the sender. *)
+        match !striper_cell with
+        | Some s -> Striper.send_reset s
+        | None -> ())
+      ()
+  in
+  let striper =
+    Striper.create
+      ~scheduler:(Scheduler.of_deficit ~name:"SRR" engine)
+      ~marker:(Marker.make ~every_rounds:2 ())
+      ~emit:(fun ~channel pkt -> Queue.add pkt wires.(channel))
+      ()
+  in
+  striper_cell := Some striper;
+  { striper; reseq; receiver_engine; stabilizer; wires; delivered }
+
+(* Interleave wire delivery round-robin; every packet passes the
+   stabilizer first. *)
+let shuttle t =
+  let remaining = ref true in
+  while !remaining do
+    remaining := false;
+    Array.iteri
+      (fun c q ->
+        match Queue.take_opt q with
+        | Some pkt ->
+          remaining := true;
+          Stabilizer.inspect t.stabilizer pkt;
+          Resequencer.receive t.reseq ~channel:c pkt
+        | None -> ())
+      t.wires
+  done
+
+let send t ~from_seq ~count =
+  for seq = from_seq to from_seq + count - 1 do
+    Striper.push t.striper (Packet.data ~seq ~size:1000 ())
+  done
+
+let test_healthy_run_never_triggers () =
+  let t = make () in
+  send t ~from_seq:0 ~count:400;
+  shuttle t;
+  Alcotest.(check int) "no suspicion on a clean run" 0
+    (Stabilizer.suspicious_markers t.stabilizer);
+  Alcotest.(check int) "no resets requested" 0
+    (Stabilizer.resets_requested t.stabilizer);
+  Alcotest.(check (list int)) "stream intact" (List.init 400 Fun.id)
+    (List.rev !(t.delivered))
+
+let test_corrupted_round_detected_and_recovered () =
+  let t = make ~tolerance:2 ~suspect_after:3 () in
+  send t ~from_seq:0 ~count:100;
+  shuttle t;
+  (* Fault injection: the receiver's global round jumps far ahead - the
+     direction markers alone cannot repair. *)
+  Deficit.set_round t.receiver_engine (Deficit.round t.receiver_engine + 50);
+  t.delivered := [];
+  send t ~from_seq:1000 ~count:300;
+  shuttle t;
+  Alcotest.(check bool) "corruption noticed" true
+    (Stabilizer.suspicious_markers t.stabilizer >= 3);
+  Alcotest.(check int) "exactly one reset requested" 1
+    (Stabilizer.resets_requested t.stabilizer);
+  Alcotest.(check int) "the barrier completed" 1 (Resequencer.resets t.reseq);
+  (* Everything from the post-reset epoch flows in order; packets sent
+     between corruption and reset are the (bounded) casualty. *)
+  let out = List.rev !(t.delivered) in
+  let tail = List.filteri (fun i _ -> i >= List.length out - 200) out in
+  Alcotest.(check bool) "recovered to FIFO delivery" true
+    (List.sort compare tail = tail && List.length out >= 200)
+
+let test_low_round_corruption_self_heals () =
+  (* G corrupted low: the rc > G skip rule fast-forwards without any
+     stabilizer involvement. *)
+  let t = make ~tolerance:2 ~suspect_after:3 () in
+  send t ~from_seq:0 ~count:100;
+  shuttle t;
+  Deficit.set_round t.receiver_engine
+    (max 0 (Deficit.round t.receiver_engine - 30));
+  t.delivered := [];
+  send t ~from_seq:1000 ~count:300;
+  shuttle t;
+  Alcotest.(check int) "no reset needed" 0
+    (Stabilizer.resets_requested t.stabilizer);
+  let out = List.rev !(t.delivered) in
+  Alcotest.(check int) "nothing lost" 300 (List.length out);
+  (* The skip rule may cost a transient misorder while it fast-forwards;
+     after the first few packets delivery is FIFO again, reset-free. *)
+  let tail = List.filteri (fun i _ -> i >= 10) out in
+  Alcotest.(check bool) "skip rule recovers on its own" true
+    (List.sort compare tail = tail)
+
+let test_debounce () =
+  (* Once a reset is requested, further suspicious markers must not fire
+     additional resets until the barrier lands. *)
+  let requests = ref 0 in
+  let engine = Srr.create ~quanta:[| 1000 |] () in
+  let receiver_engine = Deficit.clone_initial engine in
+  let reseq =
+    Resequencer.create ~deficit:receiver_engine ~deliver:(fun ~channel:_ _ -> ()) ()
+  in
+  let st =
+    Stabilizer.create ~tolerance:0 ~suspect_after:1 ~resequencer:reseq
+      ~request_reset:(fun () -> incr requests)
+      ()
+  in
+  Deficit.set_round receiver_engine 100;
+  for _ = 1 to 5 do
+    Stabilizer.inspect st (Packet.marker ~channel:0 ~round:3 ~dc:1000 ~born:0.0 ())
+  done;
+  Alcotest.(check int) "single request while awaiting reset" 1 !requests;
+  (* The reset marker arrives: the watchdog re-arms. *)
+  Stabilizer.inspect st
+    (Packet.marker ~reset:true ~channel:0 ~round:0 ~dc:1000 ~born:0.0 ());
+  Deficit.set_round receiver_engine 100;
+  Stabilizer.inspect st (Packet.marker ~channel:0 ~round:3 ~dc:1000 ~born:0.0 ());
+  Alcotest.(check int) "re-armed after the barrier" 2 !requests
+
+let test_validation () =
+  let engine = Srr.create ~quanta:[| 1000 |] () in
+  let reseq =
+    Resequencer.create ~deficit:engine ~deliver:(fun ~channel:_ _ -> ()) ()
+  in
+  Alcotest.check_raises "bad suspect_after"
+    (Invalid_argument "Stabilizer.create: suspect_after < 1") (fun () ->
+      ignore
+        (Stabilizer.create ~suspect_after:0 ~resequencer:reseq
+           ~request_reset:(fun () -> ())
+           ()))
+
+let suites =
+  [
+    ( "stabilizer",
+      [
+        Alcotest.test_case "healthy run" `Quick test_healthy_run_never_triggers;
+        Alcotest.test_case "high-round corruption" `Quick
+          test_corrupted_round_detected_and_recovered;
+        Alcotest.test_case "low-round self-heals" `Quick
+          test_low_round_corruption_self_heals;
+        Alcotest.test_case "debounce" `Quick test_debounce;
+        Alcotest.test_case "validation" `Quick test_validation;
+      ] );
+  ]
