@@ -16,19 +16,26 @@ let deficit_bench name make =
            Stripe_core.Deficit.consume d ~size:700
          done))
 
-let striper_resequencer_bench =
-  Test.make ~name:"striper+resequencer round trip (256 pkts)"
+(* Round trip through striper + resequencer, parameterized on the
+   observability sink: the null-sink run must cost the same as the
+   unobserved baseline (call sites skip event construction entirely when
+   the sink is inactive), while the counters run prices full telemetry. *)
+let round_trip_bench ~name ~sink =
+  Test.make ~name
     (Staged.stage (fun () ->
          let engine = Stripe_core.Srr.create ~quanta:[| 1500; 1500; 1500 |] () in
+         let sink = sink () in
          let reseq =
            Stripe_core.Resequencer.create
              ~deficit:(Stripe_core.Deficit.clone_initial engine)
+             ~sink
              ~deliver:(fun ~channel:_ _ -> ())
              ()
          in
          let striper =
            Stripe_core.Striper.create
              ~scheduler:(Stripe_core.Scheduler.of_deficit ~name:"SRR" engine)
+             ~sink
              ~emit:(fun ~channel pkt ->
                Stripe_core.Resequencer.receive reseq ~channel pkt)
              ()
@@ -37,6 +44,14 @@ let striper_resequencer_bench =
            Stripe_core.Striper.push striper
              (Stripe_packet.Packet.data ~seq ~size:700 ())
          done))
+
+let striper_resequencer_bench =
+  round_trip_bench ~name:"striper+resequencer round trip, null sink (256 pkts)"
+    ~sink:(fun () -> Stripe_obs.Sink.null)
+
+let counters_sink_bench =
+  round_trip_bench ~name:"round trip, counters sink (256 pkts)" ~sink:(fun () ->
+      Stripe_obs.Counters.sink (Stripe_obs.Counters.create ~n:3))
 
 let marker_bench =
   Test.make ~name:"marker emission + processing (256 pkts, every round)"
@@ -136,6 +151,7 @@ let tests =
       deficit_bench "GRR select+consume x256" (fun () ->
           Stripe_core.Grr.create ~ratios:[| 2; 1; 3; 1 |] ());
       striper_resequencer_bench;
+      counters_sink_bench;
       marker_bench;
       seq_resequencer_bench;
       mppp_bench;

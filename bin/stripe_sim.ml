@@ -113,15 +113,34 @@ let loss_stop =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
-let trace_file =
+let replay_file =
   Arg.(
     value
     & opt (some file) None
-    & info [ "trace" ] ~docv:"FILE"
+    & info [ "replay" ] ~docv:"FILE"
         ~doc:
           "Replay a stored packet trace (see Trace_file; one packet per \
            line: time seq size flow frame) instead of generating a \
            workload. Overrides $(b,--packets) and $(b,--workload).")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured event trace of the run to $(docv) (one event \
+           per line, see $(b,--trace-format)) and report per-channel \
+           counters. Events cover the whole pipeline: transmit, dequeue, \
+           drop, arrival, enqueue, skip, block/unblock, marker and \
+           delivery.")
+
+let trace_format =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("csv", `Csv) ]) `Json
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Structured trace format: $(b,json) (JSON lines) or $(b,csv).")
 
 (* One delivery sink shared by every mode. *)
 type sink = {
@@ -145,13 +164,36 @@ let sink_deliver sink sim pkt =
     ~bytes:pkt.Packet.size
 
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
-    loss_stop seed trace_file =
+    loss_stop seed replay_file trace_out trace_format =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
     let confs = Array.of_list channel_confs in
     let sim = Sim.create () in
     let rng = Rng.create seed in
+    (* Structured observability: when --trace is given, every instrumented
+       component shares one sink that tees into a per-channel counter
+       registry and the trace file. Otherwise the null sink keeps the hot
+       paths allocation-free. *)
+    let module Obs = Stripe_obs in
+    let obs_counters, obs_sink, obs_close =
+      match trace_out with
+      | None -> (None, Obs.Sink.null, fun () -> ())
+      | Some path ->
+        let counters = Obs.Counters.create ~n in
+        let oc = open_out path in
+        let file_sink =
+          match trace_format with
+          | `Json -> Obs.Sink.jsonl oc
+          | `Csv -> Obs.Sink.csv oc
+        in
+        let sink = Obs.Sink.tee (Obs.Counters.sink counters) file_sink in
+        ( Some counters,
+          sink,
+          fun () ->
+            Obs.Sink.flush sink;
+            close_out oc )
+    in
     let rates = Array.map (fun c -> c.rate) confs in
     let engine_opt =
       match sched_kind with
@@ -180,13 +222,22 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         (fun i conf ->
           Link.create sim
             ~name:(Printf.sprintf "ch%d" i)
-            ~rate_bps:conf.rate ~prop_delay:conf.delay
+            ~rate_bps:conf.rate ~prop_delay:conf.delay ~channel:i
+            ~sink:obs_sink
             ~deliver:(fun (is_marker, payload) ->
               let dropped =
                 !lossy && conf.loss > 0.0 && (not is_marker)
                 && Rng.bernoulli rng ~p:conf.loss
               in
-              if not dropped then receive i payload)
+              if dropped then begin
+                (* Loss is applied here, past the link model, so the wire's
+                   own Drop instrumentation never sees it — record it. *)
+                if Obs.Sink.active obs_sink then
+                  Obs.Sink.emit obs_sink
+                    (Obs.Event.v ~time:(Sim.now sim) ~channel:i
+                       Obs.Event.Drop)
+              end
+              else receive i payload)
             ())
         confs
     in
@@ -195,6 +246,8 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
       match mode with
       | `Quasi | `None | `Seq ->
         let scheduler = make_scheduler () in
+        if Obs.Sink.active obs_sink then
+          Scheduler.observe scheduler ~now:(fun () -> Sim.now sim) obs_sink;
         let receive_cell = ref (fun _ _ -> ()) in
         let links = make_links (fun i pkt -> !receive_cell i pkt) in
         let deliver pkt = sink_deliver sink sim pkt in
@@ -203,6 +256,8 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         | `Quasi, Some e ->
           let r =
             Resequencer.create ~deficit:(Deficit.clone_initial e)
+              ~now:(fun () -> Sim.now sim)
+              ~sink:obs_sink
               ~deliver:(fun ~channel:_ pkt -> deliver pkt)
               ()
           in
@@ -242,6 +297,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                 Some (Marker.make ~every_rounds:marker_rounds ())
               | _ -> None)
             ~now:(fun () -> Sim.now sim)
+            ~sink:obs_sink
             ~emit:(fun ~channel pkt ->
               ignore
                 (Link.send links.(channel) ~size:pkt.Packet.size
@@ -332,7 +388,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     let aggregate = Array.fold_left (fun a c -> a +. c.rate) 0.0 confs in
     let interval = 700.0 *. 8.0 /. (aggregate *. 0.9) in
     let n_offered =
-      match trace_file with
+      match replay_file with
       | Some path ->
         let entries = Stripe_workload.Trace_file.load path in
         let n = List.length entries in
@@ -390,6 +446,16 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         Printf.printf "resync after losses stopped: %.2f ms\n" (1000.0 *. dt)
       | None -> Printf.printf "stream did not resynchronize\n")
     | None -> ());
+    (match obs_counters with
+    | Some c ->
+      print_newline ();
+      Stripe_metrics.Table.print (Stripe_metrics.Channel_report.table c);
+      Printf.printf "trace: %d events, %d rounds, %d resets -> %s\n"
+        (Obs.Counters.events_seen c) (Obs.Counters.rounds c)
+        (Obs.Counters.resets c)
+        (Option.value trace_out ~default:"-")
+    | None -> ());
+    obs_close ();
     `Ok ()
   end
 
@@ -400,6 +466,6 @@ let cmd =
     Term.(
       ret
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
-       $ markers $ loss_stop $ seed $ trace_file))
+       $ markers $ loss_stop $ seed $ replay_file $ trace_out $ trace_format))
 
 let () = exit (Cmd.eval cmd)

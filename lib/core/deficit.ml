@@ -14,6 +14,7 @@ type t = {
   quanta : int array;
   cost_mode : cost;
   overdraw : bool;
+  max_pkt : int option;
   n : int;
   dcs : int array;
   mutable ptr : int;
@@ -22,16 +23,21 @@ type t = {
   mutable hook : (event -> unit) option;
 }
 
-let create ?(cost = Bytes) ?(overdraw = true) ~quanta () =
+let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ~quanta () =
   let n = Array.length quanta in
   if n = 0 then invalid_arg "Deficit.create: no channels";
   Array.iter
     (fun q -> if q <= 0 then invalid_arg "Deficit.create: quantum must be positive")
     quanta;
+  (match max_packet with
+  | Some m when m <= 0 ->
+    invalid_arg "Deficit.create: max_packet must be positive"
+  | Some _ | None -> ());
   {
     quanta = Array.copy quanta;
     cost_mode = cost;
     overdraw;
+    max_pkt = max_packet;
     n;
     dcs = Array.make n 0;
     ptr = 0;
@@ -41,7 +47,8 @@ let create ?(cost = Bytes) ?(overdraw = true) ~quanta () =
   }
 
 let clone_initial t =
-  create ~cost:t.cost_mode ~overdraw:t.overdraw ~quanta:t.quanta ()
+  create ~cost:t.cost_mode ~overdraw:t.overdraw ?max_packet:t.max_pkt
+    ~quanta:t.quanta ()
 
 let reinit t =
   Array.fill t.dcs 0 t.n 0;
@@ -52,6 +59,7 @@ let reinit t =
 let n_channels t = t.n
 let quanta t = Array.copy t.quanta
 let cost t = t.cost_mode
+let max_packet t = t.max_pkt
 let round t = t.g
 let current t = t.ptr
 let in_service t = t.serving

@@ -41,10 +41,15 @@ type event =
 
 type t
 
-val create : ?cost:cost -> ?overdraw:bool -> quanta:int array -> unit -> t
+val create :
+  ?cost:cost -> ?overdraw:bool -> ?max_packet:int -> quanta:int array ->
+  unit -> t
 (** [create ~quanta ()] builds an engine over [Array.length quanta]
     channels. Every quantum must be positive. [cost] defaults to [Bytes];
-    [overdraw] defaults to [true] (SRR semantics). With [overdraw:false]
+    [overdraw] defaults to [true] (SRR semantics). [max_packet], when
+    known, records the largest packet the engine will carry (the [Max] of
+    Theorem 3.2's fairness bound); it is carried by {!clone_initial} and
+    read back with {!max_packet}. With [overdraw:false]
     the engine behaves like strict DRR: a channel whose DC cannot cover
     the next packet is passed over instead of overdrawing — this variant
     is {e not} usable for logical reception (the selection then depends on
@@ -65,6 +70,9 @@ val reinit : t -> unit
 val n_channels : t -> int
 val quanta : t -> int array
 val cost : t -> cost
+
+val max_packet : t -> int option
+(** The maximum packet size declared at {!create}, if any. *)
 
 val round : t -> int
 (** Global round number [G]; starts at 0 and increments when the pointer

@@ -1,4 +1,5 @@
 open Stripe_packet
+module Obs = Stripe_obs
 
 type t = {
   d : Deficit.t;
@@ -12,6 +13,8 @@ type t = {
   reset_pending : bool array;
       (* Channels whose stream has reached a reset marker; when all have,
          the receiver reinitializes (crash-recovery barrier, §5). *)
+  now : unit -> float;
+  sink : Obs.Sink.t;
   mutable n_data_buffered : int;
   mutable n_delivered : int;
   mutable n_skips : int;
@@ -20,7 +23,8 @@ type t = {
   mutable waiting : int option;
 }
 
-let create ~deficit ?on_credit ~deliver () =
+let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
+    ~deliver () =
   let n = Deficit.n_channels deficit in
   {
     d = deficit;
@@ -30,6 +34,8 @@ let create ~deficit ?on_credit ~deliver () =
     deliver;
     on_credit;
     reset_pending = Array.make n false;
+    now;
+    sink;
     n_data_buffered = 0;
     n_delivered = 0;
     n_skips = 0;
@@ -44,6 +50,10 @@ let apply_marker t (m : Packet.marker) =
   if c < 0 || c >= t.n then
     invalid_arg "Resequencer: marker names an unknown channel";
   t.force.(c) <- Some { Deficit.round = m.m_round; dc = m.m_dc };
+  if Obs.Sink.active t.sink then
+    Obs.Sink.emit t.sink
+      (Obs.Event.v ~channel:c ~round:m.m_round ~dc:m.m_dc ~time:(t.now ())
+         Obs.Event.Marker_applied);
   match t.on_credit, m.m_credit with
   | Some f, Some k -> f c k
   | Some _, None | None, _ -> ()
@@ -61,6 +71,10 @@ let rec absorb_markers t c =
     if m.Packet.m_reset then begin
       ignore (Fifo_queue.pop t.buffers.(c));
       t.n_markers <- t.n_markers + 1;
+      if Obs.Sink.active t.sink then
+        Obs.Sink.emit t.sink
+          (Obs.Event.v ~channel:c ~round:m.Packet.m_round ~dc:m.Packet.m_dc
+             ~time:(t.now ()) Obs.Event.Marker_applied);
       t.reset_pending.(c) <- true
     end
     else begin
@@ -85,6 +99,10 @@ let rec progress t =
       Array.fill t.reset_pending 0 t.n false;
       t.n_resets <- t.n_resets + 1;
       t.waiting <- None;
+      if Obs.Sink.active t.sink then
+        Obs.Sink.emit t.sink
+          (Obs.Event.v ~round:t.n_resets ~time:(t.now ())
+             Obs.Event.Reset_barrier);
       progress t
     end
     else begin
@@ -99,6 +117,10 @@ let rec progress t =
     (* We lost packets on [c] and arrived "too early": skip it this round
        and wait for our round number to catch up with the marker's. *)
     t.n_skips <- t.n_skips + 1;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c ~round:(Deficit.round t.d) ~time:(t.now ())
+           Obs.Event.Skip);
     Deficit.advance t.d;
     progress t
   | force_state ->
@@ -125,11 +147,23 @@ let rec progress t =
     end
     else begin
       match Fifo_queue.pop t.buffers.(c) with
-      | None -> t.waiting <- Some c (* Block: logical reception waits here. *)
+      | None ->
+        if t.waiting <> Some c && Obs.Sink.active t.sink then
+          Obs.Sink.emit t.sink
+            (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Block);
+        t.waiting <- Some c (* Block: logical reception waits here. *)
       | Some pkt ->
+        if t.waiting = Some c && Obs.Sink.active t.sink then
+          Obs.Sink.emit t.sink
+            (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Unblock);
         t.waiting <- None;
         t.n_data_buffered <- t.n_data_buffered - 1;
         t.n_delivered <- t.n_delivered + 1;
+        if Obs.Sink.active t.sink then
+          Obs.Sink.emit t.sink
+            (Obs.Event.v ~channel:c ~round:(Deficit.round t.d)
+               ~dc:(Deficit.dc t.d c) ~size:pkt.Packet.size
+               ~seq:pkt.Packet.seq ~time:(t.now ()) Obs.Event.Deliver);
         t.deliver ~channel:c pkt;
         Deficit.consume t.d ~size:pkt.Packet.size;
         progress t
@@ -139,7 +173,13 @@ let receive t ~channel pkt =
   if channel < 0 || channel >= t.n then
     invalid_arg "Resequencer.receive: bad channel";
   Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
-  if not (Packet.is_marker pkt) then t.n_data_buffered <- t.n_data_buffered + 1;
+  if not (Packet.is_marker pkt) then begin
+    t.n_data_buffered <- t.n_data_buffered + 1;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel ~size:pkt.Packet.size ~seq:pkt.Packet.seq
+           ~time:(t.now ()) Obs.Event.Enqueue)
+  end;
   progress t
 
 let delivered t = t.n_delivered
@@ -180,4 +220,10 @@ let drain t =
       t.buffers
   done;
   t.n_data_buffered <- 0;
+  (* Draining empties every channel buffer: there is no pending logical
+     read to block on and no buffered stream position left for a recorded
+     marker stamp to describe — clear both so [blocked_on] and the next
+     scan do not act on stale state. *)
+  t.waiting <- None;
+  Array.fill t.force 0 t.n None;
   List.rev !out

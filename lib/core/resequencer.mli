@@ -36,6 +36,8 @@ type t
 val create :
   deficit:Deficit.t ->
   ?on_credit:(int -> int -> unit) ->
+  ?now:(unit -> float) ->
+  ?sink:Stripe_obs.Sink.t ->
   deliver:(channel:int -> Stripe_packet.Packet.t -> unit) ->
   unit ->
   t
@@ -46,7 +48,12 @@ val create :
     channel it was drawn from (as a real implementation would know from
     the buffer it popped — used e.g. for per-channel flow-control
     accounting). [on_credit c k] is invoked when a marker on channel [c]
-    piggybacks credit [k]. *)
+    piggybacks credit [k].
+
+    [sink] (default {!Stripe_obs.Sink.null}) receives the receiver-side
+    observability events — [Enqueue], [Marker_applied], [Skip], [Block],
+    [Unblock], [Deliver], [Reset_barrier] — timestamped by [now] (default
+    constant 0; wire it to the simulator clock). *)
 
 val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
 (** Physical reception of a packet (data or marker) on a channel. *)
@@ -83,5 +90,8 @@ val buffer_high_water_bytes : t -> int
 
 val drain : t -> Stripe_packet.Packet.t list
 (** Remove and return all still-buffered data packets, interleaved
-    round-robin from the per-channel buffers. For end-of-run accounting in
-    finite experiments; not part of the protocol. *)
+    round-robin from the per-channel buffers. Also clears the blocked
+    channel ({!blocked_on} returns [None] afterwards) and any recorded
+    marker stamps, which described stream positions that no longer exist.
+    For end-of-run accounting in finite experiments; not part of the
+    protocol. *)

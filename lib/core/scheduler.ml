@@ -18,6 +18,23 @@ let account t pkt c = t.account_fn pkt c
 let deficit t = t.engine
 let reset t = t.remake ()
 
+let observe t ?(now = fun () -> 0.0) sink =
+  match t.engine with
+  | None -> ()
+  | Some d ->
+    Deficit.set_hook d
+      (Some
+         (fun ev ->
+           match ev with
+           | Deficit.New_round { round } ->
+             if Stripe_obs.Sink.active sink then
+               Stripe_obs.Sink.emit sink
+                 (Stripe_obs.Event.v ~round ~time:(now ())
+                    Stripe_obs.Event.Round)
+           | Deficit.Begin_visit _ | Deficit.Consume _ | Deficit.End_visit _
+             ->
+             ()))
+
 let rec make ~name ~causal ~n ~fresh () =
   let choose_fn, account_fn, engine = fresh () in
   {

@@ -59,3 +59,10 @@ val address_hashing : n:int -> t
 val reset : t -> t
 (** A scheduler with the same configuration at its initial state (fresh
     deficit engine / RNG). *)
+
+val observe : t -> ?now:(unit -> float) -> Stripe_obs.Sink.t -> unit
+(** Route the embedded engine's round transitions to an observability
+    sink: a [Round] event (with the new round number, timestamped by
+    [now]) every time the round-robin pointer wraps. Implemented with
+    {!Deficit.set_hook}, so it replaces any hook already installed on the
+    engine; a no-op for non-CFQ schedulers. *)

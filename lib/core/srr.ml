@@ -14,7 +14,7 @@ let check_max_packet ~max_packet quanta =
 
 let create ?max_packet ~quanta () =
   check_max_packet ~max_packet quanta;
-  Deficit.create ~cost:Bytes ~overdraw:true ~quanta ()
+  Deficit.create ~cost:Bytes ~overdraw:true ?max_packet ~quanta ()
 
 let create_uniform ?max_packet ~n ~quantum () =
   if n <= 0 then invalid_arg "Srr.create_uniform: n must be positive";
@@ -28,17 +28,23 @@ let for_rates ?max_packet ~rates_bps ~quantum_unit () =
   if quantum_unit <= 0 then invalid_arg "Srr.for_rates: quantum_unit must be positive";
   let slowest = Array.fold_left min rates_bps.(0) rates_bps in
   let quanta =
+    (* Rounding the rate ratio can underflow to 0 (or overflow to garbage)
+       for extreme skews; clamp to the smallest legal quantum and let
+       [create] re-validate the final array. *)
     Array.map
       (fun r ->
-        int_of_float (Float.round (float_of_int quantum_unit *. r /. slowest)))
+        max 1
+          (int_of_float (Float.round (float_of_int quantum_unit *. r /. slowest))))
       rates_bps
   in
-  check_max_packet ~max_packet quanta;
-  create ~quanta ()
+  create ?max_packet ~quanta ()
 
 let fairness_bound d =
   let quanta = Deficit.quanta d in
   let max_quantum = Array.fold_left max 0 quanta in
-  max_quantum + (2 * max_quantum)
+  let max_pkt =
+    match Deficit.max_packet d with Some m -> m | None -> max_quantum
+  in
+  max_pkt + (2 * max_quantum)
 
 let strict_drr ~quanta () = Deficit.create ~cost:Bytes ~overdraw:false ~quanta ()

@@ -29,12 +29,16 @@ val create_uniform : ?max_packet:int -> n:int -> quantum:int -> unit -> Deficit.
 val for_rates : ?max_packet:int -> rates_bps:float array -> quantum_unit:int -> unit -> Deficit.t
 (** Weighted SRR for channels of different capacities (§3.5's
     generalization): channel quanta are proportional to [rates_bps],
-    scaled so the {e smallest} quantum equals [quantum_unit]. *)
+    scaled so the {e smallest} quantum equals [quantum_unit]. Quanta are
+    clamped to at least 1 after rounding and re-validated against
+    [max_packet], which is retained for {!fairness_bound}. *)
 
 val fairness_bound : Deficit.t -> int
-(** [Max + 2 * Quantum] with [Max] conservatively taken as the largest
-    quantum (the largest packet the engine is meant to carry) — the
-    deviation bound of Lemma 3.3. *)
+(** [Max + 2 * Quantum], the deviation bound of Theorem 3.2 / Lemma 3.3.
+    [Max] is the [max_packet] recorded when the engine was created; when it
+    was not supplied, [Max] falls back to the largest quantum (the largest
+    packet the engine is meant to carry under the marker-recovery
+    precondition [Quantum_i >= Max]). *)
 
 val strict_drr : quanta:int array -> unit -> Deficit.t
 (** The non-overdrawing DRR-style variant for the fairness ablation: a

@@ -1,9 +1,11 @@
 open Stripe_packet
+module Obs = Stripe_obs
 
 type t = {
   sched : Scheduler.t;
   marker : Marker.policy option;
   now : unit -> float;
+  sink : Obs.Sink.t;
   emit : channel:int -> Packet.t -> unit;
   mutable n_pushed : int;
   mutable b_pushed : int;
@@ -19,7 +21,8 @@ type t = {
   mutable mid_round : int;  (* Round the [mid_marked] flags refer to. *)
 }
 
-let create ~scheduler ?marker ?(now = fun () -> 0.0) ~emit () =
+let create ~scheduler ?marker ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
+    ~emit () =
   (match marker, Scheduler.deficit scheduler with
   | Some _, None ->
     invalid_arg
@@ -30,6 +33,7 @@ let create ~scheduler ?marker ?(now = fun () -> 0.0) ~emit () =
     sched = scheduler;
     marker;
     now;
+    sink;
     emit;
     n_pushed = 0;
     b_pushed = 0;
@@ -44,6 +48,12 @@ let create ~scheduler ?marker ?(now = fun () -> 0.0) ~emit () =
 let emit_marker t policy d channel =
   let pkt = Marker.packet_for policy ~deficit:d ~channel ~now:(t.now ()) in
   t.n_markers <- t.n_markers + 1;
+  if Obs.Sink.active t.sink then begin
+    let m = Packet.get_marker pkt in
+    Obs.Sink.emit t.sink
+      (Obs.Event.v ~channel ~round:m.Packet.m_round ~dc:m.Packet.m_dc
+         ~size:pkt.Packet.size ~time:(t.now ()) Obs.Event.Marker_sent)
+  end;
   t.emit ~channel pkt
 
 let emit_marker_batch t policy d =
@@ -86,6 +96,18 @@ let push t pkt =
     | Some d -> Deficit.round d
     | None -> 0
   in
+  if Obs.Sink.active t.sink then begin
+    (* After [choose] the visit has begun, so for CFQ schedulers (round,
+       dc) is exactly the implicit packet number this packet carries. *)
+    let round, dc =
+      match Scheduler.deficit t.sched with
+      | Some d -> (Deficit.round d, Deficit.dc d c)
+      | None -> (-1, 0)
+    in
+    Obs.Sink.emit t.sink
+      (Obs.Event.v ~channel:c ~round ~dc ~size:pkt.size ~seq:pkt.seq
+         ~time:(t.now ()) Obs.Event.Transmit)
+  end;
   t.emit ~channel:c pkt;
   t.n_pushed <- t.n_pushed + 1;
   t.b_pushed <- t.b_pushed + pkt.size;
@@ -111,6 +133,8 @@ let send_reset t =
     Deficit.reinit d;
     (* Fresh-epoch stamps: every channel's next packet is (0, quantum). *)
     let now = t.now () in
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink (Obs.Event.v ~time:now Obs.Event.Reset_barrier);
     for channel = 0 to Scheduler.n_channels t.sched - 1 do
       let stamp = Deficit.next_stamp d channel in
       let pkt =
@@ -118,6 +142,11 @@ let send_reset t =
           ~dc:stamp.Deficit.dc ~born:now ()
       in
       t.n_markers <- t.n_markers + 1;
+      if Obs.Sink.active t.sink then
+        Obs.Sink.emit t.sink
+          (Obs.Event.v ~channel ~round:stamp.Deficit.round
+             ~dc:stamp.Deficit.dc ~size:pkt.Packet.size ~time:now
+             Obs.Event.Marker_sent);
       t.emit ~channel pkt
     done;
     (* Periodic-marker bookkeeping restarts with the epoch. *)

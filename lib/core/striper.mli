@@ -19,13 +19,20 @@ val create :
   scheduler:Scheduler.t ->
   ?marker:Marker.policy ->
   ?now:(unit -> float) ->
+  ?sink:Stripe_obs.Sink.t ->
   emit:(channel:int -> Stripe_packet.Packet.t -> unit) ->
   unit ->
   t
 (** [create ~scheduler ~emit ()] builds a striper. Supplying [~marker]
     requires the scheduler to embed a deficit engine (SRR/RR/GRR); raises
     [Invalid_argument] otherwise. [now] timestamps marker packets
-    (defaults to a constant 0). *)
+    (defaults to a constant 0).
+
+    [sink] (default {!Stripe_obs.Sink.null}) receives the sender-side
+    observability events: [Transmit] for every data packet (with its
+    implicit [(round, dc)] stamp under a CFQ scheduler), [Marker_sent] for
+    every marker, and [Reset_barrier] when {!send_reset} starts a fresh
+    epoch. *)
 
 val push : t -> Stripe_packet.Packet.t -> unit
 (** Dispatch one data packet. Raises [Invalid_argument] if handed a

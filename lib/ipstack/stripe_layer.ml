@@ -25,7 +25,7 @@ let deliver_ip t ip =
   Stripe_core.Reorder.observe t.reorder_stats ~seq:ip.Ip.body.Packet.seq;
   t.deliver_up ip
 
-let create ~name ~members ~scheduler ?marker ?now ?(resequence = true)
+let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
     ~deliver_up () =
   let n = Array.length members in
   if n = 0 then invalid_arg "Stripe_layer.create: no member interfaces";
@@ -45,7 +45,7 @@ let create ~name ~members ~scheduler ?marker ?now ?(resequence = true)
     | None -> assert false
   in
   let striper =
-    Stripe_core.Striper.create ~scheduler ?marker ?now
+    Stripe_core.Striper.create ~scheduler ?marker ?now ?sink
       ~emit:(fun ~channel pkt ->
         let layer = force_self () in
         let frame =
@@ -70,6 +70,7 @@ let create ~name ~members ~scheduler ?marker ?now ?(resequence = true)
         Some
           (Stripe_core.Resequencer.create
              ~deficit:(Stripe_core.Deficit.clone_initial d)
+             ?now ?sink
              ~deliver:(fun ~channel:_ pkt ->
                let layer = force_self () in
                match Hashtbl.find_opt layer.rx_envelopes pkt.Packet.seq with

@@ -22,6 +22,7 @@ val create :
   scheduler:Stripe_core.Scheduler.t ->
   ?marker:Stripe_core.Marker.policy ->
   ?now:(unit -> float) ->
+  ?sink:Stripe_obs.Sink.t ->
   ?resequence:bool ->
   deliver_up:(Ip.t -> unit) ->
   unit ->
@@ -31,7 +32,9 @@ val create :
     handler on every member. The scheduler's channel count must equal the
     member count. [resequence] (default [true]) enables logical
     reception; with [false] arriving datagrams go straight up in physical
-    arrival order — the "no logical reception" variants of Figure 15. *)
+    arrival order — the "no logical reception" variants of Figure 15.
+    [sink] is handed to the embedded striper and resequencer, so one sink
+    observes the layer's whole send/deliver pipeline. *)
 
 val name : t -> string
 

@@ -1,0 +1,47 @@
+module Obs = Stripe_obs
+
+let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
+  let tbl =
+    Table.create ~title
+      ~columns:
+        [
+          "ch"; "tx pkts"; "tx bytes"; "delivered"; "dropped"; "txq drop";
+          "skips"; "mk tx"; "mk rx"; "buf hw";
+        ]
+  in
+  for i = 0 to Obs.Counters.n_channels reg - 1 do
+    let c = Obs.Counters.channel reg i in
+    Table.add_row tbl
+      [
+        string_of_int i;
+        string_of_int c.Obs.Counters.tx_packets;
+        string_of_int c.Obs.Counters.tx_bytes;
+        string_of_int c.Obs.Counters.delivered_packets;
+        string_of_int c.Obs.Counters.drops;
+        string_of_int c.Obs.Counters.txq_drops;
+        string_of_int c.Obs.Counters.skips;
+        string_of_int c.Obs.Counters.markers_sent;
+        string_of_int c.Obs.Counters.markers_applied;
+        string_of_int c.Obs.Counters.hw_buffered_packets;
+      ]
+  done;
+  tbl
+
+let render ?title reg = Table.render (table ?title reg)
+
+let balance reg =
+  let s = Summary.create () in
+  for i = 0 to Obs.Counters.n_channels reg - 1 do
+    Summary.add s
+      (float_of_int (Obs.Counters.channel reg i).Obs.Counters.tx_bytes)
+  done;
+  s
+
+let buffer_high_water reg =
+  let s = Summary.create () in
+  for i = 0 to Obs.Counters.n_channels reg - 1 do
+    Summary.add s
+      (float_of_int
+         (Obs.Counters.channel reg i).Obs.Counters.hw_buffered_packets)
+  done;
+  s

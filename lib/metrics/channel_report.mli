@@ -1,0 +1,21 @@
+(** Render a {!Stripe_obs.Counters} registry through the metrics layer.
+
+    This is the bridge between the observability subsystem and the
+    experiment reports: the per-channel counter registry becomes a
+    {!Table} (for run summaries) or a {!Summary} (for cross-channel
+    statistics such as load-balance spread). *)
+
+val table : ?title:string -> Stripe_obs.Counters.t -> Table.t
+(** One row per channel: transmitted packets/bytes, logical deliveries,
+    wire and queue drops, marker-rule skips, markers sent/applied, and the
+    high-water resequencing-buffer occupancy. *)
+
+val render : ?title:string -> Stripe_obs.Counters.t -> string
+(** [Table.render] of {!table}. *)
+
+val balance : Stripe_obs.Counters.t -> Summary.t
+(** Distribution of transmitted bytes across channels — mean/stddev/spread
+    of the load sharing (§3.3's fairness, as a statistic). *)
+
+val buffer_high_water : Stripe_obs.Counters.t -> Summary.t
+(** Distribution of per-channel high-water buffer occupancy (packets). *)

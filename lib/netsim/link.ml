@@ -1,3 +1,5 @@
+module Obs = Stripe_obs
+
 type 'a t = {
   sim : Sim.t;
   link_name : string;
@@ -8,6 +10,8 @@ type 'a t = {
   loss : Loss.t;
   txq_capacity_bytes : int option;
   link_mtu : int option;
+  obs_channel : int;
+  sink : Obs.Sink.t;
   deliver : 'a -> unit;
   txq : (int * 'a) Queue.t;
   mutable txq_bytes : int;
@@ -22,7 +26,8 @@ type 'a t = {
 }
 
 let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
-    ?txq_capacity_bytes ?mtu ~deliver () =
+    ?txq_capacity_bytes ?mtu ?(channel = -1) ?(sink = Obs.Sink.null) ~deliver
+    () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate_bps must be > 0";
   if prop_delay < 0.0 then invalid_arg "Link.create: negative prop_delay";
   {
@@ -35,6 +40,8 @@ let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
     loss = (match loss with Some l -> l | None -> Loss.none ());
     txq_capacity_bytes;
     link_mtu = mtu;
+    obs_channel = channel;
+    sink;
     deliver;
     txq = Queue.create ();
     txq_bytes = 0;
@@ -48,6 +55,11 @@ let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
     n_txq_drops = 0;
   }
 
+let obs_emit t kind ~size =
+  if Obs.Sink.active t.sink then
+    Obs.Sink.emit t.sink
+      (Obs.Event.v ~channel:t.obs_channel ~size ~time:(Sim.now t.sim) kind)
+
 (* Start serializing the packet at the head of the transmit queue. When
    serialization finishes, schedule the arrival (propagation + jitter,
    clamped to preserve FIFO) and start on the next queued packet. *)
@@ -57,11 +69,15 @@ let rec start_serialize t =
   | Some (size, payload) ->
     t.serializing <- true;
     t.txq_bytes <- t.txq_bytes - size;
+    obs_emit t Obs.Event.Dequeue ~size;
     let ser_time = float_of_int (size * 8) /. t.rate in
     Sim.schedule_after t.sim ~delay:ser_time (fun () ->
         t.n_sent <- t.n_sent + 1;
         t.b_sent <- t.b_sent + size;
-        if Loss.drop t.loss t.rng then t.n_lost <- t.n_lost + 1
+        if Loss.drop t.loss t.rng then begin
+          t.n_lost <- t.n_lost + 1;
+          obs_emit t Obs.Event.Drop ~size
+        end
         else begin
           let extra =
             match t.jitter with None -> 0.0 | Some j -> max 0.0 (j t.rng)
@@ -73,6 +89,7 @@ let rec start_serialize t =
           Sim.schedule t.sim ~at:arrival (fun () ->
               t.n_delivered <- t.n_delivered + 1;
               t.b_delivered <- t.b_delivered + size;
+              obs_emit t Obs.Event.Arrival ~size;
               t.deliver payload)
         end;
         start_serialize t)
@@ -92,6 +109,7 @@ let send t ~size payload =
   in
   if overflow then begin
     t.n_txq_drops <- t.n_txq_drops + 1;
+    obs_emit t Obs.Event.Txq_drop ~size;
     false
   end
   else begin

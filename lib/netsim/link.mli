@@ -28,6 +28,8 @@ val create :
   ?loss:Loss.t ->
   ?txq_capacity_bytes:int ->
   ?mtu:int ->
+  ?channel:int ->
+  ?sink:Stripe_obs.Sink.t ->
   deliver:('a -> unit) ->
   unit ->
   'a t
@@ -41,7 +43,12 @@ val create :
     - [loss]: loss process applied per packet (default: lossless).
     - [txq_capacity_bytes]: transmit queue bound (default: unbounded).
     - [mtu]: maximum payload size accepted; oversized sends raise
-      [Invalid_argument] (default: no limit). *)
+      [Invalid_argument] (default: no limit).
+    - [sink] with [channel]: observability events at simulator time —
+      [Dequeue] when a packet starts serializing, [Drop] when the loss
+      process takes it, [Txq_drop] on transmit-queue overflow, [Arrival]
+      at delivery. [channel] tags the events (default [-1]); the payload
+      is opaque here so they carry size but no sequence number. *)
 
 val send : 'a t -> size:int -> 'a -> bool
 (** [send t ~size payload] queues a packet for transmission. Returns

@@ -1,0 +1,52 @@
+let deliveries evs =
+  List.filter (fun (e : Event.t) -> e.kind = Event.Deliver) evs
+
+let delivered_seqs evs = List.map (fun (e : Event.t) -> e.seq) (deliveries evs)
+
+let fifo_violations evs =
+  let rec scan prev acc = function
+    | [] -> List.rev acc
+    | (e : Event.t) :: rest ->
+      let acc = if e.seq < prev then (prev, e.seq) :: acc else acc in
+      scan (max prev e.seq) acc rest
+  in
+  scan min_int [] (deliveries evs)
+
+let last_time kind evs =
+  List.fold_left
+    (fun acc (e : Event.t) -> if e.kind = kind then Some e.time else acc)
+    None evs
+
+let first_time kind evs =
+  List.fold_left
+    (fun acc (e : Event.t) ->
+      match acc with Some _ -> acc | None -> if e.kind = kind then Some e.time else None)
+    None evs
+
+let count kind evs =
+  List.fold_left
+    (fun acc (e : Event.t) -> if e.kind = kind then acc + 1 else acc)
+    0 evs
+
+let resync_within ~bound evs =
+  if bound < 0.0 then invalid_arg "Check.resync_within: negative bound";
+  match last_time Event.Drop evs with
+  | None -> true
+  | Some last_drop ->
+    List.for_all
+      (fun (e : Event.t) ->
+        e.kind <> Event.Skip || e.time <= last_drop +. bound)
+      evs
+
+let fifo_from ~time evs =
+  let seqs =
+    List.filter_map
+      (fun (e : Event.t) ->
+        if e.kind = Event.Deliver && e.time >= time then Some e.seq else None)
+      evs
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  increasing seqs

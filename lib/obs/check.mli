@@ -1,0 +1,34 @@
+(** Trace-driven assertions: the paper's theorems checked mechanically
+    against a recorded event stream (a {!Sink.collector}'s contents or a
+    parsed trace file).
+
+    These are deliberately small, total functions over event lists so tests
+    can compose them with scenario-specific bounds. *)
+
+val deliveries : Event.t list -> Event.t list
+(** The [Deliver] events, in trace order. *)
+
+val delivered_seqs : Event.t list -> int list
+(** Sequence numbers in logical-reception order. *)
+
+val fifo_violations : Event.t list -> (int * int) list
+(** Theorem 4.1 checker: every [(hi, lo)] pair where a packet with
+    sequence [lo] was delivered after one with a higher sequence [hi].
+    Empty iff delivery was FIFO. *)
+
+val last_time : Event.kind -> Event.t list -> float option
+val first_time : Event.kind -> Event.t list -> float option
+val count : Event.kind -> Event.t list -> int
+
+val resync_within : bound:float -> Event.t list -> bool
+(** Theorem 5.1 checker: [true] iff no [Skip] event occurs more than
+    [bound] seconds after the last [Drop]. The theorem promises
+    resynchronization within one marker interval of errors stopping, so
+    [bound] is typically the marker interval in seconds plus the one-way
+    delay (skips happen at the receiver). Vacuously [true] without
+    drops. *)
+
+val fifo_from : time:float -> Event.t list -> bool
+(** [true] iff the [Deliver] events at or after [time] carry strictly
+    increasing sequence numbers — "FIFO delivery is restored" from a given
+    instant. *)

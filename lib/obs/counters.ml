@@ -1,0 +1,119 @@
+type channel = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable delivered_packets : int;
+  mutable delivered_bytes : int;
+  mutable drops : int;
+  mutable txq_drops : int;
+  mutable arrivals : int;
+  mutable skips : int;
+  mutable markers_sent : int;
+  mutable markers_applied : int;
+  mutable blocks : int;
+  mutable buffered_packets : int;
+  mutable buffered_bytes : int;
+  mutable hw_buffered_packets : int;
+  mutable hw_buffered_bytes : int;
+}
+
+type t = {
+  chans : channel array;
+  mutable resets : int;
+  mutable rounds : int;
+  mutable n_events : int;
+}
+
+let fresh_channel () =
+  {
+    tx_packets = 0;
+    tx_bytes = 0;
+    delivered_packets = 0;
+    delivered_bytes = 0;
+    drops = 0;
+    txq_drops = 0;
+    arrivals = 0;
+    skips = 0;
+    markers_sent = 0;
+    markers_applied = 0;
+    blocks = 0;
+    buffered_packets = 0;
+    buffered_bytes = 0;
+    hw_buffered_packets = 0;
+    hw_buffered_bytes = 0;
+  }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Counters.create: n must be positive";
+  { chans = Array.init n (fun _ -> fresh_channel ()); resets = 0; rounds = 0;
+    n_events = 0 }
+
+let n_channels t = Array.length t.chans
+
+let channel t c =
+  if c < 0 || c >= Array.length t.chans then
+    invalid_arg "Counters.channel: bad channel";
+  t.chans.(c)
+
+let resets t = t.resets
+let rounds t = t.rounds
+let events_seen t = t.n_events
+
+let observe t (e : Event.t) =
+  t.n_events <- t.n_events + 1;
+  let ch =
+    if e.channel >= 0 && e.channel < Array.length t.chans then
+      Some t.chans.(e.channel)
+    else None
+  in
+  match e.kind, ch with
+  | Event.Transmit, Some c ->
+    c.tx_packets <- c.tx_packets + 1;
+    if e.size > 0 then c.tx_bytes <- c.tx_bytes + e.size
+  | Event.Deliver, Some c ->
+    c.delivered_packets <- c.delivered_packets + 1;
+    if e.size > 0 then c.delivered_bytes <- c.delivered_bytes + e.size;
+    c.buffered_packets <- max 0 (c.buffered_packets - 1);
+    if e.size > 0 then c.buffered_bytes <- max 0 (c.buffered_bytes - e.size)
+  | Event.Enqueue, Some c ->
+    c.buffered_packets <- c.buffered_packets + 1;
+    if e.size > 0 then c.buffered_bytes <- c.buffered_bytes + e.size;
+    if c.buffered_packets > c.hw_buffered_packets then
+      c.hw_buffered_packets <- c.buffered_packets;
+    if c.buffered_bytes > c.hw_buffered_bytes then
+      c.hw_buffered_bytes <- c.buffered_bytes
+  | Event.Drop, Some c -> c.drops <- c.drops + 1
+  | Event.Txq_drop, Some c -> c.txq_drops <- c.txq_drops + 1
+  | Event.Arrival, Some c -> c.arrivals <- c.arrivals + 1
+  | Event.Skip, Some c -> c.skips <- c.skips + 1
+  | Event.Marker_sent, Some c -> c.markers_sent <- c.markers_sent + 1
+  | Event.Marker_applied, Some c -> c.markers_applied <- c.markers_applied + 1
+  | Event.Block, Some c -> c.blocks <- c.blocks + 1
+  | Event.Reset_barrier, _ -> t.resets <- t.resets + 1
+  | Event.Round, _ -> if e.round > t.rounds then t.rounds <- e.round
+  | Event.Dequeue, _ | Event.Unblock, _ -> ()
+  | ( Event.Transmit | Event.Deliver | Event.Enqueue | Event.Drop
+    | Event.Txq_drop | Event.Arrival | Event.Skip | Event.Marker_sent
+    | Event.Marker_applied | Event.Block ), None ->
+    ()
+
+let sink t = Sink.of_fn (observe t)
+
+let total f t = Array.fold_left (fun acc c -> acc + f c) 0 t.chans
+
+let total_tx_bytes = total (fun c -> c.tx_bytes)
+let total_delivered_packets = total (fun c -> c.delivered_packets)
+let total_drops = total (fun c -> c.drops + c.txq_drops)
+let total_skips = total (fun c -> c.skips)
+
+let pp fmt t =
+  Array.iteri
+    (fun i c ->
+      Format.fprintf fmt
+        "ch%d: tx=%d/%dB delivered=%d/%dB drops=%d+%d skips=%d markers=%d/%d \
+         buf-hw=%d@."
+        i c.tx_packets c.tx_bytes c.delivered_packets c.delivered_bytes c.drops
+        c.txq_drops c.skips c.markers_sent c.markers_applied
+        c.hw_buffered_packets)
+    t.chans;
+  Format.fprintf fmt "resets=%d rounds=%d events=%d" t.resets t.rounds
+    t.n_events

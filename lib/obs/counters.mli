@@ -1,0 +1,61 @@
+(** Per-channel counter registry, fed by {!Event.t}s.
+
+    A registry is itself a sink consumer: install {!sink} (or tee it with a
+    file sink) on the instrumented components and the counters accumulate
+    bytes/packets transmitted and delivered, drops, skips, markers, and the
+    high-water occupancy of the receiver's resequencing buffers — the
+    telemetry a production striping deployment watches per member link.
+
+    Buffer occupancy is derived from the resequencer's [Enqueue] (physical
+    reception buffered) and [Deliver] (logical reception) events; the
+    high-water marks record how far physical reception ran ahead of logical
+    reception on each channel. *)
+
+type channel = {
+  mutable tx_packets : int;  (** Data packets dispatched ([Transmit]). *)
+  mutable tx_bytes : int;
+  mutable delivered_packets : int;  (** Logical receptions ([Deliver]). *)
+  mutable delivered_bytes : int;
+  mutable drops : int;  (** Wire losses ([Drop]). *)
+  mutable txq_drops : int;  (** Transmit-queue overflows ([Txq_drop]). *)
+  mutable arrivals : int;  (** Physical arrivals ([Arrival]). *)
+  mutable skips : int;  (** Marker-rule channel skips ([Skip]). *)
+  mutable markers_sent : int;
+  mutable markers_applied : int;
+  mutable blocks : int;  (** Times logical reception blocked here. *)
+  mutable buffered_packets : int;  (** Current resequencer occupancy. *)
+  mutable buffered_bytes : int;
+  mutable hw_buffered_packets : int;  (** High-water occupancy. *)
+  mutable hw_buffered_bytes : int;
+}
+
+type t
+
+val create : n:int -> t
+
+val observe : t -> Event.t -> unit
+(** Fold one event into the registry. Events whose [channel] is outside
+    [0..n-1] only update the global counters. *)
+
+val sink : t -> Sink.t
+(** A sink that feeds this registry. *)
+
+val n_channels : t -> int
+
+val channel : t -> int -> channel
+(** Live counter record for one channel (do not mutate). *)
+
+val resets : t -> int
+(** Reset barriers observed. *)
+
+val rounds : t -> int
+(** Highest scheduler round number observed ([Round] events). *)
+
+val events_seen : t -> int
+
+val total_tx_bytes : t -> int
+val total_delivered_packets : t -> int
+val total_drops : t -> int
+val total_skips : t -> int
+
+val pp : Format.formatter -> t -> unit

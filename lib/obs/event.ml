@@ -1,0 +1,71 @@
+type kind =
+  | Enqueue
+  | Dequeue
+  | Transmit
+  | Drop
+  | Txq_drop
+  | Arrival
+  | Marker_sent
+  | Marker_applied
+  | Skip
+  | Block
+  | Unblock
+  | Reset_barrier
+  | Deliver
+  | Round
+
+type t = {
+  time : float;
+  kind : kind;
+  channel : int;
+  round : int;
+  dc : int;
+  size : int;
+  seq : int;
+}
+
+let v ?(channel = -1) ?(round = -1) ?(dc = 0) ?(size = -1) ?(seq = -1) ~time
+    kind =
+  { time; kind; channel; round; dc; size; seq }
+
+let kind_name = function
+  | Enqueue -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Transmit -> "transmit"
+  | Drop -> "drop"
+  | Txq_drop -> "txq_drop"
+  | Arrival -> "arrival"
+  | Marker_sent -> "marker_sent"
+  | Marker_applied -> "marker_applied"
+  | Skip -> "skip"
+  | Block -> "block"
+  | Unblock -> "unblock"
+  | Reset_barrier -> "reset_barrier"
+  | Deliver -> "deliver"
+  | Round -> "round"
+
+let all_kinds =
+  [
+    Enqueue; Dequeue; Transmit; Drop; Txq_drop; Arrival; Marker_sent;
+    Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
+  ]
+
+let kind_of_name s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+let to_json e =
+  Printf.sprintf
+    "{\"t\":%.9f,\"ev\":\"%s\",\"ch\":%d,\"round\":%d,\"dc\":%d,\"size\":%d,\"seq\":%d}"
+    e.time (kind_name e.kind) e.channel e.round e.dc e.size e.seq
+
+let csv_header = "time,event,channel,round,dc,size,seq"
+
+let to_csv e =
+  Printf.sprintf "%.9f,%s,%d,%d,%d,%d,%d" e.time (kind_name e.kind) e.channel
+    e.round e.dc e.size e.seq
+
+let pp fmt e =
+  Format.fprintf fmt "%.6f %s ch=%d" e.time (kind_name e.kind) e.channel;
+  if e.round >= 0 then Format.fprintf fmt " round=%d dc=%d" e.round e.dc;
+  if e.size >= 0 then Format.fprintf fmt " size=%d" e.size;
+  if e.seq >= 0 then Format.fprintf fmt " seq=%d" e.seq

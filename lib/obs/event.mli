@@ -1,0 +1,80 @@
+(** Typed observability events.
+
+    Every instrumented transition in the protocol stack is described by one
+    flat record: a timestamp, an event kind, and the protocol coordinates
+    the kind needs ([channel], the implicit packet number [(round, dc)],
+    [size], [seq]). Fields a kind does not use keep their sentinel values
+    ([-1] for [channel]/[round]/[size]/[seq]; [dc] is meaningful only when
+    [round >= 0]).
+
+    Event ownership is partitioned by layer so a single shared sink never
+    sees the same transition twice:
+
+    - {b Striper} (sender): [Transmit] (a data packet dispatched to a
+      channel, carrying its implicit stamp), [Marker_sent],
+      [Reset_barrier] (a sender reset, [channel = -1]).
+    - {b Scheduler}: [Round] (the CFQ engine's pointer wrapped; [round] is
+      the new round number).
+    - {b Link} (wire): [Dequeue] (head-of-line packet starts serializing),
+      [Drop] (lost on the wire), [Txq_drop] (rejected by a full transmit
+      queue), [Arrival] (physical arrival at the far end).
+    - {b Resequencer} (receiver): [Enqueue] (a data packet buffered
+      awaiting logical reception), [Marker_applied], [Skip] (channel visit
+      skipped by the marker rule [r > G]), [Block]/[Unblock] (logical
+      reception waiting on a channel), [Deliver] (logical reception, with
+      the receiver's [(round, dc)] stamp), [Reset_barrier] (barrier
+      completed, [round] = completed-barrier count). *)
+
+type kind =
+  | Enqueue
+  | Dequeue
+  | Transmit
+  | Drop
+  | Txq_drop
+  | Arrival
+  | Marker_sent
+  | Marker_applied
+  | Skip
+  | Block
+  | Unblock
+  | Reset_barrier
+  | Deliver
+  | Round
+
+type t = {
+  time : float;
+  kind : kind;
+  channel : int;
+  round : int;
+  dc : int;
+  size : int;
+  seq : int;
+}
+
+val v :
+  ?channel:int ->
+  ?round:int ->
+  ?dc:int ->
+  ?size:int ->
+  ?seq:int ->
+  time:float ->
+  kind ->
+  t
+(** Constructor with sentinel defaults ([channel]/[round]/[size]/[seq] =
+    [-1], [dc] = [0]). *)
+
+val kind_name : kind -> string
+(** Stable lowercase name used by the JSON and CSV exports. *)
+
+val kind_of_name : string -> kind option
+
+val to_json : t -> string
+(** One JSON object (no trailing newline):
+    [{"t":..,"ev":"..","ch":..,"round":..,"dc":..,"size":..,"seq":..}]. *)
+
+val csv_header : string
+
+val to_csv : t -> string
+(** One CSV row matching {!csv_header} (no trailing newline). *)
+
+val pp : Format.formatter -> t -> unit

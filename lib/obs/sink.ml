@@ -1,0 +1,94 @@
+type t = {
+  is_active : bool;
+  emit_fn : Event.t -> unit;
+  flush_fn : unit -> unit;
+  contents : (unit -> Event.t list) option;
+}
+
+let null =
+  { is_active = false; emit_fn = ignore; flush_fn = ignore; contents = None }
+
+let active t = t.is_active
+
+let emit t ev = if t.is_active then t.emit_fn ev
+
+let flush t = t.flush_fn ()
+
+let of_fn f =
+  { is_active = true; emit_fn = f; flush_fn = ignore; contents = None }
+
+let collector () =
+  let rev = ref [] in
+  {
+    is_active = true;
+    emit_fn = (fun e -> rev := e :: !rev);
+    flush_fn = ignore;
+    contents = Some (fun () -> List.rev !rev);
+  }
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  let buf = Array.make capacity None in
+  let count = ref 0 in
+  {
+    is_active = true;
+    emit_fn =
+      (fun e ->
+        buf.(!count mod capacity) <- Some e;
+        incr count);
+    flush_fn = ignore;
+    contents =
+      Some
+        (fun () ->
+          let n = !count in
+          let kept = min n capacity in
+          let start = n - kept in
+          List.filter_map
+            (fun i -> buf.((start + i) mod capacity))
+            (List.init kept Fun.id));
+  }
+
+let events t =
+  match t.contents with
+  | Some f -> f ()
+  | None -> invalid_arg "Sink.events: this sink does not retain events"
+
+let jsonl oc =
+  {
+    is_active = true;
+    emit_fn =
+      (fun e ->
+        output_string oc (Event.to_json e);
+        output_char oc '\n');
+    flush_fn = (fun () -> Stdlib.flush oc);
+    contents = None;
+  }
+
+let csv oc =
+  output_string oc Event.csv_header;
+  output_char oc '\n';
+  {
+    is_active = true;
+    emit_fn =
+      (fun e ->
+        output_string oc (Event.to_csv e);
+        output_char oc '\n');
+    flush_fn = (fun () -> Stdlib.flush oc);
+    contents = None;
+  }
+
+let tee a b =
+  if not (a.is_active || b.is_active) then null
+  else
+    {
+      is_active = true;
+      emit_fn =
+        (fun e ->
+          if a.is_active then a.emit_fn e;
+          if b.is_active then b.emit_fn e);
+      flush_fn =
+        (fun () ->
+          a.flush_fn ();
+          b.flush_fn ());
+      contents = (match a.contents with Some _ -> a.contents | None -> b.contents);
+    }

@@ -1,0 +1,54 @@
+(** Pluggable event sinks.
+
+    Instrumented components hold a sink and report {!Event.t}s to it. The
+    contract for hot paths is: guard with {!active} {e before} building the
+    event, so the {!null} sink costs one branch and zero allocation:
+
+    {[
+      if Sink.active t.sink then
+        Sink.emit t.sink (Event.v ~channel ~time Event.Deliver)
+    ]} *)
+
+type t
+
+val null : t
+(** Discards everything; {!active} is [false]. The default for every
+    instrumented component. *)
+
+val active : t -> bool
+(** [false] only for {!null} (and a tee of two null sinks) — the
+    zero-overhead guard for instrumentation sites. *)
+
+val emit : t -> Event.t -> unit
+(** Record one event. A no-op on an inactive sink. *)
+
+val flush : t -> unit
+(** Flush buffered output (file sinks); a no-op elsewhere. *)
+
+val of_fn : (Event.t -> unit) -> t
+(** Arbitrary callback sink. *)
+
+val collector : unit -> t
+(** Unbounded in-memory sink; read back with {!events}. For tests and
+    trace-driven assertions. *)
+
+val ring : capacity:int -> t
+(** Bounded in-memory sink keeping the most recent [capacity] events —
+    flight-recorder style for long runs. {!events} returns them oldest
+    first. *)
+
+val events : t -> Event.t list
+(** Recorded events of a {!collector} or {!ring} sink, in emission order.
+    Raises [Invalid_argument] for non-retaining sinks. *)
+
+val jsonl : out_channel -> t
+(** JSON-lines file sink: one {!Event.to_json} object per line. The caller
+    owns the channel; call {!flush} before closing it. *)
+
+val csv : out_channel -> t
+(** CSV file sink; writes {!Event.csv_header} immediately, then one row per
+    event. *)
+
+val tee : t -> t -> t
+(** Fan out to two sinks. Collapses to {!null} when both are inactive;
+    {!events} prefers the first retaining side. *)

@@ -22,6 +22,7 @@ let () =
          Test_atm.suites;
          Test_stabilizer.suites;
          Test_misc.suites;
+         Test_obs.suites;
          Test_properties.suites;
          Test_mppp.suites;
          Test_trace_file.suites;

@@ -1,30 +1,12 @@
-(* Coverage for the remaining corners: the Trace recorder, interface
-   output-queue FIFO under ARP resolution (regression for a real bug:
-   markers must never overtake data awaiting resolution), Node protocol
-   demux, and assorted small invariants. *)
+(* Coverage for the remaining corners: interface output-queue FIFO under
+   ARP resolution (regression for a real bug: markers must never overtake
+   data awaiting resolution), Node protocol demux, and assorted small
+   invariants. (The old string-blob Trace recorder is gone; its successor,
+   the structured Stripe_obs subsystem, is covered by test_obs.ml.) *)
 
 open Stripe_netsim
 open Stripe_packet
 open Stripe_ipstack
-
-let test_trace_records_in_order () =
-  let t = Trace.create () in
-  Trace.record t ~time:1.0 "first";
-  Trace.recordf t ~time:2.5 "second %d" 42;
-  Alcotest.(check (list string)) "messages in order" [ "first"; "second 42" ]
-    (Trace.messages t);
-  Alcotest.(check (list (pair (float 0.0) string))) "events carry times"
-    [ (1.0, "first"); (2.5, "second 42") ]
-    (Trace.events t)
-
-let test_trace_pp_and_clear () =
-  let t = Trace.create () in
-  Trace.record t ~time:0.5 "x";
-  let rendered = Format.asprintf "%a" Trace.pp t in
-  Alcotest.(check bool) "pp shows time and message" true
-    (String.length rendered > 0);
-  Trace.clear t;
-  Alcotest.(check (list string)) "cleared" [] (Trace.messages t)
 
 (* Regression: a marker sent immediately after data must arrive after it,
    even while the data sits in the interface queue waiting for ARP. *)
@@ -185,8 +167,6 @@ let suites =
   [
     ( "misc",
       [
-        Alcotest.test_case "trace order" `Quick test_trace_records_in_order;
-        Alcotest.test_case "trace pp/clear" `Quick test_trace_pp_and_clear;
         Alcotest.test_case "iface fifo across arp miss" `Quick
           test_iface_fifo_across_arp_miss;
         Alcotest.test_case "node demux" `Quick test_node_protocol_demux;

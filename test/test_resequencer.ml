@@ -241,6 +241,76 @@ let test_drain () =
     (List.map (fun p -> p.Packet.seq) drained);
   Alcotest.(check int) "empty after drain" 0 (Resequencer.pending reseq)
 
+let test_drain_clears_blocking_state () =
+  (* Regression: drain used to empty the buffers but leave [waiting] and
+     the recorded marker stamps behind, so [blocked_on] reported a stale
+     channel and a stale stamp could skip a channel forever. *)
+  let engine = Srr.create ~quanta:[| 100; 100 |] () in
+  let delivered = ref [] in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+      ()
+  in
+  (* A future-round marker on channel 0 forces a skip; the scan moves on
+     and blocks on channel 1, leaving marker state recorded for 0. *)
+  Resequencer.receive reseq ~channel:0
+    (Packet.marker ~channel:0 ~round:7 ~dc:100 ~born:0.0 ());
+  Alcotest.(check (option int)) "blocked on ch1 after the skip" (Some 1)
+    (Resequencer.blocked_on reseq);
+  Resequencer.receive reseq ~channel:0 (Packet.data ~seq:20 ~size:100 ());
+  Alcotest.(check int) "data buffered behind the block" 1
+    (Resequencer.pending reseq);
+  let drained = Resequencer.drain reseq in
+  Alcotest.(check (list int)) "drain returns the buffered data" [ 20 ]
+    (List.map (fun p -> p.Packet.seq) drained);
+  Alcotest.(check (option int)) "drain clears the blocked channel" None
+    (Resequencer.blocked_on reseq);
+  (* The recorded marker stamp died with the drained stream: channel 0
+     must be servable again, not skipped until round 7. *)
+  Resequencer.receive reseq ~channel:1 (Packet.data ~seq:30 ~size:100 ());
+  Resequencer.receive reseq ~channel:0 (Packet.data ~seq:31 ~size:100 ());
+  Alcotest.(check (list int)) "both channels flow after drain" [ 30; 31 ]
+    (List.rev !delivered)
+
+let test_mid_visit_marker_correction () =
+  (* A marker for the channel currently in service, stamped with the
+     receiver's own round, must correct the DC mid-visit (the sender's
+     authoritative value supersedes the simulated one) rather than be
+     deferred or treated as a skip. *)
+  let engine = Srr.create ~quanta:[| 200; 200 |] () in
+  let delivered = ref [] in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~deliver:(fun ~channel:_ p -> delivered := p.Packet.seq :: !delivered)
+      ()
+  in
+  let p seq = Packet.data ~seq ~size:100 () in
+  (* One packet into the round-0 visit of channel 0: DC simulated at 100,
+     blocked mid-visit awaiting more channel-0 data. *)
+  Resequencer.receive reseq ~channel:0 (p 0);
+  Alcotest.(check (option int)) "blocked mid-visit on ch0" (Some 0)
+    (Resequencer.blocked_on reseq);
+  (* Same-round marker corrects the DC upward: the sender actually has
+     250 bytes of service left for this visit. *)
+  Resequencer.receive reseq ~channel:0
+    (Packet.marker ~channel:0 ~round:0 ~dc:250 ~born:0.0 ());
+  Alcotest.(check int) "correction is not a skip" 0 (Resequencer.skips reseq);
+  Alcotest.(check (option int)) "still awaiting ch0 data" (Some 0)
+    (Resequencer.blocked_on reseq);
+  (* With the corrected DC of 250, three more 100-byte packets belong to
+     this visit (250 -> 150 -> 50 -> -50); the simulated DC of 100 would
+     have moved on after one. *)
+  Resequencer.receive reseq ~channel:0 (p 1);
+  Resequencer.receive reseq ~channel:0 (p 2);
+  Resequencer.receive reseq ~channel:0 (p 3);
+  Resequencer.receive reseq ~channel:1 (p 4);
+  Alcotest.(check (list int)) "visit served to the corrected DC"
+    [ 0; 1; 2; 3; 4 ]
+    (List.rev !delivered);
+  Alcotest.(check int) "nothing stranded in the buffers" 0
+    (Resequencer.pending reseq)
+
 let test_bad_channel_rejected () =
   let engine = Srr.create ~quanta:[| 100 |] () in
   let reseq =
@@ -277,6 +347,10 @@ let suites =
         Alcotest.test_case "recovery at 80% loss" `Quick test_recovery_extreme_loss;
         Alcotest.test_case "marker credit callback" `Quick test_marker_credit_callback;
         Alcotest.test_case "drain" `Quick test_drain;
+        Alcotest.test_case "drain clears blocking state" `Quick
+          test_drain_clears_blocking_state;
+        Alcotest.test_case "mid-visit marker correction" `Quick
+          test_mid_visit_marker_correction;
         Alcotest.test_case "bad channel" `Quick test_bad_channel_rejected;
         Alcotest.test_case "buffer high water" `Quick test_buffer_high_water;
         QCheck_alcotest.to_alcotest prop_theorem41;

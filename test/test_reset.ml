@@ -151,6 +151,34 @@ let test_straggler_delivery_before_barrier () =
     (List.rev !(t.delivered));
   Alcotest.(check int) "barrier done" 1 (Resequencer.resets t.reseq)
 
+let test_barrier_completes_on_in_service_channel () =
+  (* The last reset marker of the barrier arrives on the channel the
+     receiver is currently blocked on, mid-visit, in the same round — the
+     barrier must complete from inside that visit and the fresh epoch
+     flow immediately. *)
+  let t = make ~n:2 () in
+  Striper.push t.striper (Packet.data ~seq:0 ~size:1000 ());
+  Striper.push t.striper (Packet.data ~seq:1 ~size:1000 ());
+  Striper.send_reset t.striper;
+  Striper.push t.striper (Packet.data ~seq:2 ~size:1000 ());
+  Striper.push t.striper (Packet.data ~seq:3 ~size:1000 ());
+  (* Old epoch: seq 0 -> ch0, seq 1 -> ch1. Deliver channel 0's whole
+     stream first: seq 0, then its reset marker — half the barrier. *)
+  Queue.iter (fun pkt -> Resequencer.receive t.reseq ~channel:0 pkt) t.wires.(0);
+  Queue.clear t.wires.(0);
+  Alcotest.(check (option int)) "blocked mid-visit on channel 1" (Some 1)
+    (Resequencer.blocked_on t.reseq);
+  Alcotest.(check int) "barrier not yet complete" 0 (Resequencer.resets t.reseq);
+  (* Channel 1: straggler, then the barrier-completing reset marker, then
+     new-epoch data. *)
+  Queue.iter (fun pkt -> Resequencer.receive t.reseq ~channel:1 pkt) t.wires.(1);
+  Queue.clear t.wires.(1);
+  Alcotest.(check int) "barrier completed in-visit" 1 (Resequencer.resets t.reseq);
+  Alcotest.(check (list int)) "old epoch, then fresh epoch, all FIFO"
+    [ 0; 1; 2; 3 ]
+    (List.rev !(t.delivered));
+  Alcotest.(check int) "no stranded packets" 0 (Resequencer.pending t.reseq)
+
 let prop_reset_restores_fifo =
   QCheck.Test.make
     ~name:"reset: fresh epoch is FIFO after arbitrary prior corruption"
@@ -191,6 +219,8 @@ let suites =
         Alcotest.test_case "double reset" `Quick test_double_reset;
         Alcotest.test_case "stragglers before barrier" `Quick
           test_straggler_delivery_before_barrier;
+        Alcotest.test_case "barrier completes on in-service channel" `Quick
+          test_barrier_completes_on_in_service_channel;
         QCheck_alcotest.to_alcotest prop_reset_restores_fifo;
       ] );
   ]

@@ -184,6 +184,45 @@ let test_rr_unfair_on_alternation () =
     true
     (Fairness.spread [| b0; b1 |] >= 1000 * 400)
 
+let test_fairness_bound_formula () =
+  (* Theorem 3.2 / Lemma 3.3: the deviation bound is Max + 2 * Quantum,
+     with Max the maximum packet size recorded at creation. *)
+  let d = Srr.create ~max_packet:1500 ~quanta:[| 2000; 3000 |] () in
+  Alcotest.(check int) "Max + 2*Quantum" (1500 + (2 * 3000))
+    (Srr.fairness_bound d);
+  (* Without a recorded Max, the bound assumes packets as large as the
+     biggest quantum — the marker-recovery precondition's ceiling. *)
+  let d = Srr.create ~quanta:[| 1000; 3000 |] () in
+  Alcotest.(check int) "Max falls back to the largest quantum"
+    (3000 + (2 * 3000))
+    (Srr.fairness_bound d)
+
+let test_for_rates_retains_max_packet () =
+  (* 4 vs 8 Mbps with unit 1500 scales quanta to 1500 and 3000; the
+     supplied Max must survive the delegation to [create] so the bound
+     uses it (a dropped ~max_packet would silently widen the bound). *)
+  let d =
+    Srr.for_rates ~max_packet:1500 ~rates_bps:[| 4e6; 8e6 |]
+      ~quantum_unit:1500 ()
+  in
+  Alcotest.(check int) "bound built from the supplied Max" (1500 + (2 * 3000))
+    (Srr.fairness_bound d);
+  (* ...and the precondition is re-validated against the scaled quanta. *)
+  Alcotest.check_raises "undersized scaled quantum rejected"
+    (Invalid_argument
+       "Srr.create: quantum 100 below max packet size 1500 violates the \
+        marker-recovery precondition (Quantum_i >= Max)") (fun () ->
+      ignore
+        (Srr.for_rates ~max_packet:1500 ~rates_bps:[| 4e6; 8e6 |]
+           ~quantum_unit:100 ()))
+
+let test_for_rates_clamps_rounding () =
+  (* Extreme rate skew can push the rounded ratio outside int range; the
+     quanta must still come out positive (and create re-validates them). *)
+  let d = Srr.for_rates ~rates_bps:[| 1e300; 1.0 |] ~quantum_unit:1 () in
+  Alcotest.(check bool) "all quanta at least 1" true
+    (Array.for_all (fun q -> q >= 1) (Deficit.quanta d))
+
 let prop_srr_fairness =
   QCheck.Test.make
     ~name:"striper: SRR deviation bounded by Max + 2*Quantum on random loads"
@@ -225,6 +264,12 @@ let suites =
         Alcotest.test_case "fairness adversarial" `Quick
           test_srr_fairness_bound_adversarial;
         Alcotest.test_case "rr unfair" `Quick test_rr_unfair_on_alternation;
+        Alcotest.test_case "fairness bound formula" `Quick
+          test_fairness_bound_formula;
+        Alcotest.test_case "for_rates retains max packet" `Quick
+          test_for_rates_retains_max_packet;
+        Alcotest.test_case "for_rates clamps rounding" `Quick
+          test_for_rates_clamps_rounding;
         QCheck_alcotest.to_alcotest prop_srr_fairness;
         QCheck_alcotest.to_alcotest prop_weighted_srr_fairness;
       ] );
