@@ -1,0 +1,176 @@
+(* Failover experiment: one member of a 3 x 10 Mbps SRR bundle loses
+   carrier at t=1.0 s and recovers at t=2.0 s (markers every 4 rounds,
+   ~80% offered load). Four protection configurations are compared:
+
+   - sender-aware:    the striper suspends the dead member on carrier
+                      loss (load moves to the survivors) and resumes it
+                      with the §5 reset barrier on recovery;
+   - receiver watchdog: the sender keeps striping into the dead link;
+                      the receiver's marker-cadence watchdog declares
+                      the channel dead and skips it (quasi-FIFO);
+   - both combined;
+   - unprotected:     the paper's base protocol, which assumes members
+                      stay up — logical reception blocks on the dead
+                      channel until it revives.
+
+   Reported per configuration: deliveries, misordering, the longest
+   service outage, time to the first delivery after the member returns,
+   resynchronization time after the outage ends (Theorem 5.1 applies
+   once markers flow again), and availability in 10 ms slots. *)
+
+open Stripe_netsim
+open Stripe_packet
+open Stripe_core
+
+let n = 3
+let down_at = 1.0
+let up_at = 2.0
+let run_until = 3.0
+
+type rig = {
+  sim : Sim.t;
+  striper : Striper.t;
+  reseq : Resequencer.t;
+  recovery : Stripe_metrics.Recovery.t;
+  reorder : Reorder.t;
+  links : Packet.t Link.t array;
+}
+
+let make_rig ~sender_aware ~watchdog () =
+  let sim = Sim.create () in
+  let recovery = Stripe_metrics.Recovery.create () in
+  let reorder = Reorder.create () in
+  let engine = Srr.create ~quanta:(Array.make n 1500) () in
+  let reseq =
+    Resequencer.create ~deficit:(Deficit.clone_initial engine)
+      ~now:(fun () -> Sim.now sim)
+      ?watchdog
+      ~deliver:(fun ~channel:_ pkt ->
+        Stripe_metrics.Recovery.observe recovery ~now:(Sim.now sim)
+          ~seq:pkt.Packet.seq;
+        Reorder.observe reorder ~seq:pkt.Packet.seq)
+      ()
+  in
+  let links =
+    Array.init n (fun i ->
+        Link.create sim
+          ~name:(Printf.sprintf "ch%d" i)
+          ~rate_bps:10e6 ~prop_delay:0.002
+          ~deliver:(fun pkt -> Resequencer.receive reseq ~channel:i pkt)
+          ())
+  in
+  let sched = Scheduler.of_deficit ~name:"SRR" engine in
+  let striper =
+    Striper.create ~scheduler:sched
+      ~marker:(Marker.make ~every_rounds:4 ())
+      ~now:(fun () -> Sim.now sim)
+      ~emit:(fun ~channel pkt ->
+        ignore (Link.send links.(channel) ~size:pkt.Packet.size pkt))
+      ()
+  in
+  if sender_aware then
+    Array.iteri
+      (fun i link ->
+        Link.on_carrier link (fun ~up ->
+            if up then Striper.resume_channel striper i
+            else Striper.suspend_channel striper i))
+      links;
+  { sim; striper; reseq; recovery; reorder; links }
+
+(* Paced bimodal source at ~80% of the healthy aggregate. *)
+let drive rig =
+  let rng = Rng.create 77 in
+  let gen =
+    Stripe_workload.Genpkt.bimodal ~rng ~small:Sizes.small_packet
+      ~large:Sizes.large_packet ()
+  in
+  let seq = ref 0 in
+  let rec tick () =
+    if Sim.now rig.sim < run_until then begin
+      for _ = 1 to 2 do
+        Striper.push rig.striper
+          (Packet.data ~seq:!seq ~born:(Sim.now rig.sim) ~size:(gen ()) ());
+        incr seq
+      done;
+      Sim.schedule_after rig.sim ~delay:0.0006 tick
+    end
+  in
+  tick ()
+
+let fmt_ms v = Printf.sprintf "%.1f" (1000.0 *. v)
+
+let run () =
+  Exp_common.section
+    "Failover - member down at 1.0 s, back at 2.0 s (3 x 10 Mbps SRR, \
+     markers every 4 rounds)";
+  let tbl =
+    Stripe_metrics.Table.create ~title:"Protection configurations"
+      ~columns:
+        [
+          "configuration"; "delivered"; "ooo"; "wd skips";
+          "longest outage (ms)"; "failback (ms)"; "resync (ms)"; "avail";
+        ]
+  in
+  List.iter
+    (fun (label, sender_aware, with_wd) ->
+      let watchdog =
+        if with_wd then Some { Resequencer.intervals = 3; fallback = 0.01 }
+        else None
+      in
+      let rig = make_rig ~sender_aware ~watchdog () in
+      drive rig;
+      Fault.down_up rig.sim rig.links.(1) ~down_at ~up_at;
+      Sim.run rig.sim;
+      let first_back =
+        match Stripe_metrics.Recovery.first_after rig.recovery ~time:up_at with
+        | Some t -> fmt_ms (t -. up_at)
+        | None -> "never"
+      in
+      let resync =
+        (* The channel outage is the error episode: once the member is
+           back and the reset barrier / markers have flowed, delivery
+           must be FIFO again (Theorem 5.1). *)
+        match
+          Stripe_metrics.Recovery.resync_time rig.recovery ~errors_stop:up_at
+        with
+        | Some dt -> fmt_ms dt
+        | None -> "never"
+      in
+      Stripe_metrics.Table.add_row tbl
+        [
+          label;
+          string_of_int (Stripe_metrics.Recovery.deliveries rig.recovery);
+          string_of_int (Reorder.out_of_order rig.reorder);
+          string_of_int (Resequencer.watchdog_skips rig.reseq);
+          fmt_ms
+            (Stripe_metrics.Recovery.max_gap rig.recovery ~from_:down_at
+               ~until_:run_until);
+          first_back;
+          resync;
+          Printf.sprintf "%.1f%%"
+            (100.0
+            *. Stripe_metrics.Recovery.availability rig.recovery ~from_:0.0
+                 ~until_:run_until ~bucket:0.01);
+        ])
+    [
+      ("sender-aware + watchdog", true, true);
+      ("sender-aware", true, false);
+      ("receiver watchdog", false, true);
+      ("unprotected", false, false);
+    ];
+  Stripe_metrics.Table.print tbl;
+  print_endline
+    "Full protection needs both ends. Sender-side suspension alone keeps";
+  print_endline
+    "packets off the dead member (zero misordering, instant resync at";
+  print_endline
+    "failback via the reset barrier) but the receiver still blocks for the";
+  print_endline
+    "whole outage: suspension is invisible to its simulation of the sender.";
+  print_endline
+    "The receiver watchdog alone restores service after the dead-channel";
+  print_endline
+    "timeout, at the cost of losing what was striped into the dead link";
+  print_endline
+    "(quasi-FIFO). Combined, the survivors carry everything and delivery";
+  print_endline "never reorders.\n"

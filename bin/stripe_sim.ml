@@ -142,6 +142,55 @@ let trace_format =
     & info [ "trace-format" ] ~docv:"FMT"
         ~doc:"Structured trace format: $(b,json) (JSON lines) or $(b,csv).")
 
+let fault_conv =
+  Arg.conv
+    ( (fun s ->
+        match Fault.parse_spec s with
+        | Ok actions -> Ok actions
+        | Error e -> Error (`Msg e)),
+      fun fmt actions ->
+        Format.pp_print_list Fault.pp_action fmt actions )
+
+let fault_specs =
+  Arg.(
+    value
+    & opt_all fault_conv []
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject link faults: $(b,CH:EVENT@T[,EVENT@T...]) where EVENT is \
+           $(b,down), $(b,up), $(b,rate=BPS) or $(b,burst=P/DUR) (Bernoulli \
+           loss probability P for DUR seconds). Example: \
+           $(b,1:down@0.5,up@1.5). Repeatable.")
+
+let crash_at =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "crash-at" ] ~docv:"T"
+        ~doc:
+          "Crash the sender at time $(docv): its striping state is \
+           corrupted on the spot and, 20 ms later (the reboot), the §5 \
+           reset barrier is emitted so the receiver resynchronizes. Quasi \
+           mode with a CFQ scheduler only.")
+
+let watchdog_k =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog" ] ~docv:"K"
+        ~doc:
+          "Receiver dead-channel watchdog: declare a channel dead after \
+           $(docv) marker intervals of silence and skip it (quasi-FIFO) \
+           instead of blocking. Quasi mode only.")
+
+let no_auto_suspend =
+  Arg.(
+    value & flag
+    & info [ "no-auto-suspend" ]
+        ~doc:
+          "Do not suspend channels in the striper on carrier loss: model a \
+           sender that cannot see link state (receiver-only recovery).")
+
 (* One delivery sink shared by every mode. *)
 type sink = {
   reorder : Reorder.t;
@@ -164,7 +213,8 @@ let sink_deliver sink sim pkt =
     ~bytes:pkt.Packet.size
 
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
-    loss_stop seed replay_file trace_out trace_format =
+    loss_stop seed replay_file trace_out trace_format fault_specs crash_at
+    watchdog_k no_auto_suspend =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
@@ -215,31 +265,42 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     let sink = make_sink () in
     let lossy = ref true in
     let errors_stop = ref None in
+    let aggregate = Array.fold_left (fun a c -> a +. c.rate) 0.0 confs in
+    let interval = 700.0 *. 8.0 /. (aggregate *. 0.9) in
+    (* Fault application and crash recovery are wired up per mode (the
+       link payload type differs); the refs let the generic tail of [run]
+       trigger them. *)
+    let fault_ref = ref (fun (_ : Fault.action list) -> ()) in
+    let crash_ref = ref None in
     (* The wire: mode-specific payloads share polymorphic links via a
        variant. *)
     let make_links receive =
-      Array.mapi
-        (fun i conf ->
-          Link.create sim
-            ~name:(Printf.sprintf "ch%d" i)
-            ~rate_bps:conf.rate ~prop_delay:conf.delay ~channel:i
-            ~sink:obs_sink
-            ~deliver:(fun (is_marker, payload) ->
-              let dropped =
-                !lossy && conf.loss > 0.0 && (not is_marker)
-                && Rng.bernoulli rng ~p:conf.loss
-              in
-              if dropped then begin
-                (* Loss is applied here, past the link model, so the wire's
-                   own Drop instrumentation never sees it — record it. *)
-                if Obs.Sink.active obs_sink then
-                  Obs.Sink.emit obs_sink
-                    (Obs.Event.v ~time:(Sim.now sim) ~channel:i
-                       Obs.Event.Drop)
-              end
-              else receive i payload)
-            ())
-        confs
+      let links =
+        Array.mapi
+          (fun i conf ->
+            Link.create sim
+              ~name:(Printf.sprintf "ch%d" i)
+              ~rate_bps:conf.rate ~prop_delay:conf.delay ~channel:i
+              ~sink:obs_sink
+              ~deliver:(fun (is_marker, payload) ->
+                let dropped =
+                  !lossy && conf.loss > 0.0 && (not is_marker)
+                  && Rng.bernoulli rng ~p:conf.loss
+                in
+                if dropped then begin
+                  (* Loss is applied here, past the link model, so the wire's
+                     own Drop instrumentation never sees it — record it. *)
+                  if Obs.Sink.active obs_sink then
+                    Obs.Sink.emit obs_sink
+                      (Obs.Event.v ~time:(Sim.now sim) ~channel:i
+                         Obs.Event.Drop)
+                end
+                else receive i payload)
+              ())
+          confs
+      in
+      fault_ref := (fun schedule -> Fault.apply sim ~links schedule);
+      links
     in
     (* Per-mode plumbing returns: push, describe (extra stats lines). *)
     let push, describe =
@@ -254,10 +315,24 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         let reseq_stats = ref (fun () -> []) in
         (match mode, engine_opt with
         | `Quasi, Some e ->
+          let watchdog =
+            Option.map
+              (fun k ->
+                (* Fallback cadence estimate for the start-up window, before
+                   the channel's own inter-marker gap has been observed: a
+                   round moves ~n quanta of wire, markers come every
+                   [marker_rounds] rounds. *)
+                let round_time = float_of_int n *. 1500.0 *. 8.0 /. (aggregate *. 0.9) in
+                {
+                  Resequencer.intervals = k;
+                  fallback = float_of_int (max 1 marker_rounds) *. round_time;
+                })
+              watchdog_k
+          in
           let r =
             Resequencer.create ~deficit:(Deficit.clone_initial e)
               ~now:(fun () -> Sim.now sim)
-              ~sink:obs_sink
+              ~sink:obs_sink ?watchdog
               ~deliver:(fun ~channel:_ pkt -> deliver pkt)
               ()
           in
@@ -266,8 +341,11 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
             (fun () ->
               [
                 Printf.sprintf
-                  "resequencer: skips=%d buffered-high-water=%d pkts"
+                  "resequencer: skips=%d wd-skips=%d dead-declared=%d \
+                   buffered-high-water=%d pkts"
                   (Resequencer.skips r)
+                  (Resequencer.watchdog_skips r)
+                  (Resequencer.dead_declarations r)
                   (Resequencer.buffer_high_water_packets r);
               ])
         | `Seq, _ ->
@@ -304,6 +382,28 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                    (Packet.is_marker pkt, pkt)))
             ()
         in
+        (* Sender-side failure detection: carrier transitions suspend /
+           resume the channel in the striper (resume fires the §5 reset
+           barrier), unless the user asked for a link-state-blind
+           sender. *)
+        if not no_auto_suspend then
+          Array.iteri
+            (fun i link ->
+              Link.on_carrier link (fun ~up ->
+                  if up then Striper.resume_channel striper i
+                  else Striper.suspend_channel striper i))
+            links;
+        (match mode, engine_opt with
+        | `Quasi, Some e ->
+          crash_ref :=
+            Some
+              (fun () ->
+                (* State loss first (the receiver starts drifting), reboot
+                   with the reset barrier 20 ms later. *)
+                Deficit.set_round e (Deficit.round e + 7);
+                Sim.schedule_after sim ~delay:0.02 (fun () ->
+                    Striper.send_reset striper))
+        | _ -> ());
         ( Striper.push striper,
           fun () ->
             List.concat
@@ -316,6 +416,12 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                          (Striper.channel_bytes striper i))
                      links);
                 [ Printf.sprintf "markers: %d" (Striper.markers_sent striper) ];
+                (if Striper.undispatched_drops striper > 0 then
+                   [
+                     Printf.sprintf "dropped with no live channel: %d"
+                       (Striper.undispatched_drops striper);
+                   ]
+                 else []);
                 !reseq_stats ();
               ] )
       | `Mppp ->
@@ -385,8 +491,13 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
       | `Imix -> Stripe_workload.Genpkt.imix ~rng
       | `Fixed -> Stripe_workload.Genpkt.fixed 1000
     in
-    let aggregate = Array.fold_left (fun a c -> a +. c.rate) 0.0 confs in
-    let interval = 700.0 *. 8.0 /. (aggregate *. 0.9) in
+    let fault_actions = List.concat fault_specs in
+    if fault_actions <> [] then !fault_ref fault_actions;
+    (match crash_at, !crash_ref with
+    | Some t, Some reboot -> Fault.crash sim ~at:t reboot
+    | Some _, None ->
+      prerr_endline "warning: --crash-at needs quasi mode with a CFQ scheduler"
+    | None, _ -> ());
     let n_offered =
       match replay_file with
       | Some path ->
@@ -439,6 +550,17 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
       (Reorder.max_displacement sink.reorder);
     Printf.printf "goodput: %.2f Mbps\n"
       (Stripe_metrics.Throughput.mbps sink.goodput);
+    if fault_actions <> [] || crash_at <> None then begin
+      let end_ = Sim.now sim in
+      Printf.printf
+        "availability: %.1f%% of 10 ms slots  longest outage: %.1f ms\n"
+        (100.0
+        *. Stripe_metrics.Recovery.availability sink.recovery ~from_:0.0
+             ~until_:end_ ~bucket:0.01)
+        (1000.0
+        *. Stripe_metrics.Recovery.max_gap sink.recovery ~from_:0.0
+             ~until_:end_)
+    end;
     (match !errors_stop with
     | Some t -> (
       match Stripe_metrics.Recovery.resync_time sink.recovery ~errors_stop:t with
@@ -466,6 +588,7 @@ let cmd =
     Term.(
       ret
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
-       $ markers $ loss_stop $ seed $ replay_file $ trace_out $ trace_format))
+       $ markers $ loss_stop $ seed $ replay_file $ trace_out $ trace_format
+       $ fault_specs $ crash_at $ watchdog_k $ no_auto_suspend))
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,7 @@ type t = {
   max_pkt : int option;
   n : int;
   dcs : int array;
+  susp : bool array;
   mutable ptr : int;
   mutable g : int;
   mutable serving : bool;
@@ -40,6 +41,7 @@ let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ~quanta () =
     max_pkt = max_packet;
     n;
     dcs = Array.make n 0;
+    susp = Array.make n false;
     ptr = 0;
     g = 0;
     serving = false;
@@ -50,6 +52,11 @@ let clone_initial t =
   create ~cost:t.cost_mode ~overdraw:t.overdraw ?max_packet:t.max_pkt
     ~quanta:t.quanta ()
 
+(* Suspension is operational state (the channel is down), not protocol
+   state: a reset barrier rebuilds rounds and DCs but does not revive a
+   dead channel, so [reinit] leaves the flags alone. [clone_initial] does
+   not copy them either — a receiver simulating the sender starts from
+   the algorithmic initial state. *)
 let reinit t =
   Array.fill t.dcs 0 t.n 0;
   t.ptr <- 0;
@@ -89,24 +96,64 @@ let advance t =
     emit t (New_round { round = t.g })
   end
 
+let suspended t c =
+  if c < 0 || c >= t.n then invalid_arg "Deficit.suspended: bad channel";
+  t.susp.(c)
+
+let n_active t =
+  Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 t.susp
+
+let any_active t = Array.exists not t.susp
+
+let suspend t c =
+  if c < 0 || c >= t.n then invalid_arg "Deficit.suspend: bad channel";
+  if not t.susp.(c) then begin
+    t.susp.(c) <- true;
+    (* If the pointer is parked on the channel being suspended, move it
+       on so the next selection never serves a suspended channel. *)
+    if t.ptr = c && any_active t then advance t
+  end
+
+let resume t c =
+  if c < 0 || c >= t.n then invalid_arg "Deficit.resume: bad channel";
+  t.susp.(c) <- false
+
 let rec select t =
   if not t.overdraw then
     invalid_arg "Deficit.select: non-overdraw engine needs select_for";
-  begin_visit t;
-  if t.dcs.(t.ptr) > 0 then t.ptr
-  else begin
+  if not (any_active t) then
+    invalid_arg "Deficit.select: all channels suspended";
+  if t.susp.(t.ptr) then begin
+    (* Suspended channels are passed over without receiving a quantum:
+       their DC freezes until a reset barrier rebuilds the state. *)
     advance t;
     select t
+  end
+  else begin
+    begin_visit t;
+    if t.dcs.(t.ptr) > 0 then t.ptr
+    else begin
+      advance t;
+      select t
+    end
   end
 
 let rec select_for t ~size =
   if t.overdraw then select t
   else begin
-    begin_visit t;
-    if t.dcs.(t.ptr) >= cost_of t size then t.ptr
-    else begin
+    if not (any_active t) then
+      invalid_arg "Deficit.select_for: all channels suspended";
+    if t.susp.(t.ptr) then begin
       advance t;
       select_for t ~size
+    end
+    else begin
+      begin_visit t;
+      if t.dcs.(t.ptr) >= cost_of t size then t.ptr
+      else begin
+        advance t;
+        select_for t ~size
+      end
     end
   end
 

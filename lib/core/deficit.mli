@@ -65,7 +65,34 @@ val clone_initial : t -> t
 val reinit : t -> unit
 (** Reset the engine in place to its initial state (pointer at channel
     0, round 0, all deficit counters 0): the reset step of §5's crash
-    recovery. The hook is kept. *)
+    recovery. The hook is kept, and so are suspension flags — a reset
+    rebuilds protocol state but does not revive a dead channel. *)
+
+val suspend : t -> int -> unit
+(** [suspend t c] removes channel [c] from the rotation: [select] and
+    [select_for] pass over it without granting a quantum, so its load is
+    redistributed across the remaining channels and its DC freezes.
+    Suspension is {e not} part of the simulated protocol state — the
+    receiver cannot infer it from delivered packets — so a sender that
+    suspends and later resumes a channel must resynchronize the receiver
+    with the §5 reset barrier (see {!Striper.resume_channel}). If the
+    pointer is parked on [c], it moves to the next active channel.
+    Idempotent. *)
+
+val resume : t -> int -> unit
+(** Return a suspended channel to the rotation. Its DC is whatever it was
+    at suspension; callers that need a clean slate follow up with
+    {!reinit} (the reset barrier does). Idempotent. *)
+
+val suspended : t -> int -> bool
+
+val n_active : t -> int
+(** Channels not currently suspended. *)
+
+val any_active : t -> bool
+(** [false] iff every channel is suspended, in which case [select] and
+    [select_for] raise [Invalid_argument] — callers must check first and
+    drop the packet instead. *)
 
 val n_channels : t -> int
 val quanta : t -> int array

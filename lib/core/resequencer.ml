@@ -1,6 +1,8 @@
 open Stripe_packet
 module Obs = Stripe_obs
 
+type watchdog = { intervals : int; fallback : float }
+
 type t = {
   d : Deficit.t;
   n : int;
@@ -15,16 +17,36 @@ type t = {
          the receiver reinitializes (crash-recovery barrier, §5). *)
   now : unit -> float;
   sink : Obs.Sink.t;
+  wd : watchdog option;
+  last_rx : float array;  (* Last physical arrival (data or marker). *)
+  last_marker_rx : float array;
+  marker_gap : float array;
+      (* EWMA of the observed inter-marker gap per channel; 0 until two
+         markers have arrived, in which case [wd.fallback] stands in. *)
+  dead : bool array;
   mutable n_data_buffered : int;
   mutable n_delivered : int;
   mutable n_skips : int;
+  mutable n_wd_skips : int;
+  mutable wd_spin : int;
+      (* Watchdog skips since the last delivery / barrier / arrival.
+         Buffered data can be unreachable (e.g. behind a reset marker on
+         a channel whose barrier cannot complete), so skips must be
+         bounded or the scan would spin forever: once a full rotation of
+         skips yields no delivery, the receiver blocks until something
+         new arrives. *)
+  mutable n_deaths : int;
   mutable n_markers : int;
   mutable n_resets : int;
   mutable waiting : int option;
 }
 
 let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
-    ~deliver () =
+    ?watchdog ~deliver () =
+  (match watchdog with
+  | Some w when w.intervals <= 0 || w.fallback <= 0.0 ->
+    invalid_arg "Resequencer.create: watchdog needs intervals > 0, fallback > 0"
+  | Some _ | None -> ());
   let n = Deficit.n_channels deficit in
   {
     d = deficit;
@@ -36,13 +58,58 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     reset_pending = Array.make n false;
     now;
     sink;
+    wd = watchdog;
+    last_rx = Array.make n (now ());
+    last_marker_rx = Array.make n neg_infinity;
+    marker_gap = Array.make n 0.0;
+    dead = Array.make n false;
     n_data_buffered = 0;
     n_delivered = 0;
     n_skips = 0;
+    n_wd_skips = 0;
+    wd_spin = 0;
+    n_deaths = 0;
     n_markers = 0;
     n_resets = 0;
     waiting = None;
   }
+
+(* Marker-cadence watchdog (not part of the paper's protocol, which
+   assumes channels stay up): markers arrive on every live channel with a
+   roughly periodic cadence, so a channel silent for [intervals] estimated
+   marker gaps is declared dead. The check is lazy — evaluated when the
+   scan blocks on the channel — so no periodic timer is required as long
+   as other channels keep the scan moving; [tick] covers the rest. *)
+let expected_gap t w c =
+  if t.marker_gap.(c) > 0.0 then t.marker_gap.(c) else w.fallback
+
+let check_dead t c =
+  match t.wd with
+  | None -> false
+  | Some w ->
+    t.dead.(c)
+    ||
+    let silence = t.now () -. t.last_rx.(c) in
+    silence > float_of_int w.intervals *. expected_gap t w c
+    && begin
+         t.dead.(c) <- true;
+         t.n_deaths <- t.n_deaths + 1;
+         true
+       end
+
+let note_arrival t c ~is_marker =
+  let now = t.now () in
+  t.last_rx.(c) <- now;
+  t.dead.(c) <- false;
+  if is_marker then begin
+    if t.last_marker_rx.(c) > neg_infinity then begin
+      let gap = now -. t.last_marker_rx.(c) in
+      t.marker_gap.(c) <-
+        (if t.marker_gap.(c) > 0.0 then (0.5 *. t.marker_gap.(c)) +. (0.5 *. gap)
+         else gap)
+    end;
+    t.last_marker_rx.(c) <- now
+  end
 
 let apply_marker t (m : Packet.marker) =
   t.n_markers <- t.n_markers + 1;
@@ -84,6 +151,19 @@ let rec absorb_markers t c =
     end
   | Some _ | None -> ()
 
+(* The §5 barrier is complete when the reset marker has arrived on every
+   channel — or, with a watchdog, on every channel not declared dead: a
+   dead channel's marker was lost with the link, and waiting for it would
+   trap everything buffered behind the other channels' reset markers.
+   When the dead channel revives, the sender's resume fires a fresh
+   barrier anyway. *)
+let barrier_complete t =
+  let ok = ref true in
+  for i = 0 to t.n - 1 do
+    if not (t.reset_pending.(i) || check_dead t i) then ok := false
+  done;
+  !ok
+
 (* The receiver's scan: serve the current channel per the simulated
    sender algorithm; skip channels whose marker round is ahead of the
    receiver's global round (condition C1 of §5); block when the packet
@@ -92,13 +172,14 @@ let rec progress t =
   let c = Deficit.current t.d in
   if not t.reset_pending.(c) then absorb_markers t c;
   if t.reset_pending.(c) then begin
-    if Array.for_all Fun.id t.reset_pending then begin
+    if barrier_complete t then begin
       (* Barrier complete: adopt the fresh epoch. *)
       Deficit.reinit t.d;
       Array.fill t.force 0 t.n None;
       Array.fill t.reset_pending 0 t.n false;
       t.n_resets <- t.n_resets + 1;
       t.waiting <- None;
+      t.wd_spin <- 0;
       if Obs.Sink.active t.sink then
         Obs.Sink.emit t.sink
           (Obs.Event.v ~round:t.n_resets ~time:(t.now ())
@@ -148,15 +229,41 @@ let rec progress t =
     else begin
       match Fifo_queue.pop t.buffers.(c) with
       | None ->
-        if t.waiting <> Some c && Obs.Sink.active t.sink then
-          Obs.Sink.emit t.sink
-            (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Block);
-        t.waiting <- Some c (* Block: logical reception waits here. *)
+        if check_dead t c && t.n_data_buffered > 0 && t.wd_spin < t.n then begin
+          (* The watchdog declared [c] dead and other channels hold data:
+             pass the dead channel over instead of blocking forever.
+             Delivery is quasi-FIFO from here until the channel revives
+             (any arrival clears the flag) and a marker — or the sender's
+             reset barrier — resynchronizes the simulation. The
+             [n_data_buffered] guard keeps an all-quiet receiver blocked
+             rather than spinning the scan. *)
+          t.n_wd_skips <- t.n_wd_skips + 1;
+          t.wd_spin <- t.wd_spin + 1;
+          if Obs.Sink.active t.sink then
+            Obs.Sink.emit t.sink
+              (Obs.Event.v ~channel:c ~round:(Deficit.round t.d)
+                 ~time:(t.now ()) Obs.Event.Watchdog_skip);
+          if t.waiting = Some c then begin
+            t.waiting <- None;
+            if Obs.Sink.active t.sink then
+              Obs.Sink.emit t.sink
+                (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Unblock)
+          end;
+          Deficit.advance t.d;
+          progress t
+        end
+        else begin
+          if t.waiting <> Some c && Obs.Sink.active t.sink then
+            Obs.Sink.emit t.sink
+              (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Block);
+          t.waiting <- Some c (* Block: logical reception waits here. *)
+        end
       | Some pkt ->
         if t.waiting = Some c && Obs.Sink.active t.sink then
           Obs.Sink.emit t.sink
             (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Unblock);
         t.waiting <- None;
+        t.wd_spin <- 0;
         t.n_data_buffered <- t.n_data_buffered - 1;
         t.n_delivered <- t.n_delivered + 1;
         if Obs.Sink.active t.sink then
@@ -172,6 +279,8 @@ let rec progress t =
 let receive t ~channel pkt =
   if channel < 0 || channel >= t.n then
     invalid_arg "Resequencer.receive: bad channel";
+  note_arrival t channel ~is_marker:(Packet.is_marker pkt);
+  t.wd_spin <- 0;
   Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
   if not (Packet.is_marker pkt) then begin
     t.n_data_buffered <- t.n_data_buffered + 1;
@@ -182,6 +291,10 @@ let receive t ~channel pkt =
   end;
   progress t
 
+let tick t =
+  t.wd_spin <- 0;
+  progress t
+
 let delivered t = t.n_delivered
 
 let pending t = t.n_data_buffered
@@ -189,6 +302,14 @@ let pending t = t.n_data_buffered
 let blocked_on t = t.waiting
 
 let skips t = t.n_skips
+
+let watchdog_skips t = t.n_wd_skips
+
+let dead_declarations t = t.n_deaths
+
+let channel_dead t c =
+  if c < 0 || c >= t.n then invalid_arg "Resequencer.channel_dead: bad channel";
+  t.dead.(c)
 
 let markers_seen t = t.n_markers
 

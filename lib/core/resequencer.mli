@@ -33,11 +33,30 @@
 
 type t
 
+type watchdog = {
+  intervals : int;
+      (** Declare a channel dead after this many estimated marker
+          intervals of silence. *)
+  fallback : float;
+      (** Marker-interval estimate (seconds) used before the channel's
+          cadence has been observed (fewer than two markers received). *)
+}
+(** Marker-cadence watchdog configuration. The paper assumes member
+    channels stay up; this is the operational extension for total
+    single-channel failure: markers arrive on every live channel at a
+    roughly periodic cadence, so a channel silent for [intervals]
+    estimated marker gaps is declared {e dead}. The scan then passes dead
+    channels over instead of blocking forever — delivery degrades to
+    quasi-FIFO — and any later arrival on the channel revives it, with
+    FIFO restored by the marker rule (or the sender's reset barrier, see
+    {!Striper.resume_channel}). *)
+
 val create :
   deficit:Deficit.t ->
   ?on_credit:(int -> int -> unit) ->
   ?now:(unit -> float) ->
   ?sink:Stripe_obs.Sink.t ->
+  ?watchdog:watchdog ->
   deliver:(channel:int -> Stripe_packet.Packet.t -> unit) ->
   unit ->
   t
@@ -56,7 +75,17 @@ val create :
     constant 0; wire it to the simulator clock). *)
 
 val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
-(** Physical reception of a packet (data or marker) on a channel. *)
+(** Physical reception of a packet (data or marker) on a channel. Also
+    feeds the watchdog: the arrival timestamps the channel (and its
+    marker cadence, for markers) and revives it if it was declared
+    dead. *)
+
+val tick : t -> unit
+(** Re-enter the logical-reception scan without a new arrival. The
+    watchdog's dead-channel check is evaluated lazily when the scan
+    blocks, so normally any arrival on a live channel drives it; [tick]
+    lets a simulator (or a real stack's timer) force the check when no
+    traffic is arriving at all. A no-op when nothing can progress. *)
 
 val delivered : t -> int
 (** Data packets delivered so far. *)
@@ -69,6 +98,17 @@ val blocked_on : t -> int option
 
 val skips : t -> int
 (** Channel visits skipped by the marker rule [r_c > G]. *)
+
+val watchdog_skips : t -> int
+(** Visits of dead channels passed over by the watchdog (each emits a
+    [Watchdog_skip] event). Always 0 without a watchdog. *)
+
+val dead_declarations : t -> int
+(** Times the watchdog declared a channel dead (a revival followed by a
+    new silence counts again). *)
+
+val channel_dead : t -> int -> bool
+(** Whether the watchdog currently considers the channel dead. *)
 
 val markers_seen : t -> int
 

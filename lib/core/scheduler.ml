@@ -7,13 +7,56 @@ type t = {
   choose_fn : Packet.t -> int;
   account_fn : Packet.t -> int -> unit;
   engine : Deficit.t option;
+  susp : bool array;
+      (* Suspension flags for engine-less schedulers; engine-backed ones
+         delegate to the deficit engine, which skips natively. *)
   remake : unit -> t;
 }
 
 let name t = t.sched_name
 let causal t = t.is_causal
 let n_channels t = t.n
-let choose t pkt = t.choose_fn pkt
+
+let suspended t c =
+  if c < 0 || c >= t.n then invalid_arg "Scheduler.suspended: bad channel";
+  match t.engine with
+  | Some d -> Deficit.suspended d c
+  | None -> t.susp.(c)
+
+let has_active t =
+  match t.engine with
+  | Some d -> Deficit.any_active d
+  | None -> Array.exists not t.susp
+
+let suspend_channel t c =
+  if c < 0 || c >= t.n then
+    invalid_arg "Scheduler.suspend_channel: bad channel";
+  match t.engine with
+  | Some d -> Deficit.suspend d c
+  | None -> t.susp.(c) <- true
+
+let resume_channel t c =
+  if c < 0 || c >= t.n then
+    invalid_arg "Scheduler.resume_channel: bad channel";
+  match t.engine with
+  | Some d -> Deficit.resume d c
+  | None -> t.susp.(c) <- false
+
+let choose t pkt =
+  let c = t.choose_fn pkt in
+  match t.engine with
+  | Some _ -> c (* the engine already skips suspended channels *)
+  | None ->
+    if not t.susp.(c) then c
+    else begin
+      (* Non-causal baselines get the simplest redistribution: remap a
+         suspended choice to the next active channel. *)
+      if not (has_active t) then
+        invalid_arg "Scheduler.choose: all channels suspended";
+      let rec probe k = if t.susp.(k mod t.n) then probe (k + 1) else k mod t.n in
+      probe (c + 1)
+    end
+
 let account t pkt c = t.account_fn pkt c
 let deficit t = t.engine
 let reset t = t.remake ()
@@ -44,6 +87,7 @@ let rec make ~name ~causal ~n ~fresh () =
     choose_fn;
     account_fn;
     engine;
+    susp = Array.make n false;
     remake = (fun () -> make ~name ~causal ~n ~fresh ());
   }
 

@@ -56,9 +56,27 @@ val address_hashing : n:int -> t
     channel, so all packets of one flow share a channel. FIFO per flow,
     but no load sharing across packets of a single flow. *)
 
+val suspend_channel : t -> int -> unit
+(** Remove a channel from selection (its member link died or was taken
+    down administratively): CFQ engines skip it in the rotation without
+    granting quanta ({!Deficit.suspend}), redistributing load across the
+    survivors; the non-causal baselines remap any choice of a suspended
+    channel to the next active one. Idempotent. *)
+
+val resume_channel : t -> int -> unit
+(** Return a suspended channel to selection. For CFQ schedulers the
+    sender must follow up with the §5 reset barrier so the receiver can
+    resynchronize — {!Striper.resume_channel} does both. Idempotent. *)
+
+val suspended : t -> int -> bool
+
+val has_active : t -> bool
+(** [false] iff every channel is suspended; {!choose} then raises
+    [Invalid_argument], so dispatchers must check first and drop. *)
+
 val reset : t -> t
 (** A scheduler with the same configuration at its initial state (fresh
-    deficit engine / RNG). *)
+    deficit engine / RNG, no suspensions). *)
 
 val observe : t -> ?now:(unit -> float) -> Stripe_obs.Sink.t -> unit
 (** Route the embedded engine's round transitions to an observability

@@ -10,6 +10,8 @@ type t = {
   mutable n_pushed : int;
   mutable b_pushed : int;
   mutable n_markers : int;
+  mutable n_no_channel : int;
+      (* Data packets dropped because every channel was suspended. *)
   per_chan_packets : int array;
   per_chan_bytes : int array;
   mutable next_mark_round : int;
@@ -38,6 +40,7 @@ let create ~scheduler ?marker ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_pushed = 0;
     b_pushed = 0;
     n_markers = 0;
+    n_no_channel = 0;
     per_chan_packets = Array.make n 0;
     per_chan_bytes = Array.make n 0;
     next_mark_round = 0;
@@ -58,7 +61,10 @@ let emit_marker t policy d channel =
 
 let emit_marker_batch t policy d =
   for c = 0 to Scheduler.n_channels t.sched - 1 do
-    emit_marker t policy d c
+    (* Suspended channels get no markers: they receive no quanta, so
+       [next_stamp] has nothing truthful to say about them, and the reset
+       barrier on resume resynchronizes the receiver anyway. *)
+    if not (Scheduler.suspended t.sched c) then emit_marker t policy d c
   done
 
 (* Round-boundary marker batches: trigger once per marked round. *)
@@ -84,6 +90,17 @@ let mid_round_markers t policy d ~served_channel ~round_of_service =
 let push t pkt =
   if Packet.is_marker pkt then
     invalid_arg "Striper.push: markers are generated internally";
+  if not (Scheduler.has_active t.sched) then begin
+    (* Every channel is suspended: there is nowhere to dispatch to. Drop
+       the packet like a full transmit queue would — counted and
+       observable, never an exception from deep inside a member link. *)
+    t.n_no_channel <- t.n_no_channel + 1;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~size:pkt.Packet.size ~seq:pkt.Packet.seq
+           ~time:(t.now ()) Obs.Event.Txq_drop)
+  end
+  else begin
   (* Select first: for CFQ schedulers this begins the visit, settling the
      round number the packet belongs to. *)
   let c = Scheduler.choose t.sched pkt in
@@ -125,6 +142,7 @@ let push t pkt =
       mid_round_markers t policy d ~served_channel:c ~round_of_service:round_before
   | Some { position = Round_start; _ }, Some _ -> ()
   | Some _, None | None, _ -> ())
+  end
 
 let send_reset t =
   match Scheduler.deficit t.sched with
@@ -154,9 +172,33 @@ let send_reset t =
     t.mid_round <- -1;
     Array.fill t.mid_marked 0 (Array.length t.mid_marked) false
 
+let suspend_channel t c =
+  if not (Scheduler.suspended t.sched c) then begin
+    Scheduler.suspend_channel t.sched c;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Suspend)
+  end
+
+let resume_channel t ?(reset = true) c =
+  if Scheduler.suspended t.sched c then begin
+    Scheduler.resume_channel t.sched c;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Resume);
+    (* The receiver has been simulating a sender that kept granting
+       quanta to the suspended channel — its state is unreconstructible
+       from what was delivered. Rebuild both ends from scratch with the
+       §5 reset barrier. *)
+    if reset && Scheduler.deficit t.sched <> None then send_reset t
+  end
+
+let suspended_channel t c = Scheduler.suspended t.sched c
+
 let pushed_packets t = t.n_pushed
 let pushed_bytes t = t.b_pushed
 let markers_sent t = t.n_markers
+let undispatched_drops t = t.n_no_channel
 let channel_packets t c = t.per_chan_packets.(c)
 let channel_bytes t c = t.per_chan_bytes.(c)
 

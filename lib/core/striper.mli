@@ -36,7 +36,25 @@ val create :
 
 val push : t -> Stripe_packet.Packet.t -> unit
 (** Dispatch one data packet. Raises [Invalid_argument] if handed a
-    marker — markers are generated internally. *)
+    marker — markers are generated internally. If {e every} channel is
+    suspended the packet is dropped instead — counted in
+    {!undispatched_drops} and reported as a [Txq_drop] event with no
+    channel — never an exception. *)
+
+val suspend_channel : t -> int -> unit
+(** Remove a channel from striping (dead member link, administrative
+    down): the scheduler skips it and redistributes its load, marker
+    batches omit it, and a [Suspend] event is emitted. Idempotent. *)
+
+val resume_channel : t -> ?reset:bool -> int -> unit
+(** Return a suspended channel to striping, emitting a [Resume] event.
+    With [reset] (the default) a CFQ striper then runs {!send_reset}:
+    suspension is invisible to the receiver's simulation, so DC/round
+    state must be rebuilt via the §5 reset barrier for FIFO delivery to
+    resume. Pass [~reset:false] only when batching several resumptions
+    before one explicit {!send_reset}. Idempotent. *)
+
+val suspended_channel : t -> int -> bool
 
 val send_reset : t -> unit
 (** Crash-recovery reset (§5): reinitialize the striping state to its
@@ -50,6 +68,10 @@ val send_reset : t -> unit
 val pushed_packets : t -> int
 val pushed_bytes : t -> int
 val markers_sent : t -> int
+
+val undispatched_drops : t -> int
+(** Data packets dropped by {!push} because every channel was
+    suspended. *)
 
 val channel_packets : t -> int -> int
 (** Data packets dispatched to a given channel so far. *)

@@ -35,6 +35,7 @@ type t = {
   mutable draining : bool;
   mutable n_tx : int;
   mutable n_rx : int;
+  mutable n_tx_failures : int;
   mutable n_arp_failures : int;
   mutable n_unclaimed : int;
 }
@@ -55,6 +56,7 @@ let create _sim ~name ~addr ~prefix ~mtu
     draining = false;
     n_tx = 0;
     n_rx = 0;
+    n_tx_failures = 0;
     n_arp_failures = 0;
     n_unclaimed = 0;
   }
@@ -76,7 +78,8 @@ let rx t frame =
 let transmit t frame =
   t.n_tx <- t.n_tx + 1;
   let size = frame_wire_size ~overhead:t.link_overhead frame in
-  ignore (Stripe_netsim.Link.send t.link ~size frame)
+  if not (Stripe_netsim.Link.send t.link ~size frame) then
+    t.n_tx_failures <- t.n_tx_failures + 1
 
 (* Drain the device queue head by head; a head awaiting ARP holds back
    everything behind it (head-of-line, as in a real transmit ring). *)
@@ -110,7 +113,10 @@ let send t frame =
   if not t.draining then drain t
 
 let queue_bytes t = Stripe_netsim.Link.queue_bytes t.link
+let link_up t = Stripe_netsim.Link.is_up t.link
+let on_carrier t f = Stripe_netsim.Link.on_carrier t.link f
 let tx_frames t = t.n_tx
 let rx_frames t = t.n_rx
+let tx_failures t = t.n_tx_failures
 let arp_failures t = t.n_arp_failures
 let unclaimed_frames t = t.n_unclaimed

@@ -66,7 +66,20 @@ val send : t -> frame -> unit
 val queue_bytes : t -> int
 (** Transmit-queue occupancy of the underlying link (for SQF). *)
 
+val link_up : t -> bool
+(** Carrier state of the underlying link. *)
+
+val on_carrier : t -> (up:bool -> unit) -> unit
+(** Subscribe to carrier transitions of the underlying link — the
+    driver's link-state interrupt. {!Stripe_layer} uses this to suspend
+    and resume dead members automatically. *)
+
 val tx_frames : t -> int
 val rx_frames : t -> int
+
+val tx_failures : t -> int
+(** Frames handed to the link that it refused or dropped immediately
+    (transmit queue full, or carrier down). *)
+
 val arp_failures : t -> int
 val unclaimed_frames : t -> int

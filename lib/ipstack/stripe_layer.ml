@@ -16,6 +16,7 @@ type t = {
      protocol logic itself. *)
   rx_envelopes : (int, Ip.t) Hashtbl.t;
   mutable tx_envelope : Ip.t option;
+  auto_suspend : bool;
   mutable n_sent : int;
   mutable n_delivered : int;
 }
@@ -26,7 +27,7 @@ let deliver_ip t ip =
   t.deliver_up ip
 
 let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
-    ~deliver_up () =
+    ?(auto_suspend = true) ?watchdog ~deliver_up () =
   let n = Array.length members in
   if n = 0 then invalid_arg "Stripe_layer.create: no member interfaces";
   if Stripe_core.Scheduler.n_channels scheduler <> n then
@@ -70,7 +71,7 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
         Some
           (Stripe_core.Resequencer.create
              ~deficit:(Stripe_core.Deficit.clone_initial d)
-             ?now ?sink
+             ?now ?sink ?watchdog
              ~deliver:(fun ~channel:_ pkt ->
                let layer = force_self () in
                match Hashtbl.find_opt layer.rx_envelopes pkt.Packet.seq with
@@ -92,11 +93,25 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
       reorder_stats;
       rx_envelopes;
       tx_envelope = None;
+      auto_suspend;
       n_sent = 0;
       n_delivered = 0;
     }
   in
   self := Some layer;
+  (* Dead-member detection: a member's carrier transition suspends or
+     resumes its channel in the striper. Resume fires the §5 reset
+     barrier (see {!Stripe_core.Striper.resume_channel}), so the peer's
+     resequencer resynchronizes. Carrier watchers fire from the fault /
+     link layer, never from inside [Striper.push], so the scheduler is
+     between packets when the suspension lands. *)
+  if auto_suspend then
+    Array.iteri
+      (fun channel m ->
+        Iface.on_carrier m (fun ~up ->
+            if up then Stripe_core.Striper.resume_channel striper channel
+            else Stripe_core.Striper.suspend_channel striper channel))
+      members;
   (* Register receive-side demux on every member. *)
   Array.iteri
     (fun channel m ->
@@ -130,12 +145,26 @@ let send t ip =
   t.n_sent <- t.n_sent + 1;
   t.tx_envelope <- Some ip;
   Stripe_core.Striper.push t.striper ip.Ip.body;
-  t.tx_envelope <- None
+  t.tx_envelope <- None;
+  (* Belt-and-braces tx-failure detection: catch a member that was
+     already down before the carrier watcher was registered (or when the
+     link layer cannot signal carrier). Runs after [push] returns so the
+     scheduler is never mutated mid-dispatch. *)
+  if t.auto_suspend then
+    Array.iteri
+      (fun c m ->
+        if
+          (not (Iface.link_up m))
+          && not (Stripe_core.Striper.suspended_channel t.striper c)
+        then Stripe_core.Striper.suspend_channel t.striper c)
+      t.members
 
 let send_reset t = Stripe_core.Striper.send_reset t.striper
 
 let n_members t = Array.length t.members
 let member_queue_bytes t i = Iface.queue_bytes t.members.(i)
+let member_link_up t i = Iface.link_up t.members.(i)
+let dropped_no_member t = Stripe_core.Striper.undispatched_drops t.striper
 let sent_datagrams t = t.n_sent
 let delivered_datagrams t = t.n_delivered
 let markers_sent t = Stripe_core.Striper.markers_sent t.striper

@@ -24,6 +24,8 @@ val create :
   ?now:(unit -> float) ->
   ?sink:Stripe_obs.Sink.t ->
   ?resequence:bool ->
+  ?auto_suspend:bool ->
+  ?watchdog:Stripe_core.Resequencer.watchdog ->
   deliver_up:(Ip.t -> unit) ->
   unit ->
   t
@@ -34,7 +36,16 @@ val create :
     reception; with [false] arriving datagrams go straight up in physical
     arrival order — the "no logical reception" variants of Figure 15.
     [sink] is handed to the embedded striper and resequencer, so one sink
-    observes the layer's whole send/deliver pipeline. *)
+    observes the layer's whole send/deliver pipeline.
+
+    [auto_suspend] (default [true]) makes the layer watch every member's
+    carrier ({!Iface.on_carrier}): a member going down is suspended in
+    the striper (load moves to the survivors), a member coming back is
+    resumed, which fires the §5 reset barrier to resynchronize the peer.
+    Pass [false] to model a sender that cannot see link state — the
+    receiver-only recovery scenario. [watchdog] configures the
+    resequencer's marker-cadence dead-channel watchdog (see
+    {!Stripe_core.Resequencer.watchdog}). *)
 
 val name : t -> string
 
@@ -43,7 +54,9 @@ val mtu : t -> int
 
 val send : t -> Ip.t -> unit
 (** Stripe one IP datagram. Raises [Invalid_argument] if it exceeds the
-    bundle MTU. *)
+    bundle MTU. When {e every} member is down or suspended the datagram
+    is dropped and counted ({!dropped_no_member}) — the layer never
+    raises for link failures, like a real virtual interface. *)
 
 val send_reset : t -> unit
 (** Emit the §5 crash-recovery reset barrier on every member (see
@@ -57,6 +70,12 @@ val n_members : t -> int
 val member_queue_bytes : t -> int -> int
 (** Transmit queue occupancy of member [i] — the oracle for an SQF
     scheduler over this bundle. *)
+
+val member_link_up : t -> int -> bool
+(** Carrier state of member [i]'s underlying link. *)
+
+val dropped_no_member : t -> int
+(** Datagrams dropped by {!send} because every member was suspended. *)
 
 val sent_datagrams : t -> int
 val delivered_datagrams : t -> int

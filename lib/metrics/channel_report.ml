@@ -5,8 +5,8 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
     Table.create ~title
       ~columns:
         [
-          "ch"; "tx pkts"; "tx bytes"; "delivered"; "dropped"; "txq drop";
-          "skips"; "mk tx"; "mk rx"; "buf hw";
+          "ch"; "tx pkts"; "tx bytes"; "arrived"; "delivered"; "dropped";
+          "txq drop"; "skips"; "wd skip"; "down"; "mk tx"; "mk rx"; "buf hw";
         ]
   in
   for i = 0 to Obs.Counters.n_channels reg - 1 do
@@ -16,10 +16,13 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
         string_of_int i;
         string_of_int c.Obs.Counters.tx_packets;
         string_of_int c.Obs.Counters.tx_bytes;
+        string_of_int c.Obs.Counters.arrivals;
         string_of_int c.Obs.Counters.delivered_packets;
         string_of_int c.Obs.Counters.drops;
         string_of_int c.Obs.Counters.txq_drops;
         string_of_int c.Obs.Counters.skips;
+        string_of_int c.Obs.Counters.watchdog_skips;
+        string_of_int c.Obs.Counters.downs;
         string_of_int c.Obs.Counters.markers_sent;
         string_of_int c.Obs.Counters.markers_applied;
         string_of_int c.Obs.Counters.hw_buffered_packets;
@@ -27,7 +30,12 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
   done;
   tbl
 
-let render ?title reg = Table.render (table ?title reg)
+let render ?title reg =
+  let s = Table.render (table ?title reg) in
+  let no_ch = Obs.Counters.no_channel_drops reg in
+  if no_ch = 0 then s
+  else
+    Printf.sprintf "%s(dropped with every channel suspended: %d)\n" s no_ch
 
 let balance reg =
   let s = Summary.create () in

@@ -6,12 +6,15 @@
     statistics such as load-balance spread). *)
 
 val table : ?title:string -> Stripe_obs.Counters.t -> Table.t
-(** One row per channel: transmitted packets/bytes, logical deliveries,
-    wire and queue drops, marker-rule skips, markers sent/applied, and the
-    high-water resequencing-buffer occupancy. *)
+(** One row per channel: transmitted packets/bytes, physical arrivals,
+    logical deliveries, wire and queue drops, marker-rule and watchdog
+    skips, carrier losses, markers sent/applied, and the high-water
+    resequencing-buffer occupancy. *)
 
 val render : ?title:string -> Stripe_obs.Counters.t -> string
-(** [Table.render] of {!table}. *)
+(** [Table.render] of {!table}, plus a trailing line with the
+    channel-less drop count (packets the sender had no live channel for)
+    when it is non-zero. *)
 
 val balance : Stripe_obs.Counters.t -> Summary.t
 (** Distribution of transmitted bytes across channels — mean/stddev/spread

@@ -43,6 +43,44 @@ let in_order_after t ~time =
   in
   check min_int tail
 
+let first_after t ~time =
+  let rec find = function
+    | [] -> None
+    | (tm, _) :: rest -> if tm >= time then Some tm else find rest
+  in
+  find (log t)
+
+let max_gap t ~from_ ~until_ =
+  if until_ <= from_ then 0.0
+  else begin
+    let rec walk last acc = function
+      | [] -> Stdlib.max acc (until_ -. last)
+      | (tm, _) :: rest ->
+        if tm < from_ then walk last acc rest
+        else if tm > until_ then Stdlib.max acc (until_ -. last)
+        else walk tm (Stdlib.max acc (tm -. last)) rest
+    in
+    walk from_ 0.0 (log t)
+  end
+
+let availability t ~from_ ~until_ ~bucket =
+  if bucket <= 0.0 then
+    invalid_arg "Recovery.availability: bucket must be positive";
+  if until_ <= from_ then 1.0
+  else begin
+    let n = int_of_float (ceil ((until_ -. from_) /. bucket)) in
+    let hit = Array.make n false in
+    List.iter
+      (fun (tm, _) ->
+        if tm >= from_ && tm < until_ then begin
+          let i = int_of_float ((tm -. from_) /. bucket) in
+          if i >= 0 && i < n then hit.(i) <- true
+        end)
+      t.rev_log;
+    let k = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 hit in
+    float_of_int k /. float_of_int n
+  end
+
 let out_of_order_after t ~time =
   let tail = List.filter (fun (tm, _) -> tm > time) (log t) in
   let late = ref 0 in

@@ -22,6 +22,22 @@ val resync_time : t -> errors_stop:float -> float option
     vacuously. If delivery was already in order at [errors_stop], the
     result is [Some 0.]. *)
 
+val first_after : t -> time:float -> float option
+(** Time of the first delivery at or after [time] — e.g. the moment
+    service resumed after a failover, given the instant of the fault. *)
+
+val max_gap : t -> from_:float -> until_:float -> float
+(** Longest interval within [\[from_, until_\]] containing no delivery —
+    the worst service outage the stream experienced in the window. The
+    edges count: time from [from_] to the first delivery in the window,
+    and from the last one to [until_]. [until_ -. from_] when the window
+    saw no delivery at all. *)
+
+val availability : t -> from_:float -> until_:float -> bucket:float -> float
+(** Fraction of [bucket]-second slots of [\[from_, until_)] in which at
+    least one packet was delivered — the availability a failover
+    experiment reports (1.0 = service never paused for a whole bucket). *)
+
 val in_order_after : t -> time:float -> bool
 (** Whether every delivery strictly after [time] arrived in increasing
     [seq] order. *)

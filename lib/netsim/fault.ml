@@ -1,0 +1,159 @@
+(* Fault injection: scheduled and randomized link events, driven through
+   the simulator clock against Link.t values. The module is generic in
+   the link payload type and knows nothing about the protocol stack; the
+   sender-crash hook is a plain closure so the striping layers above can
+   wire their own reboot procedure in. *)
+
+type event =
+  | Down
+  | Up
+  | Rate of float
+  | Burst_loss of { loss : Loss.t; duration : float }
+
+type action = { at : float; channel : int; event : event }
+
+let event_name = function
+  | Down -> "down"
+  | Up -> "up"
+  | Rate r -> Printf.sprintf "rate=%g" r
+  | Burst_loss { duration; _ } -> Printf.sprintf "burst(%gs)" duration
+
+let pp_action fmt a =
+  Format.fprintf fmt "%g: ch%d %s" a.at a.channel (event_name a.event)
+
+let inject sim link ~at event =
+  match event with
+  | Down -> Sim.schedule sim ~at (fun () -> Link.set_up link false)
+  | Up -> Sim.schedule sim ~at (fun () -> Link.set_up link true)
+  | Rate r ->
+    if r <= 0.0 then invalid_arg "Fault.inject: rate must be > 0";
+    Sim.schedule sim ~at (fun () -> Link.set_rate_bps link r)
+  | Burst_loss { loss; duration } ->
+    if duration < 0.0 then invalid_arg "Fault.inject: negative duration";
+    Sim.schedule sim ~at (fun () ->
+        let previous = Link.loss_process link in
+        Link.set_loss link loss;
+        Sim.schedule_after sim ~delay:duration (fun () ->
+            Link.set_loss link previous))
+
+let apply sim ~links schedule =
+  List.iter
+    (fun { at; channel; event } ->
+      if channel < 0 || channel >= Array.length links then
+        invalid_arg
+          (Printf.sprintf "Fault.apply: channel %d out of range" channel);
+      inject sim links.(channel) ~at event)
+    schedule
+
+let down_up sim link ~down_at ~up_at =
+  if up_at < down_at then invalid_arg "Fault.down_up: up_at before down_at";
+  inject sim link ~at:down_at Down;
+  inject sim link ~at:up_at Up
+
+let flap sim link ~first_down ~period ~down_for ~until_ =
+  if period <= 0.0 then invalid_arg "Fault.flap: period must be > 0";
+  if down_for <= 0.0 || down_for >= period then
+    invalid_arg "Fault.flap: down_for must lie within the period";
+  let t = ref first_down in
+  while !t < until_ do
+    down_up sim link ~down_at:!t ~up_at:(!t +. down_for);
+    t := !t +. period
+  done
+
+let crash sim ~at reboot = Sim.schedule sim ~at reboot
+
+(* Alternating exponential up/down holding times per channel: the
+   standard two-state availability model. Every draw comes from [rng], so
+   one seed reproduces the whole schedule. *)
+let random_schedule ~rng ~n_channels ~horizon ~mtbf ~mttr =
+  if n_channels <= 0 then
+    invalid_arg "Fault.random_schedule: n_channels must be positive";
+  if horizon <= 0.0 then
+    invalid_arg "Fault.random_schedule: horizon must be positive";
+  if mtbf <= 0.0 || mttr <= 0.0 then
+    invalid_arg "Fault.random_schedule: mtbf and mttr must be positive";
+  let actions = ref [] in
+  for channel = 0 to n_channels - 1 do
+    let t = ref (Rng.exponential rng ~mean:mtbf) in
+    let up = ref true in
+    while !t < horizon do
+      let event = if !up then Down else Up in
+      actions := { at = !t; channel; event } :: !actions;
+      up := not !up;
+      let hold = Rng.exponential rng ~mean:(if !up then mtbf else mttr) in
+      t := !t +. hold
+    done;
+    (* Never leave a channel down past the horizon: the schedule models
+       transient faults, and soak tests assert recovery after it ends. *)
+    if not !up then actions := { at = horizon; channel; event = Up } :: !actions
+  done;
+  List.sort (fun a b -> compare (a.at, a.channel) (b.at, b.channel)) !actions
+
+(* Spec grammar (for --fault command-line flags):
+
+     CH:EVENT@T[,EVENT@T...]
+
+   with EVENT one of
+     down           carrier loss
+     up             carrier recovery
+     rate=BPS       set the service rate
+     burst=P/DUR    Bernoulli loss probability P for DUR seconds  *)
+let parse_spec s =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_float what v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> fail "bad %s %S in fault spec %S" what v s
+  in
+  let parse_event tok =
+    match String.index_opt tok '@' with
+    | None -> fail "fault event %S lacks an @TIME in %S" tok s
+    | Some i ->
+      let lhs = String.sub tok 0 i in
+      let* at = parse_float "time" (String.sub tok (i + 1) (String.length tok - i - 1)) in
+      let name, arg =
+        match String.index_opt lhs '=' with
+        | None -> (lhs, None)
+        | Some j ->
+          ( String.sub lhs 0 j,
+            Some (String.sub lhs (j + 1) (String.length lhs - j - 1)) )
+      in
+      let* event =
+        match (name, arg) with
+        | "down", None -> Ok Down
+        | "up", None -> Ok Up
+        | "rate", Some v ->
+          let* r = parse_float "rate" v in
+          if r <= 0.0 then fail "rate must be > 0 in %S" s else Ok (Rate r)
+        | "burst", Some v -> (
+          match String.split_on_char '/' v with
+          | [ p; dur ] ->
+            let* p = parse_float "burst probability" p in
+            let* duration = parse_float "burst duration" dur in
+            if p < 0.0 || p > 1.0 then
+              fail "burst probability %g not in [0,1] in %S" p s
+            else if duration < 0.0 then fail "negative burst duration in %S" s
+            else Ok (Burst_loss { loss = Loss.bernoulli ~p; duration })
+          | _ -> fail "burst needs P/DURATION in %S" s)
+        | _ -> fail "unknown fault event %S in %S" lhs s
+      in
+      Ok (at, event)
+  in
+  match String.index_opt s ':' with
+  | None -> fail "fault spec %S lacks a CH: prefix" s
+  | Some i -> (
+    let ch = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt ch with
+    | None -> fail "bad channel %S in fault spec %S" ch s
+    | Some channel ->
+      if channel < 0 then fail "negative channel in fault spec %S" s
+      else
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: rest ->
+            let* at, event = parse_event (String.trim tok) in
+            collect ({ at; channel; event } :: acc) rest
+        in
+        collect [] (String.split_on_char ',' rest))

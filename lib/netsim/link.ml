@@ -7,7 +7,7 @@ type 'a t = {
   prop_delay : float;
   jitter : (Rng.t -> float) option;
   rng : Rng.t;
-  loss : Loss.t;
+  mutable loss : Loss.t;
   txq_capacity_bytes : int option;
   link_mtu : int option;
   obs_channel : int;
@@ -17,12 +17,15 @@ type 'a t = {
   mutable txq_bytes : int;
   mutable serializing : bool;
   mutable last_arrival : float;
+  mutable up : bool;
+  mutable carrier_watchers : (up:bool -> unit) list;
   mutable n_sent : int;
   mutable b_sent : int;
   mutable n_delivered : int;
   mutable b_delivered : int;
   mutable n_lost : int;
   mutable n_txq_drops : int;
+  mutable n_down_drops : int;
 }
 
 let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
@@ -47,12 +50,15 @@ let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
     txq_bytes = 0;
     serializing = false;
     last_arrival = 0.0;
+    up = true;
+    carrier_watchers = [];
     n_sent = 0;
     b_sent = 0;
     n_delivered = 0;
     b_delivered = 0;
     n_lost = 0;
     n_txq_drops = 0;
+    n_down_drops = 0;
   }
 
 let obs_emit t kind ~size =
@@ -74,7 +80,12 @@ let rec start_serialize t =
     Sim.schedule_after t.sim ~delay:ser_time (fun () ->
         t.n_sent <- t.n_sent + 1;
         t.b_sent <- t.b_sent + size;
-        if Loss.drop t.loss t.rng then begin
+        if not t.up then begin
+          (* The carrier vanished while the packet was serializing. *)
+          t.n_down_drops <- t.n_down_drops + 1;
+          obs_emit t Obs.Event.Drop ~size
+        end
+        else if Loss.drop t.loss t.rng then begin
           t.n_lost <- t.n_lost + 1;
           obs_emit t Obs.Event.Drop ~size
         end
@@ -87,10 +98,17 @@ let rec start_serialize t =
           in
           t.last_arrival <- arrival;
           Sim.schedule t.sim ~at:arrival (fun () ->
-              t.n_delivered <- t.n_delivered + 1;
-              t.b_delivered <- t.b_delivered + size;
-              obs_emit t Obs.Event.Arrival ~size;
-              t.deliver payload)
+              if not t.up then begin
+                (* Lost in flight: the link died under the packet. *)
+                t.n_down_drops <- t.n_down_drops + 1;
+                obs_emit t Obs.Event.Drop ~size
+              end
+              else begin
+                t.n_delivered <- t.n_delivered + 1;
+                t.b_delivered <- t.b_delivered + size;
+                obs_emit t Obs.Event.Arrival ~size;
+                t.deliver payload
+              end)
         end;
         start_serialize t)
 
@@ -102,6 +120,14 @@ let send t ~size payload =
       (Printf.sprintf "Link.send: size %d exceeds MTU %d on %s" size m
          t.link_name)
   | Some _ | None -> ());
+  if not t.up then begin
+    (* A downed link drops everything silently — no error propagates to
+       the sender, exactly like a transmit onto a dead interface. *)
+    t.n_down_drops <- t.n_down_drops + 1;
+    obs_emit t Obs.Event.Drop ~size;
+    false
+  end
+  else
   let overflow =
     match t.txq_capacity_bytes with
     | Some cap -> t.txq_bytes + size > cap
@@ -127,6 +153,35 @@ let set_rate_bps t rate =
   if rate <= 0.0 then invalid_arg "Link.set_rate_bps: rate must be > 0";
   t.rate <- rate
 
+let is_up t = t.up
+
+let on_carrier t f = t.carrier_watchers <- t.carrier_watchers @ [ f ]
+
+let set_up t up =
+  if up <> t.up then begin
+    t.up <- up;
+    if not up then begin
+      (* Cable pull: everything waiting in the transmit queue is gone.
+         The packet being serialized (if any) is dropped when its
+         serialization completes, and in-flight packets are dropped at
+         their arrival instant. *)
+      Queue.iter
+        (fun (size, _) ->
+          t.n_down_drops <- t.n_down_drops + 1;
+          obs_emit t Obs.Event.Drop ~size)
+        t.txq;
+      Queue.clear t.txq;
+      t.txq_bytes <- 0
+    end;
+    obs_emit t
+      (if up then Obs.Event.Channel_up else Obs.Event.Channel_down)
+      ~size:(-1);
+    List.iter (fun f -> f ~up) t.carrier_watchers
+  end
+
+let loss_process t = t.loss
+let set_loss t loss = t.loss <- loss
+
 let queue_bytes t = t.txq_bytes
 let queue_packets t = Queue.length t.txq
 let busy t = t.serializing
@@ -136,3 +191,4 @@ let delivered_packets t = t.n_delivered
 let delivered_bytes t = t.b_delivered
 let lost_packets t = t.n_lost
 let txq_drops t = t.n_txq_drops
+let down_drops t = t.n_down_drops

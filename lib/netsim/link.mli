@@ -14,7 +14,16 @@
     A link owns a transmit queue of bounded byte capacity: packets sent
     while the serializer is busy queue up; packets that would overflow the
     queue are dropped at the sender (tail drop), which is how congestion
-    loss arises in the flow-control experiments. *)
+    loss arises in the flow-control experiments.
+
+    A link also models {e carrier}: it starts up, and {!set_up} (driven by
+    the {!Fault} injector) pulls or restores the cable. While down the
+    link drops everything silently — fresh sends, the transmit queue, the
+    packet being serialized, and packets still in flight — exactly the
+    failure mode a striping bundle must survive. Carrier transitions are
+    observable both as [Channel_down]/[Channel_up] events on the sink and
+    through registered {!on_carrier} watchers (the simulated equivalent of
+    a NIC driver's link-state interrupt). *)
 
 type 'a t
 
@@ -67,6 +76,29 @@ val set_rate_bps : 'a t -> float -> unit
 (** Change the service rate for subsequently transmitted packets (models
     the paper's variable-rate ATM PVC). *)
 
+val is_up : 'a t -> bool
+(** Whether the link currently has carrier. Links are created up. *)
+
+val set_up : 'a t -> bool -> unit
+(** [set_up t up] changes the carrier state. Going down flushes the
+    transmit queue (every queued packet is counted in {!down_drops} and
+    reported as a [Drop] event), and packets serializing or in flight are
+    dropped when their completion instant arrives. Transitions emit
+    [Channel_down]/[Channel_up] on the sink and invoke every
+    {!on_carrier} watcher; setting the current state is a no-op. *)
+
+val on_carrier : 'a t -> (up:bool -> unit) -> unit
+(** Register a carrier watcher, called after every {!set_up} transition
+    with the new state. Watchers run in registration order; the striping
+    layer uses this to suspend and resume dead members automatically. *)
+
+val loss_process : 'a t -> Loss.t
+(** The loss process currently applied to transmissions. *)
+
+val set_loss : 'a t -> Loss.t -> unit
+(** Replace the loss process (fault injection: burst-loss episodes swap a
+    harsher process in and the original back afterwards). *)
+
 val queue_bytes : 'a t -> int
 (** Bytes currently waiting in the transmit queue (excluding the packet
     being serialized). Used by the shortest-queue-first baseline. *)
@@ -84,3 +116,8 @@ val delivered_packets : 'a t -> int
 val delivered_bytes : 'a t -> int
 val lost_packets : 'a t -> int
 val txq_drops : 'a t -> int
+
+val down_drops : 'a t -> int
+(** Packets dropped because the link was down: rejected sends, flushed
+    queue entries, and serializations or flights that completed while the
+    carrier was gone. Disjoint from {!lost_packets} and {!txq_drops}. *)

@@ -14,6 +14,11 @@ type channel = {
   mutable buffered_bytes : int;
   mutable hw_buffered_packets : int;
   mutable hw_buffered_bytes : int;
+  mutable downs : int;
+  mutable ups : int;
+  mutable watchdog_skips : int;
+  mutable suspends : int;
+  mutable resumes : int;
 }
 
 type t = {
@@ -21,6 +26,7 @@ type t = {
   mutable resets : int;
   mutable rounds : int;
   mutable n_events : int;
+  mutable no_channel_drops_ : int;
 }
 
 let fresh_channel () =
@@ -40,12 +46,17 @@ let fresh_channel () =
     buffered_bytes = 0;
     hw_buffered_packets = 0;
     hw_buffered_bytes = 0;
+    downs = 0;
+    ups = 0;
+    watchdog_skips = 0;
+    suspends = 0;
+    resumes = 0;
   }
 
 let create ~n =
   if n <= 0 then invalid_arg "Counters.create: n must be positive";
   { chans = Array.init n (fun _ -> fresh_channel ()); resets = 0; rounds = 0;
-    n_events = 0 }
+    n_events = 0; no_channel_drops_ = 0 }
 
 let n_channels t = Array.length t.chans
 
@@ -57,6 +68,7 @@ let channel t c =
 let resets t = t.resets
 let rounds t = t.rounds
 let events_seen t = t.n_events
+let no_channel_drops t = t.no_channel_drops_
 
 let observe t (e : Event.t) =
   t.n_events <- t.n_events + 1;
@@ -83,17 +95,28 @@ let observe t (e : Event.t) =
       c.hw_buffered_bytes <- c.buffered_bytes
   | Event.Drop, Some c -> c.drops <- c.drops + 1
   | Event.Txq_drop, Some c -> c.txq_drops <- c.txq_drops + 1
+  | Event.Txq_drop, None ->
+    (* A [Txq_drop] without a channel is the striper reporting a packet it
+       could not dispatch because every channel was suspended. *)
+    t.no_channel_drops_ <- t.no_channel_drops_ + 1
   | Event.Arrival, Some c -> c.arrivals <- c.arrivals + 1
   | Event.Skip, Some c -> c.skips <- c.skips + 1
   | Event.Marker_sent, Some c -> c.markers_sent <- c.markers_sent + 1
   | Event.Marker_applied, Some c -> c.markers_applied <- c.markers_applied + 1
   | Event.Block, Some c -> c.blocks <- c.blocks + 1
+  | Event.Channel_down, Some c -> c.downs <- c.downs + 1
+  | Event.Channel_up, Some c -> c.ups <- c.ups + 1
+  | Event.Watchdog_skip, Some c -> c.watchdog_skips <- c.watchdog_skips + 1
+  | Event.Suspend, Some c -> c.suspends <- c.suspends + 1
+  | Event.Resume, Some c -> c.resumes <- c.resumes + 1
   | Event.Reset_barrier, _ -> t.resets <- t.resets + 1
   | Event.Round, _ -> if e.round > t.rounds then t.rounds <- e.round
   | Event.Dequeue, _ | Event.Unblock, _ -> ()
   | ( Event.Transmit | Event.Deliver | Event.Enqueue | Event.Drop
-    | Event.Txq_drop | Event.Arrival | Event.Skip | Event.Marker_sent
-    | Event.Marker_applied | Event.Block ), None ->
+    | Event.Arrival | Event.Skip | Event.Marker_sent
+    | Event.Marker_applied | Event.Block | Event.Channel_down
+    | Event.Channel_up | Event.Watchdog_skip | Event.Suspend
+    | Event.Resume ), None ->
     ()
 
 let sink t = Sink.of_fn (observe t)
@@ -104,6 +127,8 @@ let total_tx_bytes = total (fun c -> c.tx_bytes)
 let total_delivered_packets = total (fun c -> c.delivered_packets)
 let total_drops = total (fun c -> c.drops + c.txq_drops)
 let total_skips = total (fun c -> c.skips)
+let total_watchdog_skips = total (fun c -> c.watchdog_skips)
+let total_downs = total (fun c -> c.downs)
 
 let pp fmt t =
   Array.iteri

@@ -27,6 +27,13 @@ type channel = {
   mutable buffered_bytes : int;
   mutable hw_buffered_packets : int;  (** High-water occupancy. *)
   mutable hw_buffered_bytes : int;
+  mutable downs : int;  (** Carrier losses ([Channel_down]). *)
+  mutable ups : int;  (** Carrier recoveries ([Channel_up]). *)
+  mutable watchdog_skips : int;
+      (** Receiver visits skipped by the dead-channel watchdog
+          ([Watchdog_skip]). *)
+  mutable suspends : int;  (** Sender suspensions ([Suspend]). *)
+  mutable resumes : int;  (** Sender resumptions ([Resume]). *)
 }
 
 type t
@@ -53,9 +60,15 @@ val rounds : t -> int
 
 val events_seen : t -> int
 
+val no_channel_drops : t -> int
+(** Packets the sender dropped because every channel was suspended
+    ([Txq_drop] events carrying no channel). *)
+
 val total_tx_bytes : t -> int
 val total_delivered_packets : t -> int
 val total_drops : t -> int
 val total_skips : t -> int
+val total_watchdog_skips : t -> int
+val total_downs : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,11 @@ type kind =
   | Reset_barrier
   | Deliver
   | Round
+  | Channel_down
+  | Channel_up
+  | Watchdog_skip
+  | Suspend
+  | Resume
 
 type t = {
   time : float;
@@ -43,11 +48,17 @@ let kind_name = function
   | Reset_barrier -> "reset_barrier"
   | Deliver -> "deliver"
   | Round -> "round"
+  | Channel_down -> "channel_down"
+  | Channel_up -> "channel_up"
+  | Watchdog_skip -> "watchdog_skip"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
 
 let all_kinds =
   [
     Enqueue; Dequeue; Transmit; Drop; Txq_drop; Arrival; Marker_sent;
     Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
+    Channel_down; Channel_up; Watchdog_skip; Suspend; Resume;
   ]
 
 let kind_of_name s =

@@ -12,18 +12,25 @@
 
     - {b Striper} (sender): [Transmit] (a data packet dispatched to a
       channel, carrying its implicit stamp), [Marker_sent],
-      [Reset_barrier] (a sender reset, [channel = -1]).
+      [Reset_barrier] (a sender reset, [channel = -1]), [Suspend]/[Resume]
+      (a channel administratively removed from / returned to the striping
+      set), and [Txq_drop] with [channel = -1] (a data packet dropped
+      because every channel was suspended).
     - {b Scheduler}: [Round] (the CFQ engine's pointer wrapped; [round] is
       the new round number).
     - {b Link} (wire): [Dequeue] (head-of-line packet starts serializing),
       [Drop] (lost on the wire), [Txq_drop] (rejected by a full transmit
-      queue), [Arrival] (physical arrival at the far end).
+      queue), [Arrival] (physical arrival at the far end), and the carrier
+      transitions [Channel_down]/[Channel_up] (fault injection pulling or
+      restoring the cable).
     - {b Resequencer} (receiver): [Enqueue] (a data packet buffered
       awaiting logical reception), [Marker_applied], [Skip] (channel visit
       skipped by the marker rule [r > G]), [Block]/[Unblock] (logical
       reception waiting on a channel), [Deliver] (logical reception, with
       the receiver's [(round, dc)] stamp), [Reset_barrier] (barrier
-      completed, [round] = completed-barrier count). *)
+      completed, [round] = completed-barrier count), and [Watchdog_skip] (a
+      visit to a channel the marker-cadence watchdog declared dead was
+      skipped without waiting). *)
 
 type kind =
   | Enqueue
@@ -40,6 +47,11 @@ type kind =
   | Reset_barrier
   | Deliver
   | Round
+  | Channel_down
+  | Channel_up
+  | Watchdog_skip
+  | Suspend
+  | Resume
 
 type t = {
   time : float;

@@ -9,6 +9,7 @@ let () =
          Test_rng.suites;
          Test_loss.suites;
          Test_link.suites;
+         Test_fault.suites;
          Test_packet.suites;
          Test_deficit.suites;
          Test_cfq.suites;

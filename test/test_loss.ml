@@ -76,6 +76,58 @@ let test_gilbert_rate_bounds () =
     true
     (abs_float (r -. 0.5) < 0.03)
 
+(* Over a long run the empirical loss rate must converge on the chain's
+   stationary rate: pi_bad = p_g2b / (p_g2b + p_b2g), then
+   rate = (1 - pi_bad) * loss_good + pi_bad * loss_bad. *)
+let test_gilbert_stationary_rate () =
+  let rng = Rng.create 8 in
+  let p_good_to_bad = 0.02 and p_bad_to_good = 0.1 in
+  let loss_good = 0.01 and loss_bad = 0.8 in
+  let g = Loss.gilbert ~p_good_to_bad ~p_bad_to_good ~loss_good ~loss_bad in
+  let pi_bad = p_good_to_bad /. (p_good_to_bad +. p_bad_to_good) in
+  let expect = ((1.0 -. pi_bad) *. loss_good) +. (pi_bad *. loss_bad) in
+  let r = rate g rng 100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.4f near stationary %.4f" r expect)
+    true
+    (abs_float (r -. expect) < 0.02)
+
+(* With loss_bad = 1 and loss_good = 0, loss runs coincide with bad-state
+   sojourns, which are geometric with mean 1/p_bad_to_good: the mean must
+   sit near it and the length histogram must decay. *)
+let test_gilbert_burst_length_distribution () =
+  let rng = Rng.create 9 in
+  let g =
+    Loss.gilbert ~p_good_to_bad:0.05 ~p_bad_to_good:0.25 ~loss_good:0.0
+      ~loss_bad:1.0
+  in
+  let hist = Hashtbl.create 16 in
+  let cur = ref 0 in
+  let close_run () =
+    if !cur > 0 then begin
+      Hashtbl.replace hist !cur
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist !cur));
+      cur := 0
+    end
+  in
+  for _ = 1 to 200_000 do
+    if Loss.drop g rng then incr cur else close_run ()
+  done;
+  close_run ();
+  let runs = Hashtbl.fold (fun _ c acc -> acc + c) hist 0 in
+  let losses = Hashtbl.fold (fun len c acc -> acc + (len * c)) hist 0 in
+  let mean = float_of_int losses /. float_of_int (max 1 runs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean burst %.2f in [3, 5] (1/p_bad_to_good = 4)" mean)
+    true
+    (mean > 3.0 && mean < 5.0);
+  let count len = Option.value ~default:0 (Hashtbl.find_opt hist len) in
+  Alcotest.(check bool)
+    (Printf.sprintf "geometric decay: %d singles > %d of length 4" (count 1)
+       (count 4))
+    true
+    (count 1 > count 4)
+
 let test_deterministic_every () =
   let rng = Rng.create 6 in
   let p = Loss.deterministic_every 3 in
@@ -104,6 +156,10 @@ let suites =
         Alcotest.test_case "bernoulli validation" `Quick test_bernoulli_validation;
         Alcotest.test_case "gilbert burstiness" `Quick test_gilbert_burstiness;
         Alcotest.test_case "gilbert rate" `Quick test_gilbert_rate_bounds;
+        Alcotest.test_case "gilbert stationary rate" `Quick
+          test_gilbert_stationary_rate;
+        Alcotest.test_case "gilbert burst lengths" `Quick
+          test_gilbert_burst_length_distribution;
         Alcotest.test_case "deterministic every" `Quick test_deterministic_every;
         Alcotest.test_case "deterministic n=1" `Quick test_deterministic_every_one;
         Alcotest.test_case "deterministic validation" `Quick
