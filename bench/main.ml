@@ -15,6 +15,7 @@ let experiments =
     ("grr-worst", fun () -> Exp_grr_worst.run ());
     ("resync-loss", fun () -> Exp_resync.run_e1 ());
     ("failover", fun () -> Exp_failover.run ());
+    ("impair", fun () -> Exp_impair.run ());
     ("marker-freq", fun () -> Exp_resync.run_e2 ());
     ("marker-pos", fun () -> Exp_resync.run_e3 ());
     ("credit", fun () -> Exp_credit.run ());

@@ -162,6 +162,67 @@ let fault_specs =
            loss probability P for DUR seconds). Example: \
            $(b,1:down@0.5,up@1.5). Repeatable.")
 
+let impair_conv =
+  Arg.conv
+    ( (fun s ->
+        match Impair.parse_spec s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg e)),
+      fun fmt (ch, imp) -> Format.fprintf fmt "%d:%a" ch Impair.pp imp )
+
+let impair_specs =
+  Arg.(
+    value
+    & opt_all impair_conv []
+    & info [ "impair" ] ~docv:"SPEC"
+        ~doc:
+          "Impair a channel inside its FIFO contract: \
+           $(b,CH:reorder=P/WINDOW,dup=P,corrupt=P) gives each packet on \
+           channel CH probability P of an unclamped extra delay uniform in \
+           [0,WINDOW] seconds (breaking FIFO), of being delivered twice, \
+           and of wire corruption. Example: \
+           $(b,1:reorder=0.2/0.01,dup=0.05,corrupt=0.01). Repeatable. \
+           $(b,--loss-stop) also stops impairments.")
+
+let guard_window =
+  Arg.(
+    value
+    & opt ~vopt:(Some 32) (some int) None
+    & info [ "guard" ] ~docv:"WINDOW"
+        ~doc:
+          "Enable the receiver channel guard: per-channel sequence tags \
+           (out of band of the payload) discard duplicates and restore \
+           FIFO within a window of $(docv) held packets (default 32) \
+           before the resequencer sees the stream. Quasi mode with a CFQ \
+           scheduler only.")
+
+let rx_buffer =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rx-buffer" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the resequencer's buffered data bytes across all \
+           channels (default: unbounded). Overflow behavior is set by \
+           $(b,--overflow-policy). Quasi mode only.")
+
+let overflow_policy =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("drop-newest", Resequencer.Drop_newest);
+             ("force-flush", Resequencer.Force_flush);
+           ])
+        Resequencer.Drop_newest
+    & info [ "overflow-policy" ] ~docv:"POLICY"
+        ~doc:
+          "What a full $(b,--rx-buffer) does to an arriving data packet: \
+           $(b,drop-newest) refuses it (a tail-drop loss the marker \
+           machinery recovers from), $(b,force-flush) evicts buffered \
+           data quasi-FIFO to make room, keeping the freshest data.")
+
 let crash_at =
   Arg.(
     value
@@ -213,8 +274,9 @@ let sink_deliver sink sim pkt =
     ~bytes:pkt.Packet.size
 
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
-    loss_stop seed replay_file trace_out trace_format fault_specs crash_at
-    watchdog_k no_auto_suspend =
+    loss_stop seed replay_file trace_out trace_format fault_specs
+    impair_specs guard_window rx_buffer overflow_policy crash_at watchdog_k
+    no_auto_suspend =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
@@ -272,15 +334,37 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
        trigger them. *)
     let fault_ref = ref (fun (_ : Fault.action list) -> ()) in
     let crash_ref = ref None in
+    let impairs = impair_specs in
+    List.iter
+      (fun (c, _) ->
+        if c >= n then
+          Printf.eprintf "warning: --impair names channel %d of %d\n%!" c n)
+      impairs;
+    let impair_for i =
+      List.fold_left
+        (fun acc (c, imp) -> if c = i then imp else acc)
+        Impair.none impairs
+    in
+    let clear_impair = ref (fun () -> ()) in
+    let stop_errors () =
+      lossy := false;
+      !clear_impair ()
+    in
+    (* End-of-run hook (e.g. flushing the channel guard's held packets
+       once no more arrivals can fill their gaps). *)
+    let finish_ref = ref (fun () -> ()) in
     (* The wire: mode-specific payloads share polymorphic links via a
-       variant. *)
-    let make_links receive =
+       variant. Each link draws from its own split of the master RNG, so
+       the whole run — loss, jitter, impairments — reproduces from one
+       --seed. *)
+    let make_links ?corrupt receive =
       let links =
         Array.mapi
           (fun i conf ->
             Link.create sim
               ~name:(Printf.sprintf "ch%d" i)
               ~rate_bps:conf.rate ~prop_delay:conf.delay ~channel:i
+              ~rng:(Rng.split rng) ~impair:(impair_for i) ?corrupt
               ~sink:obs_sink
               ~deliver:(fun (is_marker, payload) ->
                 let dropped =
@@ -300,6 +384,9 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           confs
       in
       fault_ref := (fun schedule -> Fault.apply sim ~links schedule);
+      clear_impair :=
+        (fun () ->
+          Array.iter (fun l -> Link.set_impairments l Impair.none) links);
       links
     in
     (* Per-mode plumbing returns: push, describe (extra stats lines). *)
@@ -310,9 +397,39 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         if Obs.Sink.active obs_sink then
           Scheduler.observe scheduler ~now:(fun () -> Sim.now sim) obs_sink;
         let receive_cell = ref (fun _ _ -> ()) in
-        let links = make_links (fun i pkt -> !receive_cell i pkt) in
+        (* The wire payload carries the guard's out-of-band tag next to
+           the packet (-1 when the guard is off). The corrupt hook models
+           damage the link CRC missed: only marker payloads are mangled —
+           that is the damage the protocol-level checksum exists to
+           catch; corrupted data is CRC-dropped like loss. *)
+        let mangle_rng = Rng.split rng in
+        let corrupt =
+          if List.exists (fun (_, imp) -> imp.Impair.corrupt_p > 0.0) impairs
+          then
+            Some
+              (fun (is_m, (tag, pkt)) ->
+                if is_m then
+                  Some
+                    ( is_m,
+                      ( tag,
+                        Packet.mangle_marker
+                          ~salt:(Rng.int mangle_rng 0x3fffffff)
+                          pkt ) )
+                else None)
+          else None
+        in
+        let links = make_links ?corrupt (fun i pkt -> !receive_cell i pkt) in
         let deliver pkt = sink_deliver sink sim pkt in
         let reseq_stats = ref (fun () -> []) in
+        let guard_tx =
+          match mode, engine_opt, guard_window with
+          | `Quasi, Some _, Some _ -> Some (Channel_guard.Tx.create ~n)
+          | _, _, Some _ ->
+            prerr_endline
+              "warning: --guard needs quasi mode with a CFQ scheduler";
+            None
+          | _, _, None -> None
+        in
         (match mode, engine_opt with
         | `Quasi, Some e ->
           let watchdog =
@@ -329,32 +446,91 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                 })
               watchdog_k
           in
+          let pressure_episodes = ref 0 in
           let r =
             Resequencer.create ~deficit:(Deficit.clone_initial e)
               ~now:(fun () -> Sim.now sim)
-              ~sink:obs_sink ?watchdog
+              ~sink:obs_sink ?watchdog ?budget_bytes:rx_buffer
+              ~overflow:overflow_policy
+              ~on_pressure:(fun ~high ->
+                if high then incr pressure_episodes)
               ~deliver:(fun ~channel:_ pkt -> deliver pkt)
               ()
           in
-          receive_cell := (fun i pkt -> Resequencer.receive r ~channel:i pkt);
+          let guard =
+            match guard_tx with
+            | Some _ ->
+              let w = Option.value guard_window ~default:32 in
+              Some
+                (Channel_guard.create ~n ~window:w
+                   ~now:(fun () -> Sim.now sim)
+                   ~sink:obs_sink
+                   ~deliver:(fun ~channel pkt ->
+                     Resequencer.receive r ~channel pkt)
+                   ())
+            | None -> None
+          in
+          (match guard with
+          | Some g ->
+            receive_cell :=
+              (fun i (tag, pkt) ->
+                Channel_guard.receive g ~channel:i ~tag pkt);
+            finish_ref := (fun () -> Channel_guard.flush g)
+          | None ->
+            receive_cell :=
+              (fun i (_tag, pkt) -> Resequencer.receive r ~channel:i pkt));
           reseq_stats :=
             (fun () ->
               [
                 Printf.sprintf
                   "resequencer: skips=%d wd-skips=%d dead-declared=%d \
-                   buffered-high-water=%d pkts"
+                   round-realigns=%d buffered-high-water=%d pkts"
                   (Resequencer.skips r)
                   (Resequencer.watchdog_skips r)
                   (Resequencer.dead_declarations r)
+                  (Resequencer.round_realigns r)
                   (Resequencer.buffer_high_water_packets r);
-              ])
+              ]
+              @ (match rx_buffer with
+                | Some b ->
+                  [
+                    Printf.sprintf
+                      "rx-buffer: budget=%dB max-buffered=%dB overflows=%d \
+                       dropped=%d forced=%d pressure-episodes=%d"
+                      b
+                      (Resequencer.max_buffered_bytes r)
+                      (Resequencer.overflows r)
+                      (Resequencer.overflow_drops r)
+                      (Resequencer.forced_deliveries r)
+                      !pressure_episodes;
+                  ]
+                | None -> [])
+              @ (if Resequencer.corrupt_marker_discards r > 0 then
+                   [
+                     Printf.sprintf "corrupt markers discarded: %d"
+                       (Resequencer.corrupt_marker_discards r);
+                   ]
+                 else [])
+              @ (match guard with
+                | Some g ->
+                  [
+                    Printf.sprintf
+                      "guard: dup-discards=%d reorder-restores=%d \
+                       corrupt-discards=%d max-held=%d pkts"
+                      (Channel_guard.dup_discards g)
+                      (Channel_guard.reorder_restores g)
+                      (Channel_guard.corrupt_discards g)
+                      (Channel_guard.max_held_packets g);
+                  ]
+                | None -> []))
         | `Seq, _ ->
           let r =
             Seq_resequencer.create
               ?deficit:(Option.map Deficit.clone_initial engine_opt)
               ~n_channels:n ~deliver ()
           in
-          receive_cell := (fun i pkt -> Seq_resequencer.receive r ~channel:i pkt);
+          receive_cell :=
+            (fun i (_tag, pkt) -> Seq_resequencer.receive r ~channel:i pkt);
           reseq_stats :=
             (fun () ->
               [
@@ -365,7 +541,8 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
               ])
         | (`Quasi | `None), _ ->
           receive_cell :=
-            (fun _ pkt -> if not (Packet.is_marker pkt) then deliver pkt)
+            (fun _ (_tag, pkt) ->
+              if not (Packet.is_marker pkt) then deliver pkt)
         | (`Mppp | `Fragment), _ -> assert false (* handled below *));
         let striper =
           Striper.create ~scheduler
@@ -377,9 +554,14 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
             ~now:(fun () -> Sim.now sim)
             ~sink:obs_sink
             ~emit:(fun ~channel pkt ->
+              let tag =
+                match guard_tx with
+                | Some tx -> Channel_guard.Tx.next_tag tx ~channel
+                | None -> -1
+              in
               ignore
                 (Link.send links.(channel) ~size:pkt.Packet.size
-                   (Packet.is_marker pkt, pkt)))
+                   (Packet.is_marker pkt, (tag, pkt))))
             ()
         in
         (* Sender-side failure detection: carrier transitions suspend /
@@ -421,6 +603,19 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                      Printf.sprintf "dropped with no live channel: %d"
                        (Striper.undispatched_drops striper);
                    ]
+                 else []);
+                (if impairs <> [] then begin
+                   let sum f = Array.fold_left (fun a l -> a + f l) 0 links in
+                   [
+                     Printf.sprintf
+                       "impairments: reordered=%d duplicated=%d corrupted=%d \
+                        crc-dropped=%d"
+                       (sum Link.reordered_packets)
+                       (sum Link.duplicated_packets)
+                       (sum Link.corrupted_packets)
+                       (sum Link.corrupt_drops);
+                   ]
+                 end
                  else []);
                 !reseq_stats ();
               ] )
@@ -512,7 +707,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                   when float_of_int (i + 1) >= frac *. float_of_int n
                        && !errors_stop = None ->
                   errors_stop := Some (Sim.now sim);
-                  lossy := false
+                  stop_errors ()
                 | Some _ | None -> ()))
           entries;
         n
@@ -527,7 +722,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
               when float_of_int !seq >= frac *. float_of_int n_packets
                    && !errors_stop = None ->
               errors_stop := Some (Sim.now sim);
-              lossy := false
+              stop_errors ()
             | Some _ | None -> ());
             Sim.schedule_after sim ~delay:interval tick
           end
@@ -536,6 +731,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         n_packets
     in
     Sim.run sim;
+    !finish_ref ();
     Printf.printf "channels: %d  packets: %d  mode: %s\n" n n_offered
       (match mode with
       | `Quasi -> "quasi-FIFO (logical reception + markers)"
@@ -589,6 +785,7 @@ let cmd =
       ret
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
        $ markers $ loss_stop $ seed $ replay_file $ trace_out $ trace_format
-       $ fault_specs $ crash_at $ watchdog_k $ no_auto_suspend))
+       $ fault_specs $ impair_specs $ guard_window $ rx_buffer
+       $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend))
 
 let () = exit (Cmd.eval cmd)

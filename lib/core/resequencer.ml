@@ -3,10 +3,22 @@ module Obs = Stripe_obs
 
 type watchdog = { intervals : int; fallback : float }
 
+type overflow =
+  | Drop_newest
+  | Force_flush
+
 type t = {
   d : Deficit.t;
   n : int;
   buffers : Packet.t Fifo_queue.t array;
+  budget : int option;
+      (* Byte budget across the per-channel buffers, counting data
+         packets only: markers are tiny, bounded in number by the marker
+         cadence, and carry the resynchronization state — rejecting one
+         to save 36 bytes could cost a whole marker interval of
+         quasi-FIFO delivery, so they are always accepted. *)
+  overflow : overflow;
+  on_pressure : (high:bool -> unit) option;
   force : Deficit.stamp option array;
       (* Pending marker state per channel: the (round, DC) of the next
          data packet, to be enforced when the scan reaches that round. *)
@@ -39,19 +51,53 @@ type t = {
   mutable n_markers : int;
   mutable n_resets : int;
   mutable waiting : int option;
+  mutable data_bytes : int;  (* Data bytes currently buffered. *)
+  mutable max_data_bytes : int;
+  mutable pressure : bool;
+  mutable force_need : int;
+      (* > 0 while a Force_flush eviction is in progress: the scan turns
+         blocks into bounded forced skips until this many bytes fit under
+         the budget. *)
+  mutable n_overflows : int;
+  mutable n_overflow_drops : int;
+  mutable n_forced_deliveries : int;
+  mutable n_corrupt_markers : int;
+  mutable round_lag : int;
+      (* Translation between the sender's round numbering and the
+         receiver's global round [G]. Zero in normal operation: the scan
+         can only lag the sender (blocks and C1 skips), never lead, and
+         markers re-pin under [r >= G]. Forced skips (Force_flush) and
+         watchdog skips break that invariant — they advance [G] without
+         consuming the sender's schedule, so [G] can run {e ahead} and
+         every later marker arrives with [r < G]. Pinning such markers
+         verbatim anchors each channel at a different phase and the
+         simulated interleave stays scrambled forever. Instead, marker
+         rounds are compared as [r + round_lag]; when a marker still pins
+         below [G] the lag is re-anchored to [G - r], which is consistent
+         across channels because the sender's rounds are one global
+         sequence. *)
+  mutable n_realigns : int;
 }
 
 let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
-    ?watchdog ~deliver () =
+    ?watchdog ?budget_bytes ?(overflow = Drop_newest) ?on_pressure ~deliver ()
+    =
   (match watchdog with
   | Some w when w.intervals <= 0 || w.fallback <= 0.0 ->
     invalid_arg "Resequencer.create: watchdog needs intervals > 0, fallback > 0"
+  | Some _ | None -> ());
+  (match budget_bytes with
+  | Some b when b <= 0 ->
+    invalid_arg "Resequencer.create: budget_bytes must be positive"
   | Some _ | None -> ());
   let n = Deficit.n_channels deficit in
   {
     d = deficit;
     n;
     buffers = Array.init n (fun _ -> Fifo_queue.create ());
+    budget = budget_bytes;
+    overflow;
+    on_pressure;
     force = Array.make n None;
     deliver;
     on_credit;
@@ -72,7 +118,33 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_markers = 0;
     n_resets = 0;
     waiting = None;
+    data_bytes = 0;
+    max_data_bytes = 0;
+    pressure = false;
+    force_need = 0;
+    n_overflows = 0;
+    n_overflow_drops = 0;
+    n_forced_deliveries = 0;
+    n_corrupt_markers = 0;
+    round_lag = 0;
+    n_realigns = 0;
   }
+
+(* Backpressure with hysteresis: raise above 3/4 of the budget, clear
+   below 1/2, so a flow controller toggles once per congestion episode
+   rather than on every packet near the threshold. *)
+let update_pressure t =
+  match t.budget with
+  | None -> ()
+  | Some b ->
+    if (not t.pressure) && t.data_bytes * 4 > b * 3 then begin
+      t.pressure <- true;
+      match t.on_pressure with Some f -> f ~high:true | None -> ()
+    end
+    else if t.pressure && t.data_bytes * 2 < b then begin
+      t.pressure <- false;
+      match t.on_pressure with Some f -> f ~high:false | None -> ()
+    end
 
 (* Marker-cadence watchdog (not part of the paper's protocol, which
    assumes channels stay up): markers arrive on every live channel with a
@@ -111,11 +183,12 @@ let note_arrival t c ~is_marker =
     t.last_marker_rx.(c) <- now
   end
 
-let apply_marker t (m : Packet.marker) =
+(* The stamp is recorded for the channel whose buffer the marker was
+   drawn from, not [m.m_channel]: the arrival port is ground truth (a
+   real receiver knows which wire a packet came in on), whereas the
+   payload field could in principle be damaged in flight. *)
+let apply_marker t c (m : Packet.marker) =
   t.n_markers <- t.n_markers + 1;
-  let c = m.m_channel in
-  if c < 0 || c >= t.n then
-    invalid_arg "Resequencer: marker names an unknown channel";
   t.force.(c) <- Some { Deficit.round = m.m_round; dc = m.m_dc };
   if Obs.Sink.active t.sink then
     Obs.Sink.emit t.sink
@@ -146,7 +219,7 @@ let rec absorb_markers t c =
     end
     else begin
       ignore (Fifo_queue.pop t.buffers.(c));
-      apply_marker t m;
+      apply_marker t c m;
       absorb_markers t c
     end
   | Some _ | None -> ()
@@ -164,6 +237,19 @@ let barrier_complete t =
   done;
   !ok
 
+(* Enforce a marker's stamp on its channel. If the stamp still pins
+   below [G] after translation, the scan has over-advanced (forced or
+   watchdog skips): re-anchor [round_lag] so this marker — and every
+   later one, on any channel — pins at a consistent phase. *)
+let pin_marker t c (s : Deficit.stamp) =
+  let g = Deficit.round t.d in
+  if s.Deficit.round + t.round_lag < g then begin
+    t.round_lag <- g - s.Deficit.round;
+    t.n_realigns <- t.n_realigns + 1
+  end;
+  Deficit.set_dc t.d c s.Deficit.dc;
+  t.force.(c) <- None
+
 (* The receiver's scan: serve the current channel per the simulated
    sender algorithm; skip channels whose marker round is ahead of the
    receiver's global round (condition C1 of §5); block when the packet
@@ -180,6 +266,7 @@ let rec progress t =
       t.n_resets <- t.n_resets + 1;
       t.waiting <- None;
       t.wd_spin <- 0;
+      t.round_lag <- 0;
       if Obs.Sink.active t.sink then
         Obs.Sink.emit t.sink
           (Obs.Event.v ~round:t.n_resets ~time:(t.now ())
@@ -194,7 +281,7 @@ let rec progress t =
   end
   else
     match t.force.(c) with
-  | Some s when s.Deficit.round > Deficit.round t.d ->
+  | Some s when s.Deficit.round + t.round_lag > Deficit.round t.d ->
     (* We lost packets on [c] and arrived "too early": skip it this round
        and wait for our round number to catch up with the marker's. *)
     t.n_skips <- t.n_skips + 1;
@@ -211,16 +298,14 @@ let rec progress t =
        | Some s ->
          (* The marker gives the authoritative DC for serving the next
             data packet, superseding our simulated value. *)
-         Deficit.set_dc t.d c s.Deficit.dc;
-         t.force.(c) <- None
+         pin_marker t c s
        | None -> ()
      end
      else
        match force_state with
-       | Some s when s.Deficit.round <= Deficit.round t.d ->
+       | Some s when s.Deficit.round + t.round_lag <= Deficit.round t.d ->
          (* Mid-visit correction within the same round. *)
-         Deficit.set_dc t.d c s.Deficit.dc;
-         t.force.(c) <- None
+         pin_marker t c s
        | Some _ | None -> ());
     if Deficit.dc t.d c <= 0 then begin
       Deficit.advance t.d;
@@ -229,20 +314,27 @@ let rec progress t =
     else begin
       match Fifo_queue.pop t.buffers.(c) with
       | None ->
-        if check_dead t c && t.n_data_buffered > 0 && t.wd_spin < t.n then begin
-          (* The watchdog declared [c] dead and other channels hold data:
-             pass the dead channel over instead of blocking forever.
-             Delivery is quasi-FIFO from here until the channel revives
-             (any arrival clears the flag) and a marker — or the sender's
-             reset barrier — resynchronizes the simulation. The
+        let forced = t.force_need > 0 in
+        if
+          (forced || check_dead t c)
+          && t.n_data_buffered > 0
+          && t.wd_spin < t.n
+        then begin
+          (* The watchdog declared [c] dead and other channels hold data
+             — or a Force_flush eviction needs buffered data out {e now}:
+             pass the channel over instead of blocking. Delivery is
+             quasi-FIFO from here until a marker — or the sender's reset
+             barrier — resynchronizes the simulation. The
              [n_data_buffered] guard keeps an all-quiet receiver blocked
              rather than spinning the scan. *)
-          t.n_wd_skips <- t.n_wd_skips + 1;
           t.wd_spin <- t.wd_spin + 1;
-          if Obs.Sink.active t.sink then
-            Obs.Sink.emit t.sink
-              (Obs.Event.v ~channel:c ~round:(Deficit.round t.d)
-                 ~time:(t.now ()) Obs.Event.Watchdog_skip);
+          if not forced then begin
+            t.n_wd_skips <- t.n_wd_skips + 1;
+            if Obs.Sink.active t.sink then
+              Obs.Sink.emit t.sink
+                (Obs.Event.v ~channel:c ~round:(Deficit.round t.d)
+                   ~time:(t.now ()) Obs.Event.Watchdog_skip)
+          end;
           if t.waiting = Some c then begin
             t.waiting <- None;
             if Obs.Sink.active t.sink then
@@ -265,6 +357,13 @@ let rec progress t =
         t.waiting <- None;
         t.wd_spin <- 0;
         t.n_data_buffered <- t.n_data_buffered - 1;
+        t.data_bytes <- t.data_bytes - pkt.Packet.size;
+        (match t.budget with
+        | Some b when t.force_need > 0 && t.data_bytes + t.force_need <= b ->
+          (* The eviction freed enough room; resume normal blocking. *)
+          t.force_need <- 0
+        | Some _ | None -> ());
+        update_pressure t;
         t.n_delivered <- t.n_delivered + 1;
         if Obs.Sink.active t.sink then
           Obs.Sink.emit t.sink
@@ -276,20 +375,137 @@ let rec progress t =
         progress t
     end
 
+(* Fallback eviction for data the scan cannot reach — e.g. buffered
+   behind a reset marker whose barrier cannot complete. Pops the head of
+   the byte-fullest buffer: a marker popped this way is absorbed normally
+   (its stamp still re-pins the simulation); data is delivered out of
+   scan order — quasi-FIFO at its worst, but memory-bounded. Returns
+   whether anything was evicted. *)
+let hard_pop t =
+  let ci = ref (-1) and best = ref (-1) in
+  for i = 0 to t.n - 1 do
+    if not (Fifo_queue.is_empty t.buffers.(i)) then begin
+      let b = Fifo_queue.bytes t.buffers.(i) in
+      if b > !best then begin
+        best := b;
+        ci := i
+      end
+    end
+  done;
+  if !ci < 0 then false
+  else
+    match Fifo_queue.pop t.buffers.(!ci) with
+    | None -> false
+    | Some pkt ->
+      let c = !ci in
+      (if Packet.is_marker pkt then begin
+         let m = Packet.get_marker pkt in
+         if m.Packet.m_reset then begin
+           t.n_markers <- t.n_markers + 1;
+           t.reset_pending.(c) <- true;
+           if Obs.Sink.active t.sink then
+             Obs.Sink.emit t.sink
+               (Obs.Event.v ~channel:c ~round:m.Packet.m_round
+                  ~dc:m.Packet.m_dc ~time:(t.now ())
+                  Obs.Event.Marker_applied)
+         end
+         else apply_marker t c m
+       end
+       else begin
+         t.n_data_buffered <- t.n_data_buffered - 1;
+         t.data_bytes <- t.data_bytes - pkt.Packet.size;
+         t.n_delivered <- t.n_delivered + 1;
+         t.n_forced_deliveries <- t.n_forced_deliveries + 1;
+         if Obs.Sink.active t.sink then
+           Obs.Sink.emit t.sink
+             (Obs.Event.v ~channel:c ~size:pkt.Packet.size
+                ~seq:pkt.Packet.seq ~time:(t.now ()) Obs.Event.Deliver);
+         t.deliver ~channel:c pkt;
+         update_pressure t
+       end);
+      true
+
+(* Force_flush eviction: make [need] bytes fit under the budget. First
+   let the scan drain quasi-FIFO (blocks become bounded forced skips via
+   [force_need]); whatever the scan cannot reach is evicted by
+   [hard_pop]. Terminates: every iteration either frees enough room or
+   removes at least one buffered packet. *)
+let force_room t ~need ~budget =
+  let continue = ref true in
+  while !continue && t.data_bytes + need > budget && t.n_data_buffered > 0 do
+    t.force_need <- need;
+    t.wd_spin <- 0;
+    progress t;
+    if t.data_bytes + need > budget then
+      if not (hard_pop t) then continue := false
+  done;
+  t.force_need <- 0
+
 let receive t ~channel pkt =
   if channel < 0 || channel >= t.n then
     invalid_arg "Resequencer.receive: bad channel";
-  note_arrival t channel ~is_marker:(Packet.is_marker pkt);
-  t.wd_spin <- 0;
-  Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
-  if not (Packet.is_marker pkt) then begin
-    t.n_data_buffered <- t.n_data_buffered + 1;
+  let is_marker = Packet.is_marker pkt in
+  if is_marker && not (Packet.marker_valid (Packet.get_marker pkt)) then begin
+    (* Wire damage the link CRC missed, caught by the marker checksum:
+       trusting the stamp would poison the (round, DC) simulation for a
+       whole marker interval. Discard — the next good marker
+       resynchronizes exactly as after a lost one (Theorem 5.1). The
+       arrival still proves the channel is alive, but its cadence
+       estimate only feeds on credible markers. *)
+    note_arrival t channel ~is_marker:false;
+    t.n_corrupt_markers <- t.n_corrupt_markers + 1;
     if Obs.Sink.active t.sink then
       Obs.Sink.emit t.sink
-        (Obs.Event.v ~channel ~size:pkt.Packet.size ~seq:pkt.Packet.seq
-           ~time:(t.now ()) Obs.Event.Enqueue)
-  end;
-  progress t
+        (Obs.Event.v ~channel ~size:pkt.Packet.size ~time:(t.now ())
+           Obs.Event.Corrupt_discard);
+    progress t
+  end
+  else begin
+    note_arrival t channel ~is_marker;
+    t.wd_spin <- 0;
+    let accept =
+      if is_marker then true
+      else
+        match t.budget with
+        | None -> true
+        | Some b when t.data_bytes + pkt.Packet.size <= b -> true
+        | Some b ->
+          t.n_overflows <- t.n_overflows + 1;
+          if Obs.Sink.active t.sink then
+            Obs.Sink.emit t.sink
+              (Obs.Event.v ~channel ~size:pkt.Packet.size ~time:(t.now ())
+                 Obs.Event.Buffer_overflow);
+          (match t.overflow with
+          | Drop_newest ->
+            (* Refusing the arrival is a channel loss like any other:
+               the marker machinery recovers the stream position. *)
+            t.n_overflow_drops <- t.n_overflow_drops + 1;
+            false
+          | Force_flush ->
+            force_room t ~need:pkt.Packet.size ~budget:b;
+            let fits = t.data_bytes + pkt.Packet.size <= b in
+            (* A packet bigger than the whole budget cannot be made to
+               fit; it is dropped like any other overflow. *)
+            if not fits then
+              t.n_overflow_drops <- t.n_overflow_drops + 1;
+            fits)
+    in
+    if accept then begin
+      Fifo_queue.push t.buffers.(channel) ~size:pkt.Packet.size pkt;
+      if not is_marker then begin
+        t.n_data_buffered <- t.n_data_buffered + 1;
+        t.data_bytes <- t.data_bytes + pkt.Packet.size;
+        if t.data_bytes > t.max_data_bytes then
+          t.max_data_bytes <- t.data_bytes;
+        update_pressure t;
+        if Obs.Sink.active t.sink then
+          Obs.Sink.emit t.sink
+            (Obs.Event.v ~channel ~size:pkt.Packet.size ~seq:pkt.Packet.seq
+               ~time:(t.now ()) Obs.Event.Enqueue)
+      end
+    end;
+    progress t
+  end
 
 let tick t =
   t.wd_spin <- 0;
@@ -326,6 +542,15 @@ let buffer_high_water_packets t =
 let buffer_high_water_bytes t =
   Array.fold_left (fun acc b -> acc + Fifo_queue.high_water_bytes b) 0 t.buffers
 
+let buffered_bytes t = t.data_bytes
+let max_buffered_bytes t = t.max_data_bytes
+let pressure_high t = t.pressure
+let overflows t = t.n_overflows
+let overflow_drops t = t.n_overflow_drops
+let forced_deliveries t = t.n_forced_deliveries
+let corrupt_marker_discards t = t.n_corrupt_markers
+let round_realigns t = t.n_realigns
+
 let drain t =
   let out = ref [] in
   let remaining = ref true in
@@ -341,6 +566,8 @@ let drain t =
       t.buffers
   done;
   t.n_data_buffered <- 0;
+  t.data_bytes <- 0;
+  update_pressure t;
   (* Draining empties every channel buffer: there is no pending logical
      read to block on and no buffered stream position left for a recorded
      marker stamp to describe — clear both so [blocked_on] and the next

@@ -51,12 +51,35 @@ type watchdog = {
     FIFO restored by the marker rule (or the sender's reset barrier, see
     {!Striper.resume_channel}). *)
 
+type overflow =
+  | Drop_newest
+      (** Refuse the arriving data packet. To the protocol this is
+          indistinguishable from a channel loss at the last hop, so the
+          marker machinery recovers the stream position — the cheapest
+          policy, at the cost of the freshest data. *)
+  | Force_flush
+      (** Evict buffered data to make room: the scan drains quasi-FIFO
+          (blocks become bounded forced skips), and data the scan cannot
+          reach — e.g. trapped behind an incomplete reset barrier — is
+          popped from the fullest buffer. Markers evicted this way are
+          absorbed normally, so their stamps still re-pin the simulation
+          and FIFO returns with the next marker interval. Preserves the
+          freshest data at the cost of delivering older data out of
+          order. *)
+(** What to do when a data arrival finds {!create}'s [budget_bytes]
+    exhausted. Either way the budget is a hard invariant —
+    {!buffered_bytes} never exceeds it — and the resequencer never
+    blocks forever on a full buffer. *)
+
 val create :
   deficit:Deficit.t ->
   ?on_credit:(int -> int -> unit) ->
   ?now:(unit -> float) ->
   ?sink:Stripe_obs.Sink.t ->
   ?watchdog:watchdog ->
+  ?budget_bytes:int ->
+  ?overflow:overflow ->
+  ?on_pressure:(high:bool -> unit) ->
   deliver:(channel:int -> Stripe_packet.Packet.t -> unit) ->
   unit ->
   t
@@ -69,16 +92,34 @@ val create :
     accounting). [on_credit c k] is invoked when a marker on channel [c]
     piggybacks credit [k].
 
+    [budget_bytes] bounds the {e data} bytes buffered across the
+    per-channel queues (markers are always accepted — they are tiny,
+    bounded in number by the marker cadence, and carry the
+    resynchronization state). An arrival that would exceed the budget is
+    handled per [overflow] (default {!Drop_newest}) after a
+    [Buffer_overflow] event. [on_pressure] is the backpressure signal
+    for a flow-control layer: called with [~high:true] when occupancy
+    crosses 3/4 of the budget and [~high:false] when it falls back below
+    1/2 (hysteresis, so it fires once per congestion episode).
+
     [sink] (default {!Stripe_obs.Sink.null}) receives the receiver-side
     observability events — [Enqueue], [Marker_applied], [Skip], [Block],
-    [Unblock], [Deliver], [Reset_barrier] — timestamped by [now] (default
-    constant 0; wire it to the simulator clock). *)
+    [Unblock], [Deliver], [Reset_barrier], [Corrupt_discard],
+    [Buffer_overflow] — timestamped by [now] (default constant 0; wire
+    it to the simulator clock). *)
 
 val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
 (** Physical reception of a packet (data or marker) on a channel. Also
     feeds the watchdog: the arrival timestamps the channel (and its
     marker cadence, for markers) and revives it if it was declared
-    dead. *)
+    dead.
+
+    A marker failing its integrity check
+    ({!Stripe_packet.Packet.marker_valid}) is discarded and counted in
+    {!corrupt_marker_discards} rather than applied: trusting a damaged
+    (round, DC) stamp would poison the simulation for a whole marker
+    interval, whereas a discarded marker is just a lost marker, which
+    Theorem 5.1 already contains. *)
 
 val tick : t -> unit
 (** Re-enter the logical-reception scan without a new arrival. The
@@ -127,6 +168,44 @@ val buffer_high_water_packets : t -> int
     skew). *)
 
 val buffer_high_water_bytes : t -> int
+
+val buffered_bytes : t -> int
+(** Data bytes currently buffered. With [budget_bytes] set this never
+    exceeds the budget (the hard invariant of the overflow policies). *)
+
+val max_buffered_bytes : t -> int
+(** High-water mark of {!buffered_bytes}. *)
+
+val pressure_high : t -> bool
+(** Current state of the backpressure signal (see [on_pressure]; always
+    [false] without a budget). *)
+
+val overflows : t -> int
+(** Arrivals that found the budget exhausted ([Buffer_overflow]
+    events). *)
+
+val overflow_drops : t -> int
+(** Data packets refused: every overflow under {!Drop_newest}, plus
+    packets larger than the whole budget under {!Force_flush}. *)
+
+val forced_deliveries : t -> int
+(** Data packets evicted out of scan order by {!Force_flush}'s fallback
+    (a subset of {!delivered}). *)
+
+val corrupt_marker_discards : t -> int
+(** Markers discarded for an integrity-check failure. *)
+
+val round_realigns : t -> int
+(** Times a marker re-anchored the receiver's round translation. The
+    scan normally only {e lags} the sender (blocks and C1 skips), so
+    marker rounds pin at or above the receiver's global round; forced
+    skips ({!Force_flush}) and watchdog skips advance the receiver's
+    round counter without consuming the sender's schedule, leaving every
+    later marker numbered below it. Each re-anchor restores one
+    consistent translation between the two numberings — without it the
+    per-channel phases stay scrambled and delivery remains quasi-FIFO
+    {e forever} instead of resynchronizing within a marker interval
+    (Theorem 5.1). *)
 
 val drain : t -> Stripe_packet.Packet.t list
 (** Remove and return all still-buffered data packets, interleaved

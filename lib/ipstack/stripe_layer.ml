@@ -27,7 +27,8 @@ let deliver_ip t ip =
   t.deliver_up ip
 
 let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
-    ?(auto_suspend = true) ?watchdog ~deliver_up () =
+    ?(auto_suspend = true) ?watchdog ?rx_buffer_bytes ?overflow_policy
+    ?on_pressure ~deliver_up () =
   let n = Array.length members in
   if n = 0 then invalid_arg "Stripe_layer.create: no member interfaces";
   if Stripe_core.Scheduler.n_channels scheduler <> n then
@@ -71,7 +72,8 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
         Some
           (Stripe_core.Resequencer.create
              ~deficit:(Stripe_core.Deficit.clone_initial d)
-             ?now ?sink ?watchdog
+             ?now ?sink ?watchdog ?budget_bytes:rx_buffer_bytes
+             ?overflow:overflow_policy ?on_pressure
              ~deliver:(fun ~channel:_ pkt ->
                let layer = force_self () in
                match Hashtbl.find_opt layer.rx_envelopes pkt.Packet.seq with

@@ -26,6 +26,9 @@ val create :
   ?resequence:bool ->
   ?auto_suspend:bool ->
   ?watchdog:Stripe_core.Resequencer.watchdog ->
+  ?rx_buffer_bytes:int ->
+  ?overflow_policy:Stripe_core.Resequencer.overflow ->
+  ?on_pressure:(high:bool -> unit) ->
   deliver_up:(Ip.t -> unit) ->
   unit ->
   t
@@ -45,7 +48,11 @@ val create :
     Pass [false] to model a sender that cannot see link state — the
     receiver-only recovery scenario. [watchdog] configures the
     resequencer's marker-cadence dead-channel watchdog (see
-    {!Stripe_core.Resequencer.watchdog}). *)
+    {!Stripe_core.Resequencer.watchdog}). [rx_buffer_bytes],
+    [overflow_policy], and [on_pressure] bound the embedded resequencer's
+    memory and expose its backpressure signal (see
+    {!Stripe_core.Resequencer.create}'s [budget_bytes], [overflow], and
+    [on_pressure]). *)
 
 val name : t -> string
 

@@ -1,0 +1,109 @@
+(* Intra-channel impairment profiles: the ways a channel can violate the
+   paper's loss-only FIFO assumption (PROTOCOL.md §1) without dying.
+   Each profile is a set of per-packet probabilities applied by Link at
+   delivery scheduling time; every draw comes from the link's seeded Rng,
+   so runs are reproducible from one CLI seed. *)
+
+type t = {
+  reorder_p : float;
+  reorder_window : float;
+  dup_p : float;
+  corrupt_p : float;
+}
+
+let none = { reorder_p = 0.0; reorder_window = 0.0; dup_p = 0.0; corrupt_p = 0.0 }
+
+let is_none t =
+  t.reorder_p <= 0.0 && t.dup_p <= 0.0 && t.corrupt_p <= 0.0
+
+let check_p what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Impair: %s probability %g not in [0,1]" what p)
+
+let make ?(reorder_p = 0.0) ?(reorder_window = 0.0) ?(dup_p = 0.0)
+    ?(corrupt_p = 0.0) () =
+  check_p "reorder" reorder_p;
+  check_p "duplicate" dup_p;
+  check_p "corrupt" corrupt_p;
+  if reorder_window < 0.0 then
+    invalid_arg "Impair.make: negative reorder window";
+  if reorder_p > 0.0 && reorder_window <= 0.0 then
+    invalid_arg "Impair.make: reordering needs a positive window";
+  { reorder_p; reorder_window; dup_p; corrupt_p }
+
+let pp fmt t =
+  if is_none t then Format.fprintf fmt "none"
+  else begin
+    let parts = ref [] in
+    if t.corrupt_p > 0.0 then
+      parts := Printf.sprintf "corrupt=%g" t.corrupt_p :: !parts;
+    if t.dup_p > 0.0 then parts := Printf.sprintf "dup=%g" t.dup_p :: !parts;
+    if t.reorder_p > 0.0 then
+      parts :=
+        Printf.sprintf "reorder=%g/%g" t.reorder_p t.reorder_window :: !parts;
+    Format.fprintf fmt "%s" (String.concat "," !parts)
+  end
+
+(* Spec grammar (for --impair command-line flags), mirroring Fault's:
+
+     CH:IMPAIRMENT[,IMPAIRMENT...]
+
+   with IMPAIRMENT one of
+     reorder=P/WINDOW   probability P of an unclamped extra delay drawn
+                        uniformly from [0, WINDOW] seconds
+     dup=P              probability P of delivering a packet twice
+     corrupt=P          probability P of corrupting a packet on the wire *)
+let parse_spec s =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_float what v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> fail "bad %s %S in impair spec %S" what v s
+  in
+  let parse_p what v =
+    let* p = parse_float what v in
+    if p < 0.0 || p > 1.0 then
+      fail "%s probability %g not in [0,1] in %S" what p s
+    else Ok p
+  in
+  let parse_item acc tok =
+    match String.index_opt tok '=' with
+    | None -> fail "impairment %S lacks a =VALUE in %S" tok s
+    | Some i -> (
+      let name = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match name with
+      | "reorder" -> (
+        match String.split_on_char '/' v with
+        | [ p; w ] ->
+          let* p = parse_p "reorder" p in
+          let* w = parse_float "reorder window" w in
+          if w <= 0.0 then fail "reorder window must be > 0 in %S" s
+          else Ok { acc with reorder_p = p; reorder_window = w }
+        | _ -> fail "reorder needs P/WINDOW in %S" s)
+      | "dup" ->
+        let* p = parse_p "duplicate" v in
+        Ok { acc with dup_p = p }
+      | "corrupt" ->
+        let* p = parse_p "corrupt" v in
+        Ok { acc with corrupt_p = p }
+      | _ -> fail "unknown impairment %S in %S" name s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail "impair spec %S lacks a CH: prefix" s
+  | Some i -> (
+    let ch = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt ch with
+    | None -> fail "bad channel %S in impair spec %S" ch s
+    | Some channel ->
+      if channel < 0 then fail "negative channel in impair spec %S" s
+      else
+        let rec collect acc = function
+          | [] -> Ok (channel, acc)
+          | tok :: rest ->
+            let* acc = parse_item acc (String.trim tok) in
+            collect acc rest
+        in
+        collect none (String.split_on_char ',' rest))

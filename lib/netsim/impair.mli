@@ -1,0 +1,57 @@
+(** Intra-channel impairment profiles.
+
+    The protocol's correctness theorems rest on each channel being a
+    {e loss-only FIFO} pipe (PROTOCOL.md §1): a channel may drop packets,
+    but whatever it delivers arrives in order, exactly once, uncorrupted.
+    This module describes the ways a real channel violates that contract
+    without dying — reordering, duplication, corruption — as per-packet
+    probabilities that {!Link} applies when scheduling deliveries:
+
+    - {b reordering}: with probability [reorder_p] a packet's arrival gets
+      an extra delay drawn uniformly from [0, reorder_window] seconds and
+      is {e exempt from the FIFO arrival clamp}, so packets sent after it
+      may overtake it (ordinary [jitter] keeps FIFO; this does not).
+    - {b duplication}: with probability [dup_p] the packet is delivered
+      twice (the copies still traverse propagation independently).
+    - {b corruption}: with probability [corrupt_p] the packet is damaged
+      on the wire. What the receiver sees depends on the link's [corrupt]
+      hook — by default the damage is caught by the link-level CRC and
+      the packet is discarded (corruption below the protocol is treated
+      as loss, per the paper); a hook can instead deliver a mangled
+      payload, modelling damage the CRC missed that only protocol-level
+      integrity checks (the marker checksum) can catch.
+
+    Every draw flows from the link's seeded {!Rng}, so a whole impaired
+    run reproduces from one seed. *)
+
+type t = {
+  reorder_p : float;  (** P(unclamped extra delay); 0 disables. *)
+  reorder_window : float;  (** Max extra delay in seconds (uniform). *)
+  dup_p : float;  (** P(delivered twice); 0 disables. *)
+  corrupt_p : float;  (** P(corrupted on the wire); 0 disables. *)
+}
+
+val none : t
+(** No impairments — the paper's assumed channel. *)
+
+val is_none : t -> bool
+(** [true] iff every probability is 0 (the hot-path guard). *)
+
+val make :
+  ?reorder_p:float ->
+  ?reorder_window:float ->
+  ?dup_p:float ->
+  ?corrupt_p:float ->
+  unit ->
+  t
+(** Validating constructor: probabilities must lie in [0,1], and a
+    positive [reorder_p] requires a positive [reorder_window]. *)
+
+val parse_spec : string -> (int * t, string) result
+(** Parse a command-line impairment spec, mirroring {!Fault.parse_spec}:
+    [CH:IMPAIRMENT[,IMPAIRMENT...]] where [IMPAIRMENT] is
+    [reorder=P/WINDOW], [dup=P], or [corrupt=P]. Example:
+    ["1:reorder=0.2/0.01,dup=0.05,corrupt=0.01"]. Returns the channel
+    and the accumulated profile. *)
+
+val pp : Format.formatter -> t -> unit

@@ -8,6 +8,8 @@ type 'a t = {
   jitter : (Rng.t -> float) option;
   rng : Rng.t;
   mutable loss : Loss.t;
+  mutable impair : Impair.t;
+  corrupt : ('a -> 'a option) option;
   txq_capacity_bytes : int option;
   link_mtu : int option;
   obs_channel : int;
@@ -26,11 +28,15 @@ type 'a t = {
   mutable n_lost : int;
   mutable n_txq_drops : int;
   mutable n_down_drops : int;
+  mutable n_reordered : int;
+  mutable n_duplicated : int;
+  mutable n_corrupted : int;
+  mutable n_corrupt_drops : int;
 }
 
 let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
-    ?txq_capacity_bytes ?mtu ?(channel = -1) ?(sink = Obs.Sink.null) ~deliver
-    () =
+    ?(impair = Impair.none) ?corrupt ?txq_capacity_bytes ?mtu ?(channel = -1)
+    ?(sink = Obs.Sink.null) ~deliver () =
   if rate_bps <= 0.0 then invalid_arg "Link.create: rate_bps must be > 0";
   if prop_delay < 0.0 then invalid_arg "Link.create: negative prop_delay";
   {
@@ -41,6 +47,8 @@ let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
     jitter;
     rng = (match rng with Some r -> r | None -> Rng.create 0);
     loss = (match loss with Some l -> l | None -> Loss.none ());
+    impair;
+    corrupt;
     txq_capacity_bytes;
     link_mtu = mtu;
     obs_channel = channel;
@@ -59,6 +67,10 @@ let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
     n_lost = 0;
     n_txq_drops = 0;
     n_down_drops = 0;
+    n_reordered = 0;
+    n_duplicated = 0;
+    n_corrupted = 0;
+    n_corrupt_drops = 0;
   }
 
 let obs_emit t kind ~size =
@@ -66,9 +78,63 @@ let obs_emit t kind ~size =
     Obs.Sink.emit t.sink
       (Obs.Event.v ~channel:t.obs_channel ~size ~time:(Sim.now t.sim) kind)
 
+let deliver_at t ~size ~at payload =
+  Sim.schedule t.sim ~at (fun () ->
+      if not t.up then begin
+        (* Lost in flight: the link died under the packet. *)
+        t.n_down_drops <- t.n_down_drops + 1;
+        obs_emit t Obs.Event.Drop ~size
+      end
+      else begin
+        t.n_delivered <- t.n_delivered + 1;
+        t.b_delivered <- t.b_delivered + size;
+        obs_emit t Obs.Event.Arrival ~size;
+        t.deliver payload
+      end)
+
+(* Schedule one arrival (propagation + jitter, clamped to preserve FIFO),
+   applying the impairment profile: a reordered copy gets an extra
+   unclamped delay (and leaves [last_arrival] alone, so later packets may
+   overtake it); a corrupted copy is either discarded at the receiving
+   interface (the simulated CRC — corruption below the protocol is loss)
+   or, when the [corrupt] hook chooses, delivered mangled. *)
+let schedule_copy t ~size payload =
+  let imp = t.impair in
+  let extra = match t.jitter with None -> 0.0 | Some j -> max 0.0 (j t.rng) in
+  let base = Sim.now t.sim +. t.prop_delay +. extra in
+  let arrival =
+    if imp.Impair.reorder_p > 0.0 && Rng.bernoulli t.rng ~p:imp.Impair.reorder_p
+    then begin
+      t.n_reordered <- t.n_reordered + 1;
+      base +. Rng.float t.rng imp.Impair.reorder_window
+    end
+    else begin
+      let a = max base t.last_arrival in
+      t.last_arrival <- a;
+      a
+    end
+  in
+  let corrupted =
+    imp.Impair.corrupt_p > 0.0 && Rng.bernoulli t.rng ~p:imp.Impair.corrupt_p
+  in
+  if not corrupted then deliver_at t ~size ~at:arrival payload
+  else begin
+    t.n_corrupted <- t.n_corrupted + 1;
+    let damaged = match t.corrupt with None -> None | Some f -> f payload in
+    match damaged with
+    | Some payload' -> deliver_at t ~size ~at:arrival payload'
+    | None ->
+      (* The receiving interface's CRC catches the damage: the packet is
+         discarded on arrival, indistinguishable from wire loss to the
+         layers above. *)
+      t.n_corrupt_drops <- t.n_corrupt_drops + 1;
+      Sim.schedule t.sim ~at:arrival (fun () ->
+          obs_emit t Obs.Event.Corrupt_discard ~size)
+  end
+
 (* Start serializing the packet at the head of the transmit queue. When
-   serialization finishes, schedule the arrival (propagation + jitter,
-   clamped to preserve FIFO) and start on the next queued packet. *)
+   serialization finishes, schedule the arrival — twice under a
+   duplication impairment — and start on the next queued packet. *)
 let rec start_serialize t =
   match Queue.take_opt t.txq with
   | None -> t.serializing <- false
@@ -90,25 +156,14 @@ let rec start_serialize t =
           obs_emit t Obs.Event.Drop ~size
         end
         else begin
-          let extra =
-            match t.jitter with None -> 0.0 | Some j -> max 0.0 (j t.rng)
-          in
-          let arrival =
-            max (Sim.now t.sim +. t.prop_delay +. extra) t.last_arrival
-          in
-          t.last_arrival <- arrival;
-          Sim.schedule t.sim ~at:arrival (fun () ->
-              if not t.up then begin
-                (* Lost in flight: the link died under the packet. *)
-                t.n_down_drops <- t.n_down_drops + 1;
-                obs_emit t Obs.Event.Drop ~size
-              end
-              else begin
-                t.n_delivered <- t.n_delivered + 1;
-                t.b_delivered <- t.b_delivered + size;
-                obs_emit t Obs.Event.Arrival ~size;
-                t.deliver payload
-              end)
+          schedule_copy t ~size payload;
+          if
+            t.impair.Impair.dup_p > 0.0
+            && Rng.bernoulli t.rng ~p:t.impair.Impair.dup_p
+          then begin
+            t.n_duplicated <- t.n_duplicated + 1;
+            schedule_copy t ~size payload
+          end
         end;
         start_serialize t)
 
@@ -181,6 +236,8 @@ let set_up t up =
 
 let loss_process t = t.loss
 let set_loss t loss = t.loss <- loss
+let impairments t = t.impair
+let set_impairments t impair = t.impair <- impair
 
 let queue_bytes t = t.txq_bytes
 let queue_packets t = Queue.length t.txq
@@ -192,3 +249,7 @@ let delivered_bytes t = t.b_delivered
 let lost_packets t = t.n_lost
 let txq_drops t = t.n_txq_drops
 let down_drops t = t.n_down_drops
+let reordered_packets t = t.n_reordered
+let duplicated_packets t = t.n_duplicated
+let corrupted_packets t = t.n_corrupted
+let corrupt_drops t = t.n_corrupt_drops

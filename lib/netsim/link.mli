@@ -5,7 +5,9 @@
     packet (skew/jitter), and a loss process. FIFO order is preserved even
     under jitter — the model clamps each arrival to be no earlier than the
     previous arrival, matching the paper's assumption that each channel
-    delivers in order while skew varies.
+    delivers in order while skew varies. An optional {!Impair} profile
+    deliberately breaks that assumption (reordering, duplication,
+    corruption) to exercise the receiver's containment machinery.
 
     The link is generic in its payload type; callers pass the wire size of
     each payload explicitly, so this module has no dependency on any
@@ -35,6 +37,8 @@ val create :
   ?jitter:(Rng.t -> float) ->
   ?rng:Rng.t ->
   ?loss:Loss.t ->
+  ?impair:Impair.t ->
+  ?corrupt:('a -> 'a option) ->
   ?txq_capacity_bytes:int ->
   ?mtu:int ->
   ?channel:int ->
@@ -50,6 +54,16 @@ val create :
     - [jitter]: extra per-packet delay drawn at each transmission
       (default: none). Arrivals remain FIFO regardless.
     - [loss]: loss process applied per packet (default: lossless).
+    - [impair]: intra-channel impairment profile (default: {!Impair.none})
+      — reordering {e breaks} the FIFO clamp (unlike [jitter]),
+      duplication delivers a packet twice, corruption damages it on the
+      wire. See {!Impair}.
+    - [corrupt]: what a wire-corrupted payload becomes. [None] result (or
+      no hook) means the link-level CRC caught the damage and the packet
+      is discarded at arrival ([Corrupt_discard] event, {!corrupt_drops});
+      [Some payload'] means the CRC missed it and the mangled payload is
+      delivered — for modelling damage only protocol-level integrity
+      checks can catch.
     - [txq_capacity_bytes]: transmit queue bound (default: unbounded).
     - [mtu]: maximum payload size accepted; oversized sends raise
       [Invalid_argument] (default: no limit).
@@ -99,6 +113,13 @@ val set_loss : 'a t -> Loss.t -> unit
 (** Replace the loss process (fault injection: burst-loss episodes swap a
     harsher process in and the original back afterwards). *)
 
+val impairments : 'a t -> Impair.t
+(** The impairment profile currently applied to transmissions. *)
+
+val set_impairments : 'a t -> Impair.t -> unit
+(** Replace the impairment profile (e.g. [--impair-stop] clearing every
+    profile mid-run to let the receiver resynchronize). *)
+
 val queue_bytes : 'a t -> int
 (** Bytes currently waiting in the transmit queue (excluding the packet
     being serialized). Used by the shortest-queue-first baseline. *)
@@ -121,3 +142,17 @@ val down_drops : 'a t -> int
 (** Packets dropped because the link was down: rejected sends, flushed
     queue entries, and serializations or flights that completed while the
     carrier was gone. Disjoint from {!lost_packets} and {!txq_drops}. *)
+
+val reordered_packets : 'a t -> int
+(** Deliveries scheduled with an unclamped reordering delay. *)
+
+val duplicated_packets : 'a t -> int
+(** Packets for which a second delivery copy was scheduled. *)
+
+val corrupted_packets : 'a t -> int
+(** Delivery copies damaged by the corruption impairment (whether the
+    CRC then caught them or not). *)
+
+val corrupt_drops : 'a t -> int
+(** Corrupted copies the simulated link CRC discarded at arrival. Always
+    [<= corrupted_packets]; the difference is mangled deliveries. *)

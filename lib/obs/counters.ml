@@ -19,6 +19,10 @@ type channel = {
   mutable watchdog_skips : int;
   mutable suspends : int;
   mutable resumes : int;
+  mutable dup_discards : int;
+  mutable reorder_restores : int;
+  mutable corrupt_discards : int;
+  mutable buffer_overflows : int;
 }
 
 type t = {
@@ -51,6 +55,10 @@ let fresh_channel () =
     watchdog_skips = 0;
     suspends = 0;
     resumes = 0;
+    dup_discards = 0;
+    reorder_restores = 0;
+    corrupt_discards = 0;
+    buffer_overflows = 0;
   }
 
 let create ~n =
@@ -109,6 +117,13 @@ let observe t (e : Event.t) =
   | Event.Watchdog_skip, Some c -> c.watchdog_skips <- c.watchdog_skips + 1
   | Event.Suspend, Some c -> c.suspends <- c.suspends + 1
   | Event.Resume, Some c -> c.resumes <- c.resumes + 1
+  | Event.Dup_discard, Some c -> c.dup_discards <- c.dup_discards + 1
+  | Event.Reorder_restore, Some c ->
+    c.reorder_restores <- c.reorder_restores + 1
+  | Event.Corrupt_discard, Some c ->
+    c.corrupt_discards <- c.corrupt_discards + 1
+  | Event.Buffer_overflow, Some c ->
+    c.buffer_overflows <- c.buffer_overflows + 1
   | Event.Reset_barrier, _ -> t.resets <- t.resets + 1
   | Event.Round, _ -> if e.round > t.rounds then t.rounds <- e.round
   | Event.Dequeue, _ | Event.Unblock, _ -> ()
@@ -116,7 +131,8 @@ let observe t (e : Event.t) =
     | Event.Arrival | Event.Skip | Event.Marker_sent
     | Event.Marker_applied | Event.Block | Event.Channel_down
     | Event.Channel_up | Event.Watchdog_skip | Event.Suspend
-    | Event.Resume ), None ->
+    | Event.Resume | Event.Dup_discard | Event.Reorder_restore
+    | Event.Corrupt_discard | Event.Buffer_overflow ), None ->
     ()
 
 let sink t = Sink.of_fn (observe t)
@@ -129,6 +145,10 @@ let total_drops = total (fun c -> c.drops + c.txq_drops)
 let total_skips = total (fun c -> c.skips)
 let total_watchdog_skips = total (fun c -> c.watchdog_skips)
 let total_downs = total (fun c -> c.downs)
+let total_dup_discards = total (fun c -> c.dup_discards)
+let total_reorder_restores = total (fun c -> c.reorder_restores)
+let total_corrupt_discards = total (fun c -> c.corrupt_discards)
+let total_buffer_overflows = total (fun c -> c.buffer_overflows)
 
 let pp fmt t =
   Array.iteri

@@ -34,6 +34,18 @@ type channel = {
           ([Watchdog_skip]). *)
   mutable suspends : int;  (** Sender suspensions ([Suspend]). *)
   mutable resumes : int;  (** Sender resumptions ([Resume]). *)
+  mutable dup_discards : int;
+      (** Duplicate deliveries discarded by the channel guard
+          ([Dup_discard]). *)
+  mutable reorder_restores : int;
+      (** Out-of-order arrivals held and re-released in tag order by the
+          channel guard ([Reorder_restore]). *)
+  mutable corrupt_discards : int;
+      (** Corrupted packets discarded — by the link CRC or the guard's
+          marker-checksum check ([Corrupt_discard]). *)
+  mutable buffer_overflows : int;
+      (** Arrivals that found the resequencer byte budget exhausted
+          ([Buffer_overflow]). *)
 }
 
 type t
@@ -70,5 +82,9 @@ val total_drops : t -> int
 val total_skips : t -> int
 val total_watchdog_skips : t -> int
 val total_downs : t -> int
+val total_dup_discards : t -> int
+val total_reorder_restores : t -> int
+val total_corrupt_discards : t -> int
+val total_buffer_overflows : t -> int
 
 val pp : Format.formatter -> t -> unit

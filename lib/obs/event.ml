@@ -18,6 +18,10 @@ type kind =
   | Watchdog_skip
   | Suspend
   | Resume
+  | Dup_discard
+  | Reorder_restore
+  | Corrupt_discard
+  | Buffer_overflow
 
 type t = {
   time : float;
@@ -53,12 +57,17 @@ let kind_name = function
   | Watchdog_skip -> "watchdog_skip"
   | Suspend -> "suspend"
   | Resume -> "resume"
+  | Dup_discard -> "dup_discard"
+  | Reorder_restore -> "reorder_restore"
+  | Corrupt_discard -> "corrupt_discard"
+  | Buffer_overflow -> "buffer_overflow"
 
 let all_kinds =
   [
     Enqueue; Dequeue; Transmit; Drop; Txq_drop; Arrival; Marker_sent;
     Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
-    Channel_down; Channel_up; Watchdog_skip; Suspend; Resume;
+    Channel_down; Channel_up; Watchdog_skip; Suspend; Resume; Dup_discard;
+    Reorder_restore; Corrupt_discard; Buffer_overflow;
   ]
 
 let kind_of_name s =

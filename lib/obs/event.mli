@@ -28,9 +28,18 @@
       skipped by the marker rule [r > G]), [Block]/[Unblock] (logical
       reception waiting on a channel), [Deliver] (logical reception, with
       the receiver's [(round, dc)] stamp), [Reset_barrier] (barrier
-      completed, [round] = completed-barrier count), and [Watchdog_skip] (a
+      completed, [round] = completed-barrier count), [Watchdog_skip] (a
       visit to a channel the marker-cadence watchdog declared dead was
-      skipped without waiting). *)
+      skipped without waiting), and [Buffer_overflow] (an arrival found
+      the byte budget exhausted; what follows depends on the overflow
+      policy — see {!Stripe_core.Resequencer}).
+    - {b Channel guard} (receiver, below the resequencer):
+      [Dup_discard] (a duplicate delivery identified by its channel tag
+      and discarded), [Reorder_restore] (an out-of-order arrival held
+      back and re-released in tag order), and [Corrupt_discard] (a
+      corrupted packet discarded — by the guard's marker-checksum check).
+      The {b Link} also emits [Corrupt_discard] for wire corruption its
+      simulated CRC detects; the two sites are disjoint per packet. *)
 
 type kind =
   | Enqueue
@@ -52,6 +61,10 @@ type kind =
   | Watchdog_skip
   | Suspend
   | Resume
+  | Dup_discard
+  | Reorder_restore
+  | Corrupt_discard
+  | Buffer_overflow
 
 type t = {
   time : float;

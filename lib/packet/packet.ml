@@ -4,6 +4,7 @@ type marker = {
   m_dc : int;
   m_credit : int option;
   m_reset : bool;
+  m_cksum : int;
 }
 
 type kind =
@@ -20,7 +21,30 @@ type t = {
   born : float;
 }
 
-let marker_size = 32
+let marker_size = 36
+
+(* 16-bit integrity checksum over every marker field except the checksum
+   itself. A corrupted marker that slipped past the link CRC would
+   otherwise poison the receiver's (round, DC) state; with the checksum
+   the receiver can discard it and resynchronize from the next good
+   marker (Theorem 5.1 still applies — a discarded marker is just a lost
+   marker). Fowler–Noll–Vo-style mixing; strength is irrelevant, we only
+   need random damage to miss the right value with high probability. *)
+let marker_checksum_of ~channel ~round ~dc ~credit ~reset =
+  let mix acc v = (acc * 16777619) lxor (v land 0xffffffff) in
+  let acc = 2166136261 in
+  let acc = mix acc channel in
+  let acc = mix acc round in
+  let acc = mix acc dc in
+  let acc = mix acc (match credit with None -> -1 | Some c -> c) in
+  let acc = mix acc (if reset then 1 else 0) in
+  (acc lxor (acc lsr 16)) land 0xffff
+
+let marker_checksum m =
+  marker_checksum_of ~channel:m.m_channel ~round:m.m_round ~dc:m.m_dc
+    ~credit:m.m_credit ~reset:m.m_reset
+
+let marker_valid m = m.m_cksum = marker_checksum m
 
 let data ?(flow = 0) ?(frame = -1) ?(off = -1) ?(born = 0.0) ~seq ~size () =
   if size <= 0 then invalid_arg "Packet.data: size must be positive";
@@ -38,12 +62,35 @@ let marker ?credit ?(reset = false) ~channel ~round ~dc ~born () =
           m_dc = dc;
           m_credit = credit;
           m_reset = reset;
+          m_cksum =
+            marker_checksum_of ~channel ~round ~dc ~credit ~reset;
         };
     flow = 0;
     frame = -1;
     off = -1;
     born;
   }
+
+(* Wire damage that the link CRC missed: perturb the (round, DC) stamp —
+   the fields whose corruption is dangerous — while keeping the now-stale
+   checksum, so [marker_valid] is false. [m_channel] is left alone: in a
+   real deployment the marker arrives on a physical port, so the receiver
+   never routes by a payload channel field; tests rely on that too. *)
+let mangle_marker ~salt t =
+  match t.kind with
+  | Data -> t
+  | Marker m ->
+    let salt = (salt land 0x3fffffff) lor 1 in
+    let m' =
+      {
+        m with
+        m_round = m.m_round lxor salt;
+        m_dc = m.m_dc lxor (salt * 7919);
+      }
+    in
+    (* Degenerate salts could map the stamp to itself; force a change. *)
+    let m' = if m' = m then { m with m_dc = m.m_dc + 1 } else m' in
+    { t with kind = Marker m' }
 
 let is_marker t = match t.kind with Marker _ -> true | Data -> false
 

@@ -29,6 +29,13 @@ type marker = {
           reset"): the sender reinitialized its state; data behind this
           marker belongs to the fresh epoch. The receiver reinitializes
           once it has reached the reset marker on every channel. *)
+  m_cksum : int;
+      (** 16-bit integrity checksum over the other marker fields, filled
+          in by the {!marker} constructor. A receiver verifies it with
+          {!marker_valid} before trusting the (round, DC) stamp; a
+          mismatch means wire damage the link CRC missed, and the marker
+          must be discarded (treated as lost — Theorem 5.1 then bounds
+          the resynchronization delay at the next good marker). *)
 }
 
 type kind =
@@ -50,7 +57,21 @@ type t = {
 
 val marker_size : int
 (** Wire size of a marker packet (bytes). Small — the paper's marker only
-    carries a counter. *)
+    carries a counter, plus this implementation's integrity checksum. *)
+
+val marker_checksum : marker -> int
+(** The checksum the marker's payload fields should carry. *)
+
+val marker_valid : marker -> bool
+(** Whether [m_cksum] matches {!marker_checksum} — false iff the marker
+    was damaged in flight. Constructor-built markers are always valid. *)
+
+val mangle_marker : salt:int -> t -> t
+(** Simulated wire damage that slipped past the link CRC: perturbs the
+    marker's (round, DC) stamp deterministically from [salt] while
+    keeping the now-stale checksum, so {!marker_valid} is [false] on the
+    result. Data packets are returned unchanged. Intended as the [corrupt]
+    hook of a simulated link. *)
 
 val data :
   ?flow:int -> ?frame:int -> ?off:int -> ?born:float -> seq:int -> size:int ->

@@ -10,6 +10,7 @@ let () =
          Test_loss.suites;
          Test_link.suites;
          Test_fault.suites;
+         Test_impair.suites;
          Test_packet.suites;
          Test_deficit.suites;
          Test_cfq.suites;
