@@ -113,6 +113,16 @@ let loss_stop =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("heap", Sim.Heap); ("calendar", Sim.Calendar) ]) Sim.Heap
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Event-queue engine: $(b,heap) (binary heap, the reference) or \
+           $(b,calendar) (calendar queue, O(1) amortized). Both produce \
+           identical seeded runs; $(b,calendar) is faster at scale.")
+
 let replay_file =
   Arg.(
     value
@@ -274,14 +284,14 @@ let sink_deliver sink sim pkt =
     ~bytes:pkt.Packet.size
 
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
-    loss_stop seed replay_file trace_out trace_format fault_specs
+    loss_stop seed engine replay_file trace_out trace_format fault_specs
     impair_specs guard_window rx_buffer overflow_policy crash_at watchdog_k
     no_auto_suspend =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
     let confs = Array.of_list channel_confs in
-    let sim = Sim.create () in
+    let sim = Sim.create ~engine () in
     let rng = Rng.create seed in
     (* Structured observability: when --trace is given, every instrumented
        component shares one sink that tees into a per-channel counter
@@ -784,8 +794,8 @@ let cmd =
     Term.(
       ret
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
-       $ markers $ loss_stop $ seed $ replay_file $ trace_out $ trace_format
-       $ fault_specs $ impair_specs $ guard_window $ rx_buffer
+       $ markers $ loss_stop $ seed $ engine_arg $ replay_file $ trace_out
+       $ trace_format $ fault_specs $ impair_specs $ guard_window $ rx_buffer
        $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend))
 
 let () = exit (Cmd.eval cmd)

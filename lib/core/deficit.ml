@@ -75,6 +75,9 @@ let set_dc t c v = t.dcs.(c) <- v
 let set_round t g = t.g <- g
 let set_hook t hook = t.hook <- hook
 
+(* Call sites guard on [t.hook] before building the event: constructing
+   the record argument allocates even when nobody is listening, and
+   select/consume sit on the per-packet path. *)
 let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let cost_of t size = match t.cost_mode with Bytes -> size | Packets -> 1
@@ -83,17 +86,19 @@ let begin_visit t =
   if not t.serving then begin
     t.dcs.(t.ptr) <- t.dcs.(t.ptr) + t.quanta.(t.ptr);
     t.serving <- true;
-    emit t (Begin_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) })
+    if t.hook <> None then
+      emit t (Begin_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) })
   end
 
 let advance t =
-  emit t (End_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) });
+  if t.hook <> None then
+    emit t (End_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) });
   t.serving <- false;
   t.ptr <- t.ptr + 1;
   if t.ptr = t.n then begin
     t.ptr <- 0;
     t.g <- t.g + 1;
-    emit t (New_round { round = t.g })
+    if t.hook <> None then emit t (New_round { round = t.g })
   end
 
 let suspended t c =
@@ -103,7 +108,14 @@ let suspended t c =
 let n_active t =
   Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 t.susp
 
-let any_active t = Array.exists not t.susp
+(* Not [Array.exists not]: stdlib [Array.exists] allocates a closure for
+   its inner loop on every call, and this runs once or twice per packet
+   (via [select] and the striper's dispatchability check). A top-level
+   recursion is static. *)
+let rec any_active_from susp i =
+  i < Array.length susp && ((not susp.(i)) || any_active_from susp (i + 1))
+
+let any_active t = any_active_from t.susp 0
 
 let suspend t c =
   if c < 0 || c >= t.n then invalid_arg "Deficit.suspend: bad channel";
@@ -163,7 +175,9 @@ let consume t ~size =
   let before = t.dcs.(t.ptr) in
   let after = before - cost_of t size in
   t.dcs.(t.ptr) <- after;
-  emit t (Consume { channel = t.ptr; round = t.g; dc_before = before; dc_after = after });
+  if t.hook <> None then
+    emit t
+      (Consume { channel = t.ptr; round = t.g; dc_before = before; dc_after = after });
   if after <= 0 then advance t
 
 let next_stamp t c =

@@ -50,7 +50,7 @@ type t = {
   mutable n_deaths : int;
   mutable n_markers : int;
   mutable n_resets : int;
-  mutable waiting : int option;
+  mutable waiting : int;  (* Channel the scan is blocked on; -1 = none. *)
   mutable data_bytes : int;  (* Data bytes currently buffered. *)
   mutable max_data_bytes : int;
   mutable pressure : bool;
@@ -117,7 +117,7 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_deaths = 0;
     n_markers = 0;
     n_resets = 0;
-    waiting = None;
+    waiting = -1;
     data_bytes = 0;
     max_data_bytes = 0;
     pressure = false;
@@ -205,24 +205,27 @@ let apply_marker t c (m : Packet.marker) =
    at a reset marker: everything behind it belongs to the next epoch and
    stays buffered until the reset barrier completes. *)
 let rec absorb_markers t c =
-  match Fifo_queue.peek t.buffers.(c) with
-  | Some pkt when Packet.is_marker pkt ->
-    let m = Packet.get_marker pkt in
-    if m.Packet.m_reset then begin
-      ignore (Fifo_queue.pop t.buffers.(c));
-      t.n_markers <- t.n_markers + 1;
-      if Obs.Sink.active t.sink then
-        Obs.Sink.emit t.sink
-          (Obs.Event.v ~channel:c ~round:m.Packet.m_round ~dc:m.Packet.m_dc
-             ~time:(t.now ()) Obs.Event.Marker_applied);
-      t.reset_pending.(c) <- true
+  let buf = t.buffers.(c) in
+  if not (Fifo_queue.is_empty buf) then begin
+    let pkt = Fifo_queue.peek_unsafe buf in
+    if Packet.is_marker pkt then begin
+      let m = Packet.get_marker pkt in
+      if m.Packet.m_reset then begin
+        ignore (Fifo_queue.pop_exn buf);
+        t.n_markers <- t.n_markers + 1;
+        if Obs.Sink.active t.sink then
+          Obs.Sink.emit t.sink
+            (Obs.Event.v ~channel:c ~round:m.Packet.m_round ~dc:m.Packet.m_dc
+               ~time:(t.now ()) Obs.Event.Marker_applied);
+        t.reset_pending.(c) <- true
+      end
+      else begin
+        ignore (Fifo_queue.pop_exn buf);
+        apply_marker t c m;
+        absorb_markers t c
+      end
     end
-    else begin
-      ignore (Fifo_queue.pop t.buffers.(c));
-      apply_marker t c m;
-      absorb_markers t c
-    end
-  | Some _ | None -> ()
+  end
 
 (* The §5 barrier is complete when the reset marker has arrived on every
    channel — or, with a watchdog, on every channel not declared dead: a
@@ -264,7 +267,7 @@ let rec progress t =
       Array.fill t.force 0 t.n None;
       Array.fill t.reset_pending 0 t.n false;
       t.n_resets <- t.n_resets + 1;
-      t.waiting <- None;
+      t.waiting <- -1;
       t.wd_spin <- 0;
       t.round_lag <- 0;
       if Obs.Sink.active t.sink then
@@ -311,9 +314,7 @@ let rec progress t =
       Deficit.advance t.d;
       progress t
     end
-    else begin
-      match Fifo_queue.pop t.buffers.(c) with
-      | None ->
+    else if Fifo_queue.is_empty t.buffers.(c) then begin
         let forced = t.force_need > 0 in
         if
           (forced || check_dead t c)
@@ -335,8 +336,8 @@ let rec progress t =
                 (Obs.Event.v ~channel:c ~round:(Deficit.round t.d)
                    ~time:(t.now ()) Obs.Event.Watchdog_skip)
           end;
-          if t.waiting = Some c then begin
-            t.waiting <- None;
+          if t.waiting = c then begin
+            t.waiting <- -1;
             if Obs.Sink.active t.sink then
               Obs.Sink.emit t.sink
                 (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Unblock)
@@ -345,16 +346,18 @@ let rec progress t =
           progress t
         end
         else begin
-          if t.waiting <> Some c && Obs.Sink.active t.sink then
+          if t.waiting <> c && Obs.Sink.active t.sink then
             Obs.Sink.emit t.sink
               (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Block);
-          t.waiting <- Some c (* Block: logical reception waits here. *)
+          t.waiting <- c (* Block: logical reception waits here. *)
         end
-      | Some pkt ->
-        if t.waiting = Some c && Obs.Sink.active t.sink then
+    end
+    else begin
+        let pkt = Fifo_queue.pop_exn t.buffers.(c) in
+        if t.waiting = c && Obs.Sink.active t.sink then
           Obs.Sink.emit t.sink
             (Obs.Event.v ~channel:c ~time:(t.now ()) Obs.Event.Unblock);
-        t.waiting <- None;
+        t.waiting <- -1;
         t.wd_spin <- 0;
         t.n_data_buffered <- t.n_data_buffered - 1;
         t.data_bytes <- t.data_bytes - pkt.Packet.size;
@@ -393,11 +396,9 @@ let hard_pop t =
     end
   done;
   if !ci < 0 then false
-  else
-    match Fifo_queue.pop t.buffers.(!ci) with
-    | None -> false
-    | Some pkt ->
-      let c = !ci in
+  else begin
+    let pkt = Fifo_queue.pop_exn t.buffers.(!ci) in
+    let c = !ci in
       (if Packet.is_marker pkt then begin
          let m = Packet.get_marker pkt in
          if m.Packet.m_reset then begin
@@ -423,7 +424,8 @@ let hard_pop t =
          t.deliver ~channel:c pkt;
          update_pressure t
        end);
-      true
+    true
+  end
 
 (* Force_flush eviction: make [need] bytes fit under the budget. First
    let the scan drain quasi-FIFO (blocks become bounded forced skips via
@@ -515,7 +517,7 @@ let delivered t = t.n_delivered
 
 let pending t = t.n_data_buffered
 
-let blocked_on t = t.waiting
+let blocked_on t = if t.waiting < 0 then None else Some t.waiting
 
 let skips t = t.n_skips
 
@@ -572,6 +574,6 @@ let drain t =
      read to block on and no buffered stream position left for a recorded
      marker stamp to describe — clear both so [blocked_on] and the next
      scan do not act on stale state. *)
-  t.waiting <- None;
+  t.waiting <- -1;
   Array.fill t.force 0 t.n None;
   List.rev !out

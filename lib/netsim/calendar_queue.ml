@@ -1,0 +1,296 @@
+(* Calendar queue (R. Brown, CACM 1988): a hashed ring of time-sorted
+   buckets, O(1) amortized add/pop for the event populations simulations
+   generate — many events clustered a bounded distance into the future
+   (link serializations, propagation delays, pacing timers).
+
+   An event at time [t] lives in bucket [floor (t / width) mod nbuckets].
+   Popping scans the ring from the current virtual bucket [gidx]
+   (= floor (scan time / width)): a bucket's minimum fires only if it
+   falls inside the bucket's slice of the current "year"
+   ([t < (gidx + 1) * width]); otherwise the event belongs to a later
+   lap around the ring and the scan moves on. A full fruitless rotation
+   (all events far in the future) falls back to a direct minimum search
+   that repositions the scan — correctness never depends on the width
+   heuristics.
+
+   Buckets are struct-of-arrays (unboxed float times), sorted descending
+   so the earliest entry pops off the end in O(1); inserts memmove within
+   a bucket, which resizing keeps a few entries deep. The calendar doubles
+   when occupancy exceeds two entries per bucket and halves below one per
+   two buckets, re-deriving the bucket width from the live event
+   population each time.
+
+   Determinism contract (checked against {!Eventq} by property test):
+   same-time events pop in insertion order. Equal times always hash to
+   the same bucket, so the global (time, seq) order reduces to the
+   intra-bucket sort. *)
+
+type 'a t = {
+  mutable nbuckets : int;  (* power of two *)
+  mutable mask : int;
+  mutable width : float;
+  mutable btimes : float array array;
+  mutable bseqs : int array array;
+  mutable bvals : 'a array array;
+  mutable blens : int array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable gidx : int;
+      (* Virtual bucket index of the pop scan: bucket [gidx land mask],
+         year bound [(gidx + 1) * width]. Meaningful only when
+         [positioned]. *)
+  mutable positioned : bool;
+  tmp_time : float array;
+      (* Staging cell for [bucket_insert]'s time argument: a float passed
+         to a non-inlined function boxes at the call boundary, a float
+         array store does not. *)
+      (* False when the scan must re-find the global minimum before the
+         next pop: after a clear/resize, when the queue was empty, or
+         when an insertion landed before the scan's current year. *)
+}
+
+let dummy : unit -> 'a = fun () -> Obj.magic ()
+
+let initial_buckets = 16
+
+let make_buckets n =
+  ( Array.make n [||],
+    Array.make n [||],
+    Array.make n [||],
+    Array.make n 0 )
+
+let create () =
+  let btimes, bseqs, bvals, blens = make_buckets initial_buckets in
+  {
+    nbuckets = initial_buckets;
+    mask = initial_buckets - 1;
+    width = 1.0;
+    btimes;
+    bseqs;
+    bvals;
+    blens;
+    size = 0;
+    next_seq = 0;
+    gidx = 0;
+    positioned = false;
+    tmp_time = [| 0.0 |];
+  }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+(* Virtual (unwrapped) bucket index of time [t]. The width floor chosen
+   at resize keeps [t /. width] well below 2^52, so the floor is exact
+   and the year arithmetic in [pop] cannot misplace an event. *)
+let vbucket q t = int_of_float (t /. q.width)
+
+(* --- bucket primitives ------------------------------------------------ *)
+
+let bucket_grow q b =
+  let cap = Array.length q.bvals.(b) in
+  if q.blens.(b) = cap then begin
+    let ncap = if cap = 0 then 4 else 2 * cap in
+    let times = Array.make ncap 0.0 in
+    let seqs = Array.make ncap 0 in
+    let vals = Array.make ncap (dummy ()) in
+    Array.blit q.btimes.(b) 0 times 0 cap;
+    Array.blit q.bseqs.(b) 0 seqs 0 cap;
+    Array.blit q.bvals.(b) 0 vals 0 cap;
+    q.btimes.(b) <- times;
+    q.bseqs.(b) <- seqs;
+    q.bvals.(b) <- vals
+  end
+
+(* Insert into bucket [b], keeping it sorted descending by (time, seq):
+   the earliest entry stays at index [len - 1]. The time is taken from
+   [q.tmp_time.(0)] (see its comment). *)
+let bucket_insert q b ~seq v =
+  let time = q.tmp_time.(0) in
+  bucket_grow q b;
+  let times = q.btimes.(b) and seqs = q.bseqs.(b) and vals = q.bvals.(b) in
+  let len = q.blens.(b) in
+  (* Entries strictly after (time, seq) shift one slot toward the end. *)
+  let j = ref len in
+  while
+    !j > 0
+    && not
+         (times.(!j - 1) > time
+         || (times.(!j - 1) = time && seqs.(!j - 1) > seq))
+  do
+    decr j
+  done;
+  if !j < len then begin
+    Array.blit times !j times (!j + 1) (len - !j);
+    Array.blit seqs !j seqs (!j + 1) (len - !j);
+    Array.blit vals !j vals (!j + 1) (len - !j)
+  end;
+  times.(!j) <- time;
+  seqs.(!j) <- seq;
+  vals.(!j) <- v;
+  q.blens.(b) <- len + 1
+
+(* Remove and return the earliest entry of (non-empty) bucket [b]. *)
+let bucket_take q b =
+  let len = q.blens.(b) - 1 in
+  let v = q.bvals.(b).(len) in
+  q.bvals.(b).(len) <- dummy ();
+  q.blens.(b) <- len;
+  q.size <- q.size - 1;
+  v
+
+(* --- sizing ----------------------------------------------------------- *)
+
+(* Re-derive the bucket width from the live population: ~3 mean
+   inter-event gaps per bucket, clamped so [t / width] stays exactly
+   representable (<= 2^40) for every queued time. Degenerate populations
+   (all events simultaneous) keep the previous width — bucketing quality
+   is then irrelevant anyway. *)
+let derive_width q ~tmin ~tmax =
+  let span = tmax -. tmin in
+  let w =
+    if span > 0.0 && q.size > 1 then 3.0 *. span /. float_of_int q.size
+    else q.width
+  in
+  let floor_w = Float.max 1e-12 (Float.max tmax (-.tmin) /. 1.099511627776e12)
+  (* 2^40 *) in
+  Float.max w floor_w
+
+let resize q nbuckets' =
+  let old_btimes = q.btimes
+  and old_bseqs = q.bseqs
+  and old_bvals = q.bvals
+  and old_blens = q.blens
+  and old_n = q.nbuckets in
+  (* Population bounds for the new width. *)
+  let tmin = ref infinity and tmax = ref neg_infinity in
+  for b = 0 to old_n - 1 do
+    for i = 0 to old_blens.(b) - 1 do
+      let t = old_btimes.(b).(i) in
+      if t < !tmin then tmin := t;
+      if t > !tmax then tmax := t
+    done
+  done;
+  let btimes, bseqs, bvals, blens = make_buckets nbuckets' in
+  q.nbuckets <- nbuckets';
+  q.mask <- nbuckets' - 1;
+  q.width <- derive_width q ~tmin:!tmin ~tmax:!tmax;
+  q.btimes <- btimes;
+  q.bseqs <- bseqs;
+  q.bvals <- bvals;
+  q.blens <- blens;
+  for b = 0 to old_n - 1 do
+    for i = 0 to old_blens.(b) - 1 do
+      let dst = vbucket q old_btimes.(b).(i) land q.mask in
+      q.tmp_time.(0) <- old_btimes.(b).(i);
+      bucket_insert q dst ~seq:old_bseqs.(b).(i) old_bvals.(b).(i)
+    done
+  done;
+  q.positioned <- false
+
+(* --- main operations -------------------------------------------------- *)
+
+let[@inline] add q ~time value =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let vb = vbucket q time in
+  q.tmp_time.(0) <- time;
+  bucket_insert q (vb land q.mask) ~seq value;
+  q.size <- q.size + 1;
+  (* An event landing before the scan's current year start would be
+     passed over by the year check: force a re-position. *)
+  if q.positioned && vb < q.gidx then q.positioned <- false;
+  if q.size > 2 * q.nbuckets then resize q (2 * q.nbuckets)
+
+(* Point the scan at the bucket holding the global minimum. The queue
+   must be non-empty. Equal minimum times share a bucket, so comparing
+   times across buckets suffices; the intra-bucket order settles seq
+   ties. *)
+let reposition q =
+  let best_b = ref (-1) and best_t = ref infinity in
+  for b = 0 to q.nbuckets - 1 do
+    let len = q.blens.(b) in
+    if len > 0 && q.btimes.(b).(len - 1) < !best_t then begin
+      best_t := q.btimes.(b).(len - 1);
+      best_b := b
+    end
+  done;
+  (* Rebase the virtual index on the minimum's own year so the year
+     bounds line up with bucket contents again. *)
+  q.gidx <- vbucket q !best_t;
+  (* [vbucket] of the minimum can disagree with the bucket it physically
+     lives in only if the width changed underneath it — it cannot, width
+     only changes at resize which rehashes. Trust the scan position. *)
+  q.positioned <- true
+
+let peek_loop q =
+  (* Find the bucket whose head fires next; returns the bucket index and
+     leaves the scan positioned on it. The queue must be non-empty. *)
+  if not q.positioned then reposition q;
+  let result = ref (-1) in
+  let steps = ref 0 in
+  while !result < 0 do
+    let b = q.gidx land q.mask in
+    let len = q.blens.(b) in
+    if
+      len > 0
+      && q.btimes.(b).(len - 1)
+         < (float_of_int (q.gidx + 1)) *. q.width
+    then result := b
+    else if !steps >= q.nbuckets then begin
+      (* Full fruitless rotation: everything lives in later years. Jump
+         straight to the global minimum. *)
+      reposition q;
+      let b = q.gidx land q.mask in
+      result := b
+    end
+    else begin
+      q.gidx <- q.gidx + 1;
+      incr steps
+    end
+  done;
+  !result
+
+let peek_time q =
+  if q.size = 0 then None
+  else
+    let b = peek_loop q in
+    Some q.btimes.(b).(q.blens.(b) - 1)
+
+let[@inline] peek_time_unsafe q =
+  let b = peek_loop q in
+  q.btimes.(b).(q.blens.(b) - 1)
+
+let maybe_shrink q =
+  if q.nbuckets > initial_buckets && 2 * q.size < q.nbuckets then
+    resize q (q.nbuckets / 2)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let b = peek_loop q in
+    let time = q.btimes.(b).(q.blens.(b) - 1) in
+    let v = bucket_take q b in
+    if q.size = 0 then q.positioned <- false else maybe_shrink q;
+    Some (time, v)
+  end
+
+let pop_exn q =
+  if q.size = 0 then invalid_arg "Calendar_queue.pop_exn: empty queue";
+  let b = peek_loop q in
+  let v = bucket_take q b in
+  if q.size = 0 then q.positioned <- false else maybe_shrink q;
+  v
+
+let clear q =
+  let btimes, bseqs, bvals, blens = make_buckets initial_buckets in
+  q.nbuckets <- initial_buckets;
+  q.mask <- initial_buckets - 1;
+  q.width <- 1.0;
+  q.btimes <- btimes;
+  q.bseqs <- bseqs;
+  q.bvals <- bvals;
+  q.blens <- blens;
+  q.size <- 0;
+  q.gidx <- 0;
+  q.positioned <- false

@@ -1,29 +1,54 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Growable binary heap in struct-of-arrays layout.
+
+   The per-entry record of the original implementation boxed every
+   insertion (entry record + boxed time float); at millions of simulated
+   events that dominated the minor heap. Times now live in an unboxed
+   [float array], sequence numbers and values in parallel arrays, so the
+   steady-state add/pop cycle allocates nothing.
+
+   The [vals] array is backed by a physical-equality dummy ([Obj.magic
+   ()]): slots outside [0, size) are always reset to it, so a popped
+   value is collectable the moment the caller drops it (the original
+   kept the migrated root reachable at [heap.(size)], pinning delivered
+   packets live). The dummy never escapes: every read is guarded by
+   [size]. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a entry option;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let dummy : unit -> 'a = fun () -> Obj.magic ()
+
+let create () =
+  { times = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let is_empty q = q.size = 0
 
 let length q = q.size
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let precedes q i j =
+  q.times.(i) < q.times.(j)
+  || (q.times.(i) = q.times.(j) && q.seqs.(i) < q.seqs.(j))
 
 let swap q i j =
-  let tmp = q.heap.(i) in
-  q.heap.(i) <- q.heap.(j);
-  q.heap.(j) <- tmp
+  let t = q.times.(i) in
+  q.times.(i) <- q.times.(j);
+  q.times.(j) <- t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if precedes q.heap.(i) q.heap.(parent) then begin
+    if precedes q i parent then begin
       swap q i parent;
       sift_up q parent
     end
@@ -32,44 +57,71 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.size && precedes q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && precedes q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if l < q.size && precedes q l !smallest then smallest := l;
+  if r < q.size && precedes q r !smallest then smallest := r;
   if !smallest <> i then begin
     swap q i !smallest;
     sift_down q !smallest
   end
 
-let grow q entry =
-  let capacity = Array.length q.heap in
-  if q.size = capacity then begin
-    let new_capacity = max 16 (2 * capacity) in
-    let heap = Array.make new_capacity entry in
-    Array.blit q.heap 0 heap 0 q.size;
-    q.heap <- heap
+let grow q =
+  if q.size = Array.length q.vals then begin
+    let cap = max 16 (2 * q.size) in
+    let times = Array.make cap 0.0 in
+    let seqs = Array.make cap 0 in
+    let vals = Array.make cap (dummy ()) in
+    Array.blit q.times 0 times 0 q.size;
+    Array.blit q.seqs 0 seqs 0 q.size;
+    Array.blit q.vals 0 vals 0 q.size;
+    q.times <- times;
+    q.seqs <- seqs;
+    q.vals <- vals
   end
 
-let add q ~time value =
-  let entry = { time; seq = q.next_seq; value } in
+let[@inline] add q ~time value =
+  grow q;
+  let i = q.size in
+  q.times.(i) <- time;
+  q.seqs.(i) <- q.next_seq;
+  q.vals.(i) <- value;
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  q.size <- i + 1;
+  sift_up q i
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some q.times.(0)
+
+let[@inline] peek_time_unsafe q = q.times.(0)
+
+(* Remove the root: migrate the last entry into slot 0 and clear the
+   vacated slot so the moved value is not retained twice (and the root
+   of a now-empty heap is not retained at all). *)
+let remove_root q =
+  let last = q.size - 1 in
+  q.size <- last;
+  if last > 0 then begin
+    q.times.(0) <- q.times.(last);
+    q.seqs.(0) <- q.seqs.(last);
+    q.vals.(0) <- q.vals.(last)
+  end;
+  q.vals.(last) <- dummy ();
+  if last > 1 then sift_down q 0
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let root = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (root.time, root.value)
+    let time = q.times.(0) and v = q.vals.(0) in
+    remove_root q;
+    Some (time, v)
   end
+
+let[@inline] pop_exn q =
+  if q.size = 0 then invalid_arg "Eventq.pop_exn: empty queue";
+  let v = q.vals.(0) in
+  remove_root q;
+  v
 
 let clear q =
   q.size <- 0;
-  q.heap <- [||]
+  q.times <- [||];
+  q.seqs <- [||];
+  q.vals <- [||]

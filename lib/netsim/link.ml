@@ -1,4 +1,15 @@
 module Obs = Stripe_obs
+module Fifo_queue = Stripe_packet.Fifo_queue
+
+(* Hot-path allocation notes: the transmit queue is a struct-of-arrays
+   ring ({!Stripe_packet.Fifo_queue}), the serialization-complete event
+   is a single closure allocated at link creation (the packet it applies
+   to rides in [ser_size]/[ser_payload] — only one packet serializes at
+   a time), and [last_arrival] lives in a one-element float array
+   because assigning a mutable float field of this mixed record would
+   box on every packet. Per packet, the only remaining allocation is the
+   arrival closure in [deliver_at], which genuinely needs its own
+   environment: several packets can be in flight at once. *)
 
 type 'a t = {
   sim : Sim.t;
@@ -15,10 +26,12 @@ type 'a t = {
   obs_channel : int;
   sink : Obs.Sink.t;
   deliver : 'a -> unit;
-  txq : (int * 'a) Queue.t;
-  mutable txq_bytes : int;
+  txq : 'a Fifo_queue.t;
   mutable serializing : bool;
-  mutable last_arrival : float;
+  mutable ser_done : unit -> unit;
+  mutable ser_size : int;
+  mutable ser_payload : 'a;
+  last_arrival : float array;
   mutable up : bool;
   mutable carrier_watchers : (up:bool -> unit) list;
   mutable n_sent : int;
@@ -34,51 +47,14 @@ type 'a t = {
   mutable n_corrupt_drops : int;
 }
 
-let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
-    ?(impair = Impair.none) ?corrupt ?txq_capacity_bytes ?mtu ?(channel = -1)
-    ?(sink = Obs.Sink.null) ~deliver () =
-  if rate_bps <= 0.0 then invalid_arg "Link.create: rate_bps must be > 0";
-  if prop_delay < 0.0 then invalid_arg "Link.create: negative prop_delay";
-  {
-    sim;
-    link_name = name;
-    rate = rate_bps;
-    prop_delay;
-    jitter;
-    rng = (match rng with Some r -> r | None -> Rng.create 0);
-    loss = (match loss with Some l -> l | None -> Loss.none ());
-    impair;
-    corrupt;
-    txq_capacity_bytes;
-    link_mtu = mtu;
-    obs_channel = channel;
-    sink;
-    deliver;
-    txq = Queue.create ();
-    txq_bytes = 0;
-    serializing = false;
-    last_arrival = 0.0;
-    up = true;
-    carrier_watchers = [];
-    n_sent = 0;
-    b_sent = 0;
-    n_delivered = 0;
-    b_delivered = 0;
-    n_lost = 0;
-    n_txq_drops = 0;
-    n_down_drops = 0;
-    n_reordered = 0;
-    n_duplicated = 0;
-    n_corrupted = 0;
-    n_corrupt_drops = 0;
-  }
+let dummy : unit -> 'a = fun () -> Obj.magic ()
 
 let obs_emit t kind ~size =
   if Obs.Sink.active t.sink then
     Obs.Sink.emit t.sink
       (Obs.Event.v ~channel:t.obs_channel ~size ~time:(Sim.now t.sim) kind)
 
-let deliver_at t ~size ~at payload =
+let[@inline] deliver_at t ~size ~at payload =
   Sim.schedule t.sim ~at (fun () ->
       if not t.up then begin
         (* Lost in flight: the link died under the packet. *)
@@ -109,8 +85,8 @@ let schedule_copy t ~size payload =
       base +. Rng.float t.rng imp.Impair.reorder_window
     end
     else begin
-      let a = max base t.last_arrival in
-      t.last_arrival <- a;
+      let a = max base t.last_arrival.(0) in
+      t.last_arrival.(0) <- a;
       a
     end
   in
@@ -133,39 +109,93 @@ let schedule_copy t ~size payload =
   end
 
 (* Start serializing the packet at the head of the transmit queue. When
-   serialization finishes, schedule the arrival — twice under a
-   duplication impairment — and start on the next queued packet. *)
+   serialization finishes ([ser_complete], the link's single reused
+   completion event), schedule the arrival — twice under a duplication
+   impairment — and start on the next queued packet. *)
 let rec start_serialize t =
-  match Queue.take_opt t.txq with
-  | None -> t.serializing <- false
-  | Some (size, payload) ->
+  if Fifo_queue.is_empty t.txq then t.serializing <- false
+  else begin
+    let size = Fifo_queue.peek_size_unsafe t.txq in
+    let payload = Fifo_queue.pop_exn t.txq in
     t.serializing <- true;
-    t.txq_bytes <- t.txq_bytes - size;
     obs_emit t Obs.Event.Dequeue ~size;
+    t.ser_size <- size;
+    t.ser_payload <- payload;
     let ser_time = float_of_int (size * 8) /. t.rate in
-    Sim.schedule_after t.sim ~delay:ser_time (fun () ->
-        t.n_sent <- t.n_sent + 1;
-        t.b_sent <- t.b_sent + size;
-        if not t.up then begin
-          (* The carrier vanished while the packet was serializing. *)
-          t.n_down_drops <- t.n_down_drops + 1;
-          obs_emit t Obs.Event.Drop ~size
-        end
-        else if Loss.drop t.loss t.rng then begin
-          t.n_lost <- t.n_lost + 1;
-          obs_emit t Obs.Event.Drop ~size
-        end
-        else begin
-          schedule_copy t ~size payload;
-          if
-            t.impair.Impair.dup_p > 0.0
-            && Rng.bernoulli t.rng ~p:t.impair.Impair.dup_p
-          then begin
-            t.n_duplicated <- t.n_duplicated + 1;
-            schedule_copy t ~size payload
-          end
-        end;
-        start_serialize t)
+    Sim.schedule_after t.sim ~delay:ser_time t.ser_done
+  end
+
+and ser_complete t =
+  let size = t.ser_size in
+  let payload = t.ser_payload in
+  t.ser_payload <- dummy ();
+  t.n_sent <- t.n_sent + 1;
+  t.b_sent <- t.b_sent + size;
+  if not t.up then begin
+    (* The carrier vanished while the packet was serializing. *)
+    t.n_down_drops <- t.n_down_drops + 1;
+    obs_emit t Obs.Event.Drop ~size
+  end
+  else if Loss.drop t.loss t.rng then begin
+    t.n_lost <- t.n_lost + 1;
+    obs_emit t Obs.Event.Drop ~size
+  end
+  else begin
+    schedule_copy t ~size payload;
+    if
+      t.impair.Impair.dup_p > 0.0
+      && Rng.bernoulli t.rng ~p:t.impair.Impair.dup_p
+    then begin
+      t.n_duplicated <- t.n_duplicated + 1;
+      schedule_copy t ~size payload
+    end
+  end;
+  start_serialize t
+
+let create sim ?(name = "link") ~rate_bps ~prop_delay ?jitter ?rng ?loss
+    ?(impair = Impair.none) ?corrupt ?txq_capacity_bytes ?mtu ?(channel = -1)
+    ?(sink = Obs.Sink.null) ~deliver () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate_bps must be > 0";
+  if prop_delay < 0.0 then invalid_arg "Link.create: negative prop_delay";
+  let t =
+    {
+      sim;
+      link_name = name;
+      rate = rate_bps;
+      prop_delay;
+      jitter;
+      rng = (match rng with Some r -> r | None -> Rng.create 0);
+      loss = (match loss with Some l -> l | None -> Loss.none ());
+      impair;
+      corrupt;
+      txq_capacity_bytes;
+      link_mtu = mtu;
+      obs_channel = channel;
+      sink;
+      deliver;
+      txq = Fifo_queue.create ();
+      serializing = false;
+      ser_done = ignore;
+      ser_size = 0;
+      ser_payload = dummy ();
+      last_arrival = [| 0.0 |];
+      up = true;
+      carrier_watchers = [];
+      n_sent = 0;
+      b_sent = 0;
+      n_delivered = 0;
+      b_delivered = 0;
+      n_lost = 0;
+      n_txq_drops = 0;
+      n_down_drops = 0;
+      n_reordered = 0;
+      n_duplicated = 0;
+      n_corrupted = 0;
+      n_corrupt_drops = 0;
+    }
+  in
+  t.ser_done <- (fun () -> ser_complete t);
+  t
 
 let send t ~size payload =
   if size <= 0 then invalid_arg "Link.send: size must be positive";
@@ -185,7 +215,7 @@ let send t ~size payload =
   else
   let overflow =
     match t.txq_capacity_bytes with
-    | Some cap -> t.txq_bytes + size > cap
+    | Some cap -> Fifo_queue.bytes t.txq + size > cap
     | None -> false
   in
   if overflow then begin
@@ -194,8 +224,7 @@ let send t ~size payload =
     false
   end
   else begin
-    Queue.add (size, payload) t.txq;
-    t.txq_bytes <- t.txq_bytes + size;
+    Fifo_queue.push t.txq ~size payload;
     if not t.serializing then start_serialize t;
     true
   end
@@ -220,13 +249,10 @@ let set_up t up =
          The packet being serialized (if any) is dropped when its
          serialization completes, and in-flight packets are dropped at
          their arrival instant. *)
-      Queue.iter
-        (fun (size, _) ->
+      Fifo_queue.iter t.txq (fun _ ~size ->
           t.n_down_drops <- t.n_down_drops + 1;
-          obs_emit t Obs.Event.Drop ~size)
-        t.txq;
-      Queue.clear t.txq;
-      t.txq_bytes <- 0
+          obs_emit t Obs.Event.Drop ~size);
+      Fifo_queue.clear t.txq
     end;
     obs_emit t
       (if up then Obs.Event.Channel_up else Obs.Event.Channel_down)
@@ -239,8 +265,8 @@ let set_loss t loss = t.loss <- loss
 let impairments t = t.impair
 let set_impairments t impair = t.impair <- impair
 
-let queue_bytes t = t.txq_bytes
-let queue_packets t = Queue.length t.txq
+let queue_bytes t = Fifo_queue.bytes t.txq
+let queue_packets t = Fifo_queue.length t.txq
 let busy t = t.serializing
 let sent_packets t = t.n_sent
 let sent_bytes t = t.b_sent

@@ -1,34 +1,47 @@
-type t = { mutable state : int64 }
+(* SplitMix64. The state lives in an 8-byte buffer accessed through the
+   unboxed [Bytes.{get,set}_int64_ne] primitives rather than a mutable
+   [int64] field: a boxed state would allocate on every draw, and
+   workload generators draw once per packet. With the small functions
+   inlined, a draw is allocation-free; the sequences are bit-identical
+   to the boxed implementation. *)
+
+type t = { state : Bytes.t }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix64 z =
+let[@inline] mix64 z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let create seed = { state = mix64 (Int64.of_int seed) }
+let of_state s =
+  let state = Bytes.create 8 in
+  Bytes.set_int64_ne state 0 s;
+  { state }
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let create seed = of_state (mix64 (Int64.of_int seed))
 
-let split t = { state = bits64 t }
+let[@inline] bits64 t =
+  let s = Int64.add (Bytes.get_int64_ne t.state 0) golden_gamma in
+  Bytes.set_int64_ne t.state 0 s;
+  mix64 s
 
-let int t n =
+let split t = of_state (bits64 t)
+
+let[@inline] int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for simulation purposes: modulo bias is negligible for
      the small bounds used here, but we mask to 62 bits to stay positive. *)
   Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) mod n
 
-let float t x =
+let[@inline] float t x =
   if x < 0.0 then invalid_arg "Rng.float: bound must be non-negative";
   let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
   u /. 9007199254740992.0 *. x
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let[@inline] bool t = Int64.logand (bits64 t) 1L = 1L
 
-let bernoulli t ~p = float t 1.0 < p
+let[@inline] bernoulli t ~p = float t 1.0 < p
 
 let exponential t ~mean =
   let u = float t 1.0 in

@@ -1,30 +1,68 @@
+type engine = Heap | Calendar
+
+let engine_name = function Heap -> "heap" | Calendar -> "calendar"
+
+let engine_of_name = function
+  | "heap" -> Some Heap
+  | "calendar" -> Some Calendar
+  | _ -> None
+
+type events =
+  | Qheap of (unit -> unit) Eventq.t
+  | Qcal of (unit -> unit) Calendar_queue.t
+
 type t = {
-  mutable clock : float;
+  clock : float array;
+      (* Single-cell unboxed store: assigning a mutable float field of a
+         mixed record boxes on every event, a float-array store does
+         not. *)
   mutable stopped : bool;
-  events : (unit -> unit) Eventq.t;
+  events : events;
 }
 
-let create () = { clock = 0.0; stopped = false; events = Eventq.create () }
+let create ?(engine = Heap) () =
+  {
+    clock = [| 0.0 |];
+    stopped = false;
+    events =
+      (match engine with
+      | Heap -> Qheap (Eventq.create ())
+      | Calendar -> Qcal (Calendar_queue.create ()));
+  }
 
-let now t = t.clock
+let engine t = match t.events with Qheap _ -> Heap | Qcal _ -> Calendar
 
-let schedule t ~at f =
-  if at < t.clock then
+let[@inline] now t = t.clock.(0)
+
+let[@inline] schedule t ~at f =
+  if at < t.clock.(0) then
     invalid_arg
-      (Printf.sprintf "Sim.schedule: time %g is before now (%g)" at t.clock);
-  Eventq.add t.events ~time:at f
+      (Printf.sprintf "Sim.schedule: time %g is before now (%g)" at
+         t.clock.(0));
+  match t.events with
+  | Qheap q -> Eventq.add q ~time:at f
+  | Qcal q -> Calendar_queue.add q ~time:at f
 
-let schedule_after t ~delay f =
+let[@inline] schedule_after t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
-  schedule t ~at:(t.clock +. delay) f
+  schedule t ~at:(t.clock.(0) +. delay) f
 
 let step t =
-  match Eventq.pop t.events with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    f ();
-    true
+  match t.events with
+  | Qheap q ->
+    if Eventq.is_empty q then false
+    else begin
+      t.clock.(0) <- Eventq.peek_time_unsafe q;
+      (Eventq.pop_exn q) ();
+      true
+    end
+  | Qcal q ->
+    if Calendar_queue.is_empty q then false
+    else begin
+      t.clock.(0) <- Calendar_queue.peek_time_unsafe q;
+      (Calendar_queue.pop_exn q) ();
+      true
+    end
 
 let run t =
   t.stopped <- false;
@@ -36,15 +74,24 @@ let run t =
 let run_until t horizon =
   t.stopped <- false;
   let continue = ref true in
+  let next_time () =
+    match t.events with
+    | Qheap q ->
+      if Eventq.is_empty q then infinity else Eventq.peek_time_unsafe q
+    | Qcal q ->
+      if Calendar_queue.is_empty q then infinity
+      else Calendar_queue.peek_time_unsafe q
+  in
   while !continue do
     if t.stopped then continue := false
-    else
-      match Eventq.peek_time t.events with
-      | Some time when time <= horizon -> ignore (step t)
-      | Some _ | None -> continue := false
+    else if next_time () <= horizon then ignore (step t)
+    else continue := false
   done;
-  if t.clock < horizon then t.clock <- horizon
+  if t.clock.(0) < horizon then t.clock.(0) <- horizon
 
-let pending t = Eventq.length t.events
+let pending t =
+  match t.events with
+  | Qheap q -> Eventq.length q
+  | Qcal q -> Calendar_queue.length q
 
 let stop t = t.stopped <- true

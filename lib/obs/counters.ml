@@ -25,53 +25,77 @@ type channel = {
   mutable buffer_overflows : int;
 }
 
+(* The registry sits on the per-event path of every instrumented run, so
+   it accumulates into flat [int array]s — one slot per (channel, kind)
+   plus side arrays for byte and occupancy accounting — rather than
+   per-channel records. [observe] is a couple of array stores with zero
+   allocation (the record-based original boxed an option per event); the
+   [channel] record is materialized on demand as a snapshot. *)
 type t = {
-  chans : channel array;
+  n : int;
+  counts : int array;  (* n * Event.n_kinds; (ch, kind) occurrence counts *)
+  tx_bytes_ : int array;
+  delivered_bytes_ : int array;
+  buffered_packets_ : int array;
+  buffered_bytes_ : int array;
+  hw_buffered_packets_ : int array;
+  hw_buffered_bytes_ : int array;
   mutable resets : int;
   mutable rounds : int;
   mutable n_events : int;
   mutable no_channel_drops_ : int;
 }
 
-let fresh_channel () =
-  {
-    tx_packets = 0;
-    tx_bytes = 0;
-    delivered_packets = 0;
-    delivered_bytes = 0;
-    drops = 0;
-    txq_drops = 0;
-    arrivals = 0;
-    skips = 0;
-    markers_sent = 0;
-    markers_applied = 0;
-    blocks = 0;
-    buffered_packets = 0;
-    buffered_bytes = 0;
-    hw_buffered_packets = 0;
-    hw_buffered_bytes = 0;
-    downs = 0;
-    ups = 0;
-    watchdog_skips = 0;
-    suspends = 0;
-    resumes = 0;
-    dup_discards = 0;
-    reorder_restores = 0;
-    corrupt_discards = 0;
-    buffer_overflows = 0;
-  }
-
 let create ~n =
   if n <= 0 then invalid_arg "Counters.create: n must be positive";
-  { chans = Array.init n (fun _ -> fresh_channel ()); resets = 0; rounds = 0;
-    n_events = 0; no_channel_drops_ = 0 }
+  {
+    n;
+    counts = Array.make (n * Event.n_kinds) 0;
+    tx_bytes_ = Array.make n 0;
+    delivered_bytes_ = Array.make n 0;
+    buffered_packets_ = Array.make n 0;
+    buffered_bytes_ = Array.make n 0;
+    hw_buffered_packets_ = Array.make n 0;
+    hw_buffered_bytes_ = Array.make n 0;
+    resets = 0;
+    rounds = 0;
+    n_events = 0;
+    no_channel_drops_ = 0;
+  }
 
-let n_channels t = Array.length t.chans
+let n_channels t = t.n
+
+let count t c k = t.counts.((c * Event.n_kinds) + Event.kind_index k)
 
 let channel t c =
-  if c < 0 || c >= Array.length t.chans then
-    invalid_arg "Counters.channel: bad channel";
-  t.chans.(c)
+  if c < 0 || c >= t.n then invalid_arg "Counters.channel: bad channel";
+  let k kind = count t c kind in
+  {
+    tx_packets = k Event.Transmit;
+    tx_bytes = t.tx_bytes_.(c);
+    delivered_packets = k Event.Deliver;
+    delivered_bytes = t.delivered_bytes_.(c);
+    drops = k Event.Drop;
+    txq_drops = k Event.Txq_drop;
+    arrivals = k Event.Arrival;
+    skips = k Event.Skip;
+    markers_sent = k Event.Marker_sent;
+    markers_applied = k Event.Marker_applied;
+    blocks = k Event.Block;
+    buffered_packets = t.buffered_packets_.(c);
+    buffered_bytes = t.buffered_bytes_.(c);
+    hw_buffered_packets = t.hw_buffered_packets_.(c);
+    hw_buffered_bytes = t.hw_buffered_bytes_.(c);
+    downs = k Event.Channel_down;
+    ups = k Event.Channel_up;
+    watchdog_skips = k Event.Watchdog_skip;
+    suspends = k Event.Suspend;
+    resumes = k Event.Resume;
+    dup_discards = k Event.Dup_discard;
+    reorder_restores = k Event.Reorder_restore;
+    corrupt_discards = k Event.Corrupt_discard;
+    buffer_overflows = k Event.Buffer_overflow;
+  }
 
 let resets t = t.resets
 let rounds t = t.rounds
@@ -80,85 +104,70 @@ let no_channel_drops t = t.no_channel_drops_
 
 let observe t (e : Event.t) =
   t.n_events <- t.n_events + 1;
-  let ch =
-    if e.channel >= 0 && e.channel < Array.length t.chans then
-      Some t.chans.(e.channel)
-    else None
-  in
-  match e.kind, ch with
-  | Event.Transmit, Some c ->
-    c.tx_packets <- c.tx_packets + 1;
-    if e.size > 0 then c.tx_bytes <- c.tx_bytes + e.size
-  | Event.Deliver, Some c ->
-    c.delivered_packets <- c.delivered_packets + 1;
-    if e.size > 0 then c.delivered_bytes <- c.delivered_bytes + e.size;
-    c.buffered_packets <- max 0 (c.buffered_packets - 1);
-    if e.size > 0 then c.buffered_bytes <- max 0 (c.buffered_bytes - e.size)
-  | Event.Enqueue, Some c ->
-    c.buffered_packets <- c.buffered_packets + 1;
-    if e.size > 0 then c.buffered_bytes <- c.buffered_bytes + e.size;
-    if c.buffered_packets > c.hw_buffered_packets then
-      c.hw_buffered_packets <- c.buffered_packets;
-    if c.buffered_bytes > c.hw_buffered_bytes then
-      c.hw_buffered_bytes <- c.buffered_bytes
-  | Event.Drop, Some c -> c.drops <- c.drops + 1
-  | Event.Txq_drop, Some c -> c.txq_drops <- c.txq_drops + 1
-  | Event.Txq_drop, None ->
-    (* A [Txq_drop] without a channel is the striper reporting a packet it
-       could not dispatch because every channel was suspended. *)
-    t.no_channel_drops_ <- t.no_channel_drops_ + 1
-  | Event.Arrival, Some c -> c.arrivals <- c.arrivals + 1
-  | Event.Skip, Some c -> c.skips <- c.skips + 1
-  | Event.Marker_sent, Some c -> c.markers_sent <- c.markers_sent + 1
-  | Event.Marker_applied, Some c -> c.markers_applied <- c.markers_applied + 1
-  | Event.Block, Some c -> c.blocks <- c.blocks + 1
-  | Event.Channel_down, Some c -> c.downs <- c.downs + 1
-  | Event.Channel_up, Some c -> c.ups <- c.ups + 1
-  | Event.Watchdog_skip, Some c -> c.watchdog_skips <- c.watchdog_skips + 1
-  | Event.Suspend, Some c -> c.suspends <- c.suspends + 1
-  | Event.Resume, Some c -> c.resumes <- c.resumes + 1
-  | Event.Dup_discard, Some c -> c.dup_discards <- c.dup_discards + 1
-  | Event.Reorder_restore, Some c ->
-    c.reorder_restores <- c.reorder_restores + 1
-  | Event.Corrupt_discard, Some c ->
-    c.corrupt_discards <- c.corrupt_discards + 1
-  | Event.Buffer_overflow, Some c ->
-    c.buffer_overflows <- c.buffer_overflows + 1
-  | Event.Reset_barrier, _ -> t.resets <- t.resets + 1
-  | Event.Round, _ -> if e.round > t.rounds then t.rounds <- e.round
-  | Event.Dequeue, _ | Event.Unblock, _ -> ()
-  | ( Event.Transmit | Event.Deliver | Event.Enqueue | Event.Drop
-    | Event.Arrival | Event.Skip | Event.Marker_sent
-    | Event.Marker_applied | Event.Block | Event.Channel_down
-    | Event.Channel_up | Event.Watchdog_skip | Event.Suspend
-    | Event.Resume | Event.Dup_discard | Event.Reorder_restore
-    | Event.Corrupt_discard | Event.Buffer_overflow ), None ->
-    ()
+  let ch = e.channel in
+  if ch >= 0 && ch < t.n then begin
+    let slot = (ch * Event.n_kinds) + Event.kind_index e.kind in
+    t.counts.(slot) <- t.counts.(slot) + 1;
+    match e.kind with
+    | Event.Transmit ->
+      if e.size > 0 then t.tx_bytes_.(ch) <- t.tx_bytes_.(ch) + e.size
+    | Event.Deliver ->
+      if e.size > 0 then
+        t.delivered_bytes_.(ch) <- t.delivered_bytes_.(ch) + e.size;
+      t.buffered_packets_.(ch) <- max 0 (t.buffered_packets_.(ch) - 1);
+      if e.size > 0 then
+        t.buffered_bytes_.(ch) <- max 0 (t.buffered_bytes_.(ch) - e.size)
+    | Event.Enqueue ->
+      t.buffered_packets_.(ch) <- t.buffered_packets_.(ch) + 1;
+      if e.size > 0 then
+        t.buffered_bytes_.(ch) <- t.buffered_bytes_.(ch) + e.size;
+      if t.buffered_packets_.(ch) > t.hw_buffered_packets_.(ch) then
+        t.hw_buffered_packets_.(ch) <- t.buffered_packets_.(ch);
+      if t.buffered_bytes_.(ch) > t.hw_buffered_bytes_.(ch) then
+        t.hw_buffered_bytes_.(ch) <- t.buffered_bytes_.(ch)
+    | Event.Reset_barrier -> t.resets <- t.resets + 1
+    | Event.Round -> if e.round > t.rounds then t.rounds <- e.round
+    | _ -> ()
+  end
+  else
+    match e.kind with
+    | Event.Txq_drop ->
+      (* A [Txq_drop] without a channel is the striper reporting a packet
+         it could not dispatch because every channel was suspended. *)
+      t.no_channel_drops_ <- t.no_channel_drops_ + 1
+    | Event.Reset_barrier -> t.resets <- t.resets + 1
+    | Event.Round -> if e.round > t.rounds then t.rounds <- e.round
+    | _ -> ()
 
 let sink t = Sink.of_fn (observe t)
 
-let total f t = Array.fold_left (fun acc c -> acc + f c) 0 t.chans
+let total_kind t k =
+  let s = ref 0 in
+  for c = 0 to t.n - 1 do
+    s := !s + count t c k
+  done;
+  !s
 
-let total_tx_bytes = total (fun c -> c.tx_bytes)
-let total_delivered_packets = total (fun c -> c.delivered_packets)
-let total_drops = total (fun c -> c.drops + c.txq_drops)
-let total_skips = total (fun c -> c.skips)
-let total_watchdog_skips = total (fun c -> c.watchdog_skips)
-let total_downs = total (fun c -> c.downs)
-let total_dup_discards = total (fun c -> c.dup_discards)
-let total_reorder_restores = total (fun c -> c.reorder_restores)
-let total_corrupt_discards = total (fun c -> c.corrupt_discards)
-let total_buffer_overflows = total (fun c -> c.buffer_overflows)
+let total_tx_bytes t = Array.fold_left ( + ) 0 t.tx_bytes_
+let total_delivered_packets t = total_kind t Event.Deliver
+let total_drops t = total_kind t Event.Drop + total_kind t Event.Txq_drop
+let total_skips t = total_kind t Event.Skip
+let total_watchdog_skips t = total_kind t Event.Watchdog_skip
+let total_downs t = total_kind t Event.Channel_down
+let total_dup_discards t = total_kind t Event.Dup_discard
+let total_reorder_restores t = total_kind t Event.Reorder_restore
+let total_corrupt_discards t = total_kind t Event.Corrupt_discard
+let total_buffer_overflows t = total_kind t Event.Buffer_overflow
 
 let pp fmt t =
-  Array.iteri
-    (fun i c ->
-      Format.fprintf fmt
-        "ch%d: tx=%d/%dB delivered=%d/%dB drops=%d+%d skips=%d markers=%d/%d \
-         buf-hw=%d@."
-        i c.tx_packets c.tx_bytes c.delivered_packets c.delivered_bytes c.drops
-        c.txq_drops c.skips c.markers_sent c.markers_applied
-        c.hw_buffered_packets)
-    t.chans;
+  for i = 0 to t.n - 1 do
+    let c = channel t i in
+    Format.fprintf fmt
+      "ch%d: tx=%d/%dB delivered=%d/%dB drops=%d+%d skips=%d markers=%d/%d \
+       buf-hw=%d@."
+      i c.tx_packets c.tx_bytes c.delivered_packets c.delivered_bytes c.drops
+      c.txq_drops c.skips c.markers_sent c.markers_applied
+      c.hw_buffered_packets
+  done;
   Format.fprintf fmt "resets=%d rounds=%d events=%d" t.resets t.rounds
     t.n_events

@@ -54,7 +54,7 @@ val create : n:int -> t
 
 val observe : t -> Event.t -> unit
 (** Fold one event into the registry. Events whose [channel] is outside
-    [0..n-1] only update the global counters. *)
+    [0..n-1] only update the global counters. Allocation-free. *)
 
 val sink : t -> Sink.t
 (** A sink that feeds this registry. *)
@@ -62,7 +62,10 @@ val sink : t -> Sink.t
 val n_channels : t -> int
 
 val channel : t -> int -> channel
-(** Live counter record for one channel (do not mutate). *)
+(** Snapshot of one channel's counters at the moment of the call. The
+    registry accumulates into flat arrays (so {!observe} stays
+    allocation-free on the per-event path) and materializes this record
+    on demand; mutating it affects nothing. *)
 
 val resets : t -> int
 (** Reset barriers observed. *)

@@ -37,6 +37,35 @@ let v ?(channel = -1) ?(round = -1) ?(dc = 0) ?(size = -1) ?(seq = -1) ~time
     kind =
   { time; kind; channel; round; dc; size; seq }
 
+let n_kinds = 23
+
+(* Dense index for counter arrays; keep in sync with [kind] and
+   [n_kinds]. *)
+let kind_index = function
+  | Enqueue -> 0
+  | Dequeue -> 1
+  | Transmit -> 2
+  | Drop -> 3
+  | Txq_drop -> 4
+  | Arrival -> 5
+  | Marker_sent -> 6
+  | Marker_applied -> 7
+  | Skip -> 8
+  | Block -> 9
+  | Unblock -> 10
+  | Reset_barrier -> 11
+  | Deliver -> 12
+  | Round -> 13
+  | Channel_down -> 14
+  | Channel_up -> 15
+  | Watchdog_skip -> 16
+  | Suspend -> 17
+  | Resume -> 18
+  | Dup_discard -> 19
+  | Reorder_restore -> 20
+  | Corrupt_discard -> 21
+  | Buffer_overflow -> 22
+
 let kind_name = function
   | Enqueue -> "enqueue"
   | Dequeue -> "dequeue"

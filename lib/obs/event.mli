@@ -88,6 +88,14 @@ val v :
 (** Constructor with sentinel defaults ([channel]/[round]/[size]/[seq] =
     [-1], [dc] = [0]). *)
 
+val n_kinds : int
+(** Number of event kinds. *)
+
+val kind_index : kind -> int
+(** Dense index in [0, n_kinds): backs flat counter arrays
+    ({!Counters}). Stable within a build, not across versions — use
+    {!kind_name} for anything persisted. *)
+
 val kind_name : kind -> string
 (** Stable lowercase name used by the JSON and CSV exports. *)
 

@@ -4,19 +4,36 @@
     for transmit queues. Tracks current and high-water occupancy in both
     packets and bytes, which the benchmarks report to size real buffers
     against channel skew. The size of each element is supplied at [push]
-    so the queue stays generic. *)
+    so the queue stays generic.
+
+    Implemented as a ring buffer in struct-of-arrays layout: the
+    steady-state push/pop cycle allocates nothing, and popped slots are
+    cleared so delivered values can be collected. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val push : 'a t -> size:int -> 'a -> unit
+(** Allocation-free except when the ring grows. *)
 
 val pop : 'a t -> 'a option
 (** Remove the oldest element. *)
 
+val pop_exn : 'a t -> 'a
+(** Remove the oldest element without boxing an option. Raises
+    [Invalid_argument] if the queue is empty: guard with {!is_empty}. *)
+
 val peek : 'a t -> 'a option
 (** Oldest element without removing it. *)
+
+val peek_unsafe : 'a t -> 'a
+(** Oldest element without removing it or boxing an option. The queue
+    must be non-empty (unchecked): guard with {!is_empty}. *)
+
+val peek_size_unsafe : 'a t -> int
+(** Recorded size of the oldest element. The queue must be non-empty
+    (unchecked): guard with {!is_empty}. *)
 
 val is_empty : 'a t -> bool
 
@@ -24,12 +41,28 @@ val length : 'a t -> int
 
 val bytes : 'a t -> int
 
+val iter : 'a t -> ('a -> size:int -> unit) -> unit
+(** Visit every element oldest-first with its recorded size, without
+    allocating. The queue must not be mutated during iteration. *)
+
 val high_water_packets : 'a t -> int
-(** Maximum simultaneous occupancy (packets) observed since creation. *)
+(** Maximum simultaneous occupancy (packets) observed since the last
+    {!reset_high_water} (or creation). *)
 
 val high_water_bytes : 'a t -> int
 
+val reset_high_water : 'a t -> unit
+(** Restart high-water tracking from the current occupancy: after this,
+    [high_water_packets]/[high_water_bytes] report the maxima seen since
+    this call. Lets long-running experiments measure phases (e.g. after
+    a warm-up) without recreating queues. *)
+
 val clear : 'a t -> unit
+(** Drop all elements and reset byte accounting to zero. High-water
+    marks are deliberately {e kept} — they record the lifetime maximum
+    for buffer-sizing reports, and surviving [clear] is what makes the
+    end-of-run report meaningful after fault-recovery paths flush
+    queues. Call {!reset_high_water} explicitly to restart tracking. *)
 
 val to_list : 'a t -> 'a list
 (** Oldest first. O(n). *)

@@ -5,6 +5,7 @@ let () =
     (List.concat
        [
          Test_eventq.suites;
+         Test_calendar.suites;
          Test_sim.suites;
          Test_rng.suites;
          Test_loss.suites;

@@ -1,0 +1,281 @@
+(* Calendar queue tests: unit coverage, the qcheck equivalence property
+   against the binary heap (the reference model — including FIFO
+   tie-breaking, so either engine drives byte-identical simulations),
+   the Eventq popped-slot leak regression, and a seeded end-to-end
+   trace-equality check between the two engines. *)
+
+open Stripe_netsim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Calendar queue unit tests ------------------------------------- *)
+
+let test_empty () =
+  let q = Calendar_queue.create () in
+  check "fresh calendar is empty" true (Calendar_queue.is_empty q);
+  check_int "fresh calendar length" 0 (Calendar_queue.length q);
+  check "no peek time" true (Calendar_queue.peek_time q = None);
+  check "pop on empty" true (Calendar_queue.pop q = None)
+
+let test_time_order () =
+  let q = Calendar_queue.create () in
+  List.iter
+    (fun t -> Calendar_queue.add q ~time:t (int_of_float t))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order =
+    List.init 5 (fun _ ->
+        match Calendar_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "ascending time order" [ 1; 2; 3; 4; 5 ] order
+
+let test_fifo_ties () =
+  let q = Calendar_queue.create () in
+  for i = 0 to 9 do
+    Calendar_queue.add q ~time:1.0 i
+  done;
+  let order =
+    List.init 10 (fun _ ->
+        match Calendar_queue.pop q with Some (_, v) -> v | None -> -1)
+  in
+  Alcotest.(check (list int)) "same-time events pop in insertion order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    order
+
+let test_growth_across_resizes () =
+  (* Enough events to force several bucket-ring doublings, inserted in
+     reverse so every add lands before the current year. *)
+  let q = Calendar_queue.create () in
+  let n = 10_000 in
+  for i = n downto 1 do
+    Calendar_queue.add q ~time:(float_of_int i) i
+  done;
+  check_int "all inserted" n (Calendar_queue.length q);
+  let prev = ref 0 in
+  let sorted = ref true in
+  for _ = 1 to n do
+    match Calendar_queue.pop q with
+    | Some (_, v) ->
+      if v < !prev then sorted := false;
+      prev := v
+    | None -> sorted := false
+  done;
+  check "large reverse-order insert pops sorted" true !sorted
+
+let test_wide_spread () =
+  (* Times spanning ten orders of magnitude exercise the width clamp and
+     the direct-search fallback for far-future events. *)
+  let q = Calendar_queue.create () in
+  let times = [ 1e-6; 3.0; 1e4; 0.5; 2e-6; 9e3; 7.0; 0.0 ] in
+  List.iteri (fun i t -> Calendar_queue.add q ~time:t i) times;
+  let rec drain acc =
+    match Calendar_queue.pop q with
+    | Some (t, _) -> drain (t :: acc)
+    | None -> List.rev acc
+  in
+  let popped = drain [] in
+  Alcotest.(check (list (float 0.0)))
+    "wide time spread pops sorted"
+    (List.sort compare times)
+    popped
+
+let test_clear_and_reuse () =
+  let q = Calendar_queue.create () in
+  for i = 0 to 99 do
+    Calendar_queue.add q ~time:(float_of_int i) i
+  done;
+  Calendar_queue.clear q;
+  check "cleared calendar is empty" true (Calendar_queue.is_empty q);
+  Calendar_queue.add q ~time:2.0 20;
+  Calendar_queue.add q ~time:1.0 10;
+  check "usable after clear" true (Calendar_queue.pop q = Some (1.0, 10))
+
+(* --- Equivalence against the heap ---------------------------------- *)
+
+(* Operations drawn for the property: add at one of a few times (small
+   palette to force plenty of ties), pop, clear. Both structures see the
+   same sequence; every pop must agree on (time, value), including the
+   FIFO order within a tie — that identity is what lets a simulation
+   switch engines without changing a single event. *)
+type op = Add of float | Pop | Clear
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun t -> Add t) (float_range 0.0 100.0));
+        (3, map (fun i -> Add (float_of_int (i mod 8))) (int_bound 1000));
+        (4, return Pop);
+        (1, return Clear);
+      ])
+
+let op_print = function
+  | Add t -> Printf.sprintf "Add %g" t
+  | Pop -> "Pop"
+  | Clear -> "Clear"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 400) op_gen)
+
+let prop_calendar_equals_heap =
+  QCheck.Test.make ~name:"calendar = heap on random add/pop/clear" ~count:300
+    ops_arb (fun ops ->
+      let heap = Eventq.create () in
+      let cal = Calendar_queue.create () in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Add t ->
+            Eventq.add heap ~time:t !next;
+            Calendar_queue.add cal ~time:t !next;
+            incr next
+          | Pop ->
+            if Eventq.pop heap <> Calendar_queue.pop cal then ok := false
+          | Clear ->
+            Eventq.clear heap;
+            Calendar_queue.clear cal)
+        ops;
+      (* Drain what is left: the full remaining pop sequences must agree
+         too, and both must end empty. *)
+      let rec drain () =
+        let h = Eventq.pop heap and c = Calendar_queue.pop cal in
+        if h <> c then ok := false
+        else match h with Some _ -> drain () | None -> ()
+      in
+      drain ();
+      !ok && Eventq.is_empty heap && Calendar_queue.is_empty cal)
+
+(* --- Eventq popped-slot leak regression ---------------------------- *)
+
+let test_pop_releases_value () =
+  (* The heap used to keep popped values reachable in its vacated array
+     slots. Register popped values in a weak array and check the GC can
+     actually collect them once the only strong reference is dropped. *)
+  let q = Eventq.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    Eventq.add q ~time:(float_of_int i) (ref i)
+  done;
+  for i = 0 to 7 do
+    match Eventq.pop q with
+    | Some (_, v) -> Weak.set w i (Some v)
+    | None -> Alcotest.fail "heap emptied early"
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  check_int "popped values are collectable" 0 !live
+
+let test_calendar_pop_releases_value () =
+  let q = Calendar_queue.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    Calendar_queue.add q ~time:(float_of_int i) (ref i)
+  done;
+  for i = 0 to 7 do
+    match Calendar_queue.pop q with
+    | Some (_, v) -> Weak.set w i (Some v)
+    | None -> Alcotest.fail "calendar emptied early"
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  check_int "popped values are collectable" 0 !live
+
+(* --- Seeded end-to-end trace equality ------------------------------ *)
+
+(* A scaled-down copy of the benchmark scenario (4 channels, SRR with
+   markers, resequencer) with every observability event rendered to
+   JSON. The two engines must produce byte-identical traces. *)
+let trace_run ~engine ~n_packets =
+  let open Stripe_packet in
+  let open Stripe_core in
+  let buf = Buffer.create 65536 in
+  let sink =
+    Stripe_obs.Sink.of_fn (fun e ->
+        Buffer.add_string buf (Stripe_obs.Event.to_json e);
+        Buffer.add_char buf '\n')
+  in
+  let sim = Sim.create ~engine () in
+  let rng = Rng.create 42 in
+  let delays = [| 0.001; 0.002; 0.005; 0.010 |] in
+  let n = Array.length delays in
+  let rates = Array.make n 10e6 in
+  let srr = Srr.for_rates ~rates_bps:rates ~quantum_unit:1500 () in
+  let reseq =
+    Resequencer.create
+      ~deficit:(Deficit.clone_initial srr)
+      ~now:(fun () -> Sim.now sim)
+      ~sink
+      ~deliver:(fun ~channel:_ _ -> ())
+      ()
+  in
+  let links =
+    Array.init n (fun i ->
+        Link.create sim
+          ~name:(Printf.sprintf "ch%d" i)
+          ~rate_bps:rates.(i) ~prop_delay:delays.(i) ~rng:(Rng.split rng)
+          ~channel:i ~sink
+          ~deliver:(fun pkt -> Resequencer.receive reseq ~channel:i pkt)
+          ())
+  in
+  let striper =
+    Striper.create
+      ~scheduler:(Scheduler.of_deficit ~name:"SRR" srr)
+      ~marker:(Marker.make ~every_rounds:4 ())
+      ~now:(fun () -> Sim.now sim)
+      ~sink
+      ~emit:(fun ~channel pkt ->
+        ignore (Link.send links.(channel) ~size:pkt.Packet.size pkt))
+      ()
+  in
+  let gen = Stripe_workload.Genpkt.bimodal ~rng ~small:200 ~large:1000 () in
+  let seq = ref 0 in
+  let rec tick () =
+    if !seq < n_packets then begin
+      Striper.push striper
+        (Packet.data ~seq:!seq ~born:(Sim.now sim) ~size:(gen ()) ());
+      incr seq;
+      Sim.schedule_after sim ~delay:0.00015 tick
+    end
+  in
+  tick ();
+  Sim.run sim;
+  Buffer.contents buf
+
+let test_engines_trace_identical () =
+  let heap = trace_run ~engine:Sim.Heap ~n_packets:2000 in
+  let cal = trace_run ~engine:Sim.Calendar ~n_packets:2000 in
+  check "trace is non-trivial" true (String.length heap > 10_000);
+  check "heap and calendar traces byte-identical" true (String.equal heap cal)
+
+let suites =
+  [
+    ( "calendar",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "time order" `Quick test_time_order;
+        Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+        Alcotest.test_case "growth across resizes" `Quick
+          test_growth_across_resizes;
+        Alcotest.test_case "wide time spread" `Quick test_wide_spread;
+        Alcotest.test_case "clear and reuse" `Quick test_clear_and_reuse;
+        QCheck_alcotest.to_alcotest prop_calendar_equals_heap;
+        Alcotest.test_case "eventq pop releases value" `Quick
+          test_pop_releases_value;
+        Alcotest.test_case "calendar pop releases value" `Quick
+          test_calendar_pop_releases_value;
+        Alcotest.test_case "engines trace identical" `Quick
+          test_engines_trace_identical;
+      ] );
+  ]
