@@ -47,7 +47,8 @@ let run_fig5_6 () =
          Printf.printf "  round %d: leave channel %d with DC = %d\n" (round + 1)
            (channel + 1) dc
        | Deficit.New_round { round } ->
-         Printf.printf "  --- start of round %d ---\n" (round + 1)));
+         Printf.printf "  --- start of round %d ---\n" (round + 1)
+       | Deficit.Retune _ -> ()));
   List.iter
     (fun (size, id) ->
       let c = Deficit.select d in

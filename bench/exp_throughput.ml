@@ -270,13 +270,27 @@ let () =
   match !check with
   | None -> ()
   | Some file ->
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf
+        "  FAIL: baseline file %s does not exist — regenerate it with \
+         --json %s and commit it\n"
+        file file;
+      exit 1
+    end;
     let fail = ref false in
     List.iter
       (fun r ->
         let tag = if !quick then quick_tag r.engine else r.engine in
         match scan_number ~engine:tag ~field:"pps" file with
         | None ->
-          Printf.eprintf "  check: no committed pps for %s in %s\n" tag file
+          (* A silently missing key would let the gate pass vacuously —
+             e.g. a full-run baseline committed without its embedded
+             quick entries, checked by a --quick CI job. *)
+          Printf.eprintf
+            "  FAIL: no committed \"pps\" entry for engine \"%s\" in %s — \
+             regenerate the baseline with --json\n"
+            tag file;
+          fail := true
         | Some committed ->
           let floor = committed *. (1.0 -. !max_regress) in
           Printf.printf

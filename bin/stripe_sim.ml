@@ -262,6 +262,30 @@ let no_auto_suspend =
           "Do not suspend channels in the striper on carrier loss: model a \
            sender that cannot see link state (receiver-only recovery).")
 
+let adapt_interval =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "adapt" ] ~docv:"SECONDS"
+        ~doc:
+          "Adaptive striping: every $(docv), fold each channel's delivered \
+           bytes into an EWMA goodput estimate and, when the estimates \
+           drift outside the $(b,--adapt-band) hysteresis, retune the \
+           quantum vector live through the §5 reset barrier (sender \
+           retune + staged receiver retune). Recovers bandwidth \
+           proportionality after mid-run rate changes (e.g. \
+           $(b,--fault 0:rate=5e6\\@1)). Quasi mode with a CFQ scheduler \
+           only.")
+
+let adapt_band =
+  Arg.(
+    value & opt float 0.25
+    & info [ "adapt-band" ] ~docv:"FRACTION"
+        ~doc:
+          "Relative hysteresis for $(b,--adapt): only retune when some \
+           channel's target quantum differs from its current one by more \
+           than $(docv) of the current value.")
+
 (* One delivery sink shared by every mode. *)
 type sink = {
   reorder : Reorder.t;
@@ -286,7 +310,7 @@ let sink_deliver sink sim pkt =
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     loss_stop seed engine replay_file trace_out trace_format fault_specs
     impair_specs guard_window rx_buffer overflow_policy crash_at watchdog_k
-    no_auto_suspend =
+    no_auto_suspend adapt_interval adapt_band =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
@@ -319,7 +343,8 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     let rates = Array.map (fun c -> c.rate) confs in
     let engine_opt =
       match sched_kind with
-      | `Srr -> Some (Srr.for_rates ~rates_bps:rates ~quantum_unit:1500 ())
+      | `Srr ->
+        Some (Srr.for_rates ~max_packet:1500 ~rates_bps:rates ~quantum_unit:1500 ())
       | `Rr -> Some (Rr.create ~n ())
       | `Grr -> Some (Grr.for_rates ~rates_bps:rates ())
       | `Random -> None
@@ -363,6 +388,10 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     (* End-of-run hook (e.g. flushing the channel guard's held packets
        once no more arrivals can fill their gaps). *)
     let finish_ref = ref (fun () -> ()) in
+    (* Set when the workload has offered its last packet: recurring
+       policy timers (the --adapt probe) stop rescheduling so the
+       simulation can drain and terminate. *)
+    let offer_done = ref false in
     (* The wire: mode-specific payloads share polymorphic links via a
        variant. Each link draws from its own split of the master RNG, so
        the whole run — loss, jitter, impairments — reproduces from one
@@ -431,6 +460,9 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         let links = make_links ?corrupt (fun i pkt -> !receive_cell i pkt) in
         let deliver pkt = sink_deliver sink sim pkt in
         let reseq_stats = ref (fun () -> []) in
+        (* The adaptive policy below needs the resequencer to stage the
+           receiver half of each retune. *)
+        let reseq_cell = ref None in
         let guard_tx =
           match mode, engine_opt, guard_window with
           | `Quasi, Some _, Some _ -> Some (Channel_guard.Tx.create ~n)
@@ -467,6 +499,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
               ~deliver:(fun ~channel:_ pkt -> deliver pkt)
               ()
           in
+          reseq_cell := Some r;
           let guard =
             match guard_tx with
             | Some _ ->
@@ -585,6 +618,67 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                   if up then Striper.resume_channel striper i
                   else Striper.suspend_channel striper i))
             links;
+        (* Adaptive striping (PROTOCOL.md §11): a recurring probe folds
+           each link's delivered bytes into an EWMA goodput estimate and
+           retunes the quantum vector through the reset barrier when the
+           estimates leave the hysteresis band. Receiver staging happens
+           before the sender's retune so the staged vector is already
+           waiting when the barrier lands. *)
+        let adapt_stats = ref (fun () -> []) in
+        (match adapt_interval, mode, engine_opt with
+        | Some dt, `Quasi, Some e when dt > 0.0 ->
+          let probe = Rate_probe.create ~n () in
+          let last_bytes = Array.make n 0 in
+          let retunes = ref 0 in
+          let deferred = ref 0 in
+          let rec probe_tick () =
+            for c = 0 to n - 1 do
+              let total = Link.delivered_bytes links.(c) in
+              Rate_probe.observe probe ~channel:c ~bytes:(total - last_bytes.(c));
+              last_bytes.(c) <- total
+            done;
+            Rate_probe.sample probe ~now:(Sim.now sim);
+            let pending =
+              match !reseq_cell with
+              | Some r -> Resequencer.transition_pending r
+              | None -> false
+            in
+            if pending then incr deferred
+            else begin
+              match
+                Rate_probe.plan ~max_packet:1500 ~band:adapt_band
+                  ~rates_bps:(Rate_probe.rates probe)
+                  ~quanta:(Deficit.quanta e) ~quantum_unit:1500 ()
+              with
+              | Some quanta ->
+                incr retunes;
+                (match !reseq_cell with
+                | Some r -> Resequencer.retune r ~quanta
+                | None -> ());
+                Striper.retune striper ~quanta ()
+              | None -> ()
+            end;
+            if not !offer_done then Sim.schedule_after sim ~delay:dt probe_tick
+          in
+          Sim.schedule_after sim ~delay:dt probe_tick;
+          adapt_stats :=
+            (fun () ->
+              let join f a =
+                String.concat " " (Array.to_list (Array.map f a))
+              in
+              [
+                Printf.sprintf "adaptive: probes=%d retunes=%d deferred=%d"
+                  (Rate_probe.samples probe)
+                  !retunes !deferred;
+                Printf.sprintf "  goodput-est: [%s] Mbps  quanta: [%s]"
+                  (join
+                     (fun r -> Printf.sprintf "%.2f" (r /. 1e6))
+                     (Rate_probe.rates probe))
+                  (join string_of_int (Deficit.quanta e));
+              ])
+        | Some _, _, _ ->
+          prerr_endline "warning: --adapt needs quasi mode with a CFQ scheduler"
+        | None, _, _ -> ());
         (match mode, engine_opt with
         | `Quasi, Some e ->
           crash_ref :=
@@ -628,6 +722,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                  end
                  else []);
                 !reseq_stats ();
+                !adapt_stats ();
               ] )
       | `Mppp ->
         let receiver = ref None in
@@ -712,6 +807,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           (fun i e ->
             Sim.schedule sim ~at:e.Stripe_workload.Trace_file.time (fun () ->
                 push e.Stripe_workload.Trace_file.packet;
+                if i = n - 1 then offer_done := true;
                 match loss_stop with
                 | Some frac
                   when float_of_int (i + 1) >= frac *. float_of_int n
@@ -736,6 +832,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
             | Some _ | None -> ());
             Sim.schedule_after sim ~delay:interval tick
           end
+          else offer_done := true
         in
         tick ();
         n_packets
@@ -796,6 +893,7 @@ let cmd =
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
        $ markers $ loss_stop $ seed $ engine_arg $ replay_file $ trace_out
        $ trace_format $ fault_specs $ impair_specs $ guard_window $ rx_buffer
-       $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend))
+       $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend
+       $ adapt_interval $ adapt_band))
 
 let () = exit (Cmd.eval cmd)

@@ -9,15 +9,22 @@ type event =
   | Consume of { channel : int; round : int; dc_before : int; dc_after : int }
   | End_visit of { channel : int; round : int; dc : int }
   | New_round of { round : int }
+  | Retune of { round : int; old_quanta : int array; new_quanta : int array }
 
+(* [quanta], [n], [dcs], [susp] are mutable so the engine can be retuned
+   and resized in place ([retune], [add_channel], [remove_channel],
+   [reconfigure]) without invalidating the references other components
+   hold. [pending] stages a same-width retune until the next round
+   boundary. *)
 type t = {
-  quanta : int array;
+  mutable quanta : int array;
   cost_mode : cost;
   overdraw : bool;
   max_pkt : int option;
-  n : int;
-  dcs : int array;
-  susp : bool array;
+  mutable n : int;
+  mutable dcs : int array;
+  mutable susp : bool array;
+  mutable pending : int array option;
   mutable ptr : int;
   mutable g : int;
   mutable serving : bool;
@@ -42,6 +49,7 @@ let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ~quanta () =
     n;
     dcs = Array.make n 0;
     susp = Array.make n false;
+    pending = None;
     ptr = 0;
     g = 0;
     serving = false;
@@ -52,16 +60,58 @@ let clone_initial t =
   create ~cost:t.cost_mode ~overdraw:t.overdraw ?max_packet:t.max_pkt
     ~quanta:t.quanta ()
 
+(* Call sites guard on [t.hook] before building the event: constructing
+   the record argument allocates even when nobody is listening, and
+   select/consume sit on the per-packet path. *)
+let emit t ev = match t.hook with None -> () | Some f -> f ev
+
+let validate_quanta ~who ~max_pkt quanta =
+  Array.iter
+    (fun q ->
+      if q <= 0 then invalid_arg (who ^ ": quantum must be positive");
+      match max_pkt with
+      | Some m when q < m ->
+        invalid_arg
+          (Printf.sprintf
+             "%s: quantum %d below max packet size %d violates the \
+              marker-recovery precondition (Quantum_i >= Max)"
+             who q m)
+      | _ -> ())
+    quanta
+
+(* Swap the quantum vector in place. Only called at a round boundary
+   (pointer at 0, no visit in progress) or from [reinit], where every DC
+   is zero. At a boundary each DC is pure carried surplus/deficit
+   (|DC| < old quantum under overdraw), so it is rescaled proportionally:
+   the penalty a channel owes keeps the same fraction of its per-round
+   grant, which is what preserves the Thm 3.2 fairness bound
+   [Max + 2*Quantum] across the transition. *)
+let apply_retune t q =
+  let old = t.quanta in
+  for c = 0 to t.n - 1 do
+    if t.dcs.(c) <> 0 then t.dcs.(c) <- t.dcs.(c) * q.(c) / old.(c)
+  done;
+  t.quanta <- Array.copy q;
+  if t.hook <> None then
+    emit t (Retune { round = t.g; old_quanta = old; new_quanta = Array.copy q })
+
 (* Suspension is operational state (the channel is down), not protocol
    state: a reset barrier rebuilds rounds and DCs but does not revive a
    dead channel, so [reinit] leaves the flags alone. [clone_initial] does
    not copy them either — a receiver simulating the sender starts from
-   the algorithmic initial state. *)
+   the algorithmic initial state. A staged retune is adopted here: the
+   reset barrier is a round boundary by construction (round 0, zero DCs),
+   so a retune that rides a reset takes effect for the new epoch. *)
 let reinit t =
   Array.fill t.dcs 0 t.n 0;
   t.ptr <- 0;
   t.g <- 0;
-  t.serving <- false
+  t.serving <- false;
+  match t.pending with
+  | None -> ()
+  | Some q ->
+    t.pending <- None;
+    apply_retune t q
 
 let n_channels t = t.n
 let quanta t = Array.copy t.quanta
@@ -74,12 +124,6 @@ let dc t c = t.dcs.(c)
 let set_dc t c v = t.dcs.(c) <- v
 let set_round t g = t.g <- g
 let set_hook t hook = t.hook <- hook
-
-(* Call sites guard on [t.hook] before building the event: constructing
-   the record argument allocates even when nobody is listening, and
-   select/consume sit on the per-packet path. *)
-let emit t ev = match t.hook with None -> () | Some f -> f ev
-
 let cost_of t size = match t.cost_mode with Bytes -> size | Packets -> 1
 
 let begin_visit t =
@@ -98,7 +142,14 @@ let advance t =
   if t.ptr = t.n then begin
     t.ptr <- 0;
     t.g <- t.g + 1;
-    if t.hook <> None then emit t (New_round { round = t.g })
+    if t.hook <> None then emit t (New_round { round = t.g });
+    match t.pending with
+    | None -> ()
+    | Some q ->
+      (* The pointer wrap is the round boundary a staged retune waits
+         for: every channel has finished its visit for round [g - 1]. *)
+      t.pending <- None;
+      apply_retune t q
   end
 
 let suspended t c =
@@ -128,7 +179,72 @@ let suspend t c =
 
 let resume t c =
   if c < 0 || c >= t.n then invalid_arg "Deficit.resume: bad channel";
-  t.susp.(c) <- false
+  if t.susp.(c) then begin
+    t.susp.(c) <- false;
+    (* The frozen DC predates the suspension: replaying it would over- or
+       under-serve the channel by up to a quantum relative to the Thm 3.2
+       bound, against channels that kept accumulating service while it
+       was out. A resumed channel re-enters with a clean slate. *)
+    t.dcs.(c) <- 0
+  end
+
+let at_round_boundary t = t.ptr = 0 && not t.serving
+
+let retune t ~quanta =
+  if Array.length quanta <> t.n then
+    invalid_arg
+      "Deficit.retune: quanta length must match n_channels (resize with \
+       add_channel/remove_channel)";
+  validate_quanta ~who:"Deficit.retune" ~max_pkt:t.max_pkt quanta;
+  if at_round_boundary t then apply_retune t quanta
+  else t.pending <- Some (Array.copy quanta)
+
+let pending_retune t = Option.map Array.copy t.pending
+
+let add_channel t ~quantum =
+  validate_quanta ~who:"Deficit.add_channel" ~max_pkt:t.max_pkt [| quantum |];
+  if t.pending <> None then
+    invalid_arg "Deficit.add_channel: a retune is pending";
+  (* Appending at the end keeps every existing index, stamp, and the
+     pointer position valid. The new channel's index is past the pointer
+     for the remainder of the current round iff [ptr < n], which always
+     holds — so it is visited for the first time this round, with DC 0,
+     exactly like a channel present from the start of the round. *)
+  t.quanta <- Array.append t.quanta [| quantum |];
+  t.dcs <- Array.append t.dcs [| 0 |];
+  t.susp <- Array.append t.susp [| false |];
+  t.n <- t.n + 1;
+  t.n - 1
+
+let splice a c = Array.init (Array.length a - 1) (fun i -> if i < c then a.(i) else a.(i + 1))
+
+let remove_channel t c =
+  if c < 0 || c >= t.n then invalid_arg "Deficit.remove_channel: bad channel";
+  if t.n = 1 then
+    invalid_arg "Deficit.remove_channel: cannot remove the last channel";
+  if t.pending <> None then
+    invalid_arg "Deficit.remove_channel: a retune is pending";
+  (* If the pointer is parked on [c], end its visit first so the engine
+     never serves a channel that no longer exists; [advance] handles the
+     wrap (and round increment) if [c] was the last channel. *)
+  if t.ptr = c then advance t;
+  t.quanta <- splice t.quanta c;
+  t.dcs <- splice t.dcs c;
+  t.susp <- splice t.susp c;
+  t.n <- t.n - 1;
+  if t.ptr > c then t.ptr <- t.ptr - 1
+
+let reconfigure t ~quanta =
+  if Array.length quanta = 0 then invalid_arg "Deficit.reconfigure: no channels";
+  validate_quanta ~who:"Deficit.reconfigure" ~max_pkt:t.max_pkt quanta;
+  t.pending <- None;
+  t.quanta <- Array.copy quanta;
+  t.n <- Array.length quanta;
+  t.dcs <- Array.make t.n 0;
+  t.susp <- Array.make t.n false;
+  t.ptr <- 0;
+  t.g <- 0;
+  t.serving <- false
 
 let rec select t =
   if not t.overdraw then

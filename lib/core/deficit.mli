@@ -38,6 +38,9 @@ type event =
   | End_visit of { channel : int; round : int; dc : int }
       (** Pointer moving on; [dc] is the carried surplus/deficit. *)
   | New_round of { round : int }  (** Pointer wrapped; [round] is the new round. *)
+  | Retune of { round : int; old_quanta : int array; new_quanta : int array }
+      (** A new quantum vector took effect (at a round boundary, or at a
+          reset); [round] is the first round served with [new_quanta]. *)
 
 type t
 
@@ -80,9 +83,12 @@ val suspend : t -> int -> unit
     Idempotent. *)
 
 val resume : t -> int -> unit
-(** Return a suspended channel to the rotation. Its DC is whatever it was
-    at suspension; callers that need a clean slate follow up with
-    {!reinit} (the reset barrier does). Idempotent. *)
+(** Return a suspended channel to the rotation, with its DC reset to 0:
+    the frozen pre-suspension counter is stale — replaying it would over-
+    or under-serve the channel by up to a quantum against peers that kept
+    running — so the channel re-enters with a clean slate (the reset
+    barrier that normally follows renumbers rounds anyway). Idempotent:
+    resuming a channel that is not suspended changes nothing. *)
 
 val suspended : t -> int -> bool
 
@@ -162,6 +168,51 @@ val next_stamp : t -> int -> stamp
     packet sent on channel [c] will carry, given the current state. This
     accounts for whether [c] has already been served in the current round
     and for any rounds [c] would be skipped while its DC recovers. *)
+
+val at_round_boundary : t -> bool
+(** [true] iff the pointer is at channel 0 with no visit in progress —
+    the only state in which a retune applies immediately. *)
+
+val retune : t -> quanta:int array -> unit
+(** [retune t ~quanta] swaps the quantum vector (same width as the
+    engine). If the engine is {!at_round_boundary} the swap happens now;
+    otherwise it is staged and adopted at the next pointer wrap (or at
+    the next {!reinit}, whichever comes first). On adoption, outstanding
+    DCs are rescaled proportionally ([dc * new_q / old_q]) so in-flight
+    surplus carries over and cumulative service stays within the Thm 3.2
+    bound of an engine configured with the new quanta from the start; a
+    [Retune] event with the old and new vectors is emitted. Quanta are
+    validated against positivity and, when [max_packet] is known, the
+    [quantum >= max_packet] marker precondition (Thm 5.1). Raises
+    [Invalid_argument] on width mismatch or invalid quanta. A second
+    [retune] before the first is adopted simply replaces the staged
+    vector. *)
+
+val pending_retune : t -> int array option
+(** The staged quantum vector, if a {!retune} is waiting for the next
+    round boundary. *)
+
+val add_channel : t -> quantum:int -> int
+(** Append a channel with the given quantum and DC 0, returning its
+    index (= the old [n_channels]). Existing indices, stamps, and the
+    pointer stay valid; the new channel is visited for the first time in
+    the current round. The caller must resynchronize the receiver (the
+    striper rides the §5 reset barrier). Raises [Invalid_argument] on an
+    invalid quantum or if a retune is pending. *)
+
+val remove_channel : t -> int -> unit
+(** Remove channel [c]; channels above [c] shift down by one. If the
+    pointer is parked on [c] its visit is ended first ([advance], with
+    the usual round increment on wrap). Raises [Invalid_argument] for a
+    bad index, when removing the last channel, or if a retune is
+    pending. *)
+
+val reconfigure : t -> quanta:int array -> unit
+(** Replace the whole configuration: new quantum vector (any width),
+    all DCs zero, pointer at 0, round 0, suspensions and any staged
+    retune cleared. This is {!reinit} generalized to a new shape — the
+    receiver's barrier-time adoption of a sender transition. The hook is
+    kept. *)
 
 val set_hook : t -> (event -> unit) option -> unit
 (** Install an observer of engine transitions (used for the Figure 5/6

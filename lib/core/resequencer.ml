@@ -7,10 +7,25 @@ type overflow =
   | Drop_newest
   | Force_flush
 
+(* A sender-side transition (retune, bundle add/remove) staged until the
+   matching §5 reset barrier completes, at which point the simulated
+   engine is rebuilt to the staged shape. One transition in flight at a
+   time: each rides its own barrier. *)
+type staged =
+  | S_none
+  | S_retune of int array
+  | S_add of int array  (* new quanta, width n (already grown) *)
+  | S_remove of int * int array  (* leaving channel, new quanta *)
+
 type t = {
   d : Deficit.t;
-  n : int;
-  buffers : Packet.t Fifo_queue.t array;
+  mutable n : int;
+      (* Runtime width: the channels [receive] accepts and the barrier
+         waits on. Equal to the engine's width except while an [S_add]
+         is staged, when it already counts the newcomer the engine will
+         only adopt at the barrier. *)
+  mutable buffers : Packet.t Fifo_queue.t array;
+  mutable staged : staged;
   budget : int option;
       (* Byte budget across the per-channel buffers, counting data
          packets only: markers are tiny, bounded in number by the marker
@@ -19,23 +34,23 @@ type t = {
          quasi-FIFO delivery, so they are always accepted. *)
   overflow : overflow;
   on_pressure : (high:bool -> unit) option;
-  force : Deficit.stamp option array;
+  mutable force : Deficit.stamp option array;
       (* Pending marker state per channel: the (round, DC) of the next
          data packet, to be enforced when the scan reaches that round. *)
   deliver : channel:int -> Packet.t -> unit;
   on_credit : (int -> int -> unit) option;
-  reset_pending : bool array;
+  mutable reset_pending : bool array;
       (* Channels whose stream has reached a reset marker; when all have,
          the receiver reinitializes (crash-recovery barrier, §5). *)
   now : unit -> float;
   sink : Obs.Sink.t;
   wd : watchdog option;
-  last_rx : float array;  (* Last physical arrival (data or marker). *)
-  last_marker_rx : float array;
-  marker_gap : float array;
+  mutable last_rx : float array;  (* Last physical arrival (data or marker). *)
+  mutable last_marker_rx : float array;
+  mutable marker_gap : float array;
       (* EWMA of the observed inter-marker gap per channel; 0 until two
          markers have arrived, in which case [wd.fallback] stands in. *)
-  dead : bool array;
+  mutable dead : bool array;
   mutable n_data_buffered : int;
   mutable n_delivered : int;
   mutable n_skips : int;
@@ -77,6 +92,11 @@ type t = {
          across channels because the sender's rounds are one global
          sequence. *)
   mutable n_realigns : int;
+  mutable on_adopt : unit -> unit;
+      (* Fires after a staged retune/add/remove is adopted at its
+         barrier. The demux layer above uses this to switch its
+         channel-index mapping at exactly the point in each channel's
+         FIFO where the sender's numbering changed. *)
 }
 
 let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
@@ -95,6 +115,7 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     d = deficit;
     n;
     buffers = Array.init n (fun _ -> Fifo_queue.create ());
+    staged = S_none;
     budget = budget_bytes;
     overflow;
     on_pressure;
@@ -128,7 +149,10 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_corrupt_markers = 0;
     round_lag = 0;
     n_realigns = 0;
+    on_adopt = (fun () -> ());
   }
+
+let on_transition_adopted t f = t.on_adopt <- f
 
 (* Backpressure with hysteresis: raise above 3/4 of the budget, clear
    below 1/2, so a flow controller toggles once per congestion episode
@@ -177,8 +201,18 @@ let note_arrival t c ~is_marker =
     if t.last_marker_rx.(c) > neg_infinity then begin
       let gap = now -. t.last_marker_rx.(c) in
       t.marker_gap.(c) <-
-        (if t.marker_gap.(c) > 0.0 then (0.5 *. t.marker_gap.(c)) +. (0.5 *. gap)
-         else gap)
+        (if t.marker_gap.(c) <= 0.0 then gap
+         else if gap > t.marker_gap.(c) then
+           (* A gap above the estimate is adopted outright, bounding the
+              EWMA's memory: after a deliberate cadence stretch (an
+              adaptive policy lengthening the marker interval) a
+              half-gain average would need log2(stretch) intervals to
+              catch up, declaring the channel dead spuriously the whole
+              while. Adopting up / averaging down makes the estimate
+              one-sided-safe: the watchdog can only fire after genuine
+              silence at the newest observed cadence. *)
+           gap
+         else (0.5 *. t.marker_gap.(c)) +. (0.5 *. gap))
     end;
     t.last_marker_rx.(c) <- now
   end
@@ -240,6 +274,42 @@ let barrier_complete t =
   done;
   !ok
 
+let splice a c =
+  Array.init (Array.length a - 1) (fun i -> if i < c then a.(i) else a.(i + 1))
+
+(* Adopt a staged transition when its barrier completes — or plain
+   [reinit] when none is staged. For a removal, whatever is still
+   buffered on the leaving channel leaves with it: in healthy operation
+   that buffer is empty (the goodbye reset marker is sequenced behind
+   all the channel's data, so the scan drained it before the barrier
+   could complete); only a watchdog-declared-dead removal can lose
+   packets here, and those were stranded on a dead link anyway. *)
+let adopt_staged t =
+  match t.staged with
+  | S_none -> Deficit.reinit t.d
+  | S_retune q | S_add q ->
+    t.staged <- S_none;
+    Deficit.reconfigure t.d ~quanta:q;
+    t.on_adopt ()
+  | S_remove (c, q) ->
+    t.staged <- S_none;
+    Fifo_queue.iter t.buffers.(c) (fun pkt ~size ->
+        if not (Packet.is_marker pkt) then begin
+          t.n_data_buffered <- t.n_data_buffered - 1;
+          t.data_bytes <- t.data_bytes - size
+        end);
+    t.buffers <- splice t.buffers c;
+    t.force <- splice t.force c;
+    t.reset_pending <- splice t.reset_pending c;
+    t.last_rx <- splice t.last_rx c;
+    t.last_marker_rx <- splice t.last_marker_rx c;
+    t.marker_gap <- splice t.marker_gap c;
+    t.dead <- splice t.dead c;
+    t.n <- t.n - 1;
+    update_pressure t;
+    Deficit.reconfigure t.d ~quanta:q;
+    t.on_adopt ()
+
 (* Enforce a marker's stamp on its channel. If the stamp still pins
    below [G] after translation, the scan has over-advanced (forced or
    watchdog skips): re-anchor [round_lag] so this marker — and every
@@ -262,10 +332,18 @@ let rec progress t =
   if not t.reset_pending.(c) then absorb_markers t c;
   if t.reset_pending.(c) then begin
     if barrier_complete t then begin
-      (* Barrier complete: adopt the fresh epoch. *)
-      Deficit.reinit t.d;
+      (* Barrier complete: adopt the fresh epoch, and any staged
+         transition riding it. *)
+      adopt_staged t;
       Array.fill t.force 0 t.n None;
       Array.fill t.reset_pending 0 t.n false;
+      (* Reseed the watchdog's marker-cadence estimate with the epoch:
+         the sender that just reset may also have changed its marker
+         interval (adaptive policies do), and an estimate carried across
+         the barrier would misjudge the new cadence. Until two markers
+         of the new epoch arrive, [wd.fallback] stands in. *)
+      Array.fill t.marker_gap 0 t.n 0.0;
+      Array.fill t.last_marker_rx 0 t.n neg_infinity;
       t.n_resets <- t.n_resets + 1;
       t.waiting <- -1;
       t.wd_spin <- 0;
@@ -277,9 +355,23 @@ let rec progress t =
       progress t
     end
     else begin
-      (* This channel's old epoch is over; keep draining the others. *)
-      Deficit.advance t.d;
-      progress t
+      (* This channel's old epoch is over; keep draining the others —
+         unless every engine channel is already parked at its reset
+         marker. That happens while a staged add waits for the appended
+         channel's marker ([t.n] exceeds the engine width until the
+         barrier adopts): advancing would spin through parked channels
+         forever, so block until the missing marker arrives (or the
+         watchdog declares its channel dead), either of which re-enters
+         the scan and completes the barrier. *)
+      let engine_n = Deficit.n_channels t.d in
+      let all_parked = ref true in
+      for i = 0 to engine_n - 1 do
+        if not t.reset_pending.(i) then all_parked := false
+      done;
+      if not !all_parked then begin
+        Deficit.advance t.d;
+        progress t
+      end
     end
   end
   else
@@ -506,12 +598,72 @@ let receive t ~channel pkt =
                ~time:(t.now ()) Obs.Event.Enqueue)
       end
     end;
+    (* A channel staged for addition is not in the simulated engine yet,
+       so the scan never visits it: absorb its head markers here so its
+       reset marker can flag [reset_pending] and complete the barrier
+       that adopts the wider bundle. *)
+    if channel >= Deficit.n_channels t.d && not t.reset_pending.(channel) then
+      absorb_markers t channel;
     progress t
   end
 
 let tick t =
   t.wd_spin <- 0;
   progress t
+
+let transition_pending t = t.staged <> S_none
+
+let require_unstaged t who =
+  if t.staged <> S_none then
+    invalid_arg (who ^ ": a transition is already staged (one per barrier)")
+
+let check_quantum t who q =
+  if q <= 0 then invalid_arg (who ^ ": quantum must be positive");
+  match Deficit.max_packet t.d with
+  | Some m when q < m ->
+    invalid_arg
+      (Printf.sprintf
+         "%s: quantum %d below max packet size %d violates the \
+          marker-recovery precondition (Quantum_i >= Max)"
+         who q m)
+  | Some _ | None -> ()
+
+let retune t ~quanta =
+  require_unstaged t "Resequencer.retune";
+  if Array.length quanta <> Deficit.n_channels t.d then
+    invalid_arg "Resequencer.retune: quanta width mismatch";
+  Array.iter (check_quantum t "Resequencer.retune") quanta;
+  t.staged <- S_retune (Array.copy quanta)
+
+let add_channel t ~quantum =
+  require_unstaged t "Resequencer.add_channel";
+  check_quantum t "Resequencer.add_channel" quantum;
+  (* The runtime arrays grow now — arrivals on the new channel must
+     buffer, and the barrier must wait for its reset marker — while the
+     simulated engine keeps the old width until the barrier adopts the
+     staged vector. *)
+  let q = Array.append (Deficit.quanta t.d) [| quantum |] in
+  t.buffers <- Array.append t.buffers [| Fifo_queue.create () |];
+  t.force <- Array.append t.force [| None |];
+  t.reset_pending <- Array.append t.reset_pending [| false |];
+  t.last_rx <- Array.append t.last_rx [| t.now () |];
+  t.last_marker_rx <- Array.append t.last_marker_rx [| neg_infinity |];
+  t.marker_gap <- Array.append t.marker_gap [| 0.0 |];
+  t.dead <- Array.append t.dead [| false |];
+  t.n <- t.n + 1;
+  t.staged <- S_add q;
+  t.n - 1
+
+let remove_channel t c =
+  require_unstaged t "Resequencer.remove_channel";
+  if c < 0 || c >= t.n then
+    invalid_arg "Resequencer.remove_channel: bad channel";
+  if t.n = 1 then
+    invalid_arg "Resequencer.remove_channel: cannot remove the last channel";
+  (* Nothing shrinks yet: the channel must keep receiving — and the scan
+     keep draining — its in-flight data until its goodbye reset marker
+     arrives and the barrier completes; [adopt_staged] splices then. *)
+  t.staged <- S_remove (c, splice (Deficit.quanta t.d) c)
 
 let delivered t = t.n_delivered
 

@@ -121,6 +121,44 @@ val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
     interval, whereas a discarded marker is just a lost marker, which
     Theorem 5.1 already contains. *)
 
+val retune : t -> quanta:int array -> unit
+(** Stage the receiver half of a sender retune (PROTOCOL.md §11): the
+    simulated engine adopts [quanta] when the next §5 reset barrier
+    completes — the sender's {!Striper.retune} fires that barrier, and
+    in-flight old-epoch data is still resequenced under the old vector
+    it was striped with. Raises [Invalid_argument] on width mismatch,
+    an invalid quantum (positivity / [max_packet] precondition), or if
+    another transition is already staged. *)
+
+val add_channel : t -> quantum:int -> int
+(** Stage the receiver half of {!Striper.add_channel}; returns the new
+    channel's index (= old width). The channel starts buffering arrivals
+    immediately and the pending barrier waits for its reset marker, but
+    the simulated engine only widens when that barrier completes, so the
+    old epoch drains under the old shape. *)
+
+val remove_channel : t -> int -> unit
+(** Stage the receiver half of {!Striper.remove_channel}. The channel
+    keeps receiving and the scan keeps draining it until its goodbye
+    reset marker completes the barrier; only then is it spliced out
+    (higher channels shift down). Anything still buffered on it at that
+    point — possible only for a watchdog-dead channel whose barrier
+    completed without it — is discarded with it. *)
+
+val transition_pending : t -> bool
+(** Whether a staged retune/add/remove is waiting for its barrier.
+    Adaptive policies check this before staging the next step. *)
+
+val on_transition_adopted : t -> (unit -> unit) -> unit
+(** Register a callback fired immediately after a staged transition
+    (retune, add, or remove) is adopted at its reset barrier. A plain
+    reset with nothing staged does not fire it. The demux layer above
+    uses this to switch its channel-index mapping at exactly the point
+    in each channel's FIFO stream where the sender's numbering changed:
+    frames received before the barrier carry old indices, frames after
+    it new ones, and the staged splice realigns the buffers to match.
+    One callback per resequencer; a later call replaces the earlier. *)
+
 val tick : t -> unit
 (** Re-enter the logical-reception scan without a new arrival. The
     watchdog's dead-channel check is evaluated lazily when the scan

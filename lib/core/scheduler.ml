@@ -15,10 +15,16 @@ type t = {
 
 let name t = t.sched_name
 let causal t = t.is_causal
-let n_channels t = t.n
+
+(* Engine-backed schedulers can grow and shrink live
+   ([Striper.add_channel]/[remove_channel]), so the width is read from
+   the engine rather than frozen at construction. *)
+let n_channels t =
+  match t.engine with Some d -> Deficit.n_channels d | None -> t.n
 
 let suspended t c =
-  if c < 0 || c >= t.n then invalid_arg "Scheduler.suspended: bad channel";
+  if c < 0 || c >= n_channels t then
+    invalid_arg "Scheduler.suspended: bad channel";
   match t.engine with
   | Some d -> Deficit.suspended d c
   | None -> t.susp.(c)
@@ -29,14 +35,14 @@ let has_active t =
   | None -> Array.exists not t.susp
 
 let suspend_channel t c =
-  if c < 0 || c >= t.n then
+  if c < 0 || c >= n_channels t then
     invalid_arg "Scheduler.suspend_channel: bad channel";
   match t.engine with
   | Some d -> Deficit.suspend d c
   | None -> t.susp.(c) <- true
 
 let resume_channel t c =
-  if c < 0 || c >= t.n then
+  if c < 0 || c >= n_channels t then
     invalid_arg "Scheduler.resume_channel: bad channel";
   match t.engine with
   | Some d -> Deficit.resume d c
@@ -74,6 +80,16 @@ let observe t ?(now = fun () -> 0.0) sink =
                Stripe_obs.Sink.emit sink
                  (Stripe_obs.Event.v ~round ~time:(now ())
                     Stripe_obs.Event.Round)
+           | Deficit.Retune { round; old_quanta; new_quanta } ->
+             (* One event per channel: [dc] carries the old quantum,
+                [size] the new one. *)
+             if Stripe_obs.Sink.active sink then
+               for c = 0 to Array.length new_quanta - 1 do
+                 Stripe_obs.Sink.emit sink
+                   (Stripe_obs.Event.v ~channel:c ~round ~dc:old_quanta.(c)
+                      ~size:new_quanta.(c) ~time:(now ())
+                      Stripe_obs.Event.Retune)
+               done
            | Deficit.Begin_visit _ | Deficit.Consume _ | Deficit.End_visit _
              ->
              ()))

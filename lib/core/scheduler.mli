@@ -18,6 +18,10 @@ val causal : t -> bool
     delivered packets alone (§3.1). *)
 
 val n_channels : t -> int
+(** Current bundle width. For CFQ schedulers this tracks the embedded
+    engine, which can grow and shrink live
+    ({!Deficit.add_channel}/{!Deficit.remove_channel}); the non-causal
+    baselines are fixed-width. *)
 
 val choose : t -> Stripe_packet.Packet.t -> int
 (** Channel for the next packet. For CFQ schedulers this is [f(s)] and
@@ -81,6 +85,8 @@ val reset : t -> t
 val observe : t -> ?now:(unit -> float) -> Stripe_obs.Sink.t -> unit
 (** Route the embedded engine's round transitions to an observability
     sink: a [Round] event (with the new round number, timestamped by
-    [now]) every time the round-robin pointer wraps. Implemented with
+    [now]) every time the round-robin pointer wraps, and a per-channel
+    [Retune] event (old quantum in [dc], new quantum in [size]) whenever
+    a new quantum vector takes effect. Implemented with
     {!Deficit.set_hook}, so it replaces any hook already installed on the
     engine; a no-op for non-CFQ schedulers. *)

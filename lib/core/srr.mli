@@ -26,12 +26,26 @@ val create : ?max_packet:int -> quanta:int array -> unit -> Deficit.t
 val create_uniform : ?max_packet:int -> n:int -> quantum:int -> unit -> Deficit.t
 (** All channels share one quantum — the equal-capacity case. *)
 
+val quanta_for_rates :
+  ?max_packet:int -> rates_bps:float array -> quantum_unit:int -> unit ->
+  int array
+(** The quantum vector {!for_rates} uses: quanta proportional to
+    [rates_bps], scaled so the {e smallest} quantum equals
+    [quantum_unit], clamped to at least 1 after rounding. If
+    [max_packet] is given and the skew rounded any quantum below it,
+    {e every} quantum is multiplied by the smallest integer factor that
+    restores [Quantum_i >= Max] — proportions (and thus bandwidth
+    shares) are preserved, the round just gets longer; the Thm 5.1
+    marker precondition is never silently violated. Raises
+    [Invalid_argument] for non-positive or non-finite rates, and for
+    skews so extreme the scaled quantum is not representable as an
+    [int]. Adaptive policies ({!Rate_probe}) call this directly to plan
+    a retune from fresh rate estimates. *)
+
 val for_rates : ?max_packet:int -> rates_bps:float array -> quantum_unit:int -> unit -> Deficit.t
 (** Weighted SRR for channels of different capacities (§3.5's
-    generalization): channel quanta are proportional to [rates_bps],
-    scaled so the {e smallest} quantum equals [quantum_unit]. Quanta are
-    clamped to at least 1 after rounding and re-validated against
-    [max_packet], which is retained for {!fairness_bound}. *)
+    generalization): an engine over {!quanta_for_rates}, with
+    [max_packet] retained for {!fairness_bound}. *)
 
 val fairness_bound : Deficit.t -> int
 (** [Max + 2 * Quantum], the deviation bound of Theorem 3.2 / Lemma 3.3.

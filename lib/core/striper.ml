@@ -12,8 +12,8 @@ type t = {
   mutable n_markers : int;
   mutable n_no_channel : int;
       (* Data packets dropped because every channel was suspended. *)
-  per_chan_packets : int array;
-  per_chan_bytes : int array;
+  mutable per_chan_packets : int array;
+  mutable per_chan_bytes : int array;
   mutable next_mark_round : int;
       (* First round >= this value triggers the next marker batch
          (Round_start / Round_end positions). *)
@@ -171,6 +171,68 @@ let send_reset t =
     t.next_mark_round <- 0;
     t.mid_round <- -1;
     Array.fill t.mid_marked 0 (Array.length t.mid_marked) false
+
+let retune t ?(reset = true) ~quanta () =
+  match Scheduler.deficit t.sched with
+  | None -> invalid_arg "Striper.retune: requires a CFQ scheduler"
+  | Some d ->
+    Deficit.retune d ~quanta;
+    (* With [reset] the new vector takes effect through the §5 reset
+       barrier: [reinit] adopts the staged quanta, and the reset markers
+       below carry fresh-epoch stamps computed from them, so the
+       receiver rebuilds directly into the new schedule and Thm 5.1
+       bounds the disturbance. Without [reset] the swap happens at the
+       next round boundary with proportional DC carry-over, and the
+       receiver must be retuned identically ([Resequencer.retune]) to
+       keep simulating the sender. *)
+    if reset then send_reset t
+
+let add_channel t ~quantum =
+  match Scheduler.deficit t.sched with
+  | None -> invalid_arg "Striper.add_channel: requires a CFQ scheduler"
+  | Some d ->
+    let c = Deficit.add_channel d ~quantum in
+    t.per_chan_packets <- Array.append t.per_chan_packets [| 0 |];
+    t.per_chan_bytes <- Array.append t.per_chan_bytes [| 0 |];
+    t.mid_marked <- Array.append t.mid_marked [| false |];
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c
+           ~size:(Scheduler.n_channels t.sched)
+           ~time:(t.now ()) Obs.Event.Member_add);
+    (* The receiver learns the new width from the reset markers' epoch:
+       the barrier only completes once one has arrived on every channel,
+       including the newcomer. *)
+    send_reset t;
+    c
+
+let remove_channel t c =
+  match Scheduler.deficit t.sched with
+  | None -> invalid_arg "Striper.remove_channel: requires a CFQ scheduler"
+  | Some d ->
+    if c < 0 || c >= Scheduler.n_channels t.sched then
+      invalid_arg "Striper.remove_channel: bad channel";
+    if Scheduler.n_channels t.sched = 1 then
+      invalid_arg "Striper.remove_channel: cannot remove the last channel";
+    (* Goodbye barrier first, while [c] still exists: its reset marker is
+       the last packet the channel carries, sequenced behind all of its
+       in-flight data, so a receiver that staged the matching removal
+       drains the channel completely before adopting the narrower
+       bundle. *)
+    send_reset t;
+    Deficit.remove_channel d c;
+    let splice a =
+      Array.init (Array.length a - 1) (fun i ->
+          if i < c then a.(i) else a.(i + 1))
+    in
+    t.per_chan_packets <- splice t.per_chan_packets;
+    t.per_chan_bytes <- splice t.per_chan_bytes;
+    t.mid_marked <- splice t.mid_marked;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c
+           ~size:(Scheduler.n_channels t.sched)
+           ~time:(t.now ()) Obs.Event.Member_remove)
 
 let suspend_channel t c =
   if not (Scheduler.suspended t.sched c) then begin

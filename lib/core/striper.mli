@@ -56,6 +56,41 @@ val resume_channel : t -> ?reset:bool -> int -> unit
 
 val suspended_channel : t -> int -> bool
 
+val retune : t -> ?reset:bool -> quanta:int array -> unit -> unit
+(** Swap the CFQ engine's quantum vector (same width) — the adaptive
+    response to drifting channel capacity (PROTOCOL.md §11). With
+    [reset] (the default) the change rides the §5 reset barrier:
+    {!Deficit.retune} stages the vector, {!send_reset} adopts it for the
+    fresh epoch, and the reset markers carry stamps computed from the
+    new quanta, so the peer resynchronizes into the new schedule with
+    the Thm 5.1 disturbance bound and needs no other coordination. With
+    [~reset:false] the swap happens silently at the sender's next round
+    boundary (proportional DC carry-over, no barrier) — only valid when
+    the receiver's simulation is retuned identically
+    ({!Resequencer.retune}). Raises [Invalid_argument] for a non-CFQ
+    scheduler or an invalid vector. *)
+
+val add_channel : t -> quantum:int -> int
+(** Grow the bundle by one channel (returned index = old width). The
+    engine, per-channel counters, and marker bookkeeping are extended,
+    a [Member_add] event is emitted, and {!send_reset} runs so the
+    receiver learns the new width from the reset-marker epoch — the
+    barrier only completes once a reset marker has arrived on every
+    channel, including the newcomer. The [emit] callback must already
+    accept the new index when this is called. Requires a CFQ
+    scheduler. *)
+
+val remove_channel : t -> int -> unit
+(** Shrink the bundle: channel [c] leaves, higher channels shift down
+    by one. {!send_reset} runs {e first}, while [c] still exists — its
+    reset marker is the channel's goodbye, sequenced behind all its
+    in-flight data, so a receiver that staged the matching removal
+    ({!Resequencer.remove_channel}) drains it completely before
+    adopting the narrower bundle. Then the engine and counters are
+    spliced and a [Member_remove] event is emitted. Requires a CFQ
+    scheduler; raises [Invalid_argument] when removing the last
+    channel. *)
+
 val send_reset : t -> unit
 (** Crash-recovery reset (§5): reinitialize the striping state to its
     initial value and emit a {e reset marker} on every channel. Data

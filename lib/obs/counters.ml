@@ -23,6 +23,7 @@ type channel = {
   mutable reorder_restores : int;
   mutable corrupt_discards : int;
   mutable buffer_overflows : int;
+  mutable retunes : int;
 }
 
 (* The registry sits on the per-event path of every instrumented run, so
@@ -95,6 +96,7 @@ let channel t c =
     reorder_restores = k Event.Reorder_restore;
     corrupt_discards = k Event.Corrupt_discard;
     buffer_overflows = k Event.Buffer_overflow;
+    retunes = k Event.Retune;
   }
 
 let resets t = t.resets
@@ -158,6 +160,10 @@ let total_dup_discards t = total_kind t Event.Dup_discard
 let total_reorder_restores t = total_kind t Event.Reorder_restore
 let total_corrupt_discards t = total_kind t Event.Corrupt_discard
 let total_buffer_overflows t = total_kind t Event.Buffer_overflow
+let total_retunes t = total_kind t Event.Retune
+
+let total_member_changes t =
+  total_kind t Event.Member_add + total_kind t Event.Member_remove
 
 let pp fmt t =
   for i = 0 to t.n - 1 do

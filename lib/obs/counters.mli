@@ -46,6 +46,9 @@ type channel = {
   mutable buffer_overflows : int;
       (** Arrivals that found the resequencer byte budget exhausted
           ([Buffer_overflow]). *)
+  mutable retunes : int;
+      (** Quantum changes applied to this channel by an adaptive retune
+          ([Retune]). *)
 }
 
 type t
@@ -89,5 +92,13 @@ val total_dup_discards : t -> int
 val total_reorder_restores : t -> int
 val total_corrupt_discards : t -> int
 val total_buffer_overflows : t -> int
+
+val total_retunes : t -> int
+(** Per-channel quantum changes observed ([Retune] events; one retune of
+    an [n]-channel bundle counts [n]). *)
+
+val total_member_changes : t -> int
+(** Live bundle membership changes observed ([Member_add] +
+    [Member_remove]). *)
 
 val pp : Format.formatter -> t -> unit

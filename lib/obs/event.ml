@@ -22,6 +22,9 @@ type kind =
   | Reorder_restore
   | Corrupt_discard
   | Buffer_overflow
+  | Retune
+  | Member_add
+  | Member_remove
 
 type t = {
   time : float;
@@ -37,7 +40,7 @@ let v ?(channel = -1) ?(round = -1) ?(dc = 0) ?(size = -1) ?(seq = -1) ~time
     kind =
   { time; kind; channel; round; dc; size; seq }
 
-let n_kinds = 23
+let n_kinds = 26
 
 (* Dense index for counter arrays; keep in sync with [kind] and
    [n_kinds]. *)
@@ -65,6 +68,9 @@ let kind_index = function
   | Reorder_restore -> 20
   | Corrupt_discard -> 21
   | Buffer_overflow -> 22
+  | Retune -> 23
+  | Member_add -> 24
+  | Member_remove -> 25
 
 let kind_name = function
   | Enqueue -> "enqueue"
@@ -90,13 +96,17 @@ let kind_name = function
   | Reorder_restore -> "reorder_restore"
   | Corrupt_discard -> "corrupt_discard"
   | Buffer_overflow -> "buffer_overflow"
+  | Retune -> "retune"
+  | Member_add -> "member_add"
+  | Member_remove -> "member_remove"
 
 let all_kinds =
   [
     Enqueue; Dequeue; Transmit; Drop; Txq_drop; Arrival; Marker_sent;
     Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
     Channel_down; Channel_up; Watchdog_skip; Suspend; Resume; Dup_discard;
-    Reorder_restore; Corrupt_discard; Buffer_overflow;
+    Reorder_restore; Corrupt_discard; Buffer_overflow; Retune; Member_add;
+    Member_remove;
   ]
 
 let kind_of_name s =

@@ -39,7 +39,14 @@
       back and re-released in tag order), and [Corrupt_discard] (a
       corrupted packet discarded — by the guard's marker-checksum check).
       The {b Link} also emits [Corrupt_discard] for wire corruption its
-      simulated CRC detects; the two sites are disjoint per packet. *)
+      simulated CRC detects; the two sites are disjoint per packet.
+    - {b Adaptive operation} (PROTOCOL.md §11): the {b Scheduler} relays
+      [Retune] from the deficit engine — one event per channel when a new
+      quantum vector takes effect, with [dc] = the channel's old quantum
+      and [size] = its new quantum, [round] = the round the change
+      applies from. The {b Striper} emits [Member_add]/[Member_remove]
+      when the bundle grows or shrinks live ([channel] = the index added
+      or removed, [size] = the new bundle width). *)
 
 type kind =
   | Enqueue
@@ -65,6 +72,9 @@ type kind =
   | Reorder_restore
   | Corrupt_discard
   | Buffer_overflow
+  | Retune
+  | Member_add
+  | Member_remove
 
 type t = {
   time : float;

@@ -36,6 +36,7 @@ let () =
          Test_metrics.suites;
          Test_host.suites;
          Test_ipstack.suites;
+         Test_adapt.suites;
          Test_transport.suites;
          Test_workload.suites;
        ])

@@ -39,7 +39,8 @@ let test_figure5_dc_trace () =
     List.rev !events
     |> List.filter_map (function
          | Deficit.Consume { channel; dc_after; _ } -> Some (channel, dc_after)
-         | Deficit.Begin_visit _ | Deficit.End_visit _ | Deficit.New_round _ ->
+         | Deficit.Begin_visit _ | Deficit.End_visit _ | Deficit.New_round _
+         | Deficit.Retune _ ->
            None)
   in
   (* Figure 5's DC narration: ch1 500-550=-50; ch2 500-200=300, 300-400=-100;

@@ -205,10 +205,16 @@ let build_stripe_pair sim ~rates =
   let rx_members = Array.map snd wires in
   let engine = Stripe_core.Srr.for_rates ~rates_bps:rates ~quantum_unit:1500 () in
   let sched = Stripe_core.Scheduler.of_deficit ~name:"SRR" engine in
+  (* The wires are simplex (sender -> receiver), so the sender's receive
+     path never sees a frame: disable its resequencer. With it enabled, a
+     membership change would stage a receive-side transition whose
+     barrier (the peer's matching reset) can never arrive on a
+     one-directional harness. *)
   let tx_layer =
     Stripe_layer.create ~name:"stripe0" ~members:tx_members ~scheduler:sched
       ~marker:(Stripe_core.Marker.make ~every_rounds:4 ())
       ~now:(fun () -> Sim.now sim)
+      ~resequence:false
       ~deliver_up:(fun _ -> ())
       ()
   in
@@ -258,6 +264,53 @@ let test_stripe_layer_end_to_end () =
     (let s = Stripe_layer.striper tx_layer in
      Stripe_core.Striper.channel_bytes s 0 > 0
      && Stripe_core.Striper.channel_bytes s 1 > 0)
+
+(* Live bundle membership (PROTOCOL.md §11): grow from two members to
+   three mid-stream, then remove the original first member, with traffic
+   in every phase. Both layers perform the matching change (symmetric
+   configuration), receive side first so its resequencer is staged
+   before the sender's barrier arrives; delivery must stay FIFO
+   throughout and the newcomer must actually carry load. *)
+let test_stripe_layer_hot_add_remove () =
+  let sim = Sim.create () in
+  let sender, receiver, tx_layer, rx_layer =
+    build_stripe_pair sim ~rates:[| 10e6; 10e6 |]
+  in
+  let seqs = ref [] in
+  Node.set_protocol_handler receiver ~proto:17 (fun ip ->
+      seqs := ip.Ip.body.Packet.seq :: !seqs);
+  let rng = Rng.create 7 in
+  let send_burst lo hi =
+    for seq = lo to hi do
+      let body = Packet.data ~seq ~size:(60 + Rng.int rng 1400) () in
+      Node.send sender
+        (Ip.make ~src:(Ip.addr "10.2.0.1") ~dst:(Ip.addr "10.2.0.9") body)
+    done;
+    Sim.run sim
+  in
+  send_burst 0 199;
+  let tx3, rx3 =
+    make_wire sim ~rate_bps:10e6 ~mtu:1500 ~src_addr:(Ip.addr "10.3.0.1")
+      ~dst_addr:(Ip.addr "10.3.0.9")
+  in
+  Alcotest.(check int) "new member index (rx)" 2
+    (Stripe_layer.add_member rx_layer ~quantum:1500 rx3);
+  Alcotest.(check int) "new member index (tx)" 2
+    (Stripe_layer.add_member tx_layer ~quantum:1500 tx3);
+  send_burst 200 399;
+  Alcotest.(check int) "three members" 3 (Stripe_layer.n_members tx_layer);
+  Alcotest.(check bool) "newcomer carried traffic" true
+    (Stripe_core.Striper.channel_bytes (Stripe_layer.striper tx_layer) 2 > 0);
+  Stripe_layer.remove_member rx_layer 0;
+  Stripe_layer.remove_member tx_layer 0;
+  send_burst 400 599;
+  Alcotest.(check int) "two members left" 2 (Stripe_layer.n_members tx_layer);
+  Alcotest.(check (list int)) "FIFO across add and remove"
+    (List.init 600 Fun.id) (List.rev !seqs);
+  Alcotest.(check int) "no reordering observed" 0
+    (Stripe_core.Reorder.out_of_order (Stripe_layer.reorder rx_layer));
+  Alcotest.(check int) "every datagram accounted" 600
+    (Stripe_layer.delivered_datagrams rx_layer)
 
 let test_stripe_layer_mtu_is_min () =
   let sim = Sim.create () in
@@ -348,6 +401,8 @@ let suites =
         Alcotest.test_case "iface mtu" `Quick test_iface_mtu_enforced;
         Alcotest.test_case "arp failure" `Quick test_arp_failure_counted;
         Alcotest.test_case "stripe end-to-end" `Quick test_stripe_layer_end_to_end;
+        Alcotest.test_case "stripe hot add/remove" `Quick
+          test_stripe_layer_hot_add_remove;
         Alcotest.test_case "stripe mtu min" `Quick test_stripe_layer_mtu_is_min;
         Alcotest.test_case "stripe no-reseq variant" `Quick
           test_stripe_layer_no_resequence_variant;

@@ -207,21 +207,37 @@ let test_for_rates_retains_max_packet () =
   in
   Alcotest.(check int) "bound built from the supplied Max" (1500 + (2 * 3000))
     (Srr.fairness_bound d);
-  (* ...and the precondition is re-validated against the scaled quanta. *)
-  Alcotest.check_raises "undersized scaled quantum rejected"
-    (Invalid_argument
-       "Srr.create: quantum 100 below max packet size 1500 violates the \
-        marker-recovery precondition (Quantum_i >= Max)") (fun () ->
-      ignore
-        (Srr.for_rates ~max_packet:1500 ~rates_bps:[| 4e6; 8e6 |]
-           ~quantum_unit:100 ()))
+  (* A skew that rounds the smallest quantum below Max used to slip
+     through to [create] and raise (or, without max_packet, silently
+     violate Thm 5.1's precondition). Now every quantum is scaled up by
+     a common factor instead: proportions survive, the precondition
+     holds. Unit 100 gives raw quanta [100; 200]; factor 15 restores
+     Quantum_i >= Max. *)
+  let d =
+    Srr.for_rates ~max_packet:1500 ~rates_bps:[| 4e6; 8e6 |] ~quantum_unit:100
+      ()
+  in
+  Alcotest.(check (array int)) "undersized quanta scaled up proportionally"
+    [| 1500; 3000 |] (Deficit.quanta d);
+  Alcotest.(check int) "bound uses the scaled quanta" (1500 + (2 * 3000))
+    (Srr.fairness_bound d)
 
 let test_for_rates_clamps_rounding () =
-  (* Extreme rate skew can push the rounded ratio outside int range; the
-     quanta must still come out positive (and create re-validates them). *)
-  let d = Srr.for_rates ~rates_bps:[| 1e300; 1.0 |] ~quantum_unit:1 () in
+  (* Underflow side: tiny ratios still clamp to a positive quantum. *)
+  let d = Srr.for_rates ~rates_bps:[| 1.0; 1.0001 |] ~quantum_unit:1 () in
   Alcotest.(check bool) "all quanta at least 1" true
-    (Array.for_all (fun q -> q >= 1) (Deficit.quanta d))
+    (Array.for_all (fun q -> q >= 1) (Deficit.quanta d));
+  (* Overflow side: a ratio past int_of_float's domain used to produce
+     garbage quanta; it is now a clear error. *)
+  Alcotest.(check bool) "unrepresentable skew rejected" true
+    (try
+       ignore (Srr.for_rates ~rates_bps:[| 1e300; 1.0 |] ~quantum_unit:1 ());
+       false
+     with Invalid_argument msg ->
+       (* The message should diagnose the skew, not be a generic
+          positivity complaint. *)
+       String.length msg > 0
+       && String.sub msg 0 20 = "Srr.quanta_for_rates")
 
 let prop_srr_fairness =
   QCheck.Test.make
