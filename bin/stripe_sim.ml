@@ -631,6 +631,18 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           let last_bytes = Array.make n 0 in
           let retunes = ref 0 in
           let deferred = ref 0 in
+          (* A channel coming back from an outage must not blend its
+             pre-outage EWMA (decayed by the zero-rate windows observed
+             while it was down) into the first post-resume estimate:
+             clear it so the next window seeds the estimate fresh. *)
+          Array.iteri
+            (fun c link ->
+              Link.on_carrier link (fun ~up ->
+                  if up then begin
+                    last_bytes.(c) <- Link.delivered_bytes link;
+                    Rate_probe.reset_channel probe c
+                  end))
+            links;
           let rec probe_tick () =
             for c = 0 to n - 1 do
               let total = Link.delivered_bytes links.(c) in

@@ -238,10 +238,21 @@ let reconfigure t ~quanta =
   if Array.length quanta = 0 then invalid_arg "Deficit.reconfigure: no channels";
   validate_quanta ~who:"Deficit.reconfigure" ~max_pkt:t.max_pkt quanta;
   t.pending <- None;
-  t.quanta <- Array.copy quanta;
-  t.n <- Array.length quanta;
-  t.dcs <- Array.make t.n 0;
-  t.susp <- Array.make t.n false;
+  if Array.length quanta = t.n then begin
+    (* Same width: refill the existing arrays in place. This is the
+       bundle-pool recycle path — thousands of short-lived bundles
+       re-arm engines on churn, and reallocating three arrays per
+       recycle would dominate the teardown cost. *)
+    Array.blit quanta 0 t.quanta 0 t.n;
+    Array.fill t.dcs 0 t.n 0;
+    Array.fill t.susp 0 t.n false
+  end
+  else begin
+    t.quanta <- Array.copy quanta;
+    t.n <- Array.length quanta;
+    t.dcs <- Array.make t.n 0;
+    t.susp <- Array.make t.n false
+  end;
   t.ptr <- 0;
   t.g <- 0;
   t.serving <- false

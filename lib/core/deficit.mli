@@ -211,8 +211,11 @@ val reconfigure : t -> quanta:int array -> unit
 (** Replace the whole configuration: new quantum vector (any width),
     all DCs zero, pointer at 0, round 0, suspensions and any staged
     retune cleared. This is {!reinit} generalized to a new shape — the
-    receiver's barrier-time adoption of a sender transition. The hook is
-    kept. *)
+    receiver's barrier-time adoption of a sender transition, and the
+    bundle pool's engine-recycle primitive. When the width is unchanged
+    the existing arrays are refilled in place (allocation-free), so
+    recycling an engine across thousands of short-lived bundles costs
+    nothing. The hook is kept. *)
 
 val set_hook : t -> (event -> unit) option -> unit
 (** Install an observer of engine transitions (used for the Figure 5/6

@@ -82,6 +82,21 @@ let rate_bps t c =
 
 let rates t = Array.copy t.est_bps
 
+let reset_channel t c =
+  if c < 0 || c >= t.n then
+    invalid_arg "Rate_probe.reset_channel: bad channel";
+  (* Forget the channel's history entirely: estimate back to the unseeded
+     state and the current window emptied. The zero-rate windows observed
+     while a channel was suspended decay the EWMA geometrically but never
+     clear it, so without this a channel resumed after an outage would
+     blend its pre-outage capacity into the first post-resume estimate —
+     and a long-dead channel would re-enter with a stale, near-zero
+     estimate that [plan] then treats as measured capacity. After the
+     reset the next sample seeds the EWMA directly from the first fresh
+     measurement (and [plan] withholds retunes until it exists). *)
+  t.window_bytes.(c) <- 0;
+  t.est_bps.(c) <- 0.0
+
 let add_channel t =
   t.window_bytes <- Array.append t.window_bytes [| 0 |];
   t.est_bps <- Array.append t.est_bps [| 0.0 |];

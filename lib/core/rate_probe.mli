@@ -46,6 +46,16 @@ val rates : t -> float array
 val samples : t -> int
 (** Completed sampling windows. *)
 
+val reset_channel : t -> int -> unit
+(** Forget one channel's estimate and current window (back to the
+    unseeded state; the next {!sample} seeds it directly from the first
+    fresh measurement). Call this when a channel is resumed after an
+    outage ({!Striper.resume_channel}): the windows observed while it
+    was suspended fold zero rates into the EWMA, which decays but never
+    clears, so the first post-resume estimate would otherwise blend
+    pre-outage samples — and {!plan} would treat the stale blend as
+    measured capacity. *)
+
 val add_channel : t -> int
 (** Track one more channel (estimate starts empty); returns its index. *)
 

@@ -154,6 +154,61 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
 
 let on_transition_adopted t f = t.on_adopt <- f
 
+(* Re-arm an existing resequencer for a fresh bundle. This is the bundle
+   pool's churn primitive: a departing bundle's resequencer — buffers,
+   engine, watchdog arrays and all — is reset in place and handed to the
+   next arrival, so tearing down and re-creating a bundle allocates
+   nothing in steady state. The per-channel buffers are recycled with
+   {!Fifo_queue.recycle}, not bare [clear]: clear keeps the high-water
+   marks (lifetime maxima for buffer-sizing reports), and carrying them
+   to the next owner would report cross-bundle maxima. The [deliver] /
+   [on_credit] / [on_pressure] callbacks, sink, clock, watchdog config,
+   and budget are slot state and are kept. *)
+let recycle t =
+  let n = Deficit.n_channels t.d in
+  Deficit.reconfigure t.d ~quanta:(Deficit.quanta t.d);
+  t.staged <- S_none;
+  if Array.length t.buffers <> n then begin
+    (* A staged add/remove died with the old bundle: rebuild the runtime
+       arrays at the engine's width. *)
+    t.buffers <- Array.init n (fun _ -> Fifo_queue.create ());
+    t.force <- Array.make n None;
+    t.reset_pending <- Array.make n false;
+    t.last_rx <- Array.make n (t.now ());
+    t.last_marker_rx <- Array.make n neg_infinity;
+    t.marker_gap <- Array.make n 0.0;
+    t.dead <- Array.make n false
+  end
+  else begin
+    Array.iter Fifo_queue.recycle t.buffers;
+    Array.fill t.force 0 n None;
+    Array.fill t.reset_pending 0 n false;
+    Array.fill t.last_rx 0 n (t.now ());
+    Array.fill t.last_marker_rx 0 n neg_infinity;
+    Array.fill t.marker_gap 0 n 0.0;
+    Array.fill t.dead 0 n false
+  end;
+  t.n <- n;
+  t.n_data_buffered <- 0;
+  t.n_delivered <- 0;
+  t.n_skips <- 0;
+  t.n_wd_skips <- 0;
+  t.wd_spin <- 0;
+  t.n_deaths <- 0;
+  t.n_markers <- 0;
+  t.n_resets <- 0;
+  t.waiting <- -1;
+  t.data_bytes <- 0;
+  t.max_data_bytes <- 0;
+  t.pressure <- false;
+  t.force_need <- 0;
+  t.n_overflows <- 0;
+  t.n_overflow_drops <- 0;
+  t.n_forced_deliveries <- 0;
+  t.n_corrupt_markers <- 0;
+  t.round_lag <- 0;
+  t.n_realigns <- 0
+
 (* Backpressure with hysteresis: raise above 3/4 of the budget, clear
    below 1/2, so a flow controller toggles once per congestion episode
    rather than on every packet near the threshold. *)

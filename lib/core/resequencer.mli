@@ -108,6 +108,19 @@ val create :
     [Buffer_overflow] — timestamped by [now] (default constant 0; wire
     it to the simulator clock). *)
 
+val recycle : t -> unit
+(** Re-arm this resequencer for a {e fresh} bundle of the same shape,
+    in place: the simulated engine reinitializes (suspensions cleared,
+    any staged transition dropped), every per-channel buffer is emptied
+    {e and} its high-water tracking restarted
+    ({!Stripe_packet.Fifo_queue.recycle} — bare [clear] would carry the
+    previous bundle's maxima into the next owner's report), and all
+    counters return to zero. The [deliver]/[on_credit]/[on_pressure]
+    callbacks, sink, clock, watchdog configuration, and byte budget are
+    kept: they belong to the pool slot, not the bundle. Steady-state
+    allocation-free — this is what lets a bundle pool churn thousands of
+    bundles through a fixed set of resequencers. *)
+
 val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
 (** Physical reception of a packet (data or marker) on a channel. Also
     feeds the watchdog: the arrival timestamps the channel (and its

@@ -1,0 +1,373 @@
+(* Flyweight bundle fleet: thousands of striped bundles on one event
+   loop, with all heavyweight per-bundle state pooled and recycled.
+
+   Layout. Per-slot state is struct-of-arrays indexed by the bundle id;
+   per-slot-channel state is flattened as [id * n_channels + c]. The
+   components that are expensive to build — deficit engines,
+   resequencers, guards, wire FIFOs, and the closures handed to the
+   simulator and the resequencer — are created once when a slot is
+   first built ([grow]) and thereafter recycled in place, never
+   reallocated. Closures capture the pool record and their slot index
+   and read the arrays at fire time, so growing the table (which
+   replaces the arrays) never strands them.
+
+   Wire and stale-event discipline. Each slot-channel wire is a
+   rate+delay pipe: [busy_until] serializes departures, so arrival
+   times are strictly increasing per slot-channel and the k-th arrival
+   event to fire pops exactly the k-th packet pushed — the arrival
+   closure needs no per-event payload. A [release] cannot cancel the
+   arrival events already in the simulator, and deliberately does not
+   reset [busy_until] or clear the wire: the link keeps draining its
+   timeline. Instead [drop] records how many packets at the head of the
+   wire belong to dead generations; the arrival closure discards
+   exactly those (in FIFO order, at their true arrival times) before
+   feeding the new owner's resequencer. Setting [drop] to the wire's
+   current length at release is idempotent across rapid re-releases:
+   whatever is on the wire at that instant is, by definition, dead. *)
+
+open Stripe_packet
+open Stripe_netsim
+open Stripe_core
+
+type config = {
+  rate_bps : float array;
+  prop_delay : float array;
+  quanta : int array;
+  marker_every : int;
+  guard : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  n_ch : int;
+  rate_bps : float array;
+  prop_delay : float array;
+  quanta : int array;
+  marker_every : int;
+  use_guard : bool;
+  policy : Marker.policy option;
+  now_fn : unit -> float;  (* shared by every slot's resequencer *)
+  (* Data packets are immutable and the protocol never reads their
+     measurement metadata, so one packet per distinct size serves every
+     bundle in the fleet. *)
+  interned : (int, Packet.t) Hashtbl.t;
+  mutable cap : int;
+  (* Per-slot (length = cap). *)
+  mutable live : bool array;
+  mutable tx : Deficit.t array;
+  mutable rx : Resequencer.t array;
+  mutable gtx : Channel_guard.Tx.t array;  (* empty unless [use_guard] *)
+  mutable grx : Channel_guard.t array;  (* empty unless [use_guard] *)
+  mutable next_mark : int array;  (* first round >= this gets markers *)
+  mutable birth : float array;
+  mutable pushed_p : int array;
+  mutable pushed_b : int array;
+  mutable delivered_p : int array;
+  mutable delivered_b : int array;
+  (* Per-slot-channel (length = cap * n_ch). *)
+  mutable wire : Packet.t Fifo_queue.t array;
+  mutable busy : float array;  (* channel transmitting until this time *)
+  mutable drop : int array;  (* head-of-wire packets of dead generations *)
+  mutable rx_tag : int array;  (* guard tag the next arrival carries *)
+  mutable arrive : (unit -> unit) array;  (* prebuilt, one per slot-channel *)
+  (* Free-slot stack. *)
+  mutable free : int array;
+  mutable n_free : int;
+  mutable n_live : int;
+  mutable n_acquired : int;
+  mutable n_recycled : int;
+  mutable total_dp : int;
+  mutable total_db : int;
+  mutable markers : int;
+}
+
+let n_channels t = t.n_ch
+
+let config t =
+  {
+    rate_bps = Array.copy t.rate_bps;
+    prop_delay = Array.copy t.prop_delay;
+    quanta = Array.copy t.quanta;
+    marker_every = t.marker_every;
+    guard = t.use_guard;
+  }
+
+let check_live t id what =
+  if id < 0 || id >= t.cap || not t.live.(id) then
+    invalid_arg (Printf.sprintf "Bundle_pool.%s: bundle %d is not live" what id)
+
+let check_slot t id what =
+  if id < 0 || id >= t.cap then
+    invalid_arg (Printf.sprintf "Bundle_pool.%s: bad bundle id %d" what id)
+
+(* Feed one surviving arrival to the slot's receive side. With the
+   guard on, the tag is reproduced from a per-slot-channel counter: the
+   wire is a perfect FIFO, so arrivals carry consecutive tags and the
+   counter tracks the sender's stamper exactly (both restart at zero on
+   recycle, and dead-generation discards happen before tagging). *)
+let feed t id c pkt =
+  if t.use_guard then begin
+    let sc = (id * t.n_ch) + c in
+    let tag = t.rx_tag.(sc) in
+    t.rx_tag.(sc) <- tag + 1;
+    Channel_guard.receive t.grx.(id) ~channel:c ~tag pkt
+  end
+  else Resequencer.receive t.rx.(id) ~channel:c pkt
+
+let make_arrive t id c =
+  let sc = (id * t.n_ch) + c in
+  fun () ->
+    let pkt = Fifo_queue.pop_exn t.wire.(sc) in
+    if t.drop.(sc) > 0 then t.drop.(sc) <- t.drop.(sc) - 1
+    else feed t id c pkt
+
+let make_deliver t id =
+  fun ~channel:_ (pkt : Packet.t) ->
+    t.delivered_p.(id) <- t.delivered_p.(id) + 1;
+    t.delivered_b.(id) <- t.delivered_b.(id) + pkt.Packet.size;
+    t.total_dp <- t.total_dp + 1;
+    t.total_db <- t.total_db + pkt.Packet.size
+
+(* Build slots [t.cap, cap): every expensive component a bundle will
+   ever need on this slot is created here, exactly once. *)
+let grow_to t cap =
+  let old = t.cap in
+  let extend make a = Array.init cap (fun i -> if i < old then a.(i) else make i) in
+  t.live <- extend (fun _ -> false) t.live;
+  t.tx <-
+    extend (fun _ -> Deficit.create ~quanta:(Array.copy t.quanta) ()) t.tx;
+  t.rx <-
+    extend
+      (fun i ->
+        Resequencer.create
+          ~deficit:(Deficit.clone_initial t.tx.(i))
+          ~now:t.now_fn
+          ~deliver:(make_deliver t i)
+          ())
+      t.rx;
+  if t.use_guard then begin
+    t.gtx <- extend (fun _ -> Channel_guard.Tx.create ~n:t.n_ch) t.gtx;
+    t.grx <-
+      extend
+        (fun i ->
+          Channel_guard.create ~n:t.n_ch ~now:t.now_fn
+            ~deliver:(fun ~channel pkt ->
+              Resequencer.receive t.rx.(i) ~channel pkt)
+            ())
+        t.grx
+  end;
+  t.next_mark <- extend (fun _ -> 0) t.next_mark;
+  t.birth <- extend (fun _ -> 0.0) t.birth;
+  t.pushed_p <- extend (fun _ -> 0) t.pushed_p;
+  t.pushed_b <- extend (fun _ -> 0) t.pushed_b;
+  t.delivered_p <- extend (fun _ -> 0) t.delivered_p;
+  t.delivered_b <- extend (fun _ -> 0) t.delivered_b;
+  let scap = cap * t.n_ch in
+  let sold = old * t.n_ch in
+  let extend_sc make a =
+    Array.init scap (fun i -> if i < sold then a.(i) else make i)
+  in
+  t.wire <- extend_sc (fun _ -> Fifo_queue.create ()) t.wire;
+  t.busy <- extend_sc (fun _ -> 0.0) t.busy;
+  t.drop <- extend_sc (fun _ -> 0) t.drop;
+  t.rx_tag <- extend_sc (fun _ -> 0) t.rx_tag;
+  t.arrive <-
+    extend_sc (fun sc -> make_arrive t (sc / t.n_ch) (sc mod t.n_ch)) t.arrive;
+  t.free <- extend (fun _ -> 0) t.free;
+  (* Stack the new slots so the lowest id comes off first. *)
+  for id = cap - 1 downto old do
+    t.free.(t.n_free) <- id;
+    t.n_free <- t.n_free + 1
+  done;
+  t.cap <- cap
+
+let create ?(initial_capacity = 64) ~sim (config : config) =
+  let n = Array.length config.rate_bps in
+  if n = 0 then invalid_arg "Bundle_pool.create: no channels";
+  if Array.length config.prop_delay <> n || Array.length config.quanta <> n
+  then invalid_arg "Bundle_pool.create: config arrays differ in length";
+  if Array.exists (fun r -> not (r > 0.0)) config.rate_bps then
+    invalid_arg "Bundle_pool.create: rates must be positive";
+  if Array.exists (fun d -> not (d >= 0.0)) config.prop_delay then
+    invalid_arg "Bundle_pool.create: delays must be non-negative";
+  if Array.exists (fun q -> q <= 0) config.quanta then
+    invalid_arg "Bundle_pool.create: quanta must be positive";
+  if config.marker_every < 0 then
+    invalid_arg "Bundle_pool.create: marker_every must be >= 0";
+  if initial_capacity <= 0 then
+    invalid_arg "Bundle_pool.create: initial_capacity must be positive";
+  let t =
+    {
+      sim;
+      n_ch = n;
+      rate_bps = Array.copy config.rate_bps;
+      prop_delay = Array.copy config.prop_delay;
+      quanta = Array.copy config.quanta;
+      marker_every = config.marker_every;
+      use_guard = config.guard;
+      policy =
+        (if config.marker_every > 0 then
+           Some (Marker.make ~every_rounds:config.marker_every ())
+         else None);
+      now_fn = (fun () -> Sim.now sim);
+      interned = Hashtbl.create 64;
+      cap = 0;
+      live = [||];
+      tx = [||];
+      rx = [||];
+      gtx = [||];
+      grx = [||];
+      next_mark = [||];
+      birth = [||];
+      pushed_p = [||];
+      pushed_b = [||];
+      delivered_p = [||];
+      delivered_b = [||];
+      wire = [||];
+      busy = [||];
+      drop = [||];
+      rx_tag = [||];
+      arrive = [||];
+      free = [||];
+      n_free = 0;
+      n_live = 0;
+      n_acquired = 0;
+      n_recycled = 0;
+      total_dp = 0;
+      total_db = 0;
+      markers = 0;
+    }
+  in
+  grow_to t initial_capacity;
+  t
+
+let acquire t =
+  if t.n_free = 0 then grow_to t (2 * t.cap);
+  t.n_free <- t.n_free - 1;
+  let id = t.free.(t.n_free) in
+  t.live.(id) <- true;
+  t.birth.(id) <- Sim.now t.sim;
+  t.pushed_p.(id) <- 0;
+  t.pushed_b.(id) <- 0;
+  t.delivered_p.(id) <- 0;
+  t.delivered_b.(id) <- 0;
+  t.n_live <- t.n_live + 1;
+  t.n_acquired <- t.n_acquired + 1;
+  id
+
+let release t id =
+  check_live t id "release";
+  let base = id * t.n_ch in
+  for c = 0 to t.n_ch - 1 do
+    let sc = base + c in
+    (* Everything on the wire right now — including any still-undropped
+       tail of an even earlier generation — is dead. [busy] is kept:
+       the link finishes transmitting what it already accepted. *)
+    t.drop.(sc) <- Fifo_queue.length t.wire.(sc);
+    t.rx_tag.(sc) <- 0
+  done;
+  Resequencer.recycle t.rx.(id);
+  Deficit.reconfigure t.tx.(id) ~quanta:t.quanta;
+  if t.use_guard then begin
+    Channel_guard.recycle t.grx.(id);
+    Channel_guard.Tx.reset t.gtx.(id)
+  end;
+  t.next_mark.(id) <- 0;
+  t.live.(id) <- false;
+  t.n_live <- t.n_live - 1;
+  t.n_recycled <- t.n_recycled + 1;
+  t.free.(t.n_free) <- id;
+  t.n_free <- t.n_free + 1
+
+let is_live t id = id >= 0 && id < t.cap && t.live.(id)
+let live_bundles t = t.n_live
+let capacity t = t.cap
+let total_acquired t = t.n_acquired
+let recycles t = t.n_recycled
+
+let intern t size =
+  try Hashtbl.find t.interned size
+  with Not_found ->
+    let pkt = Packet.data ~seq:0 ~size () in
+    Hashtbl.add t.interned size pkt;
+    pkt
+
+(* Put one packet (data or marker) on a slot-channel wire. *)
+let transmit t id c ~size pkt =
+  let sc = (id * t.n_ch) + c in
+  if t.use_guard then ignore (Channel_guard.Tx.next_tag t.gtx.(id) ~channel:c);
+  let now = Sim.now t.sim in
+  let b = t.busy.(sc) in
+  let depart = if b > now then b else now in
+  let free_at = depart +. (float_of_int (size * 8) /. t.rate_bps.(c)) in
+  t.busy.(sc) <- free_at;
+  Fifo_queue.push t.wire.(sc) ~size pkt;
+  Sim.schedule t.sim ~at:(free_at +. t.prop_delay.(c)) t.arrive.(sc)
+
+let push t id ~size =
+  check_live t id "push";
+  if size <= 0 then invalid_arg "Bundle_pool.push: size must be positive";
+  let d = t.tx.(id) in
+  (* Select settles the round the packet belongs to (as in
+     [Striper.push]); the marker check below compares against it. *)
+  let c = Deficit.select d in
+  let round_before = Deficit.round d in
+  transmit t id c ~size (intern t size);
+  Deficit.consume d ~size;
+  t.pushed_p.(id) <- t.pushed_p.(id) + 1;
+  t.pushed_b.(id) <- t.pushed_b.(id) + size;
+  match t.policy with
+  | Some policy when Deficit.round d > round_before ->
+    (* Round_end batches: the consume wrapped into a new round, so the
+       markers follow all data of the completed round — the reference
+       striper's default position. *)
+    let r = Deficit.round d in
+    if r >= t.next_mark.(id) then begin
+      let now = Sim.now t.sim in
+      for ch = 0 to t.n_ch - 1 do
+        let m = Marker.packet_for policy ~deficit:d ~channel:ch ~now in
+        transmit t id ch ~size:m.Packet.size m;
+        t.markers <- t.markers + 1
+      done;
+      t.next_mark.(id) <-
+        ((r / policy.Marker.every_rounds) + 1) * policy.Marker.every_rounds
+    end
+  | Some _ | None -> ()
+
+let birth_time t id =
+  check_slot t id "birth_time";
+  t.birth.(id)
+
+let pushed_packets t id =
+  check_slot t id "pushed_packets";
+  t.pushed_p.(id)
+
+let pushed_bytes t id =
+  check_slot t id "pushed_bytes";
+  t.pushed_b.(id)
+
+let delivered_packets t id =
+  check_slot t id "delivered_packets";
+  t.delivered_p.(id)
+
+let delivered_bytes t id =
+  check_slot t id "delivered_bytes";
+  t.delivered_b.(id)
+
+let in_flight_packets t id =
+  check_slot t id "in_flight_packets";
+  let base = id * t.n_ch in
+  let total = ref 0 in
+  for c = 0 to t.n_ch - 1 do
+    let sc = base + c in
+    total := !total + Fifo_queue.length t.wire.(sc) - t.drop.(sc)
+  done;
+  !total
+
+let rx_high_water_packets t id =
+  check_slot t id "rx_high_water_packets";
+  Resequencer.buffer_high_water_packets t.rx.(id)
+
+let total_delivered_packets t = t.total_dp
+let total_delivered_bytes t = t.total_db
+let markers_sent t = t.markers

@@ -1,0 +1,137 @@
+(** Flyweight bundle fleet over one shared simulation.
+
+    One striped bundle — SRR engine, per-channel wires, resequencer,
+    optionally a channel guard — is cheap to {e run} but expensive to
+    {e build}: each instantiation allocates a dozen arrays, a handful of
+    closures, and (naively) one event loop. A fleet experiment with
+    thousands of short-lived bundles spends all its time constructing
+    and discarding that scaffolding.
+
+    The pool turns the bundle into a flyweight. All bundles share one
+    {!Stripe_netsim.Sim} event loop and one calendar/heap queue; the
+    per-bundle state lives in struct-of-arrays slots indexed by an
+    integer bundle id. The heavyweight components — the sender's
+    {!Stripe_core.Deficit} engine, the receiver's
+    {!Stripe_core.Resequencer} (and guard, when enabled), the
+    per-channel wire {!Stripe_packet.Fifo_queue}s, and the delivery
+    closures the simulator calls — are created {e once per slot} and
+    recycled across bundle generations in place
+    ({!Stripe_core.Deficit.reconfigure},
+    {!Stripe_core.Resequencer.recycle},
+    {!Stripe_packet.Fifo_queue.recycle}), so churning a bundle through
+    a warmed-up slot allocates almost nothing. Data packets are interned
+    by size (they are immutable and the protocol never reads their
+    measurement metadata), so the steady-state push path allocates only
+    the simulator's event cell.
+
+    {b The wire model.} Each slot-channel is a rate+delay pipe: a packet
+    departs when the channel is free ([max now busy_until]), occupies it
+    for [size*8/rate] seconds, and arrives [prop_delay] later. Arrival
+    times on one channel are strictly increasing, so one prebuilt
+    closure per slot-channel pops the wire FIFO — no per-packet closure,
+    no per-event payload.
+
+    {b Churn.} {!release} does not blank the wires: a physical link
+    being handed to a new bundle still has the old owner's bits in
+    flight, so the pool lets them drain — each slot-channel counts how
+    many of its queued packets belong to dead generations and the
+    arrival closure discards exactly those, in FIFO order, before
+    feeding the new owner's traffic to its (recycled) resequencer. A
+    freshly {!acquire}d slot therefore behaves exactly like a new bundle
+    except that its channels may still be busy with the predecessor's
+    tail. *)
+
+type config = {
+  rate_bps : float array;  (** Per-channel wire rate (bits/s, > 0). *)
+  prop_delay : float array;  (** Per-channel one-way delay (s, >= 0). *)
+  quanta : int array;  (** SRR quantum vector (bytes, > 0). *)
+  marker_every : int;
+      (** Emit a marker batch every this many rounds ([Round_end]
+          position, like the reference striper); [0] disables markers —
+          the resequencer then only ever blocks, never resynchronizes
+          after a discard, so leave markers on for churned fleets. *)
+  guard : bool;
+      (** Route every arrival through a per-slot
+          {!Stripe_core.Channel_guard} (tag stamper on the send side,
+          reorder/duplicate filter on the receive side). The pool's
+          wires are perfect FIFOs, so the guard rides its in-order fast
+          path; enabling it measures the guard's fleet-scale cost and
+          recycles its state with the slot. *)
+}
+(** All arrays must have the same positive length (the channel count).
+    The pool copies them at {!create}; later mutation has no effect. *)
+
+type t
+
+val create : ?initial_capacity:int -> sim:Stripe_netsim.Sim.t -> config -> t
+(** [create ~sim config] builds an empty pool scheduling on [sim].
+    [initial_capacity] (default 64) slots are built eagerly; the pool
+    doubles its slot table when {!acquire} finds no free slot. Raises
+    [Invalid_argument] on a malformed config. *)
+
+val n_channels : t -> int
+val config : t -> config
+
+val acquire : t -> int
+(** Start a bundle: returns its id (a recycled slot when one is free,
+    a fresh one otherwise). O(1) amortized; recycling allocates
+    nothing. *)
+
+val release : t -> int -> unit
+(** End bundle [id]: its in-flight wire tail is marked for discard (see
+    the churn note above), its resequencer/engine/guard state is
+    recycled in place for the next owner, and the id returns to the
+    free list. Per-bundle counters are reset by the {e next}
+    {!acquire}, so they remain readable after release for end-of-life
+    harvesting. Raises [Invalid_argument] if [id] is not live. *)
+
+val is_live : t -> int -> bool
+val live_bundles : t -> int
+val capacity : t -> int
+(** Slots built so far (live + free). *)
+
+val total_acquired : t -> int
+(** Bundles ever started. *)
+
+val recycles : t -> int
+(** Releases so far = slot reuses made possible. *)
+
+val push : t -> int -> size:int -> unit
+(** Stripe one data packet of [size] bytes into bundle [id]: the slot's
+    SRR engine picks the channel, the packet is transmitted on that
+    slot-channel's wire, and marker batches are emitted at marked round
+    boundaries exactly like {!Stripe_core.Striper.push} with a
+    [Round_end] policy. Raises [Invalid_argument] if [id] is not live
+    or [size] is not positive. *)
+
+(** {2 Per-bundle counters}
+
+    Valid for a live bundle and, until the slot is re-acquired, for a
+    released one (end-of-life harvesting). *)
+
+val birth_time : t -> int -> float
+(** Simulated time of the bundle's {!acquire}. *)
+
+val pushed_packets : t -> int -> int
+val pushed_bytes : t -> int -> int
+
+val delivered_packets : t -> int -> int
+(** Data packets the slot's resequencer delivered in logical-reception
+    order (markers are not counted). *)
+
+val delivered_bytes : t -> int -> int
+
+val in_flight_packets : t -> int -> int
+(** Packets (data and markers) currently on the slot's wires, not
+    counting a previous owner's still-draining tail. *)
+
+val rx_high_water_packets : t -> int -> int
+(** The slot resequencer's buffered-packet high-water mark. Restarted
+    by the recycle at {!release}, so a reused slot reports the current
+    owner's maximum, never a cross-bundle one. *)
+
+(** {2 Pool-wide counters} *)
+
+val total_delivered_packets : t -> int
+val total_delivered_bytes : t -> int
+val markers_sent : t -> int

@@ -28,6 +28,11 @@ type t = {
      point its buffer splice realigns everything and the two views
      converge (see [rx_channel_of]). *)
   mutable rx_pending_remove : (int * Iface.t) option;
+  (* Set by [detach]: the layer has been torn down (bundle churn) and
+     its closures still registered on the members — codepoint handlers
+     and carrier watchers, neither of which the link layer can
+     unregister — must go quiet instead of acting on a dead bundle. *)
+  mutable detached : bool;
 }
 
 let deliver_ip t ip =
@@ -73,12 +78,12 @@ let rx_channel_of t m =
 let attach_member t m =
   if t.auto_suspend then
     Iface.on_carrier m (fun ~up ->
-        let channel = channel_of t m in
+        let channel = if t.detached then -1 else channel_of t m in
         if channel >= 0 then
           if up then Stripe_core.Striper.resume_channel t.striper channel
           else Stripe_core.Striper.suspend_channel t.striper channel);
   let on_striped frame =
-    let channel = rx_channel_of t m in
+    let channel = if t.detached then -1 else rx_channel_of t m in
     if channel >= 0 then
       match frame with
       | Iface.Striped_frame ip -> (
@@ -169,6 +174,7 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
       n_sent = 0;
       n_delivered = 0;
       rx_pending_remove = None;
+      detached = false;
     }
   in
   self := Some layer;
@@ -183,7 +189,24 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
 let name t = t.layer_name
 let mtu t = t.bundle_mtu
 
+(* Bundle-churn teardown. Link-layer carrier watchers cannot be
+   unregistered and codepoint handlers survive until someone replaces
+   them, so tearing a bundle down cannot physically remove the layer's
+   closures from its members — instead they all check [detached] at fire
+   time and go quiet. The members are immediately reusable: a new layer
+   over the same interfaces replaces the codepoint handlers via
+   [set_handler], and the old layer's watchers are inert. *)
+let detach t =
+  t.detached <- true;
+  t.rx_pending_remove <- None;
+  Hashtbl.reset t.rx_envelopes
+
+let detached t = t.detached
+
 let send t ip =
+  if t.detached then
+    invalid_arg
+      (Printf.sprintf "Stripe_layer.send(%s): layer is detached" t.layer_name);
   if Ip.size ip > t.bundle_mtu then
     invalid_arg
       (Printf.sprintf "Stripe_layer.send(%s): datagram %d exceeds bundle MTU %d"

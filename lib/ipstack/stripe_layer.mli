@@ -72,6 +72,17 @@ val send_reset : t -> unit
     the host's striping state was reinitialized (reboot) or a watchdog
     detected corruption. *)
 
+val detach : t -> unit
+(** Tear the bundle down (churn): the layer's codepoint handlers and
+    carrier watchers on every member go permanently quiet, pending
+    receive-side state is dropped, and {!send} raises from now on. The
+    member interfaces are immediately reusable by a new bundle — its
+    [create] replaces the codepoint handlers, and the detached layer's
+    watchers (which the link layer cannot unregister) are inert.
+    Idempotent. *)
+
+val detached : t -> bool
+
 val add_member : t -> quantum:int -> Iface.t -> int
 (** [add_member t ~quantum m] grows the bundle live (PROTOCOL.md §11):
     the local resequencer stages the width change, the striper widens

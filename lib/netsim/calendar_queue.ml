@@ -5,10 +5,11 @@
 
    An event at time [t] lives in bucket [floor (t / width) mod nbuckets].
    Popping scans the ring from the current virtual bucket [gidx]
-   (= floor (scan time / width)): a bucket's minimum fires only if it
-   falls inside the bucket's slice of the current "year"
-   ([t < (gidx + 1) * width]); otherwise the event belongs to a later
-   lap around the ring and the scan moves on. A full fruitless rotation
+   (= floor (scan time / width)): a bucket's minimum fires only if its
+   own virtual bucket index is at or before the scan's
+   ([vbucket t <= gidx], the float-exact form of "inside the current
+   year slice"); otherwise the event belongs to a later lap around the
+   ring and the scan moves on. A full fruitless rotation
    (all events far in the future) falls back to a direct minimum search
    that repositions the scan — correctness never depends on the width
    heuristics.
@@ -232,11 +233,16 @@ let peek_loop q =
   while !result < 0 do
     let b = q.gidx land q.mask in
     let len = q.blens.(b) in
-    if
-      len > 0
-      && q.btimes.(b).(len - 1)
-         < (float_of_int (q.gidx + 1)) *. q.width
-    then result := b
+    (* The head fires iff its own virtual bucket is the scan's (or an
+       earlier one). Deciding with [vbucket] — the same truncated
+       division that placed the event — keeps placement and firing
+       exactly consistent; the once-obvious bound
+       [t < (gidx + 1) * width] is NOT equivalent in floats: the
+       multiplication can round below [t] for an event whose division
+       truncated to [gidx], making the scan reject the true minimum as
+       next-lap and fire a slightly later event from the next virtual
+       bucket instead. *)
+    if len > 0 && vbucket q q.btimes.(b).(len - 1) <= q.gidx then result := b
     else if !steps >= q.nbuckets then begin
       (* Full fruitless rotation: everything lives in later years. Jump
          straight to the global minimum. *)

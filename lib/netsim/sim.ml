@@ -87,7 +87,11 @@ let run_until t horizon =
     else if next_time () <= horizon then ignore (step t)
     else continue := false
   done;
-  if t.clock.(0) < horizon then t.clock.(0) <- horizon
+  (* Fast-forward to the horizon only when the run actually reached it: a
+     [stop] mid-run leaves the clock at the stop point, so the caller can
+     resume from where the stopping event fired instead of silently
+     losing the rest of the window. *)
+  if (not t.stopped) && t.clock.(0) < horizon then t.clock.(0) <- horizon
 
 let pending t =
   match t.events with

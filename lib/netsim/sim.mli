@@ -42,7 +42,10 @@ val run : t -> unit
 val run_until : t -> float -> unit
 (** [run_until sim horizon] processes events with time [<= horizon], then
     advances the clock to [horizon] (even if no event fired exactly
-    there). Events beyond the horizon stay queued. *)
+    there). Events beyond the horizon stay queued. If {!stop} fires
+    mid-run the clock stays at the stopping event's time — the run did
+    not reach the horizon, and a caller resuming after the stop must see
+    the time it actually stopped at. *)
 
 val step : t -> bool
 (** Process a single event. Returns [false] if the queue was empty. *)

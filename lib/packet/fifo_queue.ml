@@ -111,6 +111,10 @@ let clear t =
   t.len <- 0;
   t.total_bytes <- 0
 
+let recycle t =
+  clear t;
+  reset_high_water t
+
 let to_list t =
   let acc = ref [] in
   let mask = Array.length t.vals - 1 in

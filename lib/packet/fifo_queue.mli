@@ -64,5 +64,14 @@ val clear : 'a t -> unit
     end-of-run report meaningful after fault-recovery paths flush
     queues. Call {!reset_high_water} explicitly to restart tracking. *)
 
+val recycle : 'a t -> unit
+(** [clear] followed by {!reset_high_water}: the queue is ready to serve
+    a {e new} owner. Pools recycling queues across bundles must use this
+    rather than bare [clear] — [clear]'s surviving high-water marks are a
+    lifetime maximum by design, and carrying them into the next owner
+    would report cross-bundle maxima as if one bundle had seen them. The
+    backing arrays are kept, so a warmed-up queue re-enters service
+    without reallocation. *)
+
 val to_list : 'a t -> 'a list
 (** Oldest first. O(n). *)

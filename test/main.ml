@@ -37,6 +37,7 @@ let () =
          Test_host.suites;
          Test_ipstack.suites;
          Test_adapt.suites;
+         Test_fleet.suites;
          Test_transport.suites;
          Test_workload.suites;
        ])

@@ -175,6 +175,46 @@ let test_rate_probe_resize () =
   Alcotest.(check (float 1e-6)) "survivor estimate shifted down" 16_000.0
     (Rate_probe.rate_bps p 0)
 
+let test_rate_probe_reset_channel_forgets_outage () =
+  (* A channel estimated at 10 Mbps goes silent: every outage window
+     folds a zero instantaneous rate, so the EWMA decays geometrically
+     but never clears — after three silent windows it still reads
+     ~3.4 Mbps of capacity that no longer exists. *)
+  let p = Rate_probe.create ~n:2 () in
+  Rate_probe.sample p ~now:0.0;
+  Rate_probe.observe p ~channel:0 ~bytes:1_250_000;
+  Rate_probe.observe p ~channel:1 ~bytes:1_250_000;
+  Rate_probe.sample p ~now:1.0;
+  Alcotest.(check (float 1e-6)) "seeded at 10 Mbps" 10e6 (Rate_probe.rate_bps p 0);
+  for w = 2 to 4 do
+    Rate_probe.observe p ~channel:1 ~bytes:1_250_000;
+    Rate_probe.sample p ~now:(float_of_int w)
+  done;
+  let stale = Rate_probe.rate_bps p 0 in
+  Alcotest.(check bool) "outage decays but never clears" true
+    (stale > 3e6 && stale < 10e6);
+  (* Resume-time reset: the channel returns to the unseeded state, so
+     [plan] withholds retunes until a fresh measurement exists... *)
+  Rate_probe.reset_channel p 0;
+  Alcotest.(check (float 1e-6)) "reset forgets the stale blend" 0.0
+    (Rate_probe.rate_bps p 0);
+  Alcotest.(check bool) "no retune plan from an unseeded channel" true
+    (Rate_probe.plan ~max_packet:1500 ~rates_bps:(Rate_probe.rates p)
+       ~quanta:[| 1500; 1500 |] ~quantum_unit:1500 ()
+    = None);
+  (* ...and the first post-resume window seeds the estimate directly —
+     no blend with pre-outage capacity. The resumed link came back at
+     2 Mbps; without the reset the EWMA would report
+     0.7*stale + 0.3*2e6 > 4 Mbps. *)
+  Rate_probe.observe p ~channel:0 ~bytes:250_000;
+  Rate_probe.observe p ~channel:1 ~bytes:1_250_000;
+  Rate_probe.sample p ~now:5.0;
+  Alcotest.(check (float 1e-6)) "first fresh window seeds directly" 2e6
+    (Rate_probe.rate_bps p 0);
+  (* The untouched channel's estimate never flinched. *)
+  Alcotest.(check (float 1e-6)) "peer estimate unaffected" 10e6
+    (Rate_probe.rate_bps p 1)
+
 let test_plan_retunes_outside_band () =
   (* One channel halved: the target vector is 2:1 and well outside the
      25% band of the current uniform quanta. *)
@@ -508,6 +548,8 @@ let suites =
           test_resume_clears_stale_deficit;
         Alcotest.test_case "probe ewma" `Quick test_rate_probe_ewma;
         Alcotest.test_case "probe resize" `Quick test_rate_probe_resize;
+        Alcotest.test_case "probe reset forgets outage" `Quick
+          test_rate_probe_reset_channel_forgets_outage;
         Alcotest.test_case "plan outside band" `Quick
           test_plan_retunes_outside_band;
         Alcotest.test_case "plan within band" `Quick test_plan_holds_within_band;

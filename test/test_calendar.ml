@@ -149,6 +149,80 @@ let prop_calendar_equals_heap =
       drain ();
       !ok && Eventq.is_empty heap && Calendar_queue.is_empty cal)
 
+(* Fleet-style churn stress: a bundle pool drives the shared queue
+   through repeated population swings — thousands of arrivals cluster
+   events near the clock, departures drain them again — which is
+   exactly the add/pop/clear interleaving that exercises the calendar's
+   [resize] doublings on the way up and [maybe_shrink] on the way down.
+   The property is the same equivalence: every pop (time and value,
+   FIFO within ties) must match the reference heap throughout. *)
+type churn_seg =
+  | Grow of int  (* burst of adds clustered just after the current time *)
+  | Drain of int  (* burst of pops *)
+  | Wipe  (* teardown of the whole population *)
+
+let churn_seg_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun k -> Grow (1 + (k mod 500))) (int_bound 10_000));
+        (5, map (fun k -> Drain (1 + (k mod 500))) (int_bound 10_000));
+        (1, return Wipe);
+      ])
+
+let churn_seg_print = function
+  | Grow k -> Printf.sprintf "Grow %d" k
+  | Drain k -> Printf.sprintf "Drain %d" k
+  | Wipe -> "Wipe"
+
+let churn_arb =
+  QCheck.make
+    ~print:(fun segs -> String.concat "; " (List.map churn_seg_print segs))
+    QCheck.Gen.(list_size (int_range 1 30) churn_seg_gen)
+
+let prop_calendar_churn_equals_heap =
+  QCheck.Test.make ~name:"calendar = heap under fleet-like churn" ~count:100
+    churn_arb (fun segs ->
+      let heap = Eventq.create () in
+      let cal = Calendar_queue.create () in
+      let next = ref 0 in
+      let now = ref 0.0 in
+      let ok = ref true in
+      (* Deterministic pseudo-offsets keep the generated case small (and
+         shrinkable) while still clustering times the way link arrivals
+         do, with occasional far-future stragglers. *)
+      let offset i =
+        if i mod 97 = 0 then 50.0 +. float_of_int (i mod 7)
+        else float_of_int (i * 7919 mod 1000) /. 1000.0
+      in
+      List.iter
+        (fun seg ->
+          match seg with
+          | Grow k ->
+            for _ = 1 to k do
+              let t = !now +. offset !next in
+              Eventq.add heap ~time:t !next;
+              Calendar_queue.add cal ~time:t !next;
+              incr next
+            done
+          | Drain k ->
+            for _ = 1 to k do
+              let h = Eventq.pop heap and c = Calendar_queue.pop cal in
+              if h <> c then ok := false;
+              match h with Some (t, _) -> now := t | None -> ()
+            done
+          | Wipe ->
+            Eventq.clear heap;
+            Calendar_queue.clear cal)
+        segs;
+      let rec drain () =
+        let h = Eventq.pop heap and c = Calendar_queue.pop cal in
+        if h <> c then ok := false
+        else match h with Some _ -> drain () | None -> ()
+      in
+      drain ();
+      !ok && Eventq.is_empty heap && Calendar_queue.is_empty cal)
+
 (* --- Eventq popped-slot leak regression ---------------------------- *)
 
 let test_pop_releases_value () =
@@ -271,6 +345,7 @@ let suites =
         Alcotest.test_case "wide time spread" `Quick test_wide_spread;
         Alcotest.test_case "clear and reuse" `Quick test_clear_and_reuse;
         QCheck_alcotest.to_alcotest prop_calendar_equals_heap;
+        QCheck_alcotest.to_alcotest prop_calendar_churn_equals_heap;
         Alcotest.test_case "eventq pop releases value" `Quick
           test_pop_releases_value;
         Alcotest.test_case "calendar pop releases value" `Quick

@@ -67,6 +67,24 @@ let test_stop () =
   Alcotest.(check int) "stopped after third event" 3 !count;
   Alcotest.(check int) "remaining events kept" 7 (Sim.pending sim)
 
+let test_stop_leaves_clock_at_stop_point () =
+  (* Regression: run_until used to fast-forward the clock to the horizon
+     even when [stop] fired mid-run, so a stopped run lied about how far
+     it had gotten. *)
+  let sim = Sim.create () in
+  for i = 1 to 10 do
+    Sim.schedule sim ~at:(float_of_int i) (fun () ->
+        if Sim.now sim = 3.0 then Sim.stop sim)
+  done;
+  Sim.run_until sim 100.0;
+  Alcotest.(check (float 0.0)) "clock stays at the stop point" 3.0 (Sim.now sim);
+  Alcotest.(check int) "remaining events kept" 7 (Sim.pending sim);
+  (* A resumed run picks up from the stop point and does reach the
+     horizon this time. *)
+  Sim.run_until sim 100.0;
+  Alcotest.(check (float 0.0)) "resumed run reaches horizon" 100.0 (Sim.now sim);
+  Alcotest.(check int) "all events fired" 0 (Sim.pending sim)
+
 let test_step () =
   let sim = Sim.create () in
   Alcotest.(check bool) "step on empty" false (Sim.step sim);
@@ -92,6 +110,8 @@ let suites =
         Alcotest.test_case "run_until no events" `Quick
           test_run_until_advances_clock_without_events;
         Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "stop leaves clock at stop point" `Quick
+          test_stop_leaves_clock_at_stop_point;
         Alcotest.test_case "step" `Quick test_step;
         Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
       ] );
