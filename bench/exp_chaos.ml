@@ -1,0 +1,446 @@
+(* Chaos soak: storm x fleet-size matrix with always-on invariant
+   monitors.
+
+   A static Bundle_pool fleet (4-channel SRR bundles, heterogeneous
+   rates, markers every 4 rounds, sender-aware carrier tracking, the
+   marker-cadence watchdog armed, [stamp_seq] FIFO monitoring on) is
+   loaded by a fleet-wide Poisson packet process while a seeded
+   [Chaos.random_plan] plays out against it: correlated carrier storms
+   take shared-risk channel groups down across every bundle at once,
+   and endpoint crashes kill one side of one bundle for a finite
+   downtime (PROTOCOL.md §12).
+
+   Monitored during and after the schedule:
+   - FIFO: per-bundle delivered-sequence inversions are counted
+     throughout and count as violations past the quiet line (last chaos
+     event + drain grace) — chaos legally degrades delivery to
+     quasi-FIFO while it drains (Thm 5.1), but afterwards order must be
+     restored;
+   - conservation, per bundle at quiescence:
+       pushed = delivered + rx_pending + carrier_drops
+                + receiver_down_drops + rx_epoch_discards + rx_wiped;
+   - recovery: every crashed endpoint must deliver again after its
+     restart; per-endpoint MTTR and availability come from the union of
+     its actual outage intervals (overlap-aware, Recovery.mttr).
+
+   Any violation or unrecovered endpoint fails the run loudly with the
+   seed and the chaos event index to replay against.
+
+   Usage:
+     dune exec bench/exp_chaos.exe --                   # full matrix
+     dune exec bench/exp_chaos.exe -- --quick           # one small cell
+     dune exec bench/exp_chaos.exe -- --seed 7          # one seed
+     dune exec bench/exp_chaos.exe -- --bundles 2000    # one fleet size
+     dune exec bench/exp_chaos.exe -- --json FILE       # machine output
+     dune exec bench/exp_chaos.exe -- --inject-violation
+       # detection self-test: plant a violation, exit 0 iff it is caught *)
+
+open Stripe_netsim
+open Stripe_core
+module Bundle_pool = Stripe_fleet.Bundle_pool
+module Recovery = Stripe_metrics.Recovery
+module Monitor = Stripe_obs.Monitor
+
+let reference_rates = [| 10e6; 10e6; 5e6; 2.5e6 |]
+let reference_delays = [| 0.001; 0.002; 0.005; 0.010 |]
+let n_channels = Array.length reference_rates
+let chaos_horizon = 1.5 (* storms/crashes are drawn inside [0, this) *)
+let drain_grace = 0.4 (* quiet-line grace floor; scaled up per cell *)
+let traffic_tail = 0.8 (* post-quiet traffic proving recovery *)
+let packet_rate = 200_000.0 (* fleet-wide data packets per simulated second *)
+let marker_every = 4
+let wd_intervals = 4
+
+(* Every recovery horizon in the receiver — watchdog death, barrier
+   staleness, post-crash cold resync — is a small multiple of the
+   per-bundle marker cadence, and that cadence scales inversely with the
+   per-bundle packet rate: markers ride the data schedule (every
+   [marker_every] rounds), so a 1200-bundle fleet sharing the same
+   offered load has 4x the inter-marker time of a 300-bundle one. The
+   watchdog fallback (the operator's "slowest expected cadence" knob)
+   and the quiet line's drain grace must scale the same way or a large
+   fleet flaps channels dead between markers and drains past the quiet
+   line. *)
+let cell_horizons ~quanta ~bundles =
+  let round_bytes = Array.fold_left ( + ) 0 quanta in
+  let mean_size = 600.0 (* bimodal 200/1000 traffic below *) in
+  let per_bundle_rate = packet_rate /. float_of_int bundles in
+  let cadence =
+    float_of_int marker_every *. float_of_int round_bytes /. mean_size
+    /. per_bundle_rate
+  in
+  let fallback = Float.max 0.05 cadence in
+  let grace =
+    Float.max drain_grace ((float_of_int wd_intervals +. 2.0) *. fallback)
+  in
+  (fallback, grace)
+
+type profile = { pname : string; storm_every : float; crash_every : float }
+
+let profiles =
+  [
+    { pname = "storms"; storm_every = 0.25; crash_every = 0.0 };
+    { pname = "crashes"; storm_every = 0.0; crash_every = 0.02 };
+    { pname = "mixed"; storm_every = 0.3; crash_every = 0.03 };
+  ]
+
+type run = {
+  tag : string;
+  seed : int;
+  bundles : int;
+  chaos_events : int;
+  delivered : int;
+  carrier_drops : int;
+  crashes : int;
+  restarts : int;
+  crashed_endpoints : int;
+  recovered : int;
+  mttr_ms : float; (* -1 when the run crashed nothing *)
+  avail_mean : float;
+  avail_min : float;
+  inversions : int;
+  violations : int;
+  conservation_failures : int;
+  wd_dead : int;
+  failure : string option; (* diagnosis incl. seed + event index *)
+}
+
+let side_index = function Chaos.Tx -> 0 | Chaos.Rx -> 1
+
+let run_cell ~profile ~bundles ~seed ~inject () =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let chaos_rng = Rng.split rng in
+  let traffic_rng = Rng.split rng in
+  let size_rng = Rng.split rng in
+  let quanta =
+    Srr.quanta_for_rates ~rates_bps:reference_rates ~quantum_unit:1500 ()
+  in
+  let wd_fallback, grace = cell_horizons ~quanta ~bundles in
+  let pool =
+    Bundle_pool.create ~stamp_seq:true
+      ~watchdog:{ Resequencer.intervals = wd_intervals; fallback = wd_fallback }
+      ~sim
+      {
+        Bundle_pool.rate_bps = reference_rates;
+        prop_delay = reference_delays;
+        quanta;
+        marker_every;
+        guard = false;
+      }
+  in
+  for _ = 1 to bundles do
+    ignore (Bundle_pool.acquire pool)
+  done;
+  let plan =
+    Chaos.random_plan ~rng:chaos_rng ~n_channels ~n_bundles:bundles
+      ~horizon:chaos_horizon ~storm_every:profile.storm_every
+      ~crash_every:profile.crash_every ~mean_outage:0.08 ~mean_downtime:0.08 ()
+  in
+  let plan =
+    if inject then
+      plan @ [ Chaos.Violate { bundle = 0; at = chaos_horizon /. 2.0 } ]
+    else plan
+  in
+  (* Actual (not planned) endpoint outages: overlapping planned crashes
+     collapse onto the first crash/restart pair that really fired. *)
+  let down_since = Array.init 2 (fun _ -> Array.make bundles Float.nan) in
+  let outages = Array.init 2 (fun _ -> Array.make bundles []) in
+  let last_restart = Array.init 2 (fun _ -> Array.make bundles Float.nan) in
+  let driver =
+    {
+      Chaos.set_channel_up = (fun c up -> Bundle_pool.set_channel_up pool c up);
+      crash =
+        (fun side b ->
+          let s = side_index side in
+          if Float.is_nan down_since.(s).(b) then begin
+            (match side with
+            | Chaos.Tx -> Bundle_pool.crash_sender pool b
+            | Chaos.Rx -> ignore (Bundle_pool.crash_receiver pool b));
+            down_since.(s).(b) <- Sim.now sim
+          end);
+      restart =
+        (fun side b ->
+          let s = side_index side in
+          if not (Float.is_nan down_since.(s).(b)) then begin
+            (match side with
+            | Chaos.Tx -> Bundle_pool.restart_sender pool b
+            | Chaos.Rx -> Bundle_pool.restart_receiver pool b);
+            outages.(s).(b) <-
+              (down_since.(s).(b), Sim.now sim) :: outages.(s).(b);
+            down_since.(s).(b) <- Float.nan;
+            last_restart.(s).(b) <- Sim.now sim
+          end);
+      violate = (fun b -> Bundle_pool.inject_violation pool b);
+    }
+  in
+  let last_event = ref (-1) in
+  let violate_event = ref (-1) in
+  Chaos.apply sim
+    ~on_event:(fun ~index ~time:_ what ->
+      last_event := index;
+      if String.length what >= 7 && String.sub what 0 7 = "violate" then
+        violate_event := index)
+    driver plan;
+  let quiet = Chaos.horizon plan +. grace in
+  Bundle_pool.set_fifo_check_after pool quiet;
+  let traffic_until = quiet +. traffic_tail in
+  let gen_size =
+    Stripe_workload.Genpkt.bimodal ~rng:size_rng ~small:200 ~large:1000 ()
+  in
+  let rec traffic_tick () =
+    if Sim.now sim < traffic_until then begin
+      Bundle_pool.push pool (Rng.int traffic_rng bundles) ~size:(gen_size ());
+      Sim.schedule_after sim
+        ~delay:(Rng.exponential traffic_rng ~mean:(1.0 /. packet_rate))
+        traffic_tick
+    end
+  in
+  traffic_tick ();
+  Sim.run sim;
+  let run_end = Sim.now sim in
+  (* Recovery per crashed endpoint. *)
+  let crashed = ref 0 in
+  let recovered = ref 0 in
+  let mttr_sum = ref 0.0 in
+  let avail_sum = ref 0.0 in
+  let avail_min = ref 1.0 in
+  let first_unrecovered = ref None in
+  for s = 0 to 1 do
+    for b = 0 to bundles - 1 do
+      if outages.(s).(b) <> [] then begin
+        incr crashed;
+        (match Recovery.mttr outages.(s).(b) with
+        | Some m -> mttr_sum := !mttr_sum +. m
+        | None -> ());
+        let avail =
+          Recovery.interval_availability ~outages:outages.(s).(b) ~from_:0.0
+            ~until_:run_end
+        in
+        avail_sum := !avail_sum +. avail;
+        if avail < !avail_min then avail_min := avail;
+        let last_d = Bundle_pool.last_delivery_time pool b in
+        if (not (Float.is_nan last_d)) && last_d > last_restart.(s).(b) then
+          incr recovered
+        else if !first_unrecovered = None then
+          first_unrecovered :=
+            Some (Printf.sprintf "%s/%d" (if s = 0 then "tx" else "rx") b)
+      end
+    done
+  done;
+  (* Conservation at quiescence, per bundle. *)
+  let conservation_failures = ref 0 in
+  let first_unconserved = ref None in
+  for b = 0 to bundles - 1 do
+    match
+      Monitor.check_conservation
+        ~what:(Printf.sprintf "bundle %d" b)
+        ~pushed:(Bundle_pool.pushed_packets pool b)
+        ~delivered:(Bundle_pool.delivered_packets pool b)
+        ~pending:(Bundle_pool.rx_pending_packets pool b)
+        ~drops:
+          [
+            Bundle_pool.carrier_drops pool b;
+            Bundle_pool.receiver_down_drops pool b;
+            Bundle_pool.rx_epoch_discards pool b;
+            Bundle_pool.rx_wiped_packets pool b;
+          ]
+    with
+    | Ok () -> ()
+    | Error msg ->
+      incr conservation_failures;
+      if !first_unconserved = None then first_unconserved := Some msg
+  done;
+  let sums f = Array.init bundles (fun b -> f pool b) |> Array.fold_left ( + ) 0 in
+  let violations = Bundle_pool.total_fifo_violations pool in
+  let failure =
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Some
+            (Printf.sprintf "%s (seed %d, last chaos event %d)" msg seed
+               !last_event))
+        fmt
+    in
+    if violations > 0 && not inject then begin
+      match Bundle_pool.first_violation pool with
+      | Some (time, b, sq) ->
+        fail "FIFO violation: bundle %d seq %d at t=%.4f" b sq time
+      | None -> fail "FIFO violation"
+    end
+    else if !conservation_failures > 0 then
+      fail "%s" (Option.value ~default:"conservation" !first_unconserved)
+    else if !recovered < !crashed then
+      fail "endpoint %s never delivered after restart"
+        (Option.value ~default:"?" !first_unrecovered)
+    else if inject && violations = 0 then
+      fail "injected violation was NOT caught"
+    else None
+  in
+  ( {
+      tag = Printf.sprintf "%s-%d-s%d" profile.pname bundles seed;
+      seed;
+      bundles;
+      chaos_events = !last_event + 1;
+      delivered = Bundle_pool.total_delivered_packets pool;
+      carrier_drops = sums Bundle_pool.carrier_drops;
+      crashes = Bundle_pool.crashes pool;
+      restarts = Bundle_pool.restarts pool;
+      crashed_endpoints = !crashed;
+      recovered = !recovered;
+      mttr_ms =
+        (if !crashed = 0 then -1.0
+         else 1000.0 *. !mttr_sum /. float_of_int !crashed);
+      avail_mean =
+        (if !crashed = 0 then 1.0 else !avail_sum /. float_of_int !crashed);
+      avail_min = !avail_min;
+      inversions = sums Bundle_pool.seq_inversions;
+      violations;
+      conservation_failures = !conservation_failures;
+      wd_dead = sums Bundle_pool.rx_dead_declarations;
+      failure;
+    },
+    !violate_event )
+
+let print_run r =
+  Printf.printf
+    "  %-18s %4d ev  %8d pkts  drops %6d  crash %3d/%3d  recovered %3d/%3d  \
+     mttr %s  avail %.4f/%.4f  inv %5d  wd %4d  viol %d  consv %d\n\
+     %!"
+    r.tag r.chaos_events r.delivered r.carrier_drops r.crashes r.restarts
+    r.recovered r.crashed_endpoints
+    (if r.mttr_ms < 0.0 then "   n/a" else Printf.sprintf "%5.1fms" r.mttr_ms)
+    r.avail_mean r.avail_min r.inversions r.wd_dead r.violations
+    r.conservation_failures
+
+let json_of_run r =
+  Printf.sprintf
+    "{\"run\":\"%s\",\"seed\":%d,\"bundles\":%d,\"chaos_events\":%d,\"delivered\":%d,\"carrier_drops\":%d,\"crashes\":%d,\"restarts\":%d,\"crashed_endpoints\":%d,\"recovered\":%d,\"mttr_ms\":%.3f,\"avail_mean\":%.5f,\"avail_min\":%.5f,\"inversions\":%d,\"violations\":%d,\"conservation_failures\":%d,\"watchdog_dead\":%d}"
+    r.tag r.seed r.bundles r.chaos_events r.delivered r.carrier_drops r.crashes
+    r.restarts r.crashed_endpoints r.recovered r.mttr_ms r.avail_mean
+    r.avail_min r.inversions r.violations r.conservation_failures r.wd_dead
+
+let () =
+  let quick = ref false in
+  let bundles = ref None in
+  let seed = ref None in
+  let json_out = ref None in
+  let inject = ref false in
+  let profile_filter = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--bundles" :: v :: rest ->
+      bundles := Some (int_of_string v);
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := Some (int_of_string v);
+      parse rest
+    | "--profile" :: v :: rest ->
+      profile_filter := Some v;
+      parse rest
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--inject-violation" :: rest ->
+      inject := true;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: exp_chaos [--quick] [--bundles N] [--seed S] [--profile \
+         storms|crashes|mixed] [--json FILE] [--inject-violation] (got %s)\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds = match !seed with Some s -> [ s ] | None -> [ 11; 23; 42 ] in
+  let profiles =
+    match !profile_filter with
+    | None -> profiles
+    | Some name -> (
+      match List.filter (fun p -> p.pname = name) profiles with
+      | [] ->
+        Printf.eprintf "unknown profile %S (want storms|crashes|mixed)\n" name;
+        exit 2
+      | ps -> ps)
+  in
+  if !inject then begin
+    (* Detection self-test: one small cell with a planted violation;
+       success means the monitor caught it and can name the event. *)
+    let b = Option.value ~default:200 !bundles in
+    let s = List.hd seeds in
+    let mixed = { pname = "mixed"; storm_every = 0.3; crash_every = 0.03 } in
+    Printf.printf
+      "exp_chaos: detection self-test, %d bundles, seed %d, planted FIFO \
+       violation\n\
+       %!"
+      b s;
+    let r, violate_event = run_cell ~profile:mixed ~bundles:b ~seed:s ~inject:true () in
+    print_run r;
+    match r.failure with
+    | Some msg ->
+      Printf.eprintf "  FAIL: %s\n" msg;
+      exit 1
+    | None ->
+      Printf.printf
+        "  caught planted violation (seed %d, chaos event %d): monitors are \
+         live\n"
+        s violate_event;
+      exit 0
+  end;
+  let sizes =
+    match !bundles with
+    | Some n -> [ n ]
+    | None -> if !quick then [ 200 ] else [ 300; 1200 ]
+  in
+  let cells =
+    if !quick then
+      [ (List.nth profiles (List.length profiles - 1), List.hd sizes, List.hd seeds) ]
+    else
+      List.concat_map
+        (fun p -> List.map (fun n -> (p, n, List.hd seeds)) sizes)
+        profiles
+      @ (match (List.rev profiles, List.rev sizes) with
+        | p :: _, n :: _ -> List.map (fun s -> (p, n, s)) (List.tl seeds)
+        | _ -> [])
+  in
+  Printf.printf
+    "exp_chaos: %d cells x 4ch SRR fleet, chaos horizon %.1fs, quiet line = \
+     last event + cadence-scaled grace (>= %.1fs), %.0fk pkts/s offered\n\
+     %!"
+    (List.length cells) chaos_horizon drain_grace (packet_rate /. 1000.0);
+  let runs =
+    List.map
+      (fun (p, n, s) ->
+        let r, _ = run_cell ~profile:p ~bundles:n ~seed:s ~inject:false () in
+        print_run r;
+        r)
+      cells
+  in
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scenario\": \"chaos soak: 4ch SRR fleet, seeded storms + endpoint \
+       crashes, monitors on\",\n\
+      \  \"runs\": [\n    %s\n  ]\n\
+       }\n"
+      (String.concat ",\n    " (List.map json_of_run runs));
+    close_out oc;
+    Printf.printf "  wrote %s\n%!" file);
+  let failures = List.filter (fun r -> r.failure <> None) runs in
+  if failures <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf "  FAIL %s: %s\n" r.tag
+          (Option.value ~default:"" r.failure))
+      failures;
+    exit 1
+  end;
+  Printf.printf
+    "  all %d cells clean: zero violations, every crashed endpoint recovered\n"
+    (List.length runs)

@@ -16,7 +16,16 @@
    Reported per configuration: deliveries, misordering, the longest
    service outage, time to the first delivery after the member returns,
    resynchronization time after the outage ends (Theorem 5.1 applies
-   once markers flow again), and availability in 10 ms slots. *)
+   once markers flow again), and availability in 10 ms slots.
+
+   The whole scenario runs in virtual time on seeded randomness, so the
+   recovery metrics are deterministic — which makes them a CI gate:
+
+     dune exec bench/exp_failover.exe --                  # table
+     dune exec bench/exp_failover.exe -- --json FILE      # machine output
+     dune exec bench/exp_failover.exe -- --check FILE [--max-regress F]
+       # exit 1 if availability drops, or failback/resync regress,
+       # more than F (default 0.05) against FILE's committed numbers *)
 
 open Stripe_netsim
 open Stripe_packet
@@ -97,12 +106,68 @@ let drive rig =
   in
   tick ()
 
-let fmt_ms v = Printf.sprintf "%.1f" (1000.0 *. v)
+type result = {
+  slug : string;
+  label : string;
+  delivered : int;
+  ooo : int;
+  wd_skips : int;
+  longest_outage_ms : float;
+  failback_ms : float;  (* negative = service never came back *)
+  resync_ms : float;  (* negative = FIFO never restored *)
+  availability : float;
+}
 
-let run () =
-  Exp_common.section
-    "Failover - member down at 1.0 s, back at 2.0 s (3 x 10 Mbps SRR, \
-     markers every 4 rounds)";
+let configs =
+  [
+    ("full", "sender-aware + watchdog", true, true);
+    ("sender_aware", "sender-aware", true, false);
+    ("watchdog", "receiver watchdog", false, true);
+    ("unprotected", "unprotected", false, false);
+  ]
+
+let run_config (slug, label, sender_aware, with_wd) =
+  let watchdog =
+    if with_wd then Some { Resequencer.intervals = 3; fallback = 0.01 }
+    else None
+  in
+  let rig = make_rig ~sender_aware ~watchdog () in
+  drive rig;
+  Fault.down_up rig.sim rig.links.(1) ~down_at ~up_at;
+  Sim.run rig.sim;
+  let failback_ms =
+    match Stripe_metrics.Recovery.first_after rig.recovery ~time:up_at with
+    | Some t -> 1000.0 *. (t -. up_at)
+    | None -> -1.0
+  in
+  let resync_ms =
+    (* The channel outage is the error episode: once the member is back
+       and the reset barrier / markers have flowed, delivery must be
+       FIFO again (Theorem 5.1). *)
+    match Stripe_metrics.Recovery.resync_time rig.recovery ~errors_stop:up_at with
+    | Some dt -> 1000.0 *. dt
+    | None -> -1.0
+  in
+  {
+    slug;
+    label;
+    delivered = Stripe_metrics.Recovery.deliveries rig.recovery;
+    ooo = Reorder.out_of_order rig.reorder;
+    wd_skips = Resequencer.watchdog_skips rig.reseq;
+    longest_outage_ms =
+      1000.0
+      *. Stripe_metrics.Recovery.max_gap rig.recovery ~from_:down_at
+           ~until_:run_until;
+    failback_ms;
+    resync_ms;
+    availability =
+      Stripe_metrics.Recovery.availability rig.recovery ~from_:0.0
+        ~until_:run_until ~bucket:0.01;
+  }
+
+let fmt_ms v = if v < 0.0 then "never" else Printf.sprintf "%.1f" v
+
+let print_table results =
   let tbl =
     Stripe_metrics.Table.create ~title:"Protection configurations"
       ~columns:
@@ -112,52 +177,19 @@ let run () =
         ]
   in
   List.iter
-    (fun (label, sender_aware, with_wd) ->
-      let watchdog =
-        if with_wd then Some { Resequencer.intervals = 3; fallback = 0.01 }
-        else None
-      in
-      let rig = make_rig ~sender_aware ~watchdog () in
-      drive rig;
-      Fault.down_up rig.sim rig.links.(1) ~down_at ~up_at;
-      Sim.run rig.sim;
-      let first_back =
-        match Stripe_metrics.Recovery.first_after rig.recovery ~time:up_at with
-        | Some t -> fmt_ms (t -. up_at)
-        | None -> "never"
-      in
-      let resync =
-        (* The channel outage is the error episode: once the member is
-           back and the reset barrier / markers have flowed, delivery
-           must be FIFO again (Theorem 5.1). *)
-        match
-          Stripe_metrics.Recovery.resync_time rig.recovery ~errors_stop:up_at
-        with
-        | Some dt -> fmt_ms dt
-        | None -> "never"
-      in
+    (fun r ->
       Stripe_metrics.Table.add_row tbl
         [
-          label;
-          string_of_int (Stripe_metrics.Recovery.deliveries rig.recovery);
-          string_of_int (Reorder.out_of_order rig.reorder);
-          string_of_int (Resequencer.watchdog_skips rig.reseq);
-          fmt_ms
-            (Stripe_metrics.Recovery.max_gap rig.recovery ~from_:down_at
-               ~until_:run_until);
-          first_back;
-          resync;
-          Printf.sprintf "%.1f%%"
-            (100.0
-            *. Stripe_metrics.Recovery.availability rig.recovery ~from_:0.0
-                 ~until_:run_until ~bucket:0.01);
+          r.label;
+          string_of_int r.delivered;
+          string_of_int r.ooo;
+          string_of_int r.wd_skips;
+          Printf.sprintf "%.1f" r.longest_outage_ms;
+          fmt_ms r.failback_ms;
+          fmt_ms r.resync_ms;
+          Printf.sprintf "%.1f%%" (100.0 *. r.availability);
         ])
-    [
-      ("sender-aware + watchdog", true, true);
-      ("sender-aware", true, false);
-      ("receiver watchdog", false, true);
-      ("unprotected", false, false);
-    ];
+    results;
   Stripe_metrics.Table.print tbl;
   print_endline
     "Full protection needs both ends. Sender-side suspension alone keeps";
@@ -171,6 +203,157 @@ let run () =
     "The receiver watchdog alone restores service after the dead-channel";
   print_endline
     "timeout, at the cost of losing what was striped into the dead link";
-  print_endline
-    "(quasi-FIFO). Combined, the survivors carry everything and delivery";
+  print_endline "(quasi-FIFO). Combined, the survivors carry everything and delivery";
   print_endline "never reorders.\n"
+
+let json_of_result r =
+  Printf.sprintf
+    "{\"config\":\"%s\",\"delivered\":%d,\"ooo\":%d,\"wd_skips\":%d,\"longest_outage_ms\":%.3f,\"failback_ms\":%.3f,\"resync_ms\":%.3f,\"availability\":%.4f}"
+    r.slug r.delivered r.ooo r.wd_skips r.longest_outage_ms r.failback_ms
+    r.resync_ms r.availability
+
+(* Same minimal committed-JSON scanner as exp_fleet: find "FIELD":NUMBER
+   after a "config":"SLUG" tag. *)
+let scan_number ~slug ~field path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let find needle from =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i =
+      if i + nl > sl then None
+      else if String.sub s i nl = needle then Some (i + nl)
+      else go (i + 1)
+    in
+    go from
+  in
+  match find (Printf.sprintf "\"config\":\"%s\"" slug) 0 with
+  | None -> None
+  | Some after_tag -> (
+    match find (Printf.sprintf "\"%s\":" field) after_tag with
+    | None -> None
+    | Some p ->
+      let stop = ref p in
+      while
+        !stop < String.length s
+        && (match s.[!stop] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub s p (!stop - p)))
+
+(* The run is virtual-time deterministic, so a tight default tolerance
+   holds; the slack absorbs deliberate small protocol changes without
+   baseline churn. Recovery times get 1 ms absolute headroom on top so
+   a 0 ms committed value does not demand exact zeros forever. *)
+let check ~max_regress ~file results =
+  if not (Sys.file_exists file) then begin
+    Printf.eprintf
+      "  FAIL: baseline file %s does not exist — regenerate it with --json %s \
+       and commit it\n"
+      file file;
+    exit 1
+  end;
+  let fail = ref false in
+  let lookup slug field =
+    match scan_number ~slug ~field file with
+    | Some v -> v
+    | None ->
+      Printf.eprintf
+        "  FAIL: no committed \"%s\" entry for config \"%s\" in %s — \
+         regenerate the baseline with --json\n"
+        field slug file;
+      fail := true;
+      Float.nan
+  in
+  let check_lower slug what current committed =
+    if Float.is_nan committed then ()
+    else begin
+      let floor = committed *. (1.0 -. max_regress) in
+      Printf.printf "  check %-13s %-12s %10.3f vs committed %10.3f (floor %.3f)\n"
+        slug what current committed floor;
+      if current < floor then begin
+        Printf.eprintf "  FAIL: %s %s regressed (%.3f < %.3f)\n" slug what
+          current floor;
+        fail := true
+      end
+    end
+  in
+  let check_time slug what current committed =
+    if Float.is_nan committed then ()
+    else if committed < 0.0 then begin
+      (* Committed "never": coming back at all is an improvement. *)
+      Printf.printf "  check %-13s %-12s %10s vs committed never\n" slug what
+        (fmt_ms current)
+    end
+    else begin
+      let ceiling = (committed *. (1.0 +. max_regress)) +. 1.0 in
+      Printf.printf
+        "  check %-13s %-12s %10.3f vs committed %10.3f (ceiling %.3f)\n" slug
+        what current committed ceiling;
+      if current < 0.0 || current > ceiling then begin
+        Printf.eprintf "  FAIL: %s %s regressed (%s > %.3f ms)\n" slug what
+          (fmt_ms current) ceiling;
+        fail := true
+      end
+    end
+  in
+  List.iter
+    (fun r ->
+      check_lower r.slug "availability" r.availability
+        (lookup r.slug "availability");
+      check_lower r.slug "delivered" (float_of_int r.delivered)
+        (lookup r.slug "delivered");
+      check_time r.slug "failback_ms" r.failback_ms
+        (lookup r.slug "failback_ms");
+      check_time r.slug "resync_ms" r.resync_ms (lookup r.slug "resync_ms"))
+    results;
+  if !fail then exit 1
+
+let () =
+  let json_out = ref None in
+  let check_file = ref None in
+  let max_regress = ref 0.05 in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+      json_out := Some file;
+      parse rest
+    | "--check" :: file :: rest ->
+      check_file := Some file;
+      parse rest
+    | "--max-regress" :: v :: rest ->
+      max_regress := float_of_string v;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf
+        "usage: exp_failover [--json FILE] [--check FILE] [--max-regress F] \
+         (got %s)\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  print_endline
+    "Failover - member down at 1.0 s, back at 2.0 s (3 x 10 Mbps SRR, markers \
+     every 4 rounds)";
+  let results = List.map run_config configs in
+  print_table results;
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scenario\": \"failover: 3x10Mbps SRR markers=4, member 1 down \
+       1.0-2.0s, 80%% offered load\",\n\
+      \  \"configs\": [\n    %s\n  ]\n\
+       }\n"
+      (String.concat ",\n    " (List.map json_of_result results));
+    close_out oc;
+    Printf.printf "  wrote %s\n%!" file);
+  match !check_file with
+  | None -> ()
+  | Some file -> check ~max_regress:!max_regress ~file results

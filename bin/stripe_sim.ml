@@ -194,6 +194,33 @@ let impair_specs =
            $(b,1:reorder=0.2/0.01,dup=0.05,corrupt=0.01). Repeatable. \
            $(b,--loss-stop) also stops impairments.")
 
+let chaos_conv =
+  Arg.conv
+    ( (fun s ->
+        match Chaos.parse_spec s with
+        | Ok actions -> Ok actions
+        | Error e -> Error (`Msg e)),
+      fun fmt actions ->
+        Format.pp_print_list Chaos.pp_action fmt actions )
+
+let chaos_specs =
+  Arg.(
+    value
+    & opt_all chaos_conv []
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "Run a chaos plan against the bundle: comma-separated \
+           $(b,storm=C1+C2+.../DUR@T) (correlated carrier loss on every \
+           listed channel for DUR seconds), $(b,crash=tx/0/DUR@T) and \
+           $(b,crash=rx/0/DUR@T) (endpoint crash + restart, PROTOCOL.md \
+           §12), and $(b,violate=0@T) (poison the FIFO monitor — a \
+           detection self-test, not a protocol event). The bundle id must \
+           be 0: this simulator runs a single bundle. While a chaos plan \
+           runs, always-on invariant monitors (FIFO order past the quiet \
+           line, buffer budget, progress) shadow the delivery stream and \
+           any violation is reported with the seed and the chaos event \
+           index. Quasi mode with a CFQ scheduler only. Repeatable.")
+
 let guard_window =
   Arg.(
     value
@@ -309,8 +336,8 @@ let sink_deliver sink sim pkt =
 
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     loss_stop seed engine replay_file trace_out trace_format fault_specs
-    impair_specs guard_window rx_buffer overflow_policy crash_at watchdog_k
-    no_auto_suspend adapt_interval adapt_band =
+    impair_specs chaos_specs guard_window rx_buffer overflow_policy crash_at
+    watchdog_k no_auto_suspend adapt_interval adapt_band =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
@@ -339,6 +366,19 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           fun () ->
             Obs.Sink.flush sink;
             close_out oc )
+    in
+    (* A chaos plan arms the always-on invariant monitors: they ride the
+       same event stream as --trace, teed in front of whatever sink the
+       user asked for (the null sink when tracing is off). *)
+    let chaos_actions = List.concat chaos_specs in
+    let monitor =
+      if chaos_actions = [] then None
+      else Some (Obs.Monitor.create ?budget_bytes:rx_buffer ())
+    in
+    let obs_sink =
+      match monitor with
+      | Some m -> Obs.Sink.tee (Obs.Monitor.sink m) obs_sink
+      | None -> obs_sink
     in
     let rates = Array.map (fun c -> c.rate) confs in
     let engine_opt =
@@ -369,6 +409,15 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
        trigger them. *)
     let fault_ref = ref (fun (_ : Fault.action list) -> ()) in
     let crash_ref = ref None in
+    (* The --chaos driver (set up by quasi mode) and its endpoint-down
+       gates: a crashed sender drops offered packets, a crashed receiver
+       drops arrivals on the floor until its restart. *)
+    let chaos_ref = ref None in
+    let tx_crashed = ref false in
+    let rx_crashed = ref false in
+    let tx_crash_drops = ref 0 in
+    let rx_crash_drops = ref 0 in
+    let last_chaos_event = ref (-1) in
     let impairs = impair_specs in
     List.iter
       (fun (c, _) ->
@@ -700,9 +749,54 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                    with the reset barrier 20 ms later. *)
                 Deficit.set_round e (Deficit.round e + 7);
                 Sim.schedule_after sim ~delay:0.02 (fun () ->
-                    Striper.send_reset striper))
+                    Striper.send_reset striper));
+          (* Chaos driver: storms toggle link carrier (the carrier
+             watchers above do sender-side suspend/resume), crashes map
+             onto the PROTOCOL.md §12 endpoint crash/restart entry
+             points, and violate poisons the FIFO monitor's high-water
+             so the very next delivery registers — proving the
+             detection path fires. *)
+          let inner_receive = !receive_cell in
+          receive_cell :=
+            (fun i payload ->
+              if !rx_crashed then incr rx_crash_drops
+              else inner_receive i payload);
+          chaos_ref :=
+            Some
+              {
+                Chaos.set_channel_up =
+                  (fun c up -> if c >= 0 && c < n then Link.set_up links.(c) up);
+                crash =
+                  (fun side b ->
+                    if b = 0 then
+                      match side with
+                      | Chaos.Tx -> tx_crashed := true
+                      | Chaos.Rx -> (
+                        rx_crashed := true;
+                        match !reseq_cell with
+                        | Some r -> ignore (Resequencer.crash_restart r)
+                        | None -> ()));
+                restart =
+                  (fun side b ->
+                    if b = 0 then
+                      match side with
+                      | Chaos.Tx ->
+                        tx_crashed := false;
+                        Striper.crash_restart striper
+                      | Chaos.Rx -> rx_crashed := false);
+                violate =
+                  (fun _ ->
+                    match monitor with
+                    | Some m ->
+                      Obs.Monitor.set_quiet_after m (Sim.now sim);
+                      Obs.Sink.emit (Obs.Monitor.sink m)
+                        (Obs.Event.v ~time:(Sim.now sim) ~size:0 ~seq:max_int
+                           Obs.Event.Deliver)
+                    | None -> ());
+              }
         | _ -> ());
-        ( Striper.push striper,
+        ( (fun pkt ->
+            if !tx_crashed then incr tx_crash_drops else Striper.push striper pkt),
           fun () ->
             List.concat
               [
@@ -810,6 +904,33 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     | Some _, None ->
       prerr_endline "warning: --crash-at needs quasi mode with a CFQ scheduler"
     | None, _ -> ());
+    (match chaos_actions, !chaos_ref with
+    | [], _ -> ()
+    | _ :: _, None ->
+      prerr_endline "warning: --chaos needs quasi mode with a CFQ scheduler"
+    | _ :: _, Some driver ->
+      if
+        List.exists
+          (function
+            | Chaos.Crash { bundle; _ } | Chaos.Violate { bundle; _ } ->
+              bundle <> 0
+            | Chaos.Storm _ -> false)
+          chaos_actions
+      then
+        prerr_endline
+          "warning: --chaos names a bundle other than 0; those actions do \
+           nothing here";
+      (* Quiet line: chaos legally degrades delivery to quasi-FIFO while
+         its effects drain (Thm 5.1); strict FIFO resumes a drain grace
+         after the last planned event. *)
+      (match monitor with
+      | Some m ->
+        Obs.Monitor.set_quiet_after m
+          (Chaos.horizon chaos_actions +. Float.max 0.25 (100.0 *. interval))
+      | None -> ());
+      Chaos.apply sim
+        ~on_event:(fun ~index ~time:_ _ -> last_chaos_event := index)
+        driver chaos_actions);
     let n_offered =
       match replay_file with
       | Some path ->
@@ -865,7 +986,24 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
       (Reorder.max_displacement sink.reorder);
     Printf.printf "goodput: %.2f Mbps\n"
       (Stripe_metrics.Throughput.mbps sink.goodput);
-    if fault_actions <> [] || crash_at <> None then begin
+    (match monitor with
+    | Some m ->
+      Printf.printf
+        "chaos: %d actions (last event index %d)  tx-crash-dropped: %d  \
+         rx-crash-dropped: %d\n"
+        (List.length chaos_actions)
+        !last_chaos_event !tx_crash_drops !rx_crash_drops;
+      Printf.printf "monitors: violations=%d inversions=%d events-seen=%d\n"
+        (Obs.Monitor.violations m)
+        (Obs.Monitor.seq_inversions m)
+        (Obs.Monitor.events_seen m);
+      (match Obs.Monitor.first_violation m with
+      | Some (t, msg) ->
+        Printf.printf "MONITOR VIOLATION at t=%.3f (seed %d, chaos event %d): %s\n"
+          t seed !last_chaos_event msg
+      | None -> ())
+    | None -> ());
+    if fault_actions <> [] || crash_at <> None || chaos_actions <> [] then begin
       let end_ = Sim.now sim in
       Printf.printf
         "availability: %.1f%% of 10 ms slots  longest outage: %.1f ms\n"
@@ -904,8 +1042,8 @@ let cmd =
       ret
         (const run $ channels $ scheduler_arg $ mode_arg $ packets $ workload
        $ markers $ loss_stop $ seed $ engine_arg $ replay_file $ trace_out
-       $ trace_format $ fault_specs $ impair_specs $ guard_window $ rx_buffer
-       $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend
+       $ trace_format $ fault_specs $ impair_specs $ chaos_specs $ guard_window
+       $ rx_buffer $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend
        $ adapt_interval $ adapt_band))
 
 let () = exit (Cmd.eval cmd)

@@ -79,6 +79,7 @@ let receive_cell t ~vc cell =
   | Cell.Oam m ->
     Stripe_core.Resequencer.receive t.reseq ~channel:vc
       (Packet.marker ?credit:m.Packet.m_credit ~reset:m.Packet.m_reset
+         ~epoch:m.Packet.m_epoch ~gen:m.Packet.m_gen
          ~channel:m.Packet.m_channel ~round:m.Packet.m_round ~dc:m.Packet.m_dc
          ~born:0.0 ())
   | Cell.Data _ -> Aal5.Reassembler.receive t.reassemblers.(vc) cell

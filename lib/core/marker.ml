@@ -15,8 +15,8 @@ let make ?credit_of ?(position = Round_end) ~every_rounds () =
 
 let default = make ~every_rounds:4 ()
 
-let packet_for policy ~deficit ~channel ~now =
+let packet_for ?(epoch = 0) ?(gen = 0) policy ~deficit ~channel ~now =
   let stamp = Deficit.next_stamp deficit channel in
   let credit = Option.map (fun f -> f channel) policy.credit_of in
-  Stripe_packet.Packet.marker ?credit ~channel ~round:stamp.Deficit.round
-    ~dc:stamp.Deficit.dc ~born:now ()
+  Stripe_packet.Packet.marker ?credit ~epoch ~gen ~channel
+    ~round:stamp.Deficit.round ~dc:stamp.Deficit.dc ~born:now ()

@@ -97,6 +97,17 @@ let reset_channel t c =
   t.window_bytes.(c) <- 0;
   t.est_bps.(c) <- 0.0
 
+let reset t =
+  (* Endpoint crash (PROTOCOL.md §12): the probe's history dies with the
+     sender. Every channel returns to the unseeded state and the window
+     anchor is forgotten, so the restarted sender plans its first retune
+     only from post-restart measurements — exactly the cold-start
+     behavior of a fresh probe, without reallocating. *)
+  Array.fill t.window_bytes 0 t.n 0;
+  Array.fill t.est_bps 0 t.n 0.0;
+  t.last_sample <- Float.nan;
+  t.samples <- 0
+
 let add_channel t =
   t.window_bytes <- Array.append t.window_bytes [| 0 |];
   t.est_bps <- Array.append t.est_bps [| 0.0 |];

@@ -56,6 +56,14 @@ val reset_channel : t -> int -> unit
     pre-outage samples — and {!plan} would treat the stale blend as
     measured capacity. *)
 
+val reset : t -> unit
+(** Forget {e everything}: all channel estimates, the open window, its
+    time anchor, and the sample count — a fresh probe of the same width,
+    without reallocating. This is the sender crash-restart's cold state
+    (PROTOCOL.md §12, {!Striper.crash_restart}): the rebooted endpoint
+    has no memory of pre-crash capacity, so it restripes on configured
+    quanta until post-restart windows seed new estimates. *)
+
 val add_channel : t -> int
 (** Track one more channel (estimate starts empty); returns its index. *)
 

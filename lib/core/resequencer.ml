@@ -42,6 +42,22 @@ type t = {
   mutable reset_pending : bool array;
       (* Channels whose stream has reached a reset marker; when all have,
          the receiver reinitializes (crash-recovery barrier, §5). *)
+  mutable park_epoch : int array;
+  mutable park_gen : int array;
+      (* The (epoch, generation) stamp of the marker each parked channel
+         is waiting at — meaningful only while [reset_pending] is set.
+         §5 assumes one reset in flight at a time; under fault storms
+         barriers can overtake each other, and the generation tag is
+         what lets adoption pair markers of the same barrier instead of
+         completing one generation with another's stragglers. A
+         generation of [0] is an untagged (legacy / hand-built) marker:
+         it joins whatever barrier adopts in its epoch. *)
+  mutable rx_gen : int;
+      (* Generation (within [rx_epoch]) of the last adopted barrier;
+         [-1] when none has been adopted this epoch. A reset marker at
+         or below this pair is a leftover copy of a barrier already
+         crossed and is absorbed without parking — the §5 dedupe that
+         keeps stray copies from assembling phantom barriers. *)
   now : unit -> float;
   sink : Obs.Sink.t;
   wd : watchdog option;
@@ -50,6 +66,14 @@ type t = {
   mutable marker_gap : float array;
       (* EWMA of the observed inter-marker gap per channel; 0 until two
          markers have arrived, in which case [wd.fallback] stands in. *)
+  mutable gap_suspect : float array;
+      (* A marker gap that exceeded the watchdog horizon, held out of
+         the cadence estimate until corroborated (0 = none pending).
+         One such gap is an outage that swallowed markers — adopting it
+         would inflate every horizon derived from the estimate (dead
+         declaration, barrier staleness) by the outage length; two
+         consecutive such gaps are a genuine cadence stretch, and the
+         smaller of the two is adopted. *)
   mutable dead : bool array;
   mutable n_data_buffered : int;
   mutable n_delivered : int;
@@ -92,6 +116,40 @@ type t = {
          across channels because the sender's rounds are one global
          sequence. *)
   mutable n_realigns : int;
+  mutable rx_epoch : int;
+      (* Sender incarnation this receiver is synchronized to. Markers
+         from a later epoch prove the sender crash-restarted and lost all
+         striping state (PROTOCOL.md §12): whatever is buffered ahead of
+         such a marker on its channel predates the crash and is stale.
+         [min_int] after a receiver-side [crash_restart], so the very
+         next marker on each channel — whatever its epoch — drives the
+         cold resynchronization. *)
+  mutable pending_epoch : int;
+      (* Epoch of the in-progress crash barrier; equals [rx_epoch] when
+         none is in progress. Adopted at barrier completion. *)
+  mutable ch_epoch : int array;
+      (* Highest marker epoch seen per channel. Tracks which channels
+         have already joined the crash barrier, so a channel is flushed
+         once per sender incarnation, not once per marker. *)
+  mutable n_epoch_discards : int;
+  mutable n_crash_syncs : int;  (* Completed crash barriers. *)
+  mutable n_stale_resets : int;
+      (* Reset-marker copies discarded as duplicates of an already
+         adopted generation. *)
+  mutable realign_pending : bool;
+      (* Set when a crash barrier adopts: the two endpoints restarted
+         their round numbering independently (the sender from its
+         reboot, the receiver from the barrier's reinit), so the first
+         marker absorbed afterwards re-anchors [round_lag] instead of
+         C1-skipping its way across the gap round by round. *)
+  mutable barrier_start : float;
+      (* When the first channel of the currently assembling reset
+         barrier parked ([nan] when none is assembling). The generation
+         tag pairs markers of the same barrier, but a marker genuinely
+         lost on a dead link still leaves a barrier that cannot
+         complete; the assembly age bounds the wait: see
+         [barrier_stale]. *)
+  mutable n_forced_barriers : int;
   mutable on_adopt : unit -> unit;
       (* Fires after a staged retune/add/remove is adopted at its
          barrier. The demux layer above uses this to switch its
@@ -123,12 +181,16 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     deliver;
     on_credit;
     reset_pending = Array.make n false;
+    park_epoch = Array.make n 0;
+    park_gen = Array.make n 0;
+    rx_gen = -1;
     now;
     sink;
     wd = watchdog;
     last_rx = Array.make n (now ());
     last_marker_rx = Array.make n neg_infinity;
     marker_gap = Array.make n 0.0;
+    gap_suspect = Array.make n 0.0;
     dead = Array.make n false;
     n_data_buffered = 0;
     n_delivered = 0;
@@ -149,6 +211,15 @@ let create ~deficit ?on_credit ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_corrupt_markers = 0;
     round_lag = 0;
     n_realigns = 0;
+    rx_epoch = 0;
+    pending_epoch = 0;
+    ch_epoch = Array.make n 0;
+    n_epoch_discards = 0;
+    n_crash_syncs = 0;
+    n_stale_resets = 0;
+    realign_pending = false;
+    barrier_start = Float.nan;
+    n_forced_barriers = 0;
     on_adopt = (fun () -> ());
   }
 
@@ -174,19 +245,27 @@ let recycle t =
     t.buffers <- Array.init n (fun _ -> Fifo_queue.create ());
     t.force <- Array.make n None;
     t.reset_pending <- Array.make n false;
+    t.park_epoch <- Array.make n 0;
+    t.park_gen <- Array.make n 0;
     t.last_rx <- Array.make n (t.now ());
     t.last_marker_rx <- Array.make n neg_infinity;
     t.marker_gap <- Array.make n 0.0;
-    t.dead <- Array.make n false
+    t.gap_suspect <- Array.make n 0.0;
+    t.dead <- Array.make n false;
+    t.ch_epoch <- Array.make n 0
   end
   else begin
     Array.iter Fifo_queue.recycle t.buffers;
     Array.fill t.force 0 n None;
     Array.fill t.reset_pending 0 n false;
+    Array.fill t.park_epoch 0 n 0;
+    Array.fill t.park_gen 0 n 0;
     Array.fill t.last_rx 0 n (t.now ());
     Array.fill t.last_marker_rx 0 n neg_infinity;
     Array.fill t.marker_gap 0 n 0.0;
-    Array.fill t.dead 0 n false
+    Array.fill t.gap_suspect 0 n 0.0;
+    Array.fill t.dead 0 n false;
+    Array.fill t.ch_epoch 0 n 0
   end;
   t.n <- n;
   t.n_data_buffered <- 0;
@@ -207,7 +286,16 @@ let recycle t =
   t.n_forced_deliveries <- 0;
   t.n_corrupt_markers <- 0;
   t.round_lag <- 0;
-  t.n_realigns <- 0
+  t.n_realigns <- 0;
+  t.rx_epoch <- 0;
+  t.pending_epoch <- 0;
+  t.rx_gen <- -1;
+  t.n_epoch_discards <- 0;
+  t.n_crash_syncs <- 0;
+  t.n_stale_resets <- 0;
+  t.realign_pending <- false;
+  t.barrier_start <- Float.nan;
+  t.n_forced_barriers <- 0
 
 (* Backpressure with hysteresis: raise above 3/4 of the budget, clear
    below 1/2, so a flow controller toggles once per congestion episode
@@ -255,19 +343,52 @@ let note_arrival t c ~is_marker =
   if is_marker then begin
     if t.last_marker_rx.(c) > neg_infinity then begin
       let gap = now -. t.last_marker_rx.(c) in
-      t.marker_gap.(c) <-
-        (if t.marker_gap.(c) <= 0.0 then gap
-         else if gap > t.marker_gap.(c) then
-           (* A gap above the estimate is adopted outright, bounding the
-              EWMA's memory: after a deliberate cadence stretch (an
-              adaptive policy lengthening the marker interval) a
-              half-gain average would need log2(stretch) intervals to
-              catch up, declaring the channel dead spuriously the whole
-              while. Adopting up / averaging down makes the estimate
-              one-sided-safe: the watchdog can only fire after genuine
-              silence at the newest observed cadence. *)
-           gap
-         else (0.5 *. t.marker_gap.(c)) +. (0.5 *. gap))
+      let beyond_horizon =
+        (* A gap so large the watchdog's own horizon expired inside it
+           is either an outage that swallowed markers or a drastic
+           cadence stretch — indistinguishable from one sample. Feeding
+           an outage to the estimate would inflate every horizon
+           derived from it (dead declaration, barrier staleness) by the
+           outage length, so the sample is held back as a suspect and
+           adopted only if the next gap corroborates it: outages are
+           one-offs, cadence changes persist. Only a {e learned}
+           estimate gates this — before one exists ([marker_gap] = 0,
+           e.g. right after a barrier reseed) every sample is
+           admissible, else a true cadence slower than the fallback
+           horizon could never be learned at all. *)
+        match t.wd with
+        | Some w ->
+          t.marker_gap.(c) > 0.0
+          && gap > float_of_int w.intervals *. t.marker_gap.(c)
+        | None -> false
+      in
+      if beyond_horizon then
+        if t.gap_suspect.(c) > 0.0 then begin
+          (* Corroborated: two consecutive beyond-horizon gaps. The
+             smaller bounds the true cadence (both gaps are at least
+             one real interval), so an outage in either inflates the
+             adopted value the least this way. *)
+          t.marker_gap.(c) <- Float.min gap t.gap_suspect.(c);
+          t.gap_suspect.(c) <- 0.0
+        end
+        else t.gap_suspect.(c) <- gap
+      else begin
+        t.gap_suspect.(c) <- 0.0;
+        t.marker_gap.(c) <-
+          (if t.marker_gap.(c) <= 0.0 then gap
+           else if gap > t.marker_gap.(c) then
+             (* A gap above the estimate (but inside the horizon) is
+                adopted outright, bounding the EWMA's memory: after a
+                deliberate cadence stretch (an adaptive policy
+                lengthening the marker interval) a half-gain average
+                would need log2(stretch) intervals to catch up,
+                declaring the channel dead spuriously the whole while.
+                Adopting up / averaging down makes the estimate
+                one-sided-safe: the watchdog can only fire after
+                genuine silence at the newest observed cadence. *)
+             gap
+           else (0.5 *. t.marker_gap.(c)) +. (0.5 *. gap))
+      end
     end;
     t.last_marker_rx.(c) <- now
   end
@@ -286,6 +407,30 @@ let apply_marker t c (m : Packet.marker) =
   match t.on_credit, m.m_credit with
   | Some f, Some k -> f c k
   | Some _, None | None, _ -> ()
+
+(* A channel parks at a reset marker, recording the marker's
+   (epoch, generation) stamp so adoption can group channels by barrier.
+   The assembly clock starts with the barrier's first parked channel and
+   is cleared at adoption. Re-parking a channel (a later copy arriving
+   before its barrier adopts) keeps the newest stamp: the §5 sender
+   sequences one reset at a time per channel, so a later stamp means the
+   earlier barrier was already adopted or force-expired. *)
+let note_reset_pending t c ~epoch ~gen =
+  if Float.is_nan t.barrier_start then t.barrier_start <- t.now ();
+  t.reset_pending.(c) <- true;
+  t.park_epoch.(c) <- epoch;
+  t.park_gen.(c) <- gen
+
+(* A tagged reset marker at or below the last adopted (epoch, generation)
+   pair is a duplicate copy of a barrier this receiver already crossed —
+   typically a sibling of the marker that triggered an eager crash-sync,
+   or a copy that outlived a force-adopted barrier. Parking it would
+   start a phantom barrier that can never complete (its siblings were
+   consumed), trapping everything buffered behind it until the staleness
+   horizon. Untagged markers (generation 0) predate the tag and always
+   park. *)
+let reset_stale t ~epoch ~gen =
+  gen > 0 && (epoch < t.rx_epoch || (epoch = t.rx_epoch && gen <= t.rx_gen))
 
 (* Markers take effect in their FIFO position within the channel's
    stream: absorb any markers at the head of the current channel's buffer
@@ -306,7 +451,12 @@ let rec absorb_markers t c =
           Obs.Sink.emit t.sink
             (Obs.Event.v ~channel:c ~round:m.Packet.m_round ~dc:m.Packet.m_dc
                ~time:(t.now ()) Obs.Event.Marker_applied);
-        t.reset_pending.(c) <- true
+        if reset_stale t ~epoch:m.Packet.m_epoch ~gen:m.Packet.m_gen then begin
+          t.n_stale_resets <- t.n_stale_resets + 1;
+          absorb_markers t c
+        end
+        else
+          note_reset_pending t c ~epoch:m.Packet.m_epoch ~gen:m.Packet.m_gen
       end
       else begin
         ignore (Fifo_queue.pop_exn buf);
@@ -316,18 +466,86 @@ let rec absorb_markers t c =
     end
   end
 
+(* A marker from a later sender epoch arrived on [c]: the sender
+   crash-restarted, so everything buffered ahead of the marker in [c]'s
+   FIFO predates the crash. Data sent by the old incarnation can never be
+   placed — the state that numbered it died with the sender — so it is
+   discarded (counted), stale marker stamps with it, and the channel
+   joins the crash reset barrier. This is what makes the barrier robust
+   to losing the restart's own reset markers (a storm scenario: a link is
+   down exactly while the sender reboots): any later periodic marker
+   carries the epoch and has the same effect. *)
+let crash_sync t c ~epoch ~gen =
+  let buf = t.buffers.(c) in
+  let bytes = ref 0 and pkts = ref 0 in
+  let rec flush () =
+    match Fifo_queue.pop buf with
+    | None -> ()
+    | Some pkt ->
+      if not (Packet.is_marker pkt) then begin
+        incr pkts;
+        bytes := !bytes + pkt.Packet.size
+      end;
+      flush ()
+  in
+  flush ();
+  if !pkts > 0 then begin
+    t.n_data_buffered <- t.n_data_buffered - !pkts;
+    t.data_bytes <- t.data_bytes - !bytes;
+    t.n_epoch_discards <- t.n_epoch_discards + !pkts;
+    update_pressure t;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~channel:c ~size:!bytes ~seq:!pkts ~time:(t.now ())
+           Obs.Event.Epoch_discard)
+  end;
+  t.force.(c) <- None;
+  note_reset_pending t c ~epoch ~gen;
+  if t.waiting = c then t.waiting <- -1
+
 (* The §5 barrier is complete when the reset marker has arrived on every
-   channel — or, with a watchdog, on every channel not declared dead: a
-   dead channel's marker was lost with the link, and waiting for it would
-   trap everything buffered behind the other channels' reset markers.
-   When the dead channel revives, the sender's resume fires a fresh
-   barrier anyway. *)
+   channel — every channel, dead ones included. Excusing a
+   watchdog-declared-dead channel here looks tempting (its marker may
+   have been lost with the link) but mispairs generations: a channel
+   revived an instant before the barrier fires is still marked dead
+   while its reset marker is already in flight, the barrier completes
+   without it, and the late marker then parks its channel in a phantom
+   barrier that traps everything behind it until the staleness horizon.
+   Waiting is safe either way: an in-flight marker arrives within a
+   propagation delay (far inside the watchdog horizon) and pairs
+   properly; a genuinely lost marker leaves the barrier to
+   [barrier_stale], which force-adopts after the same bounded horizon
+   the watchdog already trusts. *)
 let barrier_complete t =
   let ok = ref true in
   for i = 0 to t.n - 1 do
-    if not (t.reset_pending.(i) || check_dead t i) then ok := false
+    if not t.reset_pending.(i) then ok := false
   done;
   !ok
+
+(* The generation tag pairs markers of the same barrier, but it cannot
+   conjure a marker that a dead link genuinely dropped: a barrier whose
+   missing member's reset marker was lost would wait forever on a
+   demonstrably dead channel. The watchdog's cadence bound breaks the
+   deadlock: an assembling barrier can only legitimately be waiting on
+   in-flight packets, bounded by the same [intervals x gap] horizon the
+   watchdog already trusts, so a barrier older than that is
+   force-adopted. [reinit] is idempotent — every generation
+   reinitializes to the same fresh state — so force-adopting costs at
+   most a bounded quasi-FIFO episode, and the generation dedupe
+   ([reset_stale]) absorbs the lost barrier's stragglers instead of
+   letting them assemble a phantom. *)
+let barrier_stale t =
+  match t.wd with
+  | None -> false
+  | Some w ->
+    (not (Float.is_nan t.barrier_start))
+    &&
+    let gap = ref w.fallback in
+    for i = 0 to t.n - 1 do
+      if t.marker_gap.(i) > !gap then gap := t.marker_gap.(i)
+    done;
+    t.now () -. t.barrier_start > float_of_int w.intervals *. !gap
 
 let splice a c =
   Array.init (Array.length a - 1) (fun i -> if i < c then a.(i) else a.(i + 1))
@@ -356,10 +574,14 @@ let adopt_staged t =
     t.buffers <- splice t.buffers c;
     t.force <- splice t.force c;
     t.reset_pending <- splice t.reset_pending c;
+    t.park_epoch <- splice t.park_epoch c;
+    t.park_gen <- splice t.park_gen c;
     t.last_rx <- splice t.last_rx c;
     t.last_marker_rx <- splice t.last_marker_rx c;
     t.marker_gap <- splice t.marker_gap c;
+    t.gap_suspect <- splice t.gap_suspect c;
     t.dead <- splice t.dead c;
+    t.ch_epoch <- splice t.ch_epoch c;
     t.n <- t.n - 1;
     update_pressure t;
     Deficit.reconfigure t.d ~quanta:q;
@@ -386,23 +608,69 @@ let rec progress t =
   let c = Deficit.current t.d in
   if not t.reset_pending.(c) then absorb_markers t c;
   if t.reset_pending.(c) then begin
-    if barrier_complete t then begin
-      (* Barrier complete: adopt the fresh epoch, and any staged
-         transition riding it. *)
+    let complete = barrier_complete t in
+    let stale = (not complete) && barrier_stale t in
+    if complete || stale then begin
+      (* Adopt the {e oldest} parked (epoch, generation) pair: barriers
+         adopt in the order the sender issued them. A channel parked at
+         a younger pair is the next barrier already assembling — it
+         stays parked (assembly clock restarted) and its barrier adopts
+         once its own markers complete it. Untagged parks (generation 0)
+         join whatever pair adopts in their epoch. A stale barrier (a
+         member's marker genuinely lost, see [barrier_stale]) is adopted
+         the same way — reinit reaches the same state however the
+         barrier assembled. *)
+      if stale then t.n_forced_barriers <- t.n_forced_barriers + 1;
+      let ae = ref max_int in
+      for i = 0 to t.n - 1 do
+        if t.reset_pending.(i) && t.park_epoch.(i) < !ae then
+          ae := t.park_epoch.(i)
+      done;
+      let ag = ref max_int in
+      for i = 0 to t.n - 1 do
+        if
+          t.reset_pending.(i)
+          && t.park_epoch.(i) = !ae
+          && t.park_gen.(i) > 0
+          && t.park_gen.(i) < !ag
+        then ag := t.park_gen.(i)
+      done;
       adopt_staged t;
       Array.fill t.force 0 t.n None;
-      Array.fill t.reset_pending 0 t.n false;
+      let residual = ref false in
+      for i = 0 to t.n - 1 do
+        if t.reset_pending.(i) then
+          if
+            t.park_epoch.(i) > !ae
+            || (t.park_epoch.(i) = !ae && t.park_gen.(i) > !ag)
+          then residual := true
+          else t.reset_pending.(i) <- false
+      done;
+      t.barrier_start <- (if !residual then t.now () else Float.nan);
       (* Reseed the watchdog's marker-cadence estimate with the epoch:
          the sender that just reset may also have changed its marker
          interval (adaptive policies do), and an estimate carried across
          the barrier would misjudge the new cadence. Until two markers
          of the new epoch arrive, [wd.fallback] stands in. *)
       Array.fill t.marker_gap 0 t.n 0.0;
+      Array.fill t.gap_suspect 0 t.n 0.0;
       Array.fill t.last_marker_rx 0 t.n neg_infinity;
       t.n_resets <- t.n_resets + 1;
       t.waiting <- -1;
       t.wd_spin <- 0;
       t.round_lag <- 0;
+      if !ae > t.rx_epoch then begin
+        (* A crash barrier: adopt the sender's new incarnation. The two
+           endpoints' round numberings restarted independently, so let
+           the first marker absorbed from the new epoch re-anchor
+           [round_lag] rather than C1-skipping across the gap. *)
+        t.rx_epoch <- !ae;
+        t.rx_gen <- (if !ag = max_int then -1 else !ag);
+        t.n_crash_syncs <- t.n_crash_syncs + 1;
+        t.realign_pending <- true
+      end
+      else if !ae = t.rx_epoch && !ag <> max_int && !ag > t.rx_gen then
+        t.rx_gen <- !ag;
       if Obs.Sink.active t.sink then
         Obs.Sink.emit t.sink
           (Obs.Event.v ~round:t.n_resets ~time:(t.now ())
@@ -429,7 +697,19 @@ let rec progress t =
       end
     end
   end
-  else
+  else begin
+    (match t.force.(c) with
+    | Some s when t.realign_pending ->
+      (* First marker after a crash barrier: both round numberings are
+         fresh starts, so any lead it shows is an epoch offset, not lost
+         packets — anchor [round_lag] so it pins now. A marker at or
+         behind [G] means the simulation is already consistent. *)
+      t.realign_pending <- false;
+      if s.Deficit.round + t.round_lag > Deficit.round t.d then begin
+        t.round_lag <- Deficit.round t.d - s.Deficit.round;
+        t.n_realigns <- t.n_realigns + 1
+      end
+    | Some _ | None -> ());
     match t.force.(c) with
   | Some s when s.Deficit.round + t.round_lag > Deficit.round t.d ->
     (* We lost packets on [c] and arrived "too early": skip it this round
@@ -524,6 +804,7 @@ let rec progress t =
         Deficit.consume t.d ~size:pkt.Packet.size;
         progress t
     end
+  end
 
 (* Fallback eviction for data the scan cannot reach — e.g. buffered
    behind a reset marker whose barrier cannot complete. Pops the head of
@@ -550,7 +831,11 @@ let hard_pop t =
          let m = Packet.get_marker pkt in
          if m.Packet.m_reset then begin
            t.n_markers <- t.n_markers + 1;
-           t.reset_pending.(c) <- true;
+           (if reset_stale t ~epoch:m.Packet.m_epoch ~gen:m.Packet.m_gen then
+              t.n_stale_resets <- t.n_stale_resets + 1
+            else
+              note_reset_pending t c ~epoch:m.Packet.m_epoch
+                ~gen:m.Packet.m_gen);
            if Obs.Sink.active t.sink then
              Obs.Sink.emit t.sink
                (Obs.Event.v ~channel:c ~round:m.Packet.m_round
@@ -612,6 +897,41 @@ let receive t ~channel pkt =
   else begin
     note_arrival t channel ~is_marker;
     t.wd_spin <- 0;
+    (* Crash-sync (PROTOCOL.md §12): a valid marker from a later sender
+       epoch is handled eagerly at arrival, not at its FIFO position —
+       its mere existence proves everything buffered ahead of it on this
+       channel is stale, and waiting for the scan to reach it could mean
+       waiting forever (the scan may be blocked on data the crashed
+       sender never sent). *)
+    let consumed_here = ref false in
+    if is_marker then begin
+      let m = Packet.get_marker pkt in
+      let e = m.Packet.m_epoch in
+      if e > t.ch_epoch.(channel) then begin
+        t.ch_epoch.(channel) <- e;
+        if e > t.rx_epoch then begin
+          if e > t.pending_epoch then t.pending_epoch <- e;
+          crash_sync t channel ~epoch:e ~gen:m.Packet.m_gen;
+          if m.Packet.m_reset then begin
+            (* The restart's reset marker has done all its work here:
+               flagging the channel and flushing stale data. Absorb it
+               now instead of buffering it behind nothing. *)
+            consumed_here := true;
+            t.n_markers <- t.n_markers + 1;
+            if Obs.Sink.active t.sink then
+              Obs.Sink.emit t.sink
+                (Obs.Event.v ~channel ~round:m.Packet.m_round
+                   ~dc:m.Packet.m_dc ~time:(t.now ())
+                   Obs.Event.Marker_applied)
+          end
+          (* A non-reset epoch-advanced marker (the reset marker itself
+             was lost) is buffered normally below: once the barrier
+             adopts, it pins the fresh engine at the sender's current
+             position. *)
+        end
+      end
+    end;
+    if not !consumed_here then begin
     let accept =
       if is_marker then true
       else
@@ -658,13 +978,82 @@ let receive t ~channel pkt =
        reset marker can flag [reset_pending] and complete the barrier
        that adopts the wider bundle. *)
     if channel >= Deficit.n_channels t.d && not t.reset_pending.(channel) then
-      absorb_markers t channel;
+      absorb_markers t channel
+    end;
     progress t
   end
 
 let tick t =
   t.wd_spin <- 0;
   progress t
+
+(* Receiver endpoint crash + restart (PROTOCOL.md §12): all protocol
+   state — buffers, simulated engine, marker stamps, watchdog estimates,
+   epoch knowledge — dies with the endpoint. Lifetime measurement
+   counters survive (they model the operator's metrics store, not the
+   endpoint). With [rx_epoch] at [min_int], the very next valid marker on
+   each channel — the sender keeps its ordinary cadence, no out-of-band
+   signal needed — triggers that channel's crash-sync, and the barrier
+   rebuilds the engine once every live channel has reported in: cold
+   recovery costs about one marker interval. Data arriving between the
+   restart and a channel's first marker is buffered and then discarded by
+   that crash-sync (counted in [epoch_discards]): the receiver has no
+   state to place it with. Returns the number of buffered data packets
+   wiped by the crash, for the caller's conservation accounting. *)
+let crash_restart t =
+  let wiped = t.n_data_buffered in
+  let now = t.now () in
+  if Obs.Sink.active t.sink then
+    Obs.Sink.emit t.sink (Obs.Event.v ~time:now Obs.Event.Crash);
+  Deficit.reconfigure t.d ~quanta:(Deficit.quanta t.d);
+  t.staged <- S_none;
+  let n = Deficit.n_channels t.d in
+  if Array.length t.buffers <> n then begin
+    (* A staged add/remove died with the endpoint: rebuild the runtime
+       arrays at the engine's width. *)
+    t.buffers <- Array.init n (fun _ -> Fifo_queue.create ());
+    t.force <- Array.make n None;
+    t.reset_pending <- Array.make n false;
+    t.park_epoch <- Array.make n 0;
+    t.park_gen <- Array.make n 0;
+    t.last_rx <- Array.make n now;
+    t.last_marker_rx <- Array.make n neg_infinity;
+    t.marker_gap <- Array.make n 0.0;
+    t.gap_suspect <- Array.make n 0.0;
+    t.dead <- Array.make n false;
+    t.ch_epoch <- Array.make n min_int
+  end
+  else begin
+    (* [clear], not [recycle]: the bundle identity survives the crash,
+       so high-water maxima stay lifetime measurements. *)
+    Array.iter Fifo_queue.clear t.buffers;
+    Array.fill t.force 0 n None;
+    Array.fill t.reset_pending 0 n false;
+    Array.fill t.park_epoch 0 n 0;
+    Array.fill t.park_gen 0 n 0;
+    Array.fill t.last_rx 0 n now;
+    Array.fill t.last_marker_rx 0 n neg_infinity;
+    Array.fill t.marker_gap 0 n 0.0;
+    Array.fill t.gap_suspect 0 n 0.0;
+    Array.fill t.dead 0 n false;
+    Array.fill t.ch_epoch 0 n min_int
+  end;
+  t.n <- n;
+  t.n_data_buffered <- 0;
+  t.data_bytes <- 0;
+  update_pressure t;
+  t.force_need <- 0;
+  t.waiting <- -1;
+  t.wd_spin <- 0;
+  t.round_lag <- 0;
+  t.realign_pending <- false;
+  t.barrier_start <- Float.nan;
+  t.rx_epoch <- min_int;
+  t.pending_epoch <- min_int;
+  t.rx_gen <- -1;
+  if Obs.Sink.active t.sink then
+    Obs.Sink.emit t.sink (Obs.Event.v ~time:now Obs.Event.Restart);
+  wiped
 
 let transition_pending t = t.staged <> S_none
 
@@ -701,10 +1090,14 @@ let add_channel t ~quantum =
   t.buffers <- Array.append t.buffers [| Fifo_queue.create () |];
   t.force <- Array.append t.force [| None |];
   t.reset_pending <- Array.append t.reset_pending [| false |];
+  t.park_epoch <- Array.append t.park_epoch [| 0 |];
+  t.park_gen <- Array.append t.park_gen [| 0 |];
   t.last_rx <- Array.append t.last_rx [| t.now () |];
   t.last_marker_rx <- Array.append t.last_marker_rx [| neg_infinity |];
   t.marker_gap <- Array.append t.marker_gap [| 0.0 |];
+  t.gap_suspect <- Array.append t.gap_suspect [| 0.0 |];
   t.dead <- Array.append t.dead [| false |];
+  t.ch_epoch <- Array.append t.ch_epoch [| t.rx_epoch |];
   t.n <- t.n + 1;
   t.staged <- S_add q;
   t.n - 1
@@ -739,6 +1132,8 @@ let channel_dead t c =
 let markers_seen t = t.n_markers
 
 let resets t = t.n_resets
+let forced_barriers t = t.n_forced_barriers
+let stale_resets t = t.n_stale_resets
 
 let round t = Deficit.round t.d
 
@@ -759,6 +1154,8 @@ let overflow_drops t = t.n_overflow_drops
 let forced_deliveries t = t.n_forced_deliveries
 let corrupt_marker_discards t = t.n_corrupt_markers
 let round_realigns t = t.n_realigns
+let epoch_discards t = t.n_epoch_discards
+let crash_syncs t = t.n_crash_syncs
 
 let drain t =
   let out = ref [] in

@@ -132,7 +132,33 @@ val receive : t -> channel:int -> Stripe_packet.Packet.t -> unit
     {!corrupt_marker_discards} rather than applied: trusting a damaged
     (round, DC) stamp would poison the simulation for a whole marker
     interval, whereas a discarded marker is just a lost marker, which
-    Theorem 5.1 already contains. *)
+    Theorem 5.1 already contains.
+
+    A valid marker carrying a {e later sender epoch} than the receiver
+    is synchronized to proves the sender crash-restarted (PROTOCOL.md
+    §12) and is handled eagerly at arrival: the channel's buffer is
+    flushed (pre-crash data can never be placed — counted in
+    {!epoch_discards}) and the channel joins the crash reset barrier,
+    whether or not this marker is the restart's reset marker — which
+    makes recovery robust to losing the reset markers themselves on a
+    down channel. The barrier completes once every live channel has seen
+    the new epoch; the receiver then reinitializes exactly as for a §5
+    reset and re-anchors its round translation on the first new-epoch
+    marker. *)
+
+val crash_restart : t -> int
+(** Receiver endpoint crash + restart (PROTOCOL.md §12): all protocol
+    state — buffers, simulated engine, marker stamps, staged
+    transitions, watchdog estimates, epoch knowledge — is lost; the
+    lifetime measurement counters survive (they model the operator's
+    metrics store, not the endpoint). Returns the number of buffered
+    data packets wiped, for conservation accounting. Recovery needs no
+    out-of-band signal: the receiver treats the sender's current epoch
+    as unknown, so the next ordinary marker on each channel triggers
+    that channel's crash-sync and the barrier rebuilds the engine —
+    cold recovery costs about one marker interval. Data arriving before
+    a channel's first post-restart marker is discarded by that
+    crash-sync and counted in {!epoch_discards}. *)
 
 val retune : t -> quanta:int array -> unit
 (** Stage the receiver half of a sender retune (PROTOCOL.md §11): the
@@ -199,6 +225,27 @@ val dead_declarations : t -> int
 (** Times the watchdog declared a channel dead (a revival followed by a
     new silence counts again). *)
 
+val forced_barriers : t -> int
+(** Reset barriers force-adopted because they stopped assembling for
+    longer than the watchdog horizon ([intervals] x the worst observed
+    marker gap). The generation tag ({!Stripe_packet.Packet.marker.m_gen})
+    pairs markers of the same barrier, so this fires only when a
+    barrier member's marker was genuinely lost on a dead link; the
+    force-adoption breaks that deadlock (reinitialization is
+    generation-idempotent, so the cost is a bounded quasi-FIFO
+    episode). Always 0 without a watchdog, and in any run where no
+    reset marker is lost. *)
+
+val stale_resets : t -> int
+(** Reset-marker copies absorbed without parking because their
+    (epoch, generation) pair was at or below the last adopted barrier's
+    — leftover siblings of a marker that triggered an eager crash-sync,
+    or stragglers of a force-adopted barrier. Without this dedupe a
+    leftover copy would assemble a phantom barrier that can never
+    complete, trapping everything buffered behind it until the
+    staleness horizon. Untagged markers (generation 0) are never
+    counted here. *)
+
 val channel_dead : t -> int -> bool
 (** Whether the watchdog currently considers the channel dead. *)
 
@@ -257,6 +304,15 @@ val round_realigns : t -> int
     per-channel phases stay scrambled and delivery remains quasi-FIFO
     {e forever} instead of resynchronizing within a marker interval
     (Theorem 5.1). *)
+
+val epoch_discards : t -> int
+(** Data packets discarded as provably stale by the epoch rule: buffered
+    ahead of a later-epoch marker on its channel (sender crash), or
+    buffered before the first post-restart marker (receiver crash). *)
+
+val crash_syncs : t -> int
+(** Completed {e crash} barriers — reset barriers that adopted a new
+    sender epoch (a subset of {!resets}). *)
 
 val drain : t -> Stripe_packet.Packet.t list
 (** Remove and return all still-buffered data packets, interleaved

@@ -21,6 +21,15 @@ type t = {
       (* Mid_round: which channels already got their marker in the current
          marked round. *)
   mutable mid_round : int;  (* Round the [mid_marked] flags refer to. *)
+  mutable epoch : int;
+      (* Sender incarnation (PROTOCOL.md §12). Stamped on every marker;
+         bumped only by [crash_restart], never by graceful resets. *)
+  mutable gen : int;
+      (* Reset-barrier generation within the epoch: bumped by every
+         [send_reset], stamped on every marker so the receiver can pair
+         barrier fragments by generation and discard duplicates from an
+         already-adopted one (see [Packet.marker.m_gen]). Restarts at 0
+         with each incarnation. *)
 }
 
 let create ~scheduler ?marker ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
@@ -46,10 +55,15 @@ let create ~scheduler ?marker ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     next_mark_round = 0;
     mid_marked = Array.make n false;
     mid_round = -1;
+    epoch = 0;
+    gen = 0;
   }
 
 let emit_marker t policy d channel =
-  let pkt = Marker.packet_for policy ~deficit:d ~channel ~now:(t.now ()) in
+  let pkt =
+    Marker.packet_for ~epoch:t.epoch ~gen:t.gen policy ~deficit:d ~channel
+      ~now:(t.now ())
+  in
   t.n_markers <- t.n_markers + 1;
   if Obs.Sink.active t.sink then begin
     let m = Packet.get_marker pkt in
@@ -149,6 +163,7 @@ let send_reset t =
   | None -> invalid_arg "Striper.send_reset: requires a CFQ scheduler"
   | Some d ->
     Deficit.reinit d;
+    t.gen <- t.gen + 1;
     (* Fresh-epoch stamps: every channel's next packet is (0, quantum). *)
     let now = t.now () in
     if Obs.Sink.active t.sink then
@@ -156,8 +171,8 @@ let send_reset t =
     for channel = 0 to Scheduler.n_channels t.sched - 1 do
       let stamp = Deficit.next_stamp d channel in
       let pkt =
-        Packet.marker ~reset:true ~channel ~round:stamp.Deficit.round
-          ~dc:stamp.Deficit.dc ~born:now ()
+        Packet.marker ~reset:true ~epoch:t.epoch ~gen:t.gen ~channel
+          ~round:stamp.Deficit.round ~dc:stamp.Deficit.dc ~born:now ()
       in
       t.n_markers <- t.n_markers + 1;
       if Obs.Sink.active t.sink then
@@ -171,6 +186,34 @@ let send_reset t =
     t.next_mark_round <- 0;
     t.mid_round <- -1;
     Array.fill t.mid_marked 0 (Array.length t.mid_marked) false
+
+let crash_restart ?quanta t =
+  match Scheduler.deficit t.sched with
+  | None -> invalid_arg "Striper.crash_restart: requires a CFQ scheduler"
+  | Some d ->
+    let now = t.now () in
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink (Obs.Event.v ~time:now Obs.Event.Crash);
+    (* The crash loses every piece of striping state: round pointer,
+       deficits, staged retunes, administrative suspensions, marker
+       cadence bookkeeping. The restarted sender rebuilds from cold
+       configuration — either quanta supplied by the caller (typically a
+       cold [Rate_probe] plan) or the nominal configured vector — and
+       announces the new incarnation with epoch-stamped reset markers.
+       Channels that are actually down get re-suspended by the carrier
+       watchers, not by remembered state. *)
+    let quanta =
+      match quanta with Some q -> q | None -> Array.copy (Deficit.quanta d)
+    in
+    Deficit.reconfigure d ~quanta;
+    t.epoch <- t.epoch + 1;
+    t.gen <- 0;
+    if Obs.Sink.active t.sink then
+      Obs.Sink.emit t.sink
+        (Obs.Event.v ~round:t.epoch ~time:now Obs.Event.Restart);
+    send_reset t
+
+let epoch t = t.epoch
 
 let retune t ?(reset = true) ~quanta () =
   match Scheduler.deficit t.sched with

@@ -100,6 +100,25 @@ val send_reset : t -> unit
     state was. Requires a CFQ scheduler; raises [Invalid_argument]
     otherwise. *)
 
+val crash_restart : ?quanta:int array -> t -> unit
+(** Full endpoint crash + restart (PROTOCOL.md §12): every piece of
+    striping state — round pointer, deficits, staged retunes,
+    administrative suspensions, marker cadence — is lost and rebuilt
+    from cold configuration. [quanta] is the restarted sender's initial
+    vector (typically a cold {!Rate_probe} plan); it defaults to the
+    engine's current configured vector. The sender's {e epoch} is
+    incremented and {!send_reset} announces the new incarnation: because
+    every subsequent marker carries the epoch, the receiver joins the
+    crash barrier even if the reset markers themselves are lost on a
+    down channel. In-flight packets of the old epoch are orphaned — the
+    receiver delivers stragglers best-effort and discards what the epoch
+    rule proves stale. Emits [Crash] then [Restart] (with [round] = the
+    new epoch). Requires a CFQ scheduler. *)
+
+val epoch : t -> int
+(** Current sender incarnation: 0 until the first {!crash_restart}.
+    Graceful resets (retune / resume / add / remove) do not change it. *)
+
 val pushed_packets : t -> int
 val pushed_bytes : t -> int
 val markers_sent : t -> int

@@ -45,12 +45,22 @@ type t = {
   quanta : int array;
   marker_every : int;
   use_guard : bool;
+  stamp_seq : bool;
+      (* Allocate a per-slot-sequenced data packet per push instead of the
+         interned flyweight, so deliveries can be FIFO-checked. *)
+  sender_aware : bool;  (* do slot engines see pool carrier state? *)
+  watchdog : Resequencer.watchdog option;
   policy : Marker.policy option;
   now_fn : unit -> float;  (* shared by every slot's resequencer *)
   (* Data packets are immutable and the protocol never reads their
      measurement metadata, so one packet per distinct size serves every
      bundle in the fleet. *)
   interned : (int, Packet.t) Hashtbl.t;
+  (* Pool-wide carrier state: channel [c] of EVERY bundle rides the same
+     physical facility class, so one flag takes the whole fleet's channel
+     [c] down at once — the shared-risk-group model the chaos engine
+     drives. All up at create. *)
+  ch_up : bool array;
   mutable cap : int;
   (* Per-slot (length = cap). *)
   mutable live : bool array;
@@ -64,6 +74,29 @@ type t = {
   mutable pushed_b : int array;
   mutable delivered_p : int array;
   mutable delivered_b : int array;
+  (* Chaos state, per slot. [tx_epoch] is the sender incarnation stamped
+     on the slot's markers (PROTOCOL.md §12); only [restart_sender] bumps
+     it. The drop counters keep the conservation identity closed:
+     pushed = delivered + rx pending + in flight + carrier_drops
+     + rx_down_drops + epoch_discards(rx) + rx_wiped. *)
+  mutable tx_epoch : int array;
+  mutable tx_gen : int array;
+      (* Reset-barrier generation within the epoch: bumped by every
+         [send_slot_reset], stamped on all the slot's markers so the
+         receiver can pair barrier fragments by generation
+         ([Packet.marker.m_gen]); back to 0 with each incarnation. *)
+  mutable tx_down : bool array;  (* sender crashed, not yet restarted *)
+  mutable rx_down : bool array;  (* receiver crashed, not yet restarted *)
+  mutable next_seq : int array;  (* next data seq when [stamp_seq] *)
+  mutable last_seq : int array;  (* highest delivered seq (FIFO monitor) *)
+  mutable last_delivery : float array;  (* time of last delivery; nan before *)
+  mutable carrier_dp : int array;  (* data dropped at transmit: carrier down *)
+  mutable tx_down_dp : int array;  (* pushes refused: sender crashed *)
+  mutable no_active_dp : int array;  (* pushes dropped: all channels suspended *)
+  mutable rx_down_dp : int array;  (* data arrivals dropped: receiver crashed *)
+  mutable rx_wiped_p : int array;  (* buffered data wiped by receiver crash *)
+  mutable fifo_viol : int array;  (* FIFO monitor hits after the quiet line *)
+  mutable ooo : int array;  (* all delivered-seq inversions (diagnostic) *)
   (* Per-slot-channel (length = cap * n_ch). *)
   mutable wire : Packet.t Fifo_queue.t array;
   mutable busy : float array;  (* channel transmitting until this time *)
@@ -79,6 +112,15 @@ type t = {
   mutable total_dp : int;
   mutable total_db : int;
   mutable markers : int;
+  (* Chaos state, pool-wide. *)
+  mutable fifo_check_after : float;
+      (* FIFO violations only count at/after this time: quasi-FIFO
+         slippage is legal while chaos is still draining (Thm 5.1), so
+         the driver sets this past its last event plus a drain grace. *)
+  mutable fifo_violations : int;
+  mutable first_violation : (float * int * int) option;  (* time, slot, seq *)
+  mutable n_crashes : int;
+  mutable n_restarts : int;
 }
 
 let n_channels t = t.n_ch
@@ -100,11 +142,24 @@ let check_slot t id what =
   if id < 0 || id >= t.cap then
     invalid_arg (Printf.sprintf "Bundle_pool.%s: bad bundle id %d" what id)
 
+(* Last hop into the slot's resequencer. A crashed receiver
+   ([rx_down]) hears nothing: data is dropped and counted (markers are
+   uncounted everywhere, so they just vanish). The guard sits below this
+   point — it is a link-layer filter whose state rides the link, not the
+   endpoint, so a receiver crash does not recycle it. *)
+let rx_ingest t id c pkt =
+  if t.rx_down.(id) then begin
+    if not (Packet.is_marker pkt) then
+      t.rx_down_dp.(id) <- t.rx_down_dp.(id) + 1
+  end
+  else Resequencer.receive t.rx.(id) ~channel:c pkt
+
 (* Feed one surviving arrival to the slot's receive side. With the
    guard on, the tag is reproduced from a per-slot-channel counter: the
    wire is a perfect FIFO, so arrivals carry consecutive tags and the
-   counter tracks the sender's stamper exactly (both restart at zero on
-   recycle, and dead-generation discards happen before tagging). *)
+   guard always rides its in-order fast path (the counter models the
+   tag the packet would carry; carrier drops and endpoint crashes never
+   desynchronize it because it counts arrivals, not transmissions). *)
 let feed t id c pkt =
   if t.use_guard then begin
     let sc = (id * t.n_ch) + c in
@@ -112,7 +167,7 @@ let feed t id c pkt =
     t.rx_tag.(sc) <- tag + 1;
     Channel_guard.receive t.grx.(id) ~channel:c ~tag pkt
   end
-  else Resequencer.receive t.rx.(id) ~channel:c pkt
+  else rx_ingest t id c pkt
 
 let make_arrive t id c =
   let sc = (id * t.n_ch) + c in
@@ -126,7 +181,28 @@ let make_deliver t id =
     t.delivered_p.(id) <- t.delivered_p.(id) + 1;
     t.delivered_b.(id) <- t.delivered_b.(id) + pkt.Packet.size;
     t.total_dp <- t.total_dp + 1;
-    t.total_db <- t.total_db + pkt.Packet.size
+    t.total_db <- t.total_db + pkt.Packet.size;
+    let now = Sim.now t.sim in
+    t.last_delivery.(id) <- now;
+    if t.stamp_seq then begin
+      (* Always-on FIFO monitor: past the quiet line every delivery must
+         carry a seq above everything already delivered (gaps are fine —
+         those are counted drops). Seq 0 is a predecessor generation's
+         interned packet; never judged. *)
+      let s = pkt.Packet.seq in
+      if s > 0 then begin
+        if s < t.last_seq.(id) then begin
+          t.ooo.(id) <- t.ooo.(id) + 1;
+          if now >= t.fifo_check_after then begin
+            t.fifo_viol.(id) <- t.fifo_viol.(id) + 1;
+            t.fifo_violations <- t.fifo_violations + 1;
+            if t.first_violation = None then
+              t.first_violation <- Some (now, id, s)
+          end
+        end
+        else t.last_seq.(id) <- s
+      end
+    end
 
 (* Build slots [t.cap, cap): every expensive component a bundle will
    ever need on this slot is created here, exactly once. *)
@@ -141,7 +217,7 @@ let grow_to t cap =
       (fun i ->
         Resequencer.create
           ~deficit:(Deficit.clone_initial t.tx.(i))
-          ~now:t.now_fn
+          ~now:t.now_fn ?watchdog:t.watchdog
           ~deliver:(make_deliver t i)
           ())
       t.rx;
@@ -151,8 +227,7 @@ let grow_to t cap =
       extend
         (fun i ->
           Channel_guard.create ~n:t.n_ch ~now:t.now_fn
-            ~deliver:(fun ~channel pkt ->
-              Resequencer.receive t.rx.(i) ~channel pkt)
+            ~deliver:(fun ~channel pkt -> rx_ingest t i channel pkt)
             ())
         t.grx
   end;
@@ -162,6 +237,20 @@ let grow_to t cap =
   t.pushed_b <- extend (fun _ -> 0) t.pushed_b;
   t.delivered_p <- extend (fun _ -> 0) t.delivered_p;
   t.delivered_b <- extend (fun _ -> 0) t.delivered_b;
+  t.tx_epoch <- extend (fun _ -> 0) t.tx_epoch;
+  t.tx_gen <- extend (fun _ -> 0) t.tx_gen;
+  t.tx_down <- extend (fun _ -> false) t.tx_down;
+  t.rx_down <- extend (fun _ -> false) t.rx_down;
+  t.next_seq <- extend (fun _ -> 1) t.next_seq;
+  t.last_seq <- extend (fun _ -> 0) t.last_seq;
+  t.last_delivery <- extend (fun _ -> Float.nan) t.last_delivery;
+  t.carrier_dp <- extend (fun _ -> 0) t.carrier_dp;
+  t.tx_down_dp <- extend (fun _ -> 0) t.tx_down_dp;
+  t.no_active_dp <- extend (fun _ -> 0) t.no_active_dp;
+  t.rx_down_dp <- extend (fun _ -> 0) t.rx_down_dp;
+  t.rx_wiped_p <- extend (fun _ -> 0) t.rx_wiped_p;
+  t.fifo_viol <- extend (fun _ -> 0) t.fifo_viol;
+  t.ooo <- extend (fun _ -> 0) t.ooo;
   let scap = cap * t.n_ch in
   let sold = old * t.n_ch in
   let extend_sc make a =
@@ -181,7 +270,8 @@ let grow_to t cap =
   done;
   t.cap <- cap
 
-let create ?(initial_capacity = 64) ~sim (config : config) =
+let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
+    ?watchdog ~sim (config : config) =
   let n = Array.length config.rate_bps in
   if n = 0 then invalid_arg "Bundle_pool.create: no channels";
   if Array.length config.prop_delay <> n || Array.length config.quanta <> n
@@ -205,12 +295,16 @@ let create ?(initial_capacity = 64) ~sim (config : config) =
       quanta = Array.copy config.quanta;
       marker_every = config.marker_every;
       use_guard = config.guard;
+      stamp_seq;
+      sender_aware;
+      watchdog;
       policy =
         (if config.marker_every > 0 then
            Some (Marker.make ~every_rounds:config.marker_every ())
          else None);
       now_fn = (fun () -> Sim.now sim);
       interned = Hashtbl.create 64;
+      ch_up = Array.make n true;
       cap = 0;
       live = [||];
       tx = [||];
@@ -223,6 +317,20 @@ let create ?(initial_capacity = 64) ~sim (config : config) =
       pushed_b = [||];
       delivered_p = [||];
       delivered_b = [||];
+      tx_epoch = [||];
+      tx_gen = [||];
+      tx_down = [||];
+      rx_down = [||];
+      next_seq = [||];
+      last_seq = [||];
+      last_delivery = [||];
+      carrier_dp = [||];
+      tx_down_dp = [||];
+      no_active_dp = [||];
+      rx_down_dp = [||];
+      rx_wiped_p = [||];
+      fifo_viol = [||];
+      ooo = [||];
       wire = [||];
       busy = [||];
       drop = [||];
@@ -236,6 +344,11 @@ let create ?(initial_capacity = 64) ~sim (config : config) =
       total_dp = 0;
       total_db = 0;
       markers = 0;
+      fifo_check_after = 0.0;
+      fifo_violations = 0;
+      first_violation = None;
+      n_crashes = 0;
+      n_restarts = 0;
     }
   in
   grow_to t initial_capacity;
@@ -251,6 +364,28 @@ let acquire t =
   t.pushed_b.(id) <- 0;
   t.delivered_p.(id) <- 0;
   t.delivered_b.(id) <- 0;
+  t.tx_epoch.(id) <- 0;
+  t.tx_gen.(id) <- 0;
+  t.tx_down.(id) <- false;
+  t.rx_down.(id) <- false;
+  t.next_seq.(id) <- 1;
+  t.last_seq.(id) <- 0;
+  t.last_delivery.(id) <- Float.nan;
+  t.carrier_dp.(id) <- 0;
+  t.tx_down_dp.(id) <- 0;
+  t.no_active_dp.(id) <- 0;
+  t.rx_down_dp.(id) <- 0;
+  t.rx_wiped_p.(id) <- 0;
+  t.fifo_viol.(id) <- 0;
+  t.ooo.(id) <- 0;
+  (* The slot engine starts from the link state of the moment, not from
+     any predecessor's suspensions (release's reconfigure cleared those):
+     a bundle born mid-storm never stripes onto a channel that is already
+     known to be dark. *)
+  if t.sender_aware then
+    for c = 0 to t.n_ch - 1 do
+      if not t.ch_up.(c) then Deficit.suspend t.tx.(id) c
+    done;
   t.n_live <- t.n_live + 1;
   t.n_acquired <- t.n_acquired + 1;
   id
@@ -292,8 +427,18 @@ let intern t size =
     Hashtbl.add t.interned size pkt;
     pkt
 
-(* Put one packet (data or marker) on a slot-channel wire. *)
+(* Put one packet (data or marker) on a slot-channel wire. A dark
+   carrier eats the packet at the NIC: data is counted against the slot
+   (conservation), markers vanish like everywhere else. The guard tag is
+   only consumed for packets that actually make the wire — the receive
+   side synthesizes tags from arrivals, so transmit-time losses must not
+   advance the stamper past it. *)
 let transmit t id c ~size pkt =
+  if not t.ch_up.(c) then begin
+    if not (Packet.is_marker pkt) then
+      t.carrier_dp.(id) <- t.carrier_dp.(id) + 1
+  end
+  else begin
   let sc = (id * t.n_ch) + c in
   if t.use_guard then ignore (Channel_guard.Tx.next_tag t.gtx.(id) ~channel:c);
   let now = Sim.now t.sim in
@@ -303,36 +448,201 @@ let transmit t id c ~size pkt =
   t.busy.(sc) <- free_at;
   Fifo_queue.push t.wire.(sc) ~size pkt;
   Sim.schedule t.sim ~at:(free_at +. t.prop_delay.(c)) t.arrive.(sc)
+  end
 
 let push t id ~size =
   check_live t id "push";
   if size <= 0 then invalid_arg "Bundle_pool.push: size must be positive";
-  let d = t.tx.(id) in
-  (* Select settles the round the packet belongs to (as in
-     [Striper.push]); the marker check below compares against it. *)
-  let c = Deficit.select d in
-  let round_before = Deficit.round d in
-  transmit t id c ~size (intern t size);
-  Deficit.consume d ~size;
-  t.pushed_p.(id) <- t.pushed_p.(id) + 1;
-  t.pushed_b.(id) <- t.pushed_b.(id) + size;
-  match t.policy with
-  | Some policy when Deficit.round d > round_before ->
-    (* Round_end batches: the consume wrapped into a new round, so the
-       markers follow all data of the completed round — the reference
-       striper's default position. *)
-    let r = Deficit.round d in
-    if r >= t.next_mark.(id) then begin
-      let now = Sim.now t.sim in
-      for ch = 0 to t.n_ch - 1 do
-        let m = Marker.packet_for policy ~deficit:d ~channel:ch ~now in
-        transmit t id ch ~size:m.Packet.size m;
-        t.markers <- t.markers + 1
-      done;
-      t.next_mark.(id) <-
-        ((r / policy.Marker.every_rounds) + 1) * policy.Marker.every_rounds
+  if t.tx_down.(id) then
+    (* The sender endpoint is crashed: the host that would stripe this
+       packet does not exist. Not counted as pushed — the offered load
+       never reached a striping engine. *)
+    t.tx_down_dp.(id) <- t.tx_down_dp.(id) + 1
+  else begin
+    let d = t.tx.(id) in
+    if not (Deficit.any_active d) then
+      (* Every channel suspended (a storm covering the whole bundle):
+         drop like [Striper.push] does, counted, never an exception. *)
+      t.no_active_dp.(id) <- t.no_active_dp.(id) + 1
+    else begin
+      (* Select settles the round the packet belongs to (as in
+         [Striper.push]); the marker check below compares against it. *)
+      let c = Deficit.select d in
+      let round_before = Deficit.round d in
+      let pkt =
+        if t.stamp_seq then begin
+          let s = t.next_seq.(id) in
+          t.next_seq.(id) <- s + 1;
+          Packet.data ~seq:s ~size ()
+        end
+        else intern t size
+      in
+      transmit t id c ~size pkt;
+      Deficit.consume d ~size;
+      t.pushed_p.(id) <- t.pushed_p.(id) + 1;
+      t.pushed_b.(id) <- t.pushed_b.(id) + size;
+      match t.policy with
+      | Some policy when Deficit.round d > round_before ->
+        (* Round_end batches: the consume wrapped into a new round, so the
+           markers follow all data of the completed round — the reference
+           striper's default position. Suspended channels get no markers
+           (their frozen DC has nothing truthful to say; the reset barrier
+           on resume resynchronizes), mirroring [Striper]. *)
+        let r = Deficit.round d in
+        if r >= t.next_mark.(id) then begin
+          let now = Sim.now t.sim in
+          for ch = 0 to t.n_ch - 1 do
+            if not (Deficit.suspended d ch) then begin
+              let m =
+                Marker.packet_for ~epoch:t.tx_epoch.(id) ~gen:t.tx_gen.(id)
+                  policy ~deficit:d
+                  ~channel:ch ~now
+              in
+              transmit t id ch ~size:m.Packet.size m;
+              t.markers <- t.markers + 1
+            end
+          done;
+          t.next_mark.(id) <-
+            ((r / policy.Marker.every_rounds) + 1) * policy.Marker.every_rounds
+        end
+      | Some _ | None -> ()
     end
-  | Some _ | None -> ()
+  end
+
+(* §5 reset barrier for one slot, mirroring [Striper.send_reset]: the
+   engine reinitializes in place (suspensions survive — a reset does not
+   revive a dead channel) and every channel gets a reset marker stamped
+   with the slot's incarnation and its freshly bumped barrier
+   generation ([m_gen] — what lets the receiver pair markers of the
+   same barrier when storms interleave them). Reset markers go to ALL
+   channels — the barrier is incomplete without each one — so the
+   caller must not fire a barrier while carriers are still dark if it
+   can help it: a dark carrier eats its copy and the receiver must wait
+   out the staleness horizon for that barrier. Both carrier resumes
+   ([set_channel_up]) and crash restarts ([restart_sender]) therefore
+   defer the barrier to the full heal; in the interim the epoch stamp
+   on ordinary periodic markers keeps a restarted sender's receiver
+   re-anchoring channel by channel. *)
+let send_slot_reset t id =
+  let d = t.tx.(id) in
+  Deficit.reinit d;
+  t.tx_gen.(id) <- t.tx_gen.(id) + 1;
+  let now = Sim.now t.sim in
+  for ch = 0 to t.n_ch - 1 do
+    let stamp = Deficit.next_stamp d ch in
+    let m =
+      Packet.marker ~reset:true ~epoch:t.tx_epoch.(id) ~gen:t.tx_gen.(id)
+        ~channel:ch
+        ~round:stamp.Deficit.round ~dc:stamp.Deficit.dc ~born:now ()
+    in
+    transmit t id ch ~size:m.Packet.size m;
+    t.markers <- t.markers + 1
+  done;
+  t.next_mark.(id) <- 0
+
+let channel_up t c =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.channel_up: bad channel";
+  t.ch_up.(c)
+
+let set_channel_up t c up =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.set_channel_up: bad channel";
+  if t.ch_up.(c) <> up then begin
+    t.ch_up.(c) <- up;
+    if t.sender_aware then
+      (* One carrier transition touches channel [c] of every live bundle
+         at once — the shared-risk-group semantics. Crashed senders are
+         skipped: their engines are dead, and [restart_sender] re-derives
+         suspensions from the link state of the moment anyway. *)
+      for id = 0 to t.cap - 1 do
+        if t.live.(id) && not t.tx_down.(id) then
+          if up then begin
+            if Deficit.suspended t.tx.(id) c then begin
+              Deficit.resume t.tx.(id) c;
+              (* Fire the §5 barrier only once the slot is fully healed.
+                 A barrier per partial resume would stripe its reset
+                 markers into still-dark carriers, and the surviving
+                 fragments of successive barriers can mispair at the
+                 receiver (no generation tag on reset markers). Until
+                 the last channel returns, the resumed channel's
+                 ordinary markers re-pin the receiver quasi-FIFO, which
+                 is the legal degraded mode during a storm. *)
+              if Deficit.n_active t.tx.(id) = t.n_ch then
+                send_slot_reset t id
+            end
+          end
+          else if not (Deficit.suspended t.tx.(id) c) then
+            Deficit.suspend t.tx.(id) c
+      done
+  end
+
+let crash_sender t id =
+  check_live t id "crash_sender";
+  if t.tx_down.(id) then
+    invalid_arg "Bundle_pool.crash_sender: sender already down";
+  t.tx_down.(id) <- true;
+  t.n_crashes <- t.n_crashes + 1
+
+let restart_sender t id =
+  check_live t id "restart_sender";
+  if not t.tx_down.(id) then
+    invalid_arg "Bundle_pool.restart_sender: sender is not down";
+  t.tx_down.(id) <- false;
+  t.n_restarts <- t.n_restarts + 1;
+  (* The rebooted host has no striping state (PROTOCOL.md §12): the
+     engine rebuilds on the configured quanta (the receiver's simulated
+     engine was cloned from the same vector, so both sides restripe
+     identically), suspensions come from the link state of the moment,
+     the guard stamper restarts, and the new incarnation announces
+     itself with epoch-stamped reset markers. *)
+  Deficit.reconfigure t.tx.(id) ~quanta:t.quanta;
+  if t.sender_aware then
+    for c = 0 to t.n_ch - 1 do
+      if not t.ch_up.(c) then Deficit.suspend t.tx.(id) c
+    done;
+  if t.use_guard then Channel_guard.Tx.reset t.gtx.(id);
+  t.tx_epoch.(id) <- t.tx_epoch.(id) + 1;
+  t.tx_gen.(id) <- 0;
+  (* Announce the new incarnation with a reset barrier only if every
+     carrier is up: a barrier fired into a storm loses the markers on
+     dark channels and strands the receiver mid-assembly (see
+     [send_slot_reset]). When some carriers are down, the epoch bump
+     alone is enough in the interim — every periodic marker carries it,
+     so the receiver's eager crash-sync re-anchors channel by channel —
+     and the full heal fires the proper barrier via [set_channel_up]
+     (the engine just rebuilt with those channels suspended). *)
+  if Deficit.n_active t.tx.(id) = t.n_ch then send_slot_reset t id
+
+let crash_receiver t id =
+  check_live t id "crash_receiver";
+  if t.rx_down.(id) then
+    invalid_arg "Bundle_pool.crash_receiver: receiver already down";
+  t.rx_down.(id) <- true;
+  t.n_crashes <- t.n_crashes + 1;
+  (* Everything buffered dies with the endpoint now; the resequencer is
+     also reset here rather than at restart, because its post-crash
+     cold state is exactly what the restarted process boots with.
+     Arrivals in between are dropped by [rx_ingest]. *)
+  let wiped = Resequencer.crash_restart t.rx.(id) in
+  t.rx_wiped_p.(id) <- t.rx_wiped_p.(id) + wiped;
+  wiped
+
+let restart_receiver t id =
+  check_live t id "restart_receiver";
+  if not t.rx_down.(id) then
+    invalid_arg "Bundle_pool.restart_receiver: receiver is not down";
+  t.rx_down.(id) <- false;
+  t.n_restarts <- t.n_restarts + 1
+
+let set_fifo_check_after t time = t.fifo_check_after <- time
+
+let inject_violation t id =
+  check_live t id "inject_violation";
+  (* Test-only: poison the FIFO monitor's high-water so the very next
+     delivery on this slot registers as an ordering violation —
+     validates that the always-on monitors actually fire. *)
+  t.last_seq.(id) <- max_int
 
 let birth_time t id =
   check_slot t id "birth_time";
@@ -368,6 +678,86 @@ let rx_high_water_packets t id =
   check_slot t id "rx_high_water_packets";
   Resequencer.buffer_high_water_packets t.rx.(id)
 
+let sender_down t id =
+  check_slot t id "sender_down";
+  t.tx_down.(id)
+
+let receiver_down t id =
+  check_slot t id "receiver_down";
+  t.rx_down.(id)
+
+let sender_epoch t id =
+  check_slot t id "sender_epoch";
+  t.tx_epoch.(id)
+
+let carrier_drops t id =
+  check_slot t id "carrier_drops";
+  t.carrier_dp.(id)
+
+let sender_down_drops t id =
+  check_slot t id "sender_down_drops";
+  t.tx_down_dp.(id)
+
+let no_channel_drops t id =
+  check_slot t id "no_channel_drops";
+  t.no_active_dp.(id)
+
+let receiver_down_drops t id =
+  check_slot t id "receiver_down_drops";
+  t.rx_down_dp.(id)
+
+let rx_wiped_packets t id =
+  check_slot t id "rx_wiped_packets";
+  t.rx_wiped_p.(id)
+
+let rx_epoch_discards t id =
+  check_slot t id "rx_epoch_discards";
+  Resequencer.epoch_discards t.rx.(id)
+
+let rx_crash_syncs t id =
+  check_slot t id "rx_crash_syncs";
+  Resequencer.crash_syncs t.rx.(id)
+
+let rx_resets t id =
+  check_slot t id "rx_resets";
+  Resequencer.resets t.rx.(id)
+
+let rx_forced_barriers t id =
+  check_slot t id "rx_forced_barriers";
+  Resequencer.forced_barriers t.rx.(id)
+
+let rx_pending_packets t id =
+  check_slot t id "rx_pending_packets";
+  Resequencer.pending t.rx.(id)
+
+let rx_channel_dead t id c =
+  check_slot t id "rx_channel_dead";
+  Resequencer.channel_dead t.rx.(id) c
+
+let rx_watchdog_skips t id =
+  check_slot t id "rx_watchdog_skips";
+  Resequencer.watchdog_skips t.rx.(id)
+
+let rx_dead_declarations t id =
+  check_slot t id "rx_dead_declarations";
+  Resequencer.dead_declarations t.rx.(id)
+
+let last_delivery_time t id =
+  check_slot t id "last_delivery_time";
+  t.last_delivery.(id)
+
+let fifo_violations t id =
+  check_slot t id "fifo_violations";
+  t.fifo_viol.(id)
+
+let seq_inversions t id =
+  check_slot t id "seq_inversions";
+  t.ooo.(id)
+
 let total_delivered_packets t = t.total_dp
 let total_delivered_bytes t = t.total_db
 let markers_sent t = t.markers
+let total_fifo_violations t = t.fifo_violations
+let first_violation t = t.first_violation
+let crashes t = t.n_crashes
+let restarts t = t.n_restarts

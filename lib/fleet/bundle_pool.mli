@@ -63,11 +63,31 @@ type config = {
 
 type t
 
-val create : ?initial_capacity:int -> sim:Stripe_netsim.Sim.t -> config -> t
+val create :
+  ?initial_capacity:int ->
+  ?stamp_seq:bool ->
+  ?sender_aware:bool ->
+  ?watchdog:Stripe_core.Resequencer.watchdog ->
+  sim:Stripe_netsim.Sim.t ->
+  config ->
+  t
 (** [create ~sim config] builds an empty pool scheduling on [sim].
     [initial_capacity] (default 64) slots are built eagerly; the pool
-    doubles its slot table when {!acquire} finds no free slot. Raises
-    [Invalid_argument] on a malformed config. *)
+    doubles its slot table when {!acquire} finds no free slot.
+
+    [stamp_seq] (default [false]) allocates each pushed data packet with
+    a per-bundle sequence number instead of the interned flyweight, which
+    arms the always-on FIFO monitor ({!fifo_violations},
+    {!total_fifo_violations}) at the cost of one allocation per push.
+    [sender_aware] (default [true]) makes slot engines track the pool's
+    carrier state ({!set_channel_up}): a channel going dark is suspended
+    in every live bundle (load moves to the survivors) and resuming fires
+    the §5 reset barrier per bundle; with [false] senders stripe blindly
+    and down-channel packets are simply eaten at the NIC. [watchdog]
+    equips every slot resequencer with the marker-cadence dead-channel
+    watchdog ({!Stripe_core.Resequencer.watchdog}) — recommended for any
+    chaos run, since it is what keeps a storm from wedging receivers on
+    silent channels. Raises [Invalid_argument] on a malformed config. *)
 
 val n_channels : t -> int
 val config : t -> config
@@ -104,6 +124,98 @@ val push : t -> int -> size:int -> unit
     [Round_end] policy. Raises [Invalid_argument] if [id] is not live
     or [size] is not positive. *)
 
+(** {2 Chaos: carrier storms and endpoint crash/restart}
+
+    The chaos engine's levers (PROTOCOL.md §12). Channel carrier state
+    is pool-wide — channel [c] of every bundle rides the same facility
+    class, so one transition models a shared-risk-group failure across
+    the whole fleet. Endpoint crashes are per bundle and per side.
+
+    Conservation holds per live slot at quiescence (simulation drained,
+    no packets in flight):
+    {[ pushed = delivered + rx_pending + carrier_drops
+                + receiver_down_drops + rx_epoch_discards + rx_wiped ]}
+    (pushes refused because the sender was crashed or fully suspended
+    are counted separately and never enter [pushed]). A {!release}
+    breaks the identity for that generation by design: its in-flight
+    tail is discarded unattributed, exactly like the churn model. *)
+
+val channel_up : t -> int -> bool
+
+val set_channel_up : t -> int -> bool -> unit
+(** Carrier transition for channel [c] fleet-wide. Down: packets
+    transmitted on [c] are eaten at the NIC (data counted per slot,
+    {!carrier_drops}); with [sender_aware], [c] is also suspended in
+    every live bundle's engine. Up: with [sender_aware] every live
+    bundle resumes [c] and fires its §5 reset barrier (epoch-stamped
+    reset markers on all channels) to resynchronize its receiver.
+    Crashed senders are skipped — {!restart_sender} re-derives
+    suspensions from the carrier state of its moment. Idempotent. *)
+
+val crash_sender : t -> int -> unit
+(** Bundle [id]'s sending endpoint crashes: until {!restart_sender},
+    {!push} drops (counted, {!sender_down_drops}, not counted as
+    pushed). In-flight packets already on the wires are unaffected —
+    they left the host. Raises if [id] is not live or already down. *)
+
+val restart_sender : t -> int -> unit
+(** The sender reboots with no striping state: engine rebuilt on the
+    configured quanta, suspensions re-derived from current carrier
+    state, guard stamper restarted, incarnation ({!sender_epoch})
+    incremented, and epoch-stamped reset markers announce the new epoch
+    so the receiver discards pre-crash leftovers and resynchronizes
+    (the epoch rule, PROTOCOL.md §12). *)
+
+val crash_receiver : t -> int -> int
+(** Bundle [id]'s receiving endpoint crashes: all buffered data is
+    wiped (returned, and accumulated in {!rx_wiped_packets}), the
+    resequencer forgets its engine, epoch knowledge, and watchdog
+    state, and until {!restart_receiver} every arrival is dropped on
+    the floor (data counted, {!receiver_down_drops}). *)
+
+val restart_receiver : t -> int -> unit
+(** The receiver process is back, cold. Resynchronization needs no
+    out-of-band signal: the sender's ordinary epoch-stamped markers
+    drive per-channel crash-sync, then the barrier reinitializes the
+    simulated engine — delivery resumes within about one marker
+    interval. *)
+
+val sender_down : t -> int -> bool
+val receiver_down : t -> int -> bool
+
+val sender_epoch : t -> int -> int
+(** The slot's sender incarnation: 0 at {!acquire}, +1 per
+    {!restart_sender}. *)
+
+(** {2 Always-on invariant monitors} *)
+
+val set_fifo_check_after : t -> float -> unit
+(** Quiet line for the FIFO monitor (default 0.0): delivered-sequence
+    inversions are always counted in {!seq_inversions}, but only count
+    as {e violations} at/after this time. Chaos legally degrades
+    delivery to quasi-FIFO while its effects drain (Thm 5.1), so a
+    chaos driver sets this past its last event plus a drain grace; in a
+    chaos-free run the default arms the monitor from the start. *)
+
+val inject_violation : t -> int -> unit
+(** Test-only hook: poison bundle [id]'s FIFO monitor so its next
+    delivery registers as a violation — proves the monitoring path
+    actually fires. *)
+
+val fifo_violations : t -> int -> int
+val seq_inversions : t -> int -> int
+(** Per-bundle monitor counters (require [stamp_seq]). *)
+
+val total_fifo_violations : t -> int
+
+val first_violation : t -> (float * int * int) option
+(** [(time, bundle, seq)] of the first FIFO violation, for pinpointing
+    a failing seed's event neighborhood. *)
+
+val crashes : t -> int
+val restarts : t -> int
+(** Endpoint crash / restart events so far, both sides, pool-wide. *)
+
 (** {2 Per-bundle counters}
 
     Valid for a live bundle and, until the slot is re-acquired, for a
@@ -129,6 +241,52 @@ val rx_high_water_packets : t -> int -> int
 (** The slot resequencer's buffered-packet high-water mark. Restarted
     by the recycle at {!release}, so a reused slot reports the current
     owner's maximum, never a cross-bundle one. *)
+
+val rx_pending_packets : t -> int -> int
+(** Data packets currently buffered in the slot's resequencer. *)
+
+val last_delivery_time : t -> int -> float
+(** Time of the slot's most recent delivery; [nan] before the first.
+    [restart - last pre-crash delivery → first post-restart delivery]
+    is the chaos driver's recovery-time probe. *)
+
+val carrier_drops : t -> int -> int
+(** Data packets eaten at transmit because the selected channel's
+    carrier was down. *)
+
+val sender_down_drops : t -> int -> int
+val no_channel_drops : t -> int -> int
+(** Pushes refused: sender crashed / every channel suspended. Not
+    counted as pushed. *)
+
+val receiver_down_drops : t -> int -> int
+(** Data arrivals dropped because the receiver was crashed. *)
+
+val rx_wiped_packets : t -> int -> int
+(** Buffered data wiped by receiver crashes ({!crash_receiver}). *)
+
+val rx_epoch_discards : t -> int -> int
+(** Pre-crash-epoch data the slot's resequencer flushed at crash-sync
+    ({!Stripe_core.Resequencer.epoch_discards}). *)
+
+val rx_crash_syncs : t -> int -> int
+(** Completed crash-epoch barriers on the slot's resequencer. *)
+
+val rx_resets : t -> int -> int
+(** Completed §5 reset barriers on the slot's resequencer (crash
+    barriers included). *)
+
+val rx_forced_barriers : t -> int -> int
+(** Stranded barriers the slot's resequencer force-adopted
+    ({!Stripe_core.Resequencer.forced_barriers}): non-zero only when
+    reset barriers overtook each other under chaos. *)
+
+val rx_channel_dead : t -> int -> int -> bool
+(** [rx_channel_dead t id c]: the slot watchdog's current verdict. *)
+
+val rx_watchdog_skips : t -> int -> int
+val rx_dead_declarations : t -> int -> int
+(** Slot watchdog activity (see {!Stripe_core.Resequencer}). *)
 
 (** {2 Pool-wide counters} *)
 

@@ -230,6 +230,35 @@ let send t ip =
 
 let send_reset t = Stripe_core.Striper.send_reset t.striper
 
+let crash_restart_sender ?quanta t =
+  if t.detached then
+    invalid_arg
+      (Printf.sprintf "Stripe_layer.crash_restart_sender(%s): layer is detached"
+         t.layer_name);
+  Stripe_core.Striper.crash_restart ?quanta t.striper;
+  (* The reboot forgot the administrative suspensions along with
+     everything else; the restarted sender re-learns link state from the
+     physical carriers, not from remembered state. *)
+  if t.auto_suspend then
+    Array.iteri
+      (fun c m ->
+        if not (Iface.link_up m) then
+          Stripe_core.Striper.suspend_channel t.striper c)
+      t.members
+
+let crash_restart_receiver t =
+  match t.reseq with
+  | None -> 0
+  | Some r ->
+    let wiped = Stripe_core.Resequencer.crash_restart r in
+    (* The frame <-> datagram associations die with the receiver: wiped
+       frames can never be delivered, and any staged-removal demux split
+       was receiver state too. In-flight frames arriving after the
+       restart re-register their envelopes on arrival. *)
+    Hashtbl.reset t.rx_envelopes;
+    t.rx_pending_remove <- None;
+    wiped
+
 let recompute_mtu t =
   t.bundle_mtu <-
     Array.fold_left (fun acc m -> min acc (Iface.mtu m)) max_int t.members

@@ -72,6 +72,28 @@ val send_reset : t -> unit
     the host's striping state was reinitialized (reboot) or a watchdog
     detected corruption. *)
 
+val crash_restart_sender : ?quanta:int array -> t -> unit
+(** Full sender-endpoint crash + restart (PROTOCOL.md §12,
+    {!Stripe_core.Striper.crash_restart}): all striping state — round
+    pointer, deficits, staged retunes, suspensions, marker cadence — is
+    lost; the engine rebuilds on [quanta] (default: the configured
+    vector; pass a cold {!Stripe_core.Rate_probe} plan to model
+    capacity re-learning), the sender's epoch increments, and
+    epoch-stamped reset markers announce the new incarnation. Members
+    whose physical carrier is down are re-suspended from the link state
+    (with [auto_suspend]), not from remembered suspensions. Raises
+    [Invalid_argument] on a detached layer. *)
+
+val crash_restart_receiver : t -> int
+(** Full receiver-endpoint crash + restart
+    ({!Stripe_core.Resequencer.crash_restart}): buffered frames, the
+    simulated engine, epoch knowledge, and the frame<->datagram
+    associations are lost. Returns the number of buffered data frames
+    wiped. Resynchronization rides the sender's ordinary marker cadence
+    (about one marker interval); frames arriving before a channel's
+    first post-restart marker are discarded by its crash-sync. No-op
+    returning 0 when the layer was built with [~resequence:false]. *)
+
 val detach : t -> unit
 (** Tear the bundle down (churn): the layer's codepoint handlers and
     carrier watchers on every member go permanently quiet, pending

@@ -81,6 +81,56 @@ let availability t ~from_ ~until_ ~bucket =
     float_of_int k /. float_of_int n
   end
 
+(* Outage-interval arithmetic. Chaos runs produce overlapping down
+   intervals — a storm over several channels, a crash inside a storm —
+   and summing per-event durations double-counts the overlap, inflating
+   downtime and deflating availability. Everything below therefore works
+   on the union: merged, disjoint, sorted intervals. *)
+
+let merge_intervals ivs =
+  let ivs =
+    List.sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.filter (fun (a, b) -> b > a) ivs)
+  in
+  match ivs with
+  | [] -> []
+  | (a0, b0) :: rest ->
+    let rec go a b acc = function
+      | [] -> List.rev ((a, b) :: acc)
+      | (a', b') :: rest ->
+        if a' <= b then go a (Float.max b b') acc rest
+        else go a' b' ((a, b) :: acc) rest
+    in
+    go a0 b0 [] rest
+
+let total_down ivs =
+  List.fold_left (fun s (a, b) -> s +. (b -. a)) 0.0 ivs
+
+let downtime ivs = total_down (merge_intervals ivs)
+
+let interval_availability ~outages ~from_ ~until_ =
+  if until_ <= from_ then 1.0
+  else begin
+    let clipped =
+      List.filter_map
+        (fun (a, b) ->
+          let a = Float.max a from_ and b = Float.min b until_ in
+          if b > a then Some (a, b) else None)
+        (merge_intervals outages)
+    in
+    1.0 -. (total_down clipped /. (until_ -. from_))
+  end
+
+let longest_outage outages =
+  List.fold_left (fun m (a, b) -> Float.max m (b -. a)) 0.0
+    (merge_intervals outages)
+
+let mttr outages =
+  match merge_intervals outages with
+  | [] -> None
+  | merged -> Some (total_down merged /. float_of_int (List.length merged))
+
 let out_of_order_after t ~time =
   let tail = List.filter (fun (tm, _) -> tm > time) (log t) in
   let late = ref 0 in

@@ -45,3 +45,33 @@ val in_order_after : t -> time:float -> bool
 val out_of_order_after : t -> time:float -> int
 (** Late deliveries (seq below the running maximum of the tail) strictly
     after [time]. *)
+
+(** {2 Outage intervals}
+
+    Pure arithmetic over [(start, stop)] down intervals, for the
+    chaos/failover reports. Chaos schedules produce {e overlapping}
+    outages (a storm over several channels, a crash inside a storm);
+    summing per-event durations double-counts the overlap, so these
+    work on the union. Degenerate intervals ([stop <= start]) are
+    ignored. *)
+
+val merge_intervals : (float * float) list -> (float * float) list
+(** The union: sorted, disjoint, touching intervals coalesced. *)
+
+val downtime : (float * float) list -> float
+(** Total length of the union — the time at least one outage was in
+    effect, each instant counted once. *)
+
+val interval_availability :
+  outages:(float * float) list -> from_:float -> until_:float -> float
+(** [1 - downtime(union clipped to [from_, until_]) / (until_ - from_)]:
+    the fraction of the window with no outage in effect. [1.0] on an
+    empty window. *)
+
+val longest_outage : (float * float) list -> float
+(** Length of the longest merged outage — the worst single service
+    interruption, overlap-aware. *)
+
+val mttr : (float * float) list -> float option
+(** Mean length of the merged outages — mean time to repair over
+    distinct service interruptions. [None] without outages. *)

@@ -1,0 +1,203 @@
+(* Correlated fault storms and endpoint crash/restart schedules — the
+   chaos engine's composition layer.
+
+   A plan is a list of high-level actions (a storm over a shared-risk
+   group of channels, an endpoint crash with a downtime, a deliberate
+   monitor-violation injection); [apply] compiles it to primitive
+   transitions on the simulator clock and hands each one to the caller's
+   driver. The module knows nothing about bundles or pools: the driver
+   record is the whole interface, so the same plan drives a
+   [Bundle_pool] fleet, a [Stripe_layer] pair, or a test harness.
+
+   Reproducibility is the point. Plans are either parsed from a spec
+   string or drawn from a seeded [Rng], and [apply] numbers the
+   primitive transitions in deterministic time order — so "seed S,
+   event 17" pins a failure to one instant of one schedule. *)
+
+type side = Tx | Rx
+
+type action =
+  | Storm of { channels : int list; at : float; duration : float }
+  | Crash of { side : side; bundle : int; at : float; downtime : float }
+  | Violate of { bundle : int; at : float }
+
+type driver = {
+  set_channel_up : int -> bool -> unit;
+  crash : side -> int -> unit;
+  restart : side -> int -> unit;
+  violate : int -> unit;
+}
+
+let side_name = function Tx -> "tx" | Rx -> "rx"
+
+let pp_action fmt = function
+  | Storm { channels; at; duration } ->
+    Format.fprintf fmt "%g: storm ch[%s] for %gs" at
+      (String.concat "+" (List.map string_of_int channels))
+      duration
+  | Crash { side; bundle; at; downtime } ->
+    Format.fprintf fmt "%g: crash %s/%d for %gs" at (side_name side) bundle
+      downtime
+  | Violate { bundle; at } ->
+    Format.fprintf fmt "%g: violate %d" at bundle
+
+(* One primitive transition of a compiled plan. *)
+type transition = { at : float; what : string; fire : driver -> unit }
+
+let compile actions =
+  let ts = ref [] in
+  let add at what fire = ts := { at; what; fire } :: !ts in
+  List.iter
+    (fun a ->
+      match a with
+      | Storm { channels; at; duration } ->
+        if duration < 0.0 then invalid_arg "Chaos: negative storm duration";
+        List.iter
+          (fun c ->
+            if c < 0 then invalid_arg "Chaos: negative storm channel";
+            add at
+              (Printf.sprintf "storm-down ch%d" c)
+              (fun d -> d.set_channel_up c false);
+            add (at +. duration)
+              (Printf.sprintf "storm-up ch%d" c)
+              (fun d -> d.set_channel_up c true))
+          channels
+      | Crash { side; bundle; at; downtime } ->
+        if downtime < 0.0 then invalid_arg "Chaos: negative downtime";
+        if bundle < 0 then invalid_arg "Chaos: negative bundle";
+        add at
+          (Printf.sprintf "crash %s/%d" (side_name side) bundle)
+          (fun d -> d.crash side bundle);
+        add (at +. downtime)
+          (Printf.sprintf "restart %s/%d" (side_name side) bundle)
+          (fun d -> d.restart side bundle)
+      | Violate { bundle; at } ->
+        if bundle < 0 then invalid_arg "Chaos: negative bundle";
+        add at
+          (Printf.sprintf "violate %d" bundle)
+          (fun d -> d.violate bundle))
+    actions;
+  (* Deterministic order = deterministic event indices: time, then the
+     transition label breaks ties (stable across runs by construction —
+     labels are unique per (action, channel) pair in sane plans). *)
+  List.sort (fun a b -> compare (a.at, a.what) (b.at, b.what)) !ts
+
+let horizon actions =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Storm { at; duration; _ } -> Float.max acc (at +. duration)
+      | Crash { at; downtime; _ } -> Float.max acc (at +. downtime)
+      | Violate { at; _ } -> Float.max acc at)
+    0.0 actions
+
+let apply sim ?on_event driver actions =
+  List.iteri
+    (fun index tr ->
+      Sim.schedule sim ~at:tr.at (fun () ->
+          (match on_event with
+          | Some f -> f ~index ~time:tr.at tr.what
+          | None -> ());
+          tr.fire driver))
+    (compile actions)
+
+(* Seeded random plan: Poisson storm and crash arrivals over a horizon.
+   Storms hit a random non-empty channel subset (the instantaneous
+   shared-risk group); crashes pick a side and a bundle uniformly. All
+   outages close before [horizon] plus their own duration — soaks
+   assert recovery after the schedule drains. *)
+let random_plan ~rng ~n_channels ~n_bundles ~horizon:h
+    ?(storm_every = 0.0) ?(crash_every = 0.0) ?(mean_outage = 0.05)
+    ?(mean_downtime = 0.05) () =
+  if n_channels <= 0 then invalid_arg "Chaos.random_plan: n_channels";
+  if n_bundles <= 0 then invalid_arg "Chaos.random_plan: n_bundles";
+  if h <= 0.0 then invalid_arg "Chaos.random_plan: horizon must be positive";
+  if mean_outage <= 0.0 || mean_downtime <= 0.0 then
+    invalid_arg "Chaos.random_plan: means must be positive";
+  let actions = ref [] in
+  if storm_every > 0.0 then begin
+    let t = ref (Rng.exponential rng ~mean:storm_every) in
+    while !t < h do
+      (* Group size 1..n_channels, then a distinct-channel draw: shuffle
+         the identity permutation and take a prefix. *)
+      let k = 1 + Rng.int rng n_channels in
+      let perm = Array.init n_channels (fun i -> i) in
+      Rng.shuffle rng perm;
+      let channels = Array.to_list (Array.sub perm 0 k) in
+      let duration = Rng.exponential rng ~mean:mean_outage in
+      actions := Storm { channels; at = !t; duration } :: !actions;
+      t := !t +. Rng.exponential rng ~mean:storm_every
+    done
+  end;
+  if crash_every > 0.0 then begin
+    let t = ref (Rng.exponential rng ~mean:crash_every) in
+    while !t < h do
+      let side = if Rng.bool rng then Tx else Rx in
+      let bundle = Rng.int rng n_bundles in
+      let downtime = Rng.exponential rng ~mean:mean_downtime in
+      actions := Crash { side; bundle; at = !t; downtime } :: !actions;
+      t := !t +. Rng.exponential rng ~mean:crash_every
+    done
+  end;
+  let time = function
+    | Storm { at; _ } | Crash { at; _ } | Violate { at; _ } -> at
+  in
+  List.stable_sort
+    (fun a b -> Float.compare (time a) (time b))
+    (List.rev !actions)
+
+(* Spec grammar (for --chaos command-line flags):
+
+     ITEM[,ITEM...]
+
+   with ITEM one of
+     storm=C1+C2+.../DUR@T   carrier loss on the channel group for DUR s
+     crash=tx/ID/DUR@T       sender of bundle ID down for DUR seconds
+     crash=rx/ID/DUR@T       receiver of bundle ID down for DUR seconds
+     violate=ID@T            poison bundle ID's FIFO monitor (test hook) *)
+let parse_spec s =
+  let open Spec in
+  let c = ctx ~kind:"chaos" s in
+  let parse_item tok =
+    let* lhs, at = timed c tok in
+    match kv lhs with
+    | "storm", Some v ->
+      let* chans, dur = pair c ~what:"storm" ~sep:'/' v in
+      let* duration = non_negative c ~what:"storm duration" dur in
+      let* channels =
+        List.fold_left
+          (fun acc ch ->
+            let* acc = acc in
+            let* ch = channel c ~what:"storm channel" ch in
+            Ok (ch :: acc))
+          (Ok [])
+          (String.split_on_char '+' chans)
+      in
+      if channels = [] then errf c "empty storm channel group"
+      else Ok (Storm { channels = List.rev channels; at; duration })
+    | "crash", Some v -> (
+      match String.split_on_char '/' v with
+      | [ side; id; dur ] ->
+        let* side =
+          match String.trim side with
+          | "tx" -> Ok Tx
+          | "rx" -> Ok Rx
+          | other -> errf c "bad crash side %S (want tx or rx)" other
+        in
+        let* bundle = channel c ~what:"crash bundle" id in
+        let* downtime = non_negative c ~what:"crash downtime" dur in
+        Ok (Crash { side; bundle; at; downtime })
+      | _ -> errf c "crash needs SIDE/BUNDLE/DOWNTIME, got %S" v)
+    | "violate", Some v ->
+      let* bundle = channel c ~what:"violate bundle" v in
+      Ok (Violate { bundle; at })
+    | name, _ ->
+      errf c "unknown chaos item %S (want storm=, crash=, violate=)" name
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest ->
+      let* a = parse_item tok in
+      collect (a :: acc) rest
+  in
+  collect [] (items s)

@@ -1,0 +1,82 @@
+(** Chaos plans: correlated fault storms and endpoint crash/restart.
+
+    {!Fault} injects events against individual links; this module
+    composes the fleet-scale failures above it — a {e storm} takes a
+    whole shared-risk group of channels down at once, a {e crash} takes
+    one endpoint of one bundle down for a finite downtime, and a
+    {e violate} is the test-only hook that poisons an invariant monitor
+    to prove the monitoring path fires. A plan is parsed from a compact
+    [--chaos] spec or drawn from a seeded {!Rng}, and {!apply} compiles
+    it to numbered primitive transitions on the simulator clock — so a
+    failure is always reportable as "seed S, event N". *)
+
+type side = Tx | Rx  (** Which endpoint of a bundle a crash hits. *)
+
+type action =
+  | Storm of { channels : int list; at : float; duration : float }
+      (** Carrier loss on every channel of the group at [at], recovery
+          for all of them [duration] later. *)
+  | Crash of { side : side; bundle : int; at : float; downtime : float }
+      (** One endpoint of [bundle] crashes at [at] and restarts
+          [downtime] later (PROTOCOL.md §12). *)
+  | Violate of { bundle : int; at : float }
+      (** Deliberately corrupt [bundle]'s FIFO monitor state at [at] —
+          a detection self-test, not a protocol event. *)
+
+type driver = {
+  set_channel_up : int -> bool -> unit;
+  crash : side -> int -> unit;
+  restart : side -> int -> unit;
+  violate : int -> unit;
+}
+(** How a plan acts on the system under test. The module is agnostic:
+    a {!Bundle_pool} fleet maps these straight onto
+    [set_channel_up] / [crash_sender] / [restart_receiver] / ...;
+    a two-endpoint [Stripe_layer] run maps channels to links and
+    ignores the bundle id. *)
+
+val apply :
+  Sim.t ->
+  ?on_event:(index:int -> time:float -> string -> unit) ->
+  driver ->
+  action list ->
+  unit
+(** Compile the plan to primitive transitions (a storm is one down and
+    one up per member channel; a crash is a crash and a restart),
+    number them in deterministic time order, and schedule each on the
+    simulator. [on_event] fires just before each transition — record
+    the last index seen and any monitor violation is pinned to its
+    event neighborhood. Raises [Invalid_argument] on negative times,
+    durations, channels, or bundles. *)
+
+val horizon : action list -> float
+(** Time by which every action of the plan has fully played out
+    (including storm recoveries and restarts). *)
+
+val random_plan :
+  rng:Rng.t ->
+  n_channels:int ->
+  n_bundles:int ->
+  horizon:float ->
+  ?storm_every:float ->
+  ?crash_every:float ->
+  ?mean_outage:float ->
+  ?mean_downtime:float ->
+  unit ->
+  action list
+(** Seeded random plan over [horizon] seconds: storms arrive as a
+    Poisson process with mean gap [storm_every] (0, the default,
+    disables them), each hitting a uniformly drawn non-empty channel
+    subset for an exponential [mean_outage]; crashes arrive with mean
+    gap [crash_every] (0 disables), each picking a side and a bundle
+    uniformly with an exponential [mean_downtime]. Sorted by time.
+    Equal seeds give equal plans. *)
+
+val parse_spec : string -> (action list, string) result
+(** Parse a command-line chaos spec: comma-separated items
+    [storm=C1+C2+.../DUR@T], [crash=tx/ID/DUR@T], [crash=rx/ID/DUR@T],
+    [violate=ID@T]. Example:
+    ["storm=0+2/0.5@1,crash=rx/0/0.2@2,violate=0@4"]. *)
+
+val side_name : side -> string
+val pp_action : Format.formatter -> action -> unit

@@ -89,6 +89,48 @@ let random_schedule ~rng ~n_channels ~horizon ~mtbf ~mttr =
   done;
   List.sort (fun a b -> compare (a.at, a.channel) (b.at, b.channel)) !actions
 
+(* A shared-risk group: channels riding one physical facility (conduit,
+   wavelength, line card), so one failure takes them all down and one
+   repair brings them all back. *)
+
+let group_down_up sim ~links ~channels ~down_at ~up_at =
+  if up_at < down_at then
+    invalid_arg "Fault.group_down_up: up_at before down_at";
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Array.length links then
+        invalid_arg
+          (Printf.sprintf "Fault.group_down_up: channel %d out of range" c);
+      down_up sim links.(c) ~down_at ~up_at)
+    channels
+
+let random_group_schedule ~rng ~channels ~horizon ~mtbf ~mttr =
+  if channels = [] then
+    invalid_arg "Fault.random_group_schedule: empty group";
+  if List.exists (fun c -> c < 0) channels then
+    invalid_arg "Fault.random_group_schedule: negative channel";
+  if horizon <= 0.0 then
+    invalid_arg "Fault.random_group_schedule: horizon must be positive";
+  if mtbf <= 0.0 || mttr <= 0.0 then
+    invalid_arg "Fault.random_group_schedule: mtbf and mttr must be positive";
+  (* One two-state availability process drives the whole group: every
+     member fails and recovers at the same instants — the correlation
+     that per-channel schedules cannot express. *)
+  let actions = ref [] in
+  let emit at event =
+    List.iter (fun channel -> actions := { at; channel; event } :: !actions)
+      channels
+  in
+  let t = ref (Rng.exponential rng ~mean:mtbf) in
+  let up = ref true in
+  while !t < horizon do
+    emit !t (if !up then Down else Up);
+    up := not !up;
+    t := !t +. Rng.exponential rng ~mean:(if !up then mtbf else mttr)
+  done;
+  if not !up then emit horizon Up;
+  List.sort (fun a b -> compare (a.at, a.channel) (b.at, b.channel)) !actions
+
 (* Spec grammar (for --fault command-line flags):
 
      CH:EVENT@T[,EVENT@T...]
@@ -99,61 +141,31 @@ let random_schedule ~rng ~n_channels ~horizon ~mtbf ~mttr =
      rate=BPS       set the service rate
      burst=P/DUR    Bernoulli loss probability P for DUR seconds  *)
 let parse_spec s =
-  let ( let* ) = Result.bind in
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  let parse_float what v =
-    match float_of_string_opt v with
-    | Some f -> Ok f
-    | None -> fail "bad %s %S in fault spec %S" what v s
-  in
+  let open Spec in
+  let c = ctx ~kind:"fault" s in
   let parse_event tok =
-    match String.index_opt tok '@' with
-    | None -> fail "fault event %S lacks an @TIME in %S" tok s
-    | Some i ->
-      let lhs = String.sub tok 0 i in
-      let* at = parse_float "time" (String.sub tok (i + 1) (String.length tok - i - 1)) in
-      let name, arg =
-        match String.index_opt lhs '=' with
-        | None -> (lhs, None)
-        | Some j ->
-          ( String.sub lhs 0 j,
-            Some (String.sub lhs (j + 1) (String.length lhs - j - 1)) )
-      in
-      let* event =
-        match (name, arg) with
-        | "down", None -> Ok Down
-        | "up", None -> Ok Up
-        | "rate", Some v ->
-          let* r = parse_float "rate" v in
-          if r <= 0.0 then fail "rate must be > 0 in %S" s else Ok (Rate r)
-        | "burst", Some v -> (
-          match String.split_on_char '/' v with
-          | [ p; dur ] ->
-            let* p = parse_float "burst probability" p in
-            let* duration = parse_float "burst duration" dur in
-            if p < 0.0 || p > 1.0 then
-              fail "burst probability %g not in [0,1] in %S" p s
-            else if duration < 0.0 then fail "negative burst duration in %S" s
-            else Ok (Burst_loss { loss = Loss.bernoulli ~p; duration })
-          | _ -> fail "burst needs P/DURATION in %S" s)
-        | _ -> fail "unknown fault event %S in %S" lhs s
-      in
-      Ok (at, event)
+    let* lhs, at = timed c tok in
+    let* event =
+      match kv lhs with
+      | "down", None -> Ok Down
+      | "up", None -> Ok Up
+      | "rate", Some v ->
+        let* r = positive c ~what:"rate" v in
+        Ok (Rate r)
+      | "burst", Some v ->
+        let* p, dur = pair c ~what:"burst" ~sep:'/' v in
+        let* p = prob c ~what:"burst" p in
+        let* duration = non_negative c ~what:"burst duration" dur in
+        Ok (Burst_loss { loss = Loss.bernoulli ~p; duration })
+      | _ -> errf c "unknown fault event %S (want down, up, rate=, burst=)" lhs
+    in
+    Ok (at, event)
   in
-  match String.index_opt s ':' with
-  | None -> fail "fault spec %S lacks a CH: prefix" s
-  | Some i -> (
-    let ch = String.sub s 0 i in
-    let rest = String.sub s (i + 1) (String.length s - i - 1) in
-    match int_of_string_opt ch with
-    | None -> fail "bad channel %S in fault spec %S" ch s
-    | Some channel ->
-      if channel < 0 then fail "negative channel in fault spec %S" s
-      else
-        let rec collect acc = function
-          | [] -> Ok (List.rev acc)
-          | tok :: rest ->
-            let* at, event = parse_event (String.trim tok) in
-            collect ({ at; channel; event } :: acc) rest
-        in
-        collect [] (String.split_on_char ',' rest))
+  let* channel, rest = channel_prefix c in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest ->
+      let* at, event = parse_event tok in
+      collect ({ at; channel; event } :: acc) rest
+  in
+  collect [] (items rest)

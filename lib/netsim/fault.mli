@@ -56,6 +56,31 @@ val random_schedule :
     every channel alive. Returns the actions sorted by time. Equal seeds
     give equal schedules. *)
 
+val group_down_up :
+  Sim.t ->
+  links:'a Link.t array ->
+  channels:int list ->
+  down_at:float ->
+  up_at:float ->
+  unit
+(** One shared-risk-group outage: every channel in [channels] loses
+    carrier at [down_at] and recovers at [up_at] — the correlated
+    failure of links riding one physical facility (conduit, wavelength,
+    line card). Raises [Invalid_argument] on a bad channel or an
+    inverted interval. *)
+
+val random_group_schedule :
+  rng:Rng.t ->
+  channels:int list ->
+  horizon:float ->
+  mtbf:float ->
+  mttr:float ->
+  action list
+(** Like {!random_schedule}, but one two-state availability process
+    drives the whole group: every channel in [channels] fails and
+    recovers at the same instants. Any outage still open at [horizon]
+    is closed there. Equal seeds give equal schedules. *)
+
 val parse_spec : string -> (action list, string) result
 (** Parse a command-line fault spec: [CH:EVENT@T[,EVENT@T...]] where
     [EVENT] is [down], [up], [rate=BPS], or [burst=P/DUR] (Bernoulli loss

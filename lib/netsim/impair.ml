@@ -54,56 +54,30 @@ let pp fmt t =
      dup=P              probability P of delivering a packet twice
      corrupt=P          probability P of corrupting a packet on the wire *)
 let parse_spec s =
-  let ( let* ) = Result.bind in
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  let parse_float what v =
-    match float_of_string_opt v with
-    | Some f -> Ok f
-    | None -> fail "bad %s %S in impair spec %S" what v s
-  in
-  let parse_p what v =
-    let* p = parse_float what v in
-    if p < 0.0 || p > 1.0 then
-      fail "%s probability %g not in [0,1] in %S" what p s
-    else Ok p
-  in
+  let open Spec in
+  let c = ctx ~kind:"impair" s in
   let parse_item acc tok =
-    match String.index_opt tok '=' with
-    | None -> fail "impairment %S lacks a =VALUE in %S" tok s
-    | Some i -> (
-      let name = String.sub tok 0 i in
-      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
-      match name with
-      | "reorder" -> (
-        match String.split_on_char '/' v with
-        | [ p; w ] ->
-          let* p = parse_p "reorder" p in
-          let* w = parse_float "reorder window" w in
-          if w <= 0.0 then fail "reorder window must be > 0 in %S" s
-          else Ok { acc with reorder_p = p; reorder_window = w }
-        | _ -> fail "reorder needs P/WINDOW in %S" s)
-      | "dup" ->
-        let* p = parse_p "duplicate" v in
-        Ok { acc with dup_p = p }
-      | "corrupt" ->
-        let* p = parse_p "corrupt" v in
-        Ok { acc with corrupt_p = p }
-      | _ -> fail "unknown impairment %S in %S" name s)
+    match kv tok with
+    | _, None -> errf c "impairment %S lacks a =VALUE" tok
+    | "reorder", Some v ->
+      let* p, w = pair c ~what:"reorder" ~sep:'/' v in
+      let* p = prob c ~what:"reorder" p in
+      let* w = positive c ~what:"reorder window" w in
+      Ok { acc with reorder_p = p; reorder_window = w }
+    | "dup", Some v ->
+      let* p = prob c ~what:"duplicate" v in
+      Ok { acc with dup_p = p }
+    | "corrupt", Some v ->
+      let* p = prob c ~what:"corrupt" v in
+      Ok { acc with corrupt_p = p }
+    | name, Some _ ->
+      errf c "unknown impairment %S (want reorder=, dup=, corrupt=)" name
   in
-  match String.index_opt s ':' with
-  | None -> fail "impair spec %S lacks a CH: prefix" s
-  | Some i -> (
-    let ch = String.sub s 0 i in
-    let rest = String.sub s (i + 1) (String.length s - i - 1) in
-    match int_of_string_opt ch with
-    | None -> fail "bad channel %S in impair spec %S" ch s
-    | Some channel ->
-      if channel < 0 then fail "negative channel in impair spec %S" s
-      else
-        let rec collect acc = function
-          | [] -> Ok (channel, acc)
-          | tok :: rest ->
-            let* acc = parse_item acc (String.trim tok) in
-            collect acc rest
-        in
-        collect none (String.split_on_char ',' rest))
+  let* channel, rest = channel_prefix c in
+  let rec collect acc = function
+    | [] -> Ok (channel, acc)
+    | tok :: rest ->
+      let* acc = parse_item acc tok in
+      collect acc rest
+  in
+  collect none (items rest)

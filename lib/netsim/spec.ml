@@ -1,0 +1,75 @@
+(* Shared scanner for the compact command-line spec grammars
+   (--fault, --impair, --chaos). The three grammars are built from the
+   same few shapes — a CH: prefix, comma-separated items, NAME=VALUE
+   pairs, @TIME suffixes, A/B value pairs — and every parser used to
+   hand-roll them with near-identical code and error strings. This
+   module is that code, written once, with every error naming the
+   offending fragment, the spec kind, and the full spec string. *)
+
+type ctx = { kind : string; spec : string }
+
+let ctx ~kind spec = { kind; spec }
+let ( let* ) = Result.bind
+
+let errf c fmt =
+  Printf.ksprintf
+    (fun m -> Error (Printf.sprintf "%s in %s spec %S" m c.kind c.spec))
+    fmt
+
+let float_ c ~what v =
+  match float_of_string_opt (String.trim v) with
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ | None -> errf c "bad %s %S (want a finite number)" what v
+
+let positive c ~what v =
+  let* f = float_ c ~what v in
+  if f <= 0.0 then errf c "%s must be > 0, got %g" what f else Ok f
+
+let non_negative c ~what v =
+  let* f = float_ c ~what v in
+  if f < 0.0 then errf c "%s must be >= 0, got %g" what f else Ok f
+
+let prob c ~what v =
+  let* p = float_ c ~what v in
+  if p < 0.0 || p > 1.0 then
+    errf c "%s probability %g not in [0,1]" what p
+  else Ok p
+
+let int_ c ~what v =
+  match int_of_string_opt (String.trim v) with
+  | Some i -> Ok i
+  | None -> errf c "bad %s %S (want an integer)" what v
+
+let channel c ~what v =
+  let* i = int_ c ~what v in
+  if i < 0 then errf c "negative %s %d" what i else Ok i
+
+let channel_prefix c =
+  match String.index_opt c.spec ':' with
+  | None -> errf c "missing CH: prefix"
+  | Some i ->
+    let* ch = channel c ~what:"channel" (String.sub c.spec 0 i) in
+    Ok (ch, String.sub c.spec (i + 1) (String.length c.spec - i - 1))
+
+let items rest = List.map String.trim (String.split_on_char ',' rest)
+
+let kv tok =
+  match String.index_opt tok '=' with
+  | None -> (tok, None)
+  | Some i ->
+    (String.sub tok 0 i, Some (String.sub tok (i + 1) (String.length tok - i - 1)))
+
+let timed c tok =
+  match String.rindex_opt tok '@' with
+  | None -> errf c "event %S lacks an @TIME" tok
+  | Some i ->
+    let* at =
+      non_negative c ~what:"time"
+        (String.sub tok (i + 1) (String.length tok - i - 1))
+    in
+    Ok (String.sub tok 0 i, at)
+
+let pair c ~what ~sep v =
+  match String.split_on_char sep v with
+  | [ a; b ] -> Ok (a, b)
+  | _ -> errf c "%s needs exactly two %c-separated fields, got %S" what sep v

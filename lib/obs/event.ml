@@ -25,6 +25,10 @@ type kind =
   | Retune
   | Member_add
   | Member_remove
+  | Crash
+  | Restart
+  | Epoch_discard
+  | Violation
 
 type t = {
   time : float;
@@ -40,7 +44,7 @@ let v ?(channel = -1) ?(round = -1) ?(dc = 0) ?(size = -1) ?(seq = -1) ~time
     kind =
   { time; kind; channel; round; dc; size; seq }
 
-let n_kinds = 26
+let n_kinds = 30
 
 (* Dense index for counter arrays; keep in sync with [kind] and
    [n_kinds]. *)
@@ -71,6 +75,10 @@ let kind_index = function
   | Retune -> 23
   | Member_add -> 24
   | Member_remove -> 25
+  | Crash -> 26
+  | Restart -> 27
+  | Epoch_discard -> 28
+  | Violation -> 29
 
 let kind_name = function
   | Enqueue -> "enqueue"
@@ -99,6 +107,10 @@ let kind_name = function
   | Retune -> "retune"
   | Member_add -> "member_add"
   | Member_remove -> "member_remove"
+  | Crash -> "crash"
+  | Restart -> "restart"
+  | Epoch_discard -> "epoch_discard"
+  | Violation -> "violation"
 
 let all_kinds =
   [
@@ -106,7 +118,7 @@ let all_kinds =
     Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
     Channel_down; Channel_up; Watchdog_skip; Suspend; Resume; Dup_discard;
     Reorder_restore; Corrupt_discard; Buffer_overflow; Retune; Member_add;
-    Member_remove;
+    Member_remove; Crash; Restart; Epoch_discard; Violation;
   ]
 
 let kind_of_name s =

@@ -46,7 +46,18 @@
       and [size] = its new quantum, [round] = the round the change
       applies from. The {b Striper} emits [Member_add]/[Member_remove]
       when the bundle grows or shrinks live ([channel] = the index added
-      or removed, [size] = the new bundle width). *)
+      or removed, [size] = the new bundle width).
+    - {b Chaos and recovery} (PROTOCOL.md §12): the {b Striper} emits
+      [Crash] when an endpoint loses its striping state and [Restart]
+      when it comes back ([round] = the new epoch on a sender restart;
+      the {b Resequencer} emits the receiver-side pair). The
+      {b Resequencer} also emits [Epoch_discard] (a buffered pre-crash
+      packet discarded because a later-epoch marker proved it stale;
+      [size] = bytes discarded on the channel). [Violation] is reserved
+      for the invariant monitors ({!Monitor}): it is emitted by the
+      monitor itself, never by protocol components, when an always-on
+      invariant (FIFO-after-quiet, budget, progress, conservation) is
+      observed broken ([seq] = monitor-specific detail). *)
 
 type kind =
   | Enqueue
@@ -75,6 +86,10 @@ type kind =
   | Retune
   | Member_add
   | Member_remove
+  | Crash
+  | Restart
+  | Epoch_discard
+  | Violation
 
 type t = {
   time : float;

@@ -1,0 +1,74 @@
+(** Always-on invariant monitors over the event stream.
+
+    A monitor is a {!Sink}: tee {!sink} into a component's sink
+    ({!Sink.tee}) and it shadows the protocol's externally visible
+    behavior, asserting the invariants every chaos soak must preserve:
+
+    - {b FIFO order}: delivered data sequence numbers are strictly
+      increasing past the {e quiet line} (inversions before it are
+      counted as {!seq_inversions} but are legal quasi-FIFO slippage
+      while chaos drains, Thm 5.1);
+    - {b buffer budget}: the resequencer's buffered data bytes (shadowed
+      from [Enqueue]/[Deliver]/[Epoch_discard] events) never exceed the
+      configured budget;
+    - {b progress}: data never sits buffered across [wedge_intervals]
+      marker intervals with no delivery — the wedged-receiver detector.
+
+    Violations are recorded with time and diagnosis, forwarded as
+    [Violation] events (when a forward sink is given), and never raise:
+    the driver decides whether a soak aborts. Conservation — pushed =
+    delivered + pending + counted drops — cannot be checked from events
+    alone (drops happen at many layers with their own counters), so it
+    is provided as the explicit checkers {!conserved} /
+    {!check_conservation} over harvested counter values. *)
+
+type t
+
+val create :
+  ?quiet_after:float ->
+  ?budget_bytes:int ->
+  ?wedge_intervals:int ->
+  ?forward:Sink.t ->
+  unit ->
+  t
+(** [quiet_after] (default 0.0 — strict from the start) is the FIFO
+    quiet line; chaos drivers move it past their last event plus a
+    drain grace ({!set_quiet_after}). [budget_bytes] arms the budget
+    monitor with the same bound handed to the resequencer.
+    [wedge_intervals] (default 8) is the progress monitor's K.
+    [forward] receives a [Violation] event per violation, with [seq] =
+    the monitor's event ordinal at detection. *)
+
+val sink : t -> Sink.t
+(** The monitor as an event sink. Tee it into the observed component's
+    sink; a fresh call returns a new sink sharing this monitor. *)
+
+val set_quiet_after : t -> float -> unit
+
+val violations : t -> int
+
+val first_violation : t -> (float * string) option
+(** Time and diagnosis of the first violation — report it together with
+    the run's seed and the chaos driver's last event index. *)
+
+val all_violations : t -> (float * string) list
+val seq_inversions : t -> int
+
+val buffered_bytes : t -> int
+(** The budget monitor's current shadow of buffered data bytes. *)
+
+val events_seen : t -> int
+
+val conserved :
+  pushed:int -> delivered:int -> pending:int -> drops:int list -> bool
+(** The conservation identity over harvested counters: [pushed =
+    delivered + pending + sum drops]. *)
+
+val check_conservation :
+  what:string ->
+  pushed:int ->
+  delivered:int ->
+  pending:int ->
+  drops:int list ->
+  (unit, string) result
+(** Like {!conserved}, but a diagnosable [Error] naming [what]. *)

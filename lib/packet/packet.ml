@@ -4,6 +4,8 @@ type marker = {
   m_dc : int;
   m_credit : int option;
   m_reset : bool;
+  m_epoch : int;
+  m_gen : int;
   m_cksum : int;
 }
 
@@ -30,7 +32,7 @@ let marker_size = 36
    marker (Theorem 5.1 still applies — a discarded marker is just a lost
    marker). Fowler–Noll–Vo-style mixing; strength is irrelevant, we only
    need random damage to miss the right value with high probability. *)
-let marker_checksum_of ~channel ~round ~dc ~credit ~reset =
+let marker_checksum_of ~channel ~round ~dc ~credit ~reset ~epoch ~gen =
   let mix acc v = (acc * 16777619) lxor (v land 0xffffffff) in
   let acc = 2166136261 in
   let acc = mix acc channel in
@@ -38,11 +40,13 @@ let marker_checksum_of ~channel ~round ~dc ~credit ~reset =
   let acc = mix acc dc in
   let acc = mix acc (match credit with None -> -1 | Some c -> c) in
   let acc = mix acc (if reset then 1 else 0) in
+  let acc = mix acc epoch in
+  let acc = mix acc gen in
   (acc lxor (acc lsr 16)) land 0xffff
 
 let marker_checksum m =
   marker_checksum_of ~channel:m.m_channel ~round:m.m_round ~dc:m.m_dc
-    ~credit:m.m_credit ~reset:m.m_reset
+    ~credit:m.m_credit ~reset:m.m_reset ~epoch:m.m_epoch ~gen:m.m_gen
 
 let marker_valid m = m.m_cksum = marker_checksum m
 
@@ -50,7 +54,8 @@ let data ?(flow = 0) ?(frame = -1) ?(off = -1) ?(born = 0.0) ~seq ~size () =
   if size <= 0 then invalid_arg "Packet.data: size must be positive";
   { seq; size; kind = Data; flow; frame; off; born }
 
-let marker ?credit ?(reset = false) ~channel ~round ~dc ~born () =
+let marker ?credit ?(reset = false) ?(epoch = 0) ?(gen = 0) ~channel ~round
+    ~dc ~born () =
   {
     seq = -1;
     size = marker_size;
@@ -62,8 +67,10 @@ let marker ?credit ?(reset = false) ~channel ~round ~dc ~born () =
           m_dc = dc;
           m_credit = credit;
           m_reset = reset;
+          m_epoch = epoch;
+          m_gen = gen;
           m_cksum =
-            marker_checksum_of ~channel ~round ~dc ~credit ~reset;
+            marker_checksum_of ~channel ~round ~dc ~credit ~reset ~epoch ~gen;
         };
     flow = 0;
     frame = -1;
@@ -107,7 +114,9 @@ let pp fmt t =
       (match m.m_credit with
       | None -> ""
       | Some c -> Printf.sprintf ",credit=%d" c)
-      (if m.m_reset then ",reset" else "")
+      ((if m.m_reset then ",reset" else "")
+      ^ (if m.m_epoch <> 0 then Printf.sprintf ",e=%d" m.m_epoch else "")
+      ^ if m.m_gen <> 0 then Printf.sprintf ",g=%d" m.m_gen else "")
 
 let equal a b = a = b
 

@@ -29,6 +29,29 @@ type marker = {
           reset"): the sender reinitialized its state; data behind this
           marker belongs to the fresh epoch. The receiver reinitializes
           once it has reached the reset marker on every channel. *)
+  m_epoch : int;
+      (** Sender incarnation number. Graceful resets (retune, resume,
+          add/remove) keep the epoch; only a crash-restart increments it.
+          A receiver that sees a marker from a later epoch knows the
+          sender lost all striping state: buffered pre-crash data on that
+          channel is stale and the channel must join the crash reset
+          barrier even if the restart's reset marker itself was lost
+          (PROTOCOL.md §12). Packed into the marker's existing padding,
+          so [marker_size] is unchanged; covered by [m_cksum]. *)
+  m_gen : int;
+      (** Reset-barrier generation within the epoch: the sender's count
+          of §5 resets since its last (re)start, stamped on every marker
+          (periodic and reset alike). §5 assumes one reset in flight at
+          a time; under correlated faults barriers can overtake each
+          other — a sender resetting again while some links were down
+          loses part of each generation's markers — and without this tag
+          the receiver can pair surviving markers from different
+          generations, stranding a barrier forever or parking phantom
+          half-barriers that trap data behind them. With the tag the
+          receiver adopts generations in order and discards a reset
+          marker from an already-adopted generation as the duplicate it
+          is. Compared lexicographically after [m_epoch]; packed into
+          marker padding like the epoch; covered by [m_cksum]. *)
   m_cksum : int;
       (** 16-bit integrity checksum over the other marker fields, filled
           in by the {!marker} constructor. A receiver verifies it with
@@ -79,10 +102,10 @@ val data :
 (** [data ~seq ~size ()] builds a data packet. [size] must be positive. *)
 
 val marker :
-  ?credit:int -> ?reset:bool -> channel:int -> round:int -> dc:int ->
-  born:float -> unit -> t
-(** Build a marker packet; [reset] defaults to [false]. Markers have
-    [seq = -1]. *)
+  ?credit:int -> ?reset:bool -> ?epoch:int -> ?gen:int -> channel:int ->
+  round:int -> dc:int -> born:float -> unit -> t
+(** Build a marker packet; [reset] defaults to [false], [epoch] and
+    [gen] to [0]. Markers have [seq = -1]. *)
 
 val is_marker : t -> bool
 

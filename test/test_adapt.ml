@@ -347,24 +347,31 @@ let test_barrier_reseeds_marker_cadence () =
   Alcotest.(check bool) "channel 1 dead after real silence" true
     (Resequencer.channel_dead t.reseq 1)
 
-(* Regression: a marker gap above the estimate is adopted outright
-   rather than half-averaged. After the sender stretches its cadence
-   0.1 s -> 9.8 s, a half-gain EWMA (estimate 4.95 s, deadline 14.85 s)
-   would declare death during ordinary 20 s silence; adopting the new
-   gap sets the deadline to 29.4 s. *)
+(* Regression: a marker gap above the estimate (but inside the
+   watchdog horizon) is adopted outright rather than half-averaged,
+   and a stretch {e beyond} the horizon is adopted after one
+   corroborating gap. After the sender stretches its cadence
+   0.1 s -> 9.8 s, the first stretched gap is held back as a suspect —
+   from one sample it is indistinguishable from an outage that
+   swallowed markers, and adopting an outage would inflate the
+   watchdog and barrier-staleness horizons by the outage length (the
+   chaos-storm failure mode). The second consistent gap adopts the new
+   cadence, setting the death deadline to 3 x 9.8 s = 29.4 s. *)
 let test_marker_cadence_adopts_up () =
   let t = make_wd ~intervals:3 ~fallback:1000.0 () in
   push_round t ~at:0.0 0;
   push_round t ~at:0.1 2;
   push_round t ~at:0.2 4;
-  (* Cadence stretch: next markers arrive 9.8 s later. *)
+  (* Cadence stretch: markers now arrive 9.8 s apart. The first
+     stretched gap is suspect-only; the second corroborates it. *)
   push_round t ~at:10.0 6;
+  push_round t ~at:19.8 8;
   (* Block the scan so the watchdog has a channel to judge. (The
      stretch arrival itself can declare a transient death — the first
      wire drains before the late marker reaches the second — which the
      arrival immediately revives; only deaths after this point are the
      estimator's verdict.) *)
-  Striper.push t.striper (Packet.data ~seq:8 ~size:1000 ());
+  Striper.push t.striper (Packet.data ~seq:10 ~size:1000 ());
   shuttle_wd t;
   Alcotest.(check bool) "scan is blocked" true
     (Resequencer.blocked_on t.reseq <> None);
@@ -372,17 +379,17 @@ let test_marker_cadence_adopts_up () =
     ((not (Resequencer.channel_dead t.reseq 0))
     && not (Resequencer.channel_dead t.reseq 1));
   let deaths0 = Resequencer.dead_declarations t.reseq in
-  t.now := 30.0;
-  (* 20 s of silence: past the half-gain deadline, inside the
-     adopted-gap deadline. *)
+  t.now := 40.0;
+  (* 20.2 s of silence: far past the old-cadence deadline (0.3 s),
+     inside the adopted stretched-cadence deadline. *)
   Resequencer.tick t.reseq;
   Alcotest.(check int) "silence within the stretched cadence tolerated" deaths0
     (Resequencer.dead_declarations t.reseq);
   Alcotest.(check bool) "both channels still alive" true
     ((not (Resequencer.channel_dead t.reseq 0))
     && not (Resequencer.channel_dead t.reseq 1));
-  t.now := 41.0;
-  (* 31 s of silence: past 3 x 9.8 s — genuine death. *)
+  t.now := 51.0;
+  (* 31.2 s of silence: past 3 x 9.8 s — genuine death. *)
   Resequencer.tick t.reseq;
   Alcotest.(check bool) "death after three stretched intervals" true
     (Resequencer.dead_declarations t.reseq > deaths0)
