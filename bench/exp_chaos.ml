@@ -75,13 +75,23 @@ let cell_horizons ~quanta ~bundles =
   in
   (fallback, grace)
 
-type profile = { pname : string; storm_every : float; crash_every : float }
+type profile = {
+  pname : string;
+  storm_every : float;
+  crash_every : float;
+  degrade_every : float;
+}
 
+(* Cells with gray degradations ([degrade_every] > 0) also run the §13
+   health engine fleet-wide: one engine on the pool's shared wire
+   counters — one gray link must not require one detection per bundle —
+   with its Quarantine/Reinstate events feeding a liveness monitor. *)
 let profiles =
   [
-    { pname = "storms"; storm_every = 0.25; crash_every = 0.0 };
-    { pname = "crashes"; storm_every = 0.0; crash_every = 0.02 };
-    { pname = "mixed"; storm_every = 0.3; crash_every = 0.03 };
+    { pname = "storms"; storm_every = 0.25; crash_every = 0.0; degrade_every = 0.0 };
+    { pname = "crashes"; storm_every = 0.0; crash_every = 0.02; degrade_every = 0.0 };
+    { pname = "degrades"; storm_every = 0.0; crash_every = 0.0; degrade_every = 0.06 };
+    { pname = "mixed"; storm_every = 0.3; crash_every = 0.03; degrade_every = 0.1 };
   ]
 
 type run = {
@@ -102,6 +112,8 @@ type run = {
   violations : int;
   conservation_failures : int;
   wd_dead : int;
+  quarantines : int;
+  health_violations : int;
   failure : string option; (* diagnosis incl. seed + event index *)
 }
 
@@ -117,9 +129,14 @@ let run_cell ~profile ~bundles ~seed ~inject () =
     Srr.quanta_for_rates ~rates_bps:reference_rates ~quantum_unit:1500 ()
   in
   let wd_fallback, grace = cell_horizons ~quanta ~bundles in
+  let health_on = profile.degrade_every > 0.0 in
+  let health_monitor = Monitor.create ~live_channels:n_channels () in
   let pool =
     Bundle_pool.create ~stamp_seq:true
       ~watchdog:{ Resequencer.intervals = wd_intervals; fallback = wd_fallback }
+      ?health:(if health_on then Some Health.default_config else None)
+      ?health_sink:
+        (if health_on then Some (Monitor.sink health_monitor) else None)
       ~sim
       {
         Bundle_pool.rate_bps = reference_rates;
@@ -135,7 +152,8 @@ let run_cell ~profile ~bundles ~seed ~inject () =
   let plan =
     Chaos.random_plan ~rng:chaos_rng ~n_channels ~n_bundles:bundles
       ~horizon:chaos_horizon ~storm_every:profile.storm_every
-      ~crash_every:profile.crash_every ~mean_outage:0.08 ~mean_downtime:0.08 ()
+      ~crash_every:profile.crash_every ~degrade_every:profile.degrade_every
+      ~mean_outage:0.08 ~mean_downtime:0.08 ~mean_degrade:0.15 ()
   in
   let plan =
     if inject then
@@ -172,6 +190,8 @@ let run_cell ~profile ~bundles ~seed ~inject () =
             last_restart.(s).(b) <- Sim.now sim
           end);
       violate = (fun b -> Bundle_pool.inject_violation pool b);
+      set_loss = (fun c l -> Bundle_pool.set_channel_loss pool c l);
+      scale_rate = (fun c f -> Bundle_pool.scale_channel_rate pool c f);
     }
   in
   let last_event = ref (-1) in
@@ -182,14 +202,89 @@ let run_cell ~profile ~bundles ~seed ~inject () =
       if String.length what >= 7 && String.sub what 0 7 = "violate" then
         violate_event := index)
     driver plan;
-  let quiet = Chaos.horizon plan +. grace in
-  Bundle_pool.set_fifo_check_after pool quiet;
-  let traffic_until = quiet +. traffic_tail in
+  (* Post-incident resync: a watchdog skip over packets that were merely
+     delayed (a rate collapse) leaves their late copies as a buffered
+     surplus the resequencer delivers at a constant quasi-FIFO offset
+     forever — data packets carry no round identity, so only a §5 reset
+     barrier expunges it. Fire one pool-wide once the fault horizon has
+     passed; the surplus drains during barrier assembly, before the
+     FIFO check arms. (Health cells get further resyncs for free: every
+     health retune fires a slot reset across the pool.) *)
+  let resync_at = Chaos.horizon plan +. 0.05 in
+  Sim.schedule sim ~at:resync_at (fun () -> Bundle_pool.resync pool);
+  (* The quiet line is dynamic, pushed out by whichever settles last:
+
+     - Wire backlog. A rate collapse leaves serialization debt that
+       drains long after its window (and long after the plan's horizon
+       when storms concentrate load on the collapsed channel).
+       Predicting the drain is hopeless; measuring it is easy: at each
+       provisional quiet line, ask the pool for its latest scheduled
+       wire departure and push the line out while real backlog — beyond
+       a normal few packets of serialization — remains.
+
+     - Health engine actions. Every transition — probation retunes,
+       quarantine suspensions, backoff reinstatements — rides a §5
+       barrier whose adoption is only quasi-FIFO (Thm 5.1), so the FIFO
+       check cannot arm until a grace after the engine's LAST action.
+       The engine must run to convergence, not be cut off at the chaos
+       horizon: freezing it mid-probation freezes the scaled quanta,
+       and a probation cut concentrates the open-loop offered load onto
+       the surviving channels — past the slowest wire's capacity, so
+       the backlog would grow without bound. Left running, the engine
+       converges on its own once the faults clear: probation channels
+       collect clean windows and recover, quarantined channels
+       reinstate on their backoff and heal, quanta return to nominal,
+       and the wire drains. *)
+  let max_prop = Array.fold_left Float.max 0.0 reference_delays in
+  let last_health_action = ref resync_at in
+  let armed_quiet = ref infinity in
+  let traffic_until = ref 0.0 in
+  let rec arm_quiet q =
+    armed_quiet := q;
+    Bundle_pool.set_fifo_check_after pool q;
+    if q +. traffic_tail > !traffic_until then
+      traffic_until := q +. traffic_tail;
+    Sim.schedule sim ~at:q (fun () ->
+        if !armed_quiet = q then begin
+          let busy_end = Bundle_pool.wire_busy_until pool in
+          let wire_q =
+            if busy_end -. q > 0.05 then busy_end +. max_prop +. grace
+            else q
+          in
+          let q' = Float.max wire_q (!last_health_action +. grace) in
+          if q' > q +. 1e-6 then arm_quiet q'
+        end)
+  in
+  arm_quiet (resync_at +. grace);
+  let quarantines = ref 0 in
+  if health_on then begin
+    let rec health_tick () =
+      if Sim.now sim < !traffic_until then begin
+        let retunes_before = Bundle_pool.health_retunes pool in
+        let transitions = Bundle_pool.health_tick pool ~now:(Sim.now sim) in
+        List.iter
+          (function
+            | Health.To_quarantine _ -> incr quarantines
+            | _ -> ())
+          transitions;
+        if
+          (match transitions with _ :: _ -> true | [] -> false)
+          || Bundle_pool.health_retunes pool <> retunes_before
+        then begin
+          let now = Sim.now sim in
+          last_health_action := now;
+          if !armed_quiet < now +. grace then arm_quiet (now +. grace)
+        end;
+        Sim.schedule_after sim ~delay:0.05 health_tick
+      end
+    in
+    Sim.schedule sim ~at:0.05 health_tick
+  end;
   let gen_size =
     Stripe_workload.Genpkt.bimodal ~rng:size_rng ~small:200 ~large:1000 ()
   in
   let rec traffic_tick () =
-    if Sim.now sim < traffic_until then begin
+    if Sim.now sim < !traffic_until then begin
       Bundle_pool.push pool (Rng.int traffic_rng bundles) ~size:(gen_size ());
       Sim.schedule_after sim
         ~delay:(Rng.exponential traffic_rng ~mean:(1.0 /. packet_rate))
@@ -244,6 +339,7 @@ let run_cell ~profile ~bundles ~seed ~inject () =
             Bundle_pool.receiver_down_drops pool b;
             Bundle_pool.rx_epoch_discards pool b;
             Bundle_pool.rx_wiped_packets pool b;
+            Bundle_pool.wire_loss_drops pool b;
           ]
     with
     | Ok () -> ()
@@ -273,6 +369,11 @@ let run_cell ~profile ~bundles ~seed ~inject () =
     else if !recovered < !crashed then
       fail "endpoint %s never delivered after restart"
         (Option.value ~default:"?" !first_unrecovered)
+    else if Monitor.violations health_monitor > 0 then
+      fail "health engine liveness violation: %s"
+        (match Monitor.first_violation health_monitor with
+        | Some (_, msg) -> msg
+        | None -> "?")
     else if inject && violations = 0 then
       fail "injected violation was NOT caught"
     else None
@@ -298,6 +399,8 @@ let run_cell ~profile ~bundles ~seed ~inject () =
       violations;
       conservation_failures = !conservation_failures;
       wd_dead = sums Bundle_pool.rx_dead_declarations;
+      quarantines = !quarantines;
+      health_violations = Monitor.violations health_monitor;
       failure;
     },
     !violate_event )
@@ -305,20 +408,22 @@ let run_cell ~profile ~bundles ~seed ~inject () =
 let print_run r =
   Printf.printf
     "  %-18s %4d ev  %8d pkts  drops %6d  crash %3d/%3d  recovered %3d/%3d  \
-     mttr %s  avail %.4f/%.4f  inv %5d  wd %4d  viol %d  consv %d\n\
+     mttr %s  avail %.4f/%.4f  inv %5d  wd %4d  quar %3d  viol %d/%d  consv \
+     %d\n\
      %!"
     r.tag r.chaos_events r.delivered r.carrier_drops r.crashes r.restarts
     r.recovered r.crashed_endpoints
     (if r.mttr_ms < 0.0 then "   n/a" else Printf.sprintf "%5.1fms" r.mttr_ms)
-    r.avail_mean r.avail_min r.inversions r.wd_dead r.violations
-    r.conservation_failures
+    r.avail_mean r.avail_min r.inversions r.wd_dead r.quarantines r.violations
+    r.health_violations r.conservation_failures
 
 let json_of_run r =
   Printf.sprintf
-    "{\"run\":\"%s\",\"seed\":%d,\"bundles\":%d,\"chaos_events\":%d,\"delivered\":%d,\"carrier_drops\":%d,\"crashes\":%d,\"restarts\":%d,\"crashed_endpoints\":%d,\"recovered\":%d,\"mttr_ms\":%.3f,\"avail_mean\":%.5f,\"avail_min\":%.5f,\"inversions\":%d,\"violations\":%d,\"conservation_failures\":%d,\"watchdog_dead\":%d}"
+    "{\"run\":\"%s\",\"seed\":%d,\"bundles\":%d,\"chaos_events\":%d,\"delivered\":%d,\"carrier_drops\":%d,\"crashes\":%d,\"restarts\":%d,\"crashed_endpoints\":%d,\"recovered\":%d,\"mttr_ms\":%.3f,\"avail_mean\":%.5f,\"avail_min\":%.5f,\"inversions\":%d,\"violations\":%d,\"conservation_failures\":%d,\"watchdog_dead\":%d,\"quarantines\":%d,\"health_violations\":%d}"
     r.tag r.seed r.bundles r.chaos_events r.delivered r.carrier_drops r.crashes
     r.restarts r.crashed_endpoints r.recovered r.mttr_ms r.avail_mean
     r.avail_min r.inversions r.violations r.conservation_failures r.wd_dead
+    r.quarantines r.health_violations
 
 let () =
   let quick = ref false in
@@ -347,10 +452,44 @@ let () =
     | "--inject-violation" :: rest ->
       inject := true;
       parse rest
+    | "--health-selftest" :: _ ->
+      (* The liveness monitor must fire when quarantines zero the live
+         membership, and shadow reinstatements back out. No simulation:
+         drive the event stream directly. *)
+      let mon = Monitor.create ~live_channels:n_channels () in
+      let sink = Monitor.sink mon in
+      let ev kind c t =
+        Stripe_obs.Sink.emit sink
+          (Stripe_obs.Event.v ~channel:c ~size:0 ~seq:0 ~time:t kind)
+      in
+      for c = 0 to n_channels - 2 do
+        ev Stripe_obs.Event.Quarantine c (float_of_int c)
+      done;
+      if Monitor.violations mon <> 0 then begin
+        Printf.eprintf
+          "  FAIL: liveness monitor fired with one live channel left\n";
+        exit 1
+      end;
+      ev Stripe_obs.Event.Reinstate 0 10.0;
+      ev Stripe_obs.Event.Quarantine 0 11.0;
+      ev Stripe_obs.Event.Quarantine (n_channels - 1) 12.0;
+      if Monitor.violations mon <> 1 then begin
+        Printf.eprintf
+          "  FAIL: liveness monitor missed a membership-zeroing quarantine \
+           (saw %d violations)\n"
+          (Monitor.violations mon);
+        exit 1
+      end;
+      Printf.printf
+        "exp_chaos: health-monitor self-test passed — %d quarantines tolerated \
+         with a live member, the zeroing one caught\n"
+        n_channels;
+      exit 0
     | arg :: _ ->
       Printf.eprintf
         "usage: exp_chaos [--quick] [--bundles N] [--seed S] [--profile \
-         storms|crashes|mixed] [--json FILE] [--inject-violation] (got %s)\n"
+         storms|crashes|degrades|mixed] [--json FILE] [--inject-violation] \
+         [--health-selftest] (got %s)\n"
         arg;
       exit 2
   in
@@ -362,7 +501,8 @@ let () =
     | Some name -> (
       match List.filter (fun p -> p.pname = name) profiles with
       | [] ->
-        Printf.eprintf "unknown profile %S (want storms|crashes|mixed)\n" name;
+        Printf.eprintf
+          "unknown profile %S (want storms|crashes|degrades|mixed)\n" name;
         exit 2
       | ps -> ps)
   in
@@ -371,7 +511,9 @@ let () =
        success means the monitor caught it and can name the event. *)
     let b = Option.value ~default:200 !bundles in
     let s = List.hd seeds in
-    let mixed = { pname = "mixed"; storm_every = 0.3; crash_every = 0.03 } in
+    let mixed =
+      { pname = "mixed"; storm_every = 0.3; crash_every = 0.03; degrade_every = 0.1 }
+    in
     Printf.printf
       "exp_chaos: detection self-test, %d bundles, seed %d, planted FIFO \
        violation\n\

@@ -14,7 +14,6 @@ let experiments =
     ("fig15", fun () -> Exp_fig15.run ());
     ("grr-worst", fun () -> Exp_grr_worst.run ());
     ("resync-loss", fun () -> Exp_resync.run_e1 ());
-    ("impair", fun () -> Exp_impair.run ());
     ("marker-freq", fun () -> Exp_resync.run_e2 ());
     ("marker-pos", fun () -> Exp_resync.run_e3 ());
     ("credit", fun () -> Exp_credit.run ());

@@ -141,6 +141,27 @@ let fragmenter_bench =
              (Stripe_packet.Packet.data ~seq ~size:700 ())
          done))
 
+(* The go-back-N sender's outstanding set is a FIFO queue: appends at
+   fill and prefix pops at each cumulative ACK are O(1), where the old
+   list representation paid O(window) per segment. This prices the
+   steady-state churn — a full window acknowledged one segment at a
+   time. *)
+let tcp_window_bench =
+  Test.make ~name:"tcp_lite window churn, 64-seg window (256 acks)"
+    (Staged.stage (fun () ->
+         let sim = Stripe_netsim.Sim.create () in
+         let tx =
+           Stripe_transport.Tcp_lite.Sender.create sim ~window:64000
+             ~next_segment_size:(fun () -> 1000)
+             ~transmit:(fun ~off:_ ~size:_ -> ())
+             ()
+         in
+         Stripe_transport.Tcp_lite.Sender.start tx;
+         for k = 1 to 256 do
+           Stripe_transport.Tcp_lite.Sender.on_ack tx (k * 1000)
+         done;
+         Stripe_transport.Tcp_lite.Sender.shutdown tx))
+
 let tests =
   Test.make_grouped ~name:"per-packet costs"
     [
@@ -156,6 +177,7 @@ let tests =
       seq_resequencer_bench;
       mppp_bench;
       fragmenter_bench;
+      tcp_window_bench;
     ]
 
 let benchmark () =

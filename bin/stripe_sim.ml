@@ -313,6 +313,36 @@ let adapt_band =
            channel's target quantum differs from its current one by more \
            than $(docv) of the current value.")
 
+let health_conv =
+  Arg.conv
+    ( (fun s ->
+        match Health.parse_spec s with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg e)),
+      fun fmt (_, every) ->
+        Format.fprintf fmt "health every=%g" (Option.value every ~default:0.05)
+    )
+
+let health_spec =
+  Arg.(
+    value
+    & opt (some health_conv) None
+    & info [ "health" ] ~docv:"SPEC"
+        ~doc:
+          "Gray-failure health engine (PROTOCOL.md §13): every tick, fold \
+           each channel's wire loss and goodput into an EWMA badness score \
+           and walk the Healthy/Suspect/Probation/Quarantined state machine \
+           with hysteresis. Probation cuts the channel's quantum to a \
+           fraction of nominal through the §5 reset barrier (floored at the \
+           max packet, keeping Thm 5.1); quarantine suspends the channel \
+           and reinstates it on an exponential backoff. $(docv) is \
+           comma-separated $(b,KEY=VALUE) over the defaults: $(b,every) \
+           (tick seconds, default 0.05), $(b,alpha), $(b,suspect), \
+           $(b,quarantine), $(b,exit), $(b,escalate), $(b,recover), \
+           $(b,frac), $(b,backoff), $(b,factor), $(b,maxbackoff). Example: \
+           $(b,every=0.05,frac=0.25,backoff=0.5). Quasi mode with a CFQ \
+           scheduler only.")
+
 (* One delivery sink shared by every mode. *)
 type sink = {
   reorder : Reorder.t;
@@ -337,7 +367,7 @@ let sink_deliver sink sim pkt =
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     loss_stop seed engine replay_file trace_out trace_format fault_specs
     impair_specs chaos_specs guard_window rx_buffer overflow_policy crash_at
-    watchdog_k no_auto_suspend adapt_interval adapt_band =
+    watchdog_k no_auto_suspend adapt_interval adapt_band health_spec =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
@@ -740,6 +770,110 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         | Some _, _, _ ->
           prerr_endline "warning: --adapt needs quasi mode with a CFQ scheduler"
         | None, _, _ -> ());
+        (* Gray-failure health engine (PROTOCOL.md §13): a recurring tick
+           harvests each link's wire counters as evidence, fuses them into
+           a per-channel badness score, and maps the state machine's
+           transitions onto the striper — quarantine suspends the channel
+           through the §5 reset barrier, a timed reinstatement resumes it
+           as a probation probe — while each state's quantum demand lands
+           as a staged retune at a round boundary, floored at the max
+           packet so Thm 5.1 keeps holding. *)
+        let health_stats = ref (fun () -> []) in
+        (match health_spec, mode, engine_opt with
+        | Some (hconfig, every), `Quasi, Some e ->
+          let tick_every = Option.value every ~default:0.05 in
+          let h =
+            Health.create ~config:hconfig
+              ~live:(fun c -> c >= 0 && c < n && Link.is_up links.(c))
+              ~sink:obs_sink ~n ()
+          in
+          let nominal = Array.copy (Deficit.quanta e) in
+          let last_sent = Array.make n 0 in
+          let last_lost = Array.make n 0 in
+          let last_sb = Array.make n 0 in
+          let last_db = Array.make n 0 in
+          let staged = ref (Array.copy nominal) in
+          let quarantines = ref 0 in
+          let reinstates = ref 0 in
+          let retunes = ref 0 in
+          let deferred = ref 0 in
+          let rec health_tick () =
+            (* The window's per-channel evidence: wire loss rate and the
+               goodput ratio (delivered/sent bytes). *)
+            for c = 0 to n - 1 do
+              let ds = Link.sent_packets links.(c) - last_sent.(c) in
+              let dl = Link.lost_packets links.(c) - last_lost.(c) in
+              let dsb = Link.sent_bytes links.(c) - last_sb.(c) in
+              let ddb = Link.delivered_bytes links.(c) - last_db.(c) in
+              last_sent.(c) <- Link.sent_packets links.(c);
+              last_lost.(c) <- Link.lost_packets links.(c);
+              last_sb.(c) <- Link.sent_bytes links.(c);
+              last_db.(c) <- Link.delivered_bytes links.(c);
+              if ds > 0 || dl > 0 then
+                Health.observe h ~channel:c ~sent:ds ~lost:dl
+                  ~goodput_ratio:
+                    (if dsb > 0 then
+                       Float.min 1.0 (float_of_int ddb /. float_of_int dsb)
+                     else 1.0)
+                  ()
+            done;
+            List.iter
+              (function
+                | Health.To_quarantine { channel; _ } ->
+                  incr quarantines;
+                  Striper.suspend_channel striper channel
+                | Health.To_probation { channel; from_quarantine = true } ->
+                  incr reinstates;
+                  Striper.resume_channel striper channel
+                | Health.To_suspect _ | Health.To_probation _
+                | Health.To_healthy _ -> ())
+              (Health.sample h ~now:(Sim.now sim));
+            let target =
+              Array.mapi
+                (fun c q ->
+                  let s = Health.quantum_scale h c in
+                  if s <= 0.0 || s >= 1.0 then q
+                  else max 1500 (int_of_float (float_of_int q *. s)))
+                nominal
+            in
+            if target <> !staged then begin
+              let pending =
+                match !reseq_cell with
+                | Some r -> Resequencer.transition_pending r
+                | None -> false
+              in
+              if pending then incr deferred
+              else begin
+                incr retunes;
+                staged := target;
+                (match !reseq_cell with
+                | Some r -> Resequencer.retune r ~quanta:target
+                | None -> ());
+                Striper.retune striper ~quanta:target ()
+              end
+            end;
+            if not !offer_done then
+              Sim.schedule_after sim ~delay:tick_every health_tick
+          in
+          Sim.schedule_after sim ~delay:tick_every health_tick;
+          health_stats :=
+            (fun () ->
+              let per f =
+                String.concat " " (List.init n f)
+              in
+              [
+                Printf.sprintf
+                  "health: quarantines=%d reinstates=%d retunes=%d \
+                   deferred=%d guard-deferrals=%d"
+                  !quarantines !reinstates !retunes !deferred
+                  (Health.deferred_quarantines h);
+                Printf.sprintf "  states: [%s]  scores: [%s]"
+                  (per (fun c -> Health.state_name (Health.state h c)))
+                  (per (fun c -> Printf.sprintf "%.2f" (Health.score h c)));
+              ])
+        | Some _, _, _ ->
+          prerr_endline "warning: --health needs quasi mode with a CFQ scheduler"
+        | None, _, _ -> ());
         (match mode, engine_opt with
         | `Quasi, Some e ->
           crash_ref :=
@@ -793,6 +927,12 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                         (Obs.Event.v ~time:(Sim.now sim) ~size:0 ~seq:max_int
                            Obs.Event.Deliver)
                     | None -> ());
+                set_loss =
+                  (fun c l -> if c >= 0 && c < n then Link.set_loss links.(c) l);
+                scale_rate =
+                  (fun c f ->
+                    if c >= 0 && c < n then
+                      Link.set_rate_bps links.(c) (confs.(c).rate *. f));
               }
         | _ -> ());
         ( (fun pkt ->
@@ -829,6 +969,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                  else []);
                 !reseq_stats ();
                 !adapt_stats ();
+                !health_stats ();
               ] )
       | `Mppp ->
         let receiver = ref None in
@@ -914,7 +1055,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           (function
             | Chaos.Crash { bundle; _ } | Chaos.Violate { bundle; _ } ->
               bundle <> 0
-            | Chaos.Storm _ -> false)
+            | Chaos.Storm _ | Chaos.Degrade _ -> false)
           chaos_actions
       then
         prerr_endline
@@ -1044,6 +1185,6 @@ let cmd =
        $ markers $ loss_stop $ seed $ engine_arg $ replay_file $ trace_out
        $ trace_format $ fault_specs $ impair_specs $ chaos_specs $ guard_window
        $ rx_buffer $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend
-       $ adapt_interval $ adapt_band))
+       $ adapt_interval $ adapt_band $ health_spec))
 
 let () = exit (Cmd.eval cmd)

@@ -1115,6 +1115,8 @@ let remove_channel t c =
 
 let delivered t = t.n_delivered
 
+let quanta t = Deficit.quanta t.d
+
 let pending t = t.n_data_buffered
 
 let blocked_on t = if t.waiting < 0 then None else Some t.waiting

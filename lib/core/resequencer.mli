@@ -188,6 +188,14 @@ val transition_pending : t -> bool
 (** Whether a staged retune/add/remove is waiting for its barrier.
     Adaptive policies check this before staging the next step. *)
 
+val quanta : t -> int array
+(** The quantum vector the simulated sender engine is currently running
+    (a copy; staged transitions are not reflected until adopted). A
+    supervisor reconciling the two halves of a bundle compares this
+    against the live sender's vector: the halves can diverge when a
+    sender crash-restart rebuilds its engine while the receiver still
+    runs an adopted retune. *)
+
 val on_transition_adopted : t -> (unit -> unit) -> unit
 (** Register a callback fired immediately after a staged transition
     (retune, add, or remove) is adopted at its reset barrier. A plain

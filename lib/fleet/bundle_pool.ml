@@ -61,6 +61,36 @@ type t = {
      [c] down at once — the shared-risk-group model the chaos engine
      drives. All up at create. *)
   ch_up : bool array;
+  (* Gray-failure state, pool-wide per channel (PROTOCOL.md §13). The
+     wire impairments model a degrading facility: [ch_loss] eats packets
+     in flight, [rate_scale] shrinks the service rate relative to
+     nominal. [ch_quarantined] is the health engine's verdict — policy
+     suspension layered on top of carrier state, honored by [acquire],
+     [restart_sender], and the full-heal barrier condition. One health
+     engine serves the whole fleet: channel [c] is one physical
+     facility, so one detection covers every bundle riding it. *)
+  rng : Rng.t;  (* wire-loss evaluation *)
+  ch_loss : Loss.t array;
+  rate_scale : float array;
+  ch_quarantined : bool array;
+  mutable health : Health.t option;
+  (* Pool-wide per-channel wire counters — the health engine's evidence.
+     [wtx] counts packets offered to the wire (lost ones included),
+     [wlost] the ones the loss process ate, [wtx_b]/[wdone_b] bytes
+     offered / bytes whose wire service completed (goodput collapse
+     shows as a widening gap). [last_*] are the previous tick's
+     snapshots. *)
+  wtx_p : int array;
+  wlost_p : int array;
+  wtx_b : int array;
+  wdone_b : int array;
+  last_wtx_p : int array;
+  last_wlost_p : int array;
+  last_wtx_b : int array;
+  last_wdone_b : int array;
+  mutable max_push : int;  (* largest data packet seen: probation floor *)
+  mutable health_retunes : int;
+  mutable health_deferred : int;
   mutable cap : int;
   (* Per-slot (length = cap). *)
   mutable live : bool array;
@@ -95,6 +125,7 @@ type t = {
   mutable no_active_dp : int array;  (* pushes dropped: all channels suspended *)
   mutable rx_down_dp : int array;  (* data arrivals dropped: receiver crashed *)
   mutable rx_wiped_p : int array;  (* buffered data wiped by receiver crash *)
+  mutable wire_dp : int array;  (* data eaten in flight by wire loss *)
   mutable fifo_viol : int array;  (* FIFO monitor hits after the quiet line *)
   mutable ooo : int array;  (* all delivered-seq inversions (diagnostic) *)
   (* Per-slot-channel (length = cap * n_ch). *)
@@ -173,6 +204,9 @@ let make_arrive t id c =
   let sc = (id * t.n_ch) + c in
   fun () ->
     let pkt = Fifo_queue.pop_exn t.wire.(sc) in
+    (* The wire finished serving these bytes whichever generation owns
+       them — [wdone_b] measures the facility, not the bundle. *)
+    t.wdone_b.(c) <- t.wdone_b.(c) + pkt.Packet.size;
     if t.drop.(sc) > 0 then t.drop.(sc) <- t.drop.(sc) - 1
     else feed t id c pkt
 
@@ -249,6 +283,7 @@ let grow_to t cap =
   t.no_active_dp <- extend (fun _ -> 0) t.no_active_dp;
   t.rx_down_dp <- extend (fun _ -> 0) t.rx_down_dp;
   t.rx_wiped_p <- extend (fun _ -> 0) t.rx_wiped_p;
+  t.wire_dp <- extend (fun _ -> 0) t.wire_dp;
   t.fifo_viol <- extend (fun _ -> 0) t.fifo_viol;
   t.ooo <- extend (fun _ -> 0) t.ooo;
   let scap = cap * t.n_ch in
@@ -271,7 +306,7 @@ let grow_to t cap =
   t.cap <- cap
 
 let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
-    ?watchdog ~sim (config : config) =
+    ?watchdog ?rng ?health ?health_sink ~sim (config : config) =
   let n = Array.length config.rate_bps in
   if n = 0 then invalid_arg "Bundle_pool.create: no channels";
   if Array.length config.prop_delay <> n || Array.length config.quanta <> n
@@ -305,6 +340,22 @@ let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
       now_fn = (fun () -> Sim.now sim);
       interned = Hashtbl.create 64;
       ch_up = Array.make n true;
+      rng = (match rng with Some r -> r | None -> Rng.create 0x5712e);
+      ch_loss = Array.init n (fun _ -> Loss.none ());
+      rate_scale = Array.make n 1.0;
+      ch_quarantined = Array.make n false;
+      health = None;
+      wtx_p = Array.make n 0;
+      wlost_p = Array.make n 0;
+      wtx_b = Array.make n 0;
+      wdone_b = Array.make n 0;
+      last_wtx_p = Array.make n 0;
+      last_wlost_p = Array.make n 0;
+      last_wtx_b = Array.make n 0;
+      last_wdone_b = Array.make n 0;
+      max_push = 0;
+      health_retunes = 0;
+      health_deferred = 0;
       cap = 0;
       live = [||];
       tx = [||];
@@ -329,6 +380,7 @@ let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
       no_active_dp = [||];
       rx_down_dp = [||];
       rx_wiped_p = [||];
+      wire_dp = [||];
       fifo_viol = [||];
       ooo = [||];
       wire = [||];
@@ -351,6 +403,14 @@ let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
       n_restarts = 0;
     }
   in
+  (match health with
+  | Some config ->
+    t.health <-
+      Some
+        (Health.create ~config
+           ~live:(fun c -> c >= 0 && c < n && t.ch_up.(c))
+           ?sink:health_sink ~n ())
+  | None -> ());
   grow_to t initial_capacity;
   t
 
@@ -376,15 +436,17 @@ let acquire t =
   t.no_active_dp.(id) <- 0;
   t.rx_down_dp.(id) <- 0;
   t.rx_wiped_p.(id) <- 0;
+  t.wire_dp.(id) <- 0;
   t.fifo_viol.(id) <- 0;
   t.ooo.(id) <- 0;
   (* The slot engine starts from the link state of the moment, not from
      any predecessor's suspensions (release's reconfigure cleared those):
      a bundle born mid-storm never stripes onto a channel that is already
-     known to be dark. *)
+     known to be dark — or already quarantined by the health engine. *)
   if t.sender_aware then
     for c = 0 to t.n_ch - 1 do
-      if not t.ch_up.(c) then Deficit.suspend t.tx.(id) c
+      if not t.ch_up.(c) || t.ch_quarantined.(c) then
+        Deficit.suspend t.tx.(id) c
     done;
   t.n_live <- t.n_live + 1;
   t.n_acquired <- t.n_acquired + 1;
@@ -444,15 +506,28 @@ let transmit t id c ~size pkt =
   let now = Sim.now t.sim in
   let b = t.busy.(sc) in
   let depart = if b > now then b else now in
-  let free_at = depart +. (float_of_int (size * 8) /. t.rate_bps.(c)) in
+  (* [rate_scale] models a gray facility serving below nominal; the
+     packet still occupies the (slower) wire even if the loss process
+     then eats it in flight. *)
+  let rate = t.rate_bps.(c) *. t.rate_scale.(c) in
+  let free_at = depart +. (float_of_int (size * 8) /. rate) in
   t.busy.(sc) <- free_at;
-  Fifo_queue.push t.wire.(sc) ~size pkt;
-  Sim.schedule t.sim ~at:(free_at +. t.prop_delay.(c)) t.arrive.(sc)
+  t.wtx_p.(c) <- t.wtx_p.(c) + 1;
+  t.wtx_b.(c) <- t.wtx_b.(c) + size;
+  if Loss.drop t.ch_loss.(c) t.rng then begin
+    t.wlost_p.(c) <- t.wlost_p.(c) + 1;
+    if not (Packet.is_marker pkt) then t.wire_dp.(id) <- t.wire_dp.(id) + 1
+  end
+  else begin
+    Fifo_queue.push t.wire.(sc) ~size pkt;
+    Sim.schedule t.sim ~at:(free_at +. t.prop_delay.(c)) t.arrive.(sc)
+  end
   end
 
 let push t id ~size =
   check_live t id "push";
   if size <= 0 then invalid_arg "Bundle_pool.push: size must be positive";
+  if size > t.max_push then t.max_push <- size;
   if t.tx_down.(id) then
     (* The sender endpoint is crashed: the host that would stripe this
        packet does not exist. Not counted as pushed — the offered load
@@ -545,6 +620,34 @@ let channel_up t c =
     invalid_arg "Bundle_pool.channel_up: bad channel";
   t.ch_up.(c)
 
+(* Channels a fully healed slot engine is expected to be striping on:
+   everything except the health engine's quarantines. The §5 full-heal
+   barrier fires against this count, not [n_ch] — otherwise a single
+   quarantined channel would postpone every carrier-heal barrier
+   forever. *)
+let expected_active t =
+  let q = ref 0 in
+  Array.iter (fun b -> if b then incr q) t.ch_quarantined;
+  t.n_ch - !q
+
+(* The quantum vector every slot engine should be running right now:
+   nominal, scaled per channel by health probation, floored at the
+   largest data packet the pool has ever striped (the Thm 5.1 marker
+   precondition — the slot engines declare no [max_packet], so the pool
+   supplies the observed bound). Identity when no health engine is
+   attached. *)
+let health_target t =
+  match t.health with
+  | None -> t.quanta
+  | Some h ->
+    let floor_q = max 1 t.max_push in
+    Array.mapi
+      (fun c nominal ->
+        let scale = Health.quantum_scale h c in
+        if scale <= 0.0 || scale >= 1.0 then nominal
+        else max floor_q (int_of_float (float_of_int nominal *. scale)))
+      t.quanta
+
 let set_channel_up t c up =
   if c < 0 || c >= t.n_ch then
     invalid_arg "Bundle_pool.set_channel_up: bad channel";
@@ -558,7 +661,12 @@ let set_channel_up t c up =
       for id = 0 to t.cap - 1 do
         if t.live.(id) && not t.tx_down.(id) then
           if up then begin
-            if Deficit.suspended t.tx.(id) c then begin
+            (* A healed carrier does not override the health engine: a
+               quarantined channel stays suspended until its timed
+               reinstatement. *)
+            if
+              Deficit.suspended t.tx.(id) c && not t.ch_quarantined.(c)
+            then begin
               Deficit.resume t.tx.(id) c;
               (* Fire the §5 barrier only once the slot is fully healed.
                  A barrier per partial resume would stripe its reset
@@ -568,7 +676,7 @@ let set_channel_up t c up =
                  the last channel returns, the resumed channel's
                  ordinary markers re-pin the receiver quasi-FIFO, which
                  is the legal degraded mode during a storm. *)
-              if Deficit.n_active t.tx.(id) = t.n_ch then
+              if Deficit.n_active t.tx.(id) = expected_active t then
                 send_slot_reset t id
             end
           end
@@ -591,15 +699,21 @@ let restart_sender t id =
   t.tx_down.(id) <- false;
   t.n_restarts <- t.n_restarts + 1;
   (* The rebooted host has no striping state (PROTOCOL.md §12): the
-     engine rebuilds on the configured quanta (the receiver's simulated
-     engine was cloned from the same vector, so both sides restripe
-     identically), suspensions come from the link state of the moment,
-     the guard stamper restarts, and the new incarnation announces
-     itself with epoch-stamped reset markers. *)
-  Deficit.reconfigure t.tx.(id) ~quanta:t.quanta;
+     engine rebuilds on the pool's current quantum vector — the health
+     target, not the nominal config. A sender reborn at nominal while
+     its receiver still runs an adopted probation retune would restripe
+     on a different cadence than the receiver simulates, and since the
+     reconciler only compares the sender half against the target, the
+     mismatch would never heal: one channel of the bundle then trails
+     the stripe by a constant quasi-FIFO offset forever. Suspensions
+     come from the link state of the moment, the guard stamper
+     restarts, and the new incarnation announces itself with
+     epoch-stamped reset markers. *)
+  Deficit.reconfigure t.tx.(id) ~quanta:(health_target t);
   if t.sender_aware then
     for c = 0 to t.n_ch - 1 do
-      if not t.ch_up.(c) then Deficit.suspend t.tx.(id) c
+      if not t.ch_up.(c) || t.ch_quarantined.(c) then
+        Deficit.suspend t.tx.(id) c
     done;
   if t.use_guard then Channel_guard.Tx.reset t.gtx.(id);
   t.tx_epoch.(id) <- t.tx_epoch.(id) + 1;
@@ -612,7 +726,7 @@ let restart_sender t id =
      so the receiver's eager crash-sync re-anchors channel by channel —
      and the full heal fires the proper barrier via [set_channel_up]
      (the engine just rebuilt with those channels suspended). *)
-  if Deficit.n_active t.tx.(id) = t.n_ch then send_slot_reset t id
+  if Deficit.n_active t.tx.(id) = expected_active t then send_slot_reset t id
 
 let crash_receiver t id =
   check_live t id "crash_receiver";
@@ -634,6 +748,150 @@ let restart_receiver t id =
     invalid_arg "Bundle_pool.restart_receiver: receiver is not down";
   t.rx_down.(id) <- false;
   t.n_restarts <- t.n_restarts + 1
+
+let set_channel_loss t c loss =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.set_channel_loss: bad channel";
+  t.ch_loss.(c) <- loss
+
+let scale_channel_rate t c f =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.scale_channel_rate: bad channel";
+  if not (f > 0.0) then
+    invalid_arg "Bundle_pool.scale_channel_rate: factor must be positive";
+  t.rate_scale.(c) <- f
+
+(* --- Fleet-wide gray-failure self-healing (PROTOCOL.md §13) --------- *)
+
+let health t = t.health
+
+let channel_quarantined t c =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.channel_quarantined: bad channel";
+  t.ch_quarantined.(c)
+
+(* One verdict, every bundle: policy-suspend channel [c] of each live
+   slot engine. Suspends need no barrier; the reinstatement's retune
+   below carries the §5 resynchronization. *)
+let quarantine_channel t c =
+  t.ch_quarantined.(c) <- true;
+  for id = 0 to t.cap - 1 do
+    if t.live.(id) && not t.tx_down.(id) then
+      if not (Deficit.suspended t.tx.(id) c) then Deficit.suspend t.tx.(id) c
+  done
+
+let unquarantine_channel t c =
+  t.ch_quarantined.(c) <- false;
+  (* Resume only where the carrier cooperates — a channel that also went
+     physically dark during its quarantine stays suspended until
+     [set_channel_up] heals it. No barrier here: the probation retune
+     that always follows a reinstatement fires [send_slot_reset] per
+     slot, which doubles as the §5 resync for the resumed channel. *)
+  if t.ch_up.(c) then
+    for id = 0 to t.cap - 1 do
+      if t.live.(id) && not t.tx_down.(id) then
+        if Deficit.suspended t.tx.(id) c then Deficit.resume t.tx.(id) c
+    done
+
+(* Operator-initiated pool-wide §5 resynchronization. A resequencer can
+   carry a bounded stale surplus indefinitely: when the cadence watchdog
+   skips packets that were merely delayed (a rate collapse), not lost,
+   the late copies still arrive and sit in the channel buffer — and
+   since data packets carry no round identity, periodic markers re-pin
+   the cadence but can never expunge the surplus, so every later
+   delivery on that channel trails the stripe by a constant offset
+   (legal quasi-FIFO, but never self-healing). The reset barrier is the
+   protocol's cure: the pre-barrier surplus drains during assembly and
+   the adopted engine restarts clean. Slots with a crashed endpoint are
+   skipped — their own crash barrier resynchronizes on restart. *)
+let resync t =
+  for id = 0 to t.cap - 1 do
+    if t.live.(id) && (not t.tx_down.(id)) && not t.rx_down.(id) then
+      send_slot_reset t id
+  done
+
+(* Reconcile every slot's quantum vector with the health target. The
+   sender half stages via [Deficit.retune] and adopts in
+   [send_slot_reset]'s reinit; the receiver half stages via
+   [Resequencer.retune] and adopts when that same barrier completes.
+   BOTH halves are compared against the target: they can disagree with
+   each other even when the sender matches — a sender crash-restart
+   rebuilds its engine from the target of that moment while its
+   receiver still runs an earlier adopted retune — and an unrepaired
+   split-cadence slot trails the stripe by a constant quasi-FIFO offset
+   forever. A slot mid-transition (or with a crashed endpoint) is
+   skipped and counted; the target is recomputed next tick, so deferral
+   self-heals. *)
+let flush_health_quanta t =
+  let target = health_target t in
+  for id = 0 to t.cap - 1 do
+    if
+      t.live.(id)
+      && (not t.tx_down.(id))
+      && not t.rx_down.(id)
+    then
+      if
+        Deficit.quanta t.tx.(id) <> target
+        || Resequencer.quanta t.rx.(id) <> target
+      then
+        if Resequencer.transition_pending t.rx.(id) then
+          t.health_deferred <- t.health_deferred + 1
+        else begin
+          t.health_retunes <- t.health_retunes + 1;
+          Deficit.retune t.tx.(id) ~quanta:target;
+          Resequencer.retune t.rx.(id) ~quanta:target;
+          send_slot_reset t id
+        end
+  done
+
+let health_tick t ~now =
+  match t.health with
+  | None -> []
+  | Some h ->
+    (* Evidence: this tick's pool-wide wire deltas per channel. Loss and
+       goodput shortfall both come from the facility itself — one gray
+       link is one detection, however many bundles ride it. *)
+    for c = 0 to t.n_ch - 1 do
+      let sent = t.wtx_p.(c) - t.last_wtx_p.(c) in
+      let lost = t.wlost_p.(c) - t.last_wlost_p.(c) in
+      let txb = t.wtx_b.(c) - t.last_wtx_b.(c) in
+      let doneb = t.wdone_b.(c) - t.last_wdone_b.(c) in
+      t.last_wtx_p.(c) <- t.wtx_p.(c);
+      t.last_wlost_p.(c) <- t.wlost_p.(c);
+      t.last_wtx_b.(c) <- t.wtx_b.(c);
+      t.last_wdone_b.(c) <- t.wdone_b.(c);
+      if sent > 0 then
+        let goodput_ratio =
+          min 1.0 (float_of_int doneb /. float_of_int (max txb 1))
+        in
+        Health.observe h ~channel:c ~sent ~lost ~goodput_ratio ()
+    done;
+    let transitions = Health.sample h ~now in
+    List.iter
+      (fun tr ->
+        match tr with
+        | Health.To_quarantine { channel; _ } -> quarantine_channel t channel
+        | Health.To_probation { channel; from_quarantine = true } ->
+          unquarantine_channel t channel
+        | Health.To_probation _ | Health.To_suspect _ | Health.To_healthy _
+          ->
+          ())
+      transitions;
+    flush_health_quanta t;
+    transitions
+
+let health_retunes t = t.health_retunes
+let health_deferred_retunes t = t.health_deferred
+
+let channel_wire_tx t c =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.channel_wire_tx: bad channel";
+  t.wtx_p.(c)
+
+let channel_wire_lost t c =
+  if c < 0 || c >= t.n_ch then
+    invalid_arg "Bundle_pool.channel_wire_lost: bad channel";
+  t.wlost_p.(c)
 
 let set_fifo_check_after t time = t.fifo_check_after <- time
 
@@ -709,6 +967,12 @@ let receiver_down_drops t id =
 let rx_wiped_packets t id =
   check_slot t id "rx_wiped_packets";
   t.rx_wiped_p.(id)
+
+let wire_loss_drops t id =
+  check_slot t id "wire_loss_drops";
+  t.wire_dp.(id)
+
+let wire_busy_until t = Array.fold_left Float.max 0.0 t.busy
 
 let rx_epoch_discards t id =
   check_slot t id "rx_epoch_discards";

@@ -68,6 +68,9 @@ val create :
   ?stamp_seq:bool ->
   ?sender_aware:bool ->
   ?watchdog:Stripe_core.Resequencer.watchdog ->
+  ?rng:Stripe_netsim.Rng.t ->
+  ?health:Stripe_core.Health.config ->
+  ?health_sink:Stripe_obs.Sink.t ->
   sim:Stripe_netsim.Sim.t ->
   config ->
   t
@@ -87,7 +90,17 @@ val create :
     equips every slot resequencer with the marker-cadence dead-channel
     watchdog ({!Stripe_core.Resequencer.watchdog}) — recommended for any
     chaos run, since it is what keeps a storm from wedging receivers on
-    silent channels. Raises [Invalid_argument] on a malformed config. *)
+    silent channels.
+
+    [rng] drives the per-channel wire-loss processes
+    ({!set_channel_loss}); default: a pool-private seeded generator.
+    [health] arms fleet-wide gray-failure self-healing (PROTOCOL.md
+    §13): {e one} {!Stripe_core.Health} engine over the pool's channel
+    classes — a channel is one physical facility shared by every
+    bundle, so one gray link is one detection, not one per bundle.
+    Drive it with {!health_tick}; [health_sink] receives its
+    [Health_suspect]/[Probation]/[Quarantine]/[Reinstate] events.
+    Raises [Invalid_argument] on a malformed config. *)
 
 val n_channels : t -> int
 val config : t -> config
@@ -133,7 +146,7 @@ val push : t -> int -> size:int -> unit
 
     Conservation holds per live slot at quiescence (simulation drained,
     no packets in flight):
-    {[ pushed = delivered + rx_pending + carrier_drops
+    {[ pushed = delivered + rx_pending + carrier_drops + wire_loss_drops
                 + receiver_down_drops + rx_epoch_discards + rx_wiped ]}
     (pushes refused because the sender was crashed or fully suspended
     are counted separately and never enter [pushed]). A {!release}
@@ -151,6 +164,18 @@ val set_channel_up : t -> int -> bool -> unit
     reset markers on all channels) to resynchronize its receiver.
     Crashed senders are skipped — {!restart_sender} re-derives
     suspensions from the carrier state of its moment. Idempotent. *)
+
+val set_channel_loss : t -> int -> Stripe_netsim.Loss.t -> unit
+(** Install a loss process on channel [c]'s wires fleet-wide (the gray
+    half of the chaos palette — the carrier stays up, packets die in
+    flight). [Stripe_netsim.Loss.none ()] clears it. Lost data is
+    counted per slot ({!wire_loss_drops}) and per channel
+    ({!channel_wire_lost}); lost markers vanish like everywhere else. *)
+
+val scale_channel_rate : t -> int -> float -> unit
+(** Scale channel [c]'s wire service rate fleet-wide relative to its
+    {e nominal} configured rate: [0.1] is a 10x collapse, [1.0]
+    restores. Raises unless the factor is positive. *)
 
 val crash_sender : t -> int -> unit
 (** Bundle [id]'s sending endpoint crashes: until {!restart_sender},
@@ -186,6 +211,44 @@ val receiver_down : t -> int -> bool
 val sender_epoch : t -> int -> int
 (** The slot's sender incarnation: 0 at {!acquire}, +1 per
     {!restart_sender}. *)
+
+(** {2 Fleet-wide gray-failure self-healing (PROTOCOL.md §13)}
+
+    One {!Stripe_core.Health} engine covers the whole pool: evidence is
+    the pool-wide per-channel wire deltas (offered vs lost packets,
+    offered vs served bytes), so a single gray facility is detected
+    once and the verdict lands on every bundle riding it. Probation
+    cuts the channel's quantum in {e every} live slot (sender
+    [Deficit.retune] staged + receiver [Resequencer.retune], adopted
+    together at that slot's §5 reset barrier, floored at the largest
+    data packet ever pushed — the Thm 5.1 precondition); quarantine
+    policy-suspends the channel fleet-wide ({!channel_quarantined}),
+    survives carrier heals and sender restarts, and is honored by
+    {!acquire} for bundles born during it. *)
+
+val health : t -> Stripe_core.Health.t option
+
+val health_tick : t -> now:float -> Stripe_core.Health.transition list
+(** Close one evidence window and apply the verdicts fleet-wide. Call
+    periodically (the [every] cadence of a [--health] spec). Slots
+    whose receiver is mid-transition, or with a crashed endpoint, defer
+    their retune ({!health_deferred_retunes}) and reconcile on a later
+    tick. No-op returning [[]] without [health]. *)
+
+val channel_quarantined : t -> int -> bool
+
+val health_retunes : t -> int
+(** Slot retunes applied by {!health_tick} (one per slot per vector
+    change). *)
+
+val health_deferred_retunes : t -> int
+(** Slot retunes {!health_tick} deferred (transition pending). *)
+
+val channel_wire_tx : t -> int -> int
+(** Packets offered to channel [c]'s wires pool-wide (lost included). *)
+
+val channel_wire_lost : t -> int -> int
+(** Packets of channel [c] eaten in flight by the loss process. *)
 
 (** {2 Always-on invariant monitors} *)
 
@@ -264,6 +327,27 @@ val receiver_down_drops : t -> int -> int
 
 val rx_wiped_packets : t -> int -> int
 (** Buffered data wiped by receiver crashes ({!crash_receiver}). *)
+
+val wire_loss_drops : t -> int -> int
+(** The slot's data packets eaten in flight by {!set_channel_loss}. *)
+
+val wire_busy_until : t -> float
+(** The latest wire-serialization completion scheduled on any
+    slot-channel. Under a {!scale_channel_rate} collapse the wire
+    accrues serialization debt that drains long after the factor is
+    restored; chaos drivers compare this against the current time to
+    know when the backlog (plus propagation) has actually cleared. *)
+
+val resync : t -> unit
+(** Operator-initiated pool-wide §5 reset barrier: every live slot with
+    both endpoints up fires a slot reset. The cadence watchdog can leave
+    a resequencer trailing the stripe by a constant offset forever —
+    skipping packets that were merely {e delayed} (a rate collapse)
+    strands their late copies as a buffered surplus that periodic
+    markers can never expunge (data packets carry no round identity).
+    Quasi-FIFO allows the offset; the reset barrier removes it. Chaos
+    drivers fire this once the fault horizon has passed, before arming
+    strict post-incident FIFO checks. *)
 
 val rx_epoch_discards : t -> int -> int
 (** Pre-crash-epoch data the slot's resequencer flushed at crash-sync

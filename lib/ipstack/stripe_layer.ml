@@ -33,6 +33,15 @@ type t = {
      and carrier watchers, neither of which the link layer can
      unregister — must go quiet instead of acting on a dead bundle. *)
   mutable detached : bool;
+  (* Gray-failure self-healing (PROTOCOL.md §13): the health engine and
+     the full-rate quantum vector its probation scaling is relative to.
+     [health_tick] drives it; [nominal_quanta] tracks membership
+     changes, not adaptive retunes — combining --health with an external
+     adaptive retune policy on one layer is unsupported. *)
+  health : Stripe_core.Health.t option;
+  mutable nominal_quanta : int array;
+  mutable health_retunes : int;
+  mutable health_deferred : int;
 }
 
 let deliver_ip t ip =
@@ -103,7 +112,7 @@ let attach_member t m =
 
 let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
     ?(auto_suspend = true) ?watchdog ?rx_buffer_bytes ?overflow_policy
-    ?on_pressure ~deliver_up () =
+    ?on_pressure ?health ~deliver_up () =
   let n = Array.length members in
   if n = 0 then invalid_arg "Stripe_layer.create: no member interfaces";
   if Stripe_core.Scheduler.n_channels scheduler <> n then
@@ -159,6 +168,29 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
                  invalid_arg "Stripe_layer: resequencer delivered unknown packet")
              ())
   in
+  let health_engine =
+    match health with
+    | None -> None
+    | Some config -> (
+      match Stripe_core.Scheduler.deficit scheduler with
+      | None ->
+        invalid_arg
+          "Stripe_layer.create: channel health requires a CFQ scheduler"
+      | Some _ ->
+        Some
+          (Stripe_core.Health.create ~config
+             ~live:(fun c ->
+               let layer = force_self () in
+               c >= 0
+               && c < Array.length layer.members
+               && Iface.link_up layer.members.(c))
+             ?sink ~n ()))
+  in
+  let nominal_quanta =
+    match Stripe_core.Scheduler.deficit scheduler with
+    | Some d -> Stripe_core.Deficit.quanta d
+    | None -> [||]
+  in
   let layer =
     {
       layer_name = name;
@@ -175,6 +207,10 @@ let create ~name ~members ~scheduler ?marker ?now ?sink ?(resequence = true)
       n_delivered = 0;
       rx_pending_remove = None;
       detached = false;
+      health = health_engine;
+      nominal_quanta;
+      health_retunes = 0;
+      health_deferred = 0;
     }
   in
   self := Some layer;
@@ -237,8 +273,15 @@ let crash_restart_sender ?quanta t =
          t.layer_name);
   Stripe_core.Striper.crash_restart ?quanta t.striper;
   (* The reboot forgot the administrative suspensions along with
-     everything else; the restarted sender re-learns link state from the
-     physical carriers, not from remembered state. *)
+     everything else — including the health engine's verdicts, which
+     were endpoint policy state; channels restart healthy and must
+     re-earn their quarantines from fresh evidence. *)
+  (match t.health with
+  | Some h ->
+    for c = 0 to Stripe_core.Health.n_channels h - 1 do
+      Stripe_core.Health.reset_channel h c
+    done
+  | None -> ());
   if t.auto_suspend then
     Array.iteri
       (fun c m ->
@@ -285,6 +328,11 @@ let add_member t ~quantum m =
   let c = Stripe_core.Striper.add_channel t.striper ~quantum in
   if t.auto_suspend && not (Iface.link_up m) then
     Stripe_core.Striper.suspend_channel t.striper c;
+  (match t.health with
+  | Some h -> ignore (Stripe_core.Health.add_channel h)
+  | None -> ());
+  if t.nominal_quanta <> [||] then
+    t.nominal_quanta <- Array.append t.nominal_quanta [| quantum |];
   c
 
 let remove_member t c =
@@ -308,8 +356,102 @@ let remove_member t c =
   t.members <-
     Array.init (n - 1) (fun i ->
         if i < c then t.members.(i) else t.members.(i + 1));
+  (match t.health with
+  | Some h -> Stripe_core.Health.remove_channel h c
+  | None -> ());
+  if t.nominal_quanta <> [||] then
+    t.nominal_quanta <-
+      Array.init (n - 1) (fun i ->
+          if i < c then t.nominal_quanta.(i) else t.nominal_quanta.(i + 1));
   recompute_mtu t
 
+(* --- Gray-failure self-healing (PROTOCOL.md §13) ------------------- *)
+
+let health t = t.health
+
+let health_observe t ~channel ?sent ?lost ?corrupt ?dup ?goodput_ratio
+    ?cadence_ratio () =
+  match t.health with
+  | None -> ()
+  | Some h ->
+    Stripe_core.Health.observe h ~channel ?sent ?lost ?corrupt ?dup
+      ?goodput_ratio ?cadence_ratio ()
+
+(* The quantum vector the health verdicts currently ask for: nominal,
+   scaled per channel by probation. Quarantined channels keep their
+   nominal quantum — they are suspended, so the value is dormant, and
+   the probation quantum is installed at reinstatement. The Thm 5.1
+   marker precondition (quantum >= max packet) caps how deep a
+   probation cut can go. *)
+let health_target_quanta t h =
+  let floor_q =
+    match Stripe_core.Scheduler.deficit (Stripe_core.Striper.scheduler t.striper) with
+    | Some d -> (
+      match Stripe_core.Deficit.max_packet d with Some mp -> mp | None -> 1)
+    | None -> 1
+  in
+  Array.mapi
+    (fun c nominal ->
+      let scale = Stripe_core.Health.quantum_scale h c in
+      if scale <= 0.0 || scale >= 1.0 then nominal
+      else max floor_q (int_of_float (float_of_int nominal *. scale)))
+    t.nominal_quanta
+
+let health_tick t ~now =
+  match t.health with
+  | None -> []
+  | Some h ->
+    if t.detached then []
+    else begin
+      let transitions = Stripe_core.Health.sample h ~now in
+      List.iter
+        (fun tr ->
+          match tr with
+          | Stripe_core.Health.To_quarantine { channel; _ } ->
+            if not (Stripe_core.Striper.suspended_channel t.striper channel)
+            then Stripe_core.Striper.suspend_channel t.striper channel
+          | Stripe_core.Health.To_probation
+              { channel; from_quarantine = true } ->
+            (* The timed reinstatement probe: resume fires the §5 reset
+               barrier; the probation quantum lands with the retune
+               below. *)
+            if Stripe_core.Striper.suspended_channel t.striper channel then
+              Stripe_core.Striper.resume_channel t.striper channel
+          | Stripe_core.Health.To_probation _
+          | Stripe_core.Health.To_suspect _
+          | Stripe_core.Health.To_healthy _ ->
+            ())
+        transitions;
+      (* Reconcile quanta with the verdicts — deferred, not dropped,
+         while a staged receiver transition is in flight (a retune
+         cannot overlap a pending add/remove/retune barrier). *)
+      (match
+         Stripe_core.Scheduler.deficit
+           (Stripe_core.Striper.scheduler t.striper)
+       with
+      | Some d when t.nominal_quanta <> [||] ->
+        let target = health_target_quanta t h in
+        if target <> Stripe_core.Deficit.quanta d then begin
+          let pending =
+            match t.reseq with
+            | Some r -> Stripe_core.Resequencer.transition_pending r
+            | None -> false
+          in
+          if pending then t.health_deferred <- t.health_deferred + 1
+          else begin
+            t.health_retunes <- t.health_retunes + 1;
+            (match t.reseq with
+            | Some r -> Stripe_core.Resequencer.retune r ~quanta:target
+            | None -> ());
+            Stripe_core.Striper.retune t.striper ~quanta:target ()
+          end
+        end
+      | Some _ | None -> ());
+      transitions
+    end
+
+let health_retunes t = t.health_retunes
+let health_deferred_retunes t = t.health_deferred
 let n_members t = Array.length t.members
 let member_queue_bytes t i = Iface.queue_bytes t.members.(i)
 let member_link_up t i = Iface.link_up t.members.(i)

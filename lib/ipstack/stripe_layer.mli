@@ -29,6 +29,7 @@ val create :
   ?rx_buffer_bytes:int ->
   ?overflow_policy:Stripe_core.Resequencer.overflow ->
   ?on_pressure:(high:bool -> unit) ->
+  ?health:Stripe_core.Health.config ->
   deliver_up:(Ip.t -> unit) ->
   unit ->
   t
@@ -52,7 +53,16 @@ val create :
     [overflow_policy], and [on_pressure] bound the embedded resequencer's
     memory and expose its backpressure signal (see
     {!Stripe_core.Resequencer.create}'s [budget_bytes], [overflow], and
-    [on_pressure]). *)
+    [on_pressure]).
+
+    [health] arms gray-failure self-healing (PROTOCOL.md §13): a
+    {!Stripe_core.Health} engine over the members, driven by
+    {!health_observe}/{!health_tick}. Requires a CFQ scheduler (the
+    probation quantum cut rides {!Stripe_core.Deficit.retune}). The
+    engine's liveness callback treats a member as live when its
+    physical carrier is up. Combining [health] with an external
+    adaptive-retune policy ([--adapt]-style) on the same layer is
+    unsupported — both would fight over the quantum vector. *)
 
 val name : t -> string
 
@@ -133,6 +143,40 @@ val remove_member : t -> int -> unit
     but ignore all further frames once the removal completes. Raises
     [Invalid_argument] for a bad index, when removing the last member,
     or while another transition is pending. *)
+
+val health : t -> Stripe_core.Health.t option
+(** The gray-failure health engine, when [health] was passed. *)
+
+val health_observe :
+  t ->
+  channel:int ->
+  ?sent:int ->
+  ?lost:int ->
+  ?corrupt:int ->
+  ?dup:int ->
+  ?goodput_ratio:float ->
+  ?cadence_ratio:float ->
+  unit ->
+  unit
+(** Feed per-channel evidence into the health engine's current window
+    ({!Stripe_core.Health.observe}); no-op without [health]. *)
+
+val health_tick : t -> now:float -> Stripe_core.Health.transition list
+(** Close a health evidence window and {e apply} the verdicts:
+    quarantines suspend the member (§5 barrier), timed reinstatements
+    resume it, and the quantum vector is reconciled — each channel at
+    nominal or its probation fraction, floored at the striper's max
+    packet size (Thm 5.1) — via a live retune at the next round
+    boundary. The retune is deferred (not dropped) while a staged
+    receiver transition is pending; the target is recomputed next tick.
+    Returns the engine's transitions. No-op returning [[]] without
+    [health] or on a detached layer. *)
+
+val health_retunes : t -> int
+(** Quantum retunes {!health_tick} has applied. *)
+
+val health_deferred_retunes : t -> int
+(** Retunes {!health_tick} deferred because a transition was pending. *)
 
 val n_members : t -> int
 

@@ -16,19 +16,41 @@
 
 type side = Tx | Rx
 
+(* How a degrade action hurts its channel: the gray-failure palette
+   (PROTOCOL.md §13). None of these kill the carrier — the channel
+   stays in the rotation, just worse — which is exactly the regime the
+   health engine exists to detect. *)
+type degrade =
+  | Loss_ramp of float
+  | Gilbert_loss of float
+  | Rate_collapse of float
+  | Flap of float
+
 type action =
   | Storm of { channels : int list; at : float; duration : float }
   | Crash of { side : side; bundle : int; at : float; downtime : float }
   | Violate of { bundle : int; at : float }
+  | Degrade of { channel : int; kind : degrade; at : float; duration : float }
 
 type driver = {
   set_channel_up : int -> bool -> unit;
   crash : side -> int -> unit;
   restart : side -> int -> unit;
   violate : int -> unit;
+  set_loss : int -> Loss.t -> unit;
+  scale_rate : int -> float -> unit;
 }
 
 let side_name = function Tx -> "tx" | Rx -> "rx"
+
+let degrade_name = function
+  | Loss_ramp _ -> "loss"
+  | Gilbert_loss _ -> "gilbert"
+  | Rate_collapse _ -> "rate"
+  | Flap _ -> "flap"
+
+let degrade_param = function
+  | Loss_ramp p | Gilbert_loss p | Rate_collapse p | Flap p -> p
 
 let pp_action fmt = function
   | Storm { channels; at; duration } ->
@@ -40,6 +62,9 @@ let pp_action fmt = function
       downtime
   | Violate { bundle; at } ->
     Format.fprintf fmt "%g: violate %d" at bundle
+  | Degrade { channel; kind; at; duration } ->
+    Format.fprintf fmt "%g: degrade ch%d %s=%g for %gs" at channel
+      (degrade_name kind) (degrade_param kind) duration
 
 (* One primitive transition of a compiled plan. *)
 type transition = { at : float; what : string; fire : driver -> unit }
@@ -75,7 +100,65 @@ let compile actions =
         if bundle < 0 then invalid_arg "Chaos: negative bundle";
         add at
           (Printf.sprintf "violate %d" bundle)
-          (fun d -> d.violate bundle))
+          (fun d -> d.violate bundle)
+      | Degrade { channel = c; kind; at; duration } ->
+        if c < 0 then invalid_arg "Chaos: negative degrade channel";
+        if duration <= 0.0 then
+          invalid_arg "Chaos: degrade duration must be positive";
+        let label step = Printf.sprintf "degrade-%s ch%d %s" step c
+            (degrade_name kind)
+        in
+        (match kind with
+        | Loss_ramp p ->
+          (* Escalating loss: the gray failure that starts as noise and
+             ends as a storm. Four equal steps up to [p], then clear —
+             each step is a fresh (stateless) Bernoulli process. *)
+          let steps = 4 in
+          for k = 1 to steps do
+            let frac = float_of_int k /. float_of_int steps in
+            add
+              (at +. (duration *. float_of_int (k - 1) /. float_of_int steps))
+              (label (Printf.sprintf "ramp%d" k))
+              (fun d -> d.set_loss c (Loss.bernoulli ~p:(p *. frac)))
+          done;
+          add (at +. duration) (label "clear") (fun d ->
+              d.set_loss c (Loss.none ()))
+        | Gilbert_loss p ->
+          (* Bursty loss for the whole window: a fresh Gilbert–Elliott
+             process per firing (its state is private to the link), bad
+             state losing [p], good state nearly clean. *)
+          add at (label "start") (fun d ->
+              d.set_loss c
+                (Loss.gilbert ~p_good_to_bad:0.1 ~p_bad_to_good:0.25
+                   ~loss_good:(p /. 20.0) ~loss_bad:p));
+          add (at +. duration) (label "clear") (fun d ->
+              d.set_loss c (Loss.none ()))
+        | Rate_collapse f ->
+          add at (label "start") (fun d -> d.scale_rate c f);
+          add (at +. duration) (label "clear") (fun d -> d.scale_rate c 1.0)
+        | Flap period ->
+          if period <= 0.0 then
+            invalid_arg "Chaos: flap period must be positive";
+          (* Carrier bounces: down half a period, up half a period, for
+             the window; always ends up (clamped to the window edge). *)
+          let k = ref 0 in
+          let continue_ = ref true in
+          while !continue_ do
+            let down_at = at +. (float_of_int !k *. period) in
+            if down_at >= at +. duration then continue_ := false
+            else begin
+              let up_at = Float.min (down_at +. (period /. 2.0))
+                  (at +. duration)
+              in
+              add down_at
+                (label (Printf.sprintf "flap%d-down" !k))
+                (fun d -> d.set_channel_up c false);
+              add up_at
+                (label (Printf.sprintf "flap%d-up" !k))
+                (fun d -> d.set_channel_up c true);
+              incr k
+            end
+          done))
     actions;
   (* Deterministic order = deterministic event indices: time, then the
      transition label breaks ties (stable across runs by construction —
@@ -88,7 +171,8 @@ let horizon actions =
       match a with
       | Storm { at; duration; _ } -> Float.max acc (at +. duration)
       | Crash { at; downtime; _ } -> Float.max acc (at +. downtime)
-      | Violate { at; _ } -> Float.max acc at)
+      | Violate { at; _ } -> Float.max acc at
+      | Degrade { at; duration; _ } -> Float.max acc (at +. duration))
     0.0 actions
 
 let apply sim ?on_event driver actions =
@@ -107,12 +191,12 @@ let apply sim ?on_event driver actions =
    outages close before [horizon] plus their own duration — soaks
    assert recovery after the schedule drains. *)
 let random_plan ~rng ~n_channels ~n_bundles ~horizon:h
-    ?(storm_every = 0.0) ?(crash_every = 0.0) ?(mean_outage = 0.05)
-    ?(mean_downtime = 0.05) () =
+    ?(storm_every = 0.0) ?(crash_every = 0.0) ?(degrade_every = 0.0)
+    ?(mean_outage = 0.05) ?(mean_downtime = 0.05) ?(mean_degrade = 0.5) () =
   if n_channels <= 0 then invalid_arg "Chaos.random_plan: n_channels";
   if n_bundles <= 0 then invalid_arg "Chaos.random_plan: n_bundles";
   if h <= 0.0 then invalid_arg "Chaos.random_plan: horizon must be positive";
-  if mean_outage <= 0.0 || mean_downtime <= 0.0 then
+  if mean_outage <= 0.0 || mean_downtime <= 0.0 || mean_degrade <= 0.0 then
     invalid_arg "Chaos.random_plan: means must be positive";
   let actions = ref [] in
   if storm_every > 0.0 then begin
@@ -139,8 +223,33 @@ let random_plan ~rng ~n_channels ~n_bundles ~horizon:h
       t := !t +. Rng.exponential rng ~mean:crash_every
     done
   end;
+  if degrade_every > 0.0 then begin
+    (* Gray failures: one channel at a time slips into bursty loss, an
+       escalating loss ramp, a rate collapse, or carrier flapping —
+       without ever going cleanly dark. Windows are exponential around
+       [mean_degrade] (floored so a window always contains traffic). *)
+    let t = ref (Rng.exponential rng ~mean:degrade_every) in
+    while !t < h do
+      let channel = Rng.int rng n_channels in
+      let duration =
+        Float.max (mean_degrade /. 4.0)
+          (Rng.exponential rng ~mean:mean_degrade)
+      in
+      let kind =
+        match Rng.int rng 4 with
+        | 0 -> Loss_ramp (Rng.uniform rng ~lo:0.2 ~hi:0.8)
+        | 1 -> Gilbert_loss (Rng.uniform rng ~lo:0.3 ~hi:0.9)
+        | 2 -> Rate_collapse (Rng.uniform rng ~lo:0.05 ~hi:0.4)
+        | _ -> Flap (Float.max 0.01 (duration /. 6.0))
+      in
+      actions := Degrade { channel; kind; at = !t; duration } :: !actions;
+      t := !t +. Rng.exponential rng ~mean:degrade_every
+    done
+  end;
   let time = function
-    | Storm { at; _ } | Crash { at; _ } | Violate { at; _ } -> at
+    | Storm { at; _ } | Crash { at; _ } | Violate { at; _ }
+    | Degrade { at; _ } ->
+      at
   in
   List.stable_sort
     (fun a b -> Float.compare (time a) (time b))
@@ -154,11 +263,15 @@ let random_plan ~rng ~n_channels ~n_bundles ~horizon:h
      storm=C1+C2+.../DUR@T   carrier loss on the channel group for DUR s
      crash=tx/ID/DUR@T       sender of bundle ID down for DUR seconds
      crash=rx/ID/DUR@T       receiver of bundle ID down for DUR seconds
-     violate=ID@T            poison bundle ID's FIFO monitor (test hook) *)
+     violate=ID@T            poison bundle ID's FIFO monitor (test hook)
+     degrade=CH/loss/P/DUR@T     loss ramp to P on channel CH for DUR s
+     degrade=CH/gilbert/P/DUR@T  bursty (Gilbert) loss, bad state loses P
+     degrade=CH/rate/F/DUR@T     service rate scaled by F (0 < F <= 1)
+     degrade=CH/flap/PER/DUR@T   carrier flaps with period PER seconds *)
 let parse_spec s =
   let open Spec in
   let c = ctx ~kind:"chaos" s in
-  let parse_item tok =
+  let parse_item c tok =
     let* lhs, at = timed c tok in
     match kv lhs with
     | "storm", Some v ->
@@ -191,13 +304,43 @@ let parse_spec s =
     | "violate", Some v ->
       let* bundle = channel c ~what:"violate bundle" v in
       Ok (Violate { bundle; at })
+    | "degrade", Some v -> (
+      match String.split_on_char '/' v with
+      | [ ch; kind; param; dur ] ->
+        let* ch = channel c ~what:"degrade channel" ch in
+        let* duration = positive c ~what:"degrade duration" dur in
+        let* kind =
+          match String.trim kind with
+          | "loss" ->
+            let* p = prob c ~what:"degrade loss" param in
+            Ok (Loss_ramp p)
+          | "gilbert" ->
+            let* p = prob c ~what:"degrade gilbert loss" param in
+            Ok (Gilbert_loss p)
+          | "rate" ->
+            let* f = positive c ~what:"degrade rate fraction" param in
+            if f > 1.0 then
+              errf c "degrade rate fraction %g must be <= 1" f
+            else Ok (Rate_collapse f)
+          | "flap" ->
+            let* p = positive c ~what:"degrade flap period" param in
+            Ok (Flap p)
+          | other ->
+            errf c
+              "bad degrade kind %S (want loss, gilbert, rate, or flap)"
+              other
+        in
+        Ok (Degrade { channel = ch; kind; at; duration })
+      | _ -> errf c "degrade needs CH/KIND/PARAM/DUR, got %S" v)
     | name, _ ->
-      errf c "unknown chaos item %S (want storm=, crash=, violate=)" name
+      errf c
+        "unknown chaos item %S (want storm=, crash=, violate=, degrade=)"
+        name
   in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
-    | tok :: rest ->
-      let* a = parse_item tok in
+    | (c, tok) :: rest ->
+      let* a = parse_item c tok in
       collect (a :: acc) rest
   in
-  collect [] (items s)
+  collect [] (located c s)

@@ -12,6 +12,25 @@
 
 type side = Tx | Rx  (** Which endpoint of a bundle a crash hits. *)
 
+(** How a [Degrade] action hurts its channel — the gray-failure palette
+    (PROTOCOL.md §13). None of these take the carrier cleanly down: the
+    channel stays in the rotation, just worse, which is the regime the
+    health engine exists to detect. *)
+type degrade =
+  | Loss_ramp of float
+      (** Bernoulli loss escalating in four equal steps to the given
+          probability over the window, then cleared. *)
+  | Gilbert_loss of float
+      (** Bursty Gilbert–Elliott loss for the window: the bad state
+          loses at the given probability, the good state at 1/20th of
+          it. *)
+  | Rate_collapse of float
+      (** The channel's service rate scaled by the given fraction
+          (0 < f <= 1) for the window, then restored. *)
+  | Flap of float
+      (** The carrier bounces with the given period (down half, up
+          half) across the window, ending up. *)
+
 type action =
   | Storm of { channels : int list; at : float; duration : float }
       (** Carrier loss on every channel of the group at [at], recovery
@@ -22,12 +41,20 @@ type action =
   | Violate of { bundle : int; at : float }
       (** Deliberately corrupt [bundle]'s FIFO monitor state at [at] —
           a detection self-test, not a protocol event. *)
+  | Degrade of { channel : int; kind : degrade; at : float; duration : float }
+      (** Gray failure: [channel] degrades per [kind] from [at] for
+          [duration] seconds, then the impairment clears. *)
 
 type driver = {
   set_channel_up : int -> bool -> unit;
   crash : side -> int -> unit;
   restart : side -> int -> unit;
   violate : int -> unit;
+  set_loss : int -> Loss.t -> unit;
+      (** Install a loss process on a channel ([Loss.none ()] clears). *)
+  scale_rate : int -> float -> unit;
+      (** Scale a channel's service rate relative to its {e nominal}
+          rate (1.0 restores; the driver owns the nominal). *)
 }
 (** How a plan acts on the system under test. The module is agnostic:
     a {!Bundle_pool} fleet maps these straight onto
@@ -60,8 +87,10 @@ val random_plan :
   horizon:float ->
   ?storm_every:float ->
   ?crash_every:float ->
+  ?degrade_every:float ->
   ?mean_outage:float ->
   ?mean_downtime:float ->
+  ?mean_degrade:float ->
   unit ->
   action list
 (** Seeded random plan over [horizon] seconds: storms arrive as a
@@ -69,14 +98,23 @@ val random_plan :
     disables them), each hitting a uniformly drawn non-empty channel
     subset for an exponential [mean_outage]; crashes arrive with mean
     gap [crash_every] (0 disables), each picking a side and a bundle
-    uniformly with an exponential [mean_downtime]. Sorted by time.
-    Equal seeds give equal plans. *)
+    uniformly with an exponential [mean_downtime]; gray degradations
+    arrive with mean gap [degrade_every] (0 disables), each hitting
+    one uniform channel with a uniformly drawn kind (loss ramp,
+    Gilbert burst, rate collapse, or flapping) for an exponential
+    window around [mean_degrade] (floored at a quarter of it). Sorted
+    by time. Equal seeds give equal plans. *)
 
 val parse_spec : string -> (action list, string) result
 (** Parse a command-line chaos spec: comma-separated items
     [storm=C1+C2+.../DUR@T], [crash=tx/ID/DUR@T], [crash=rx/ID/DUR@T],
-    [violate=ID@T]. Example:
-    ["storm=0+2/0.5@1,crash=rx/0/0.2@2,violate=0@4"]. *)
+    [violate=ID@T], [degrade=CH/KIND/PARAM/DUR@T] with KIND one of
+    [loss] (ramp to probability PARAM), [gilbert] (bursty loss, bad
+    state loses PARAM), [rate] (service rate scaled by PARAM), [flap]
+    (carrier flap period PARAM). Example:
+    ["storm=0+2/0.5@1,degrade=1/gilbert/0.5/1.5@2,violate=0@4"].
+    Errors are position-annotated ({!Spec.located}). *)
 
 val side_name : side -> string
+val degrade_name : degrade -> string
 val pp_action : Format.formatter -> action -> unit

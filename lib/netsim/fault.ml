@@ -143,7 +143,7 @@ let random_group_schedule ~rng ~channels ~horizon ~mtbf ~mttr =
 let parse_spec s =
   let open Spec in
   let c = ctx ~kind:"fault" s in
-  let parse_event tok =
+  let parse_event c tok =
     let* lhs, at = timed c tok in
     let* event =
       match kv lhs with
@@ -164,8 +164,8 @@ let parse_spec s =
   let* channel, rest = channel_prefix c in
   let rec collect acc = function
     | [] -> Ok (List.rev acc)
-    | tok :: rest ->
-      let* at, event = parse_event tok in
+    | (c, tok) :: rest ->
+      let* at, event = parse_event c tok in
       collect ({ at; channel; event } :: acc) rest
   in
-  collect [] (items rest)
+  collect [] (located c rest)

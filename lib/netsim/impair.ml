@@ -56,7 +56,7 @@ let pp fmt t =
 let parse_spec s =
   let open Spec in
   let c = ctx ~kind:"impair" s in
-  let parse_item acc tok =
+  let parse_item c acc tok =
     match kv tok with
     | _, None -> errf c "impairment %S lacks a =VALUE" tok
     | "reorder", Some v ->
@@ -76,8 +76,8 @@ let parse_spec s =
   let* channel, rest = channel_prefix c in
   let rec collect acc = function
     | [] -> Ok (channel, acc)
-    | tok :: rest ->
-      let* acc = parse_item acc tok in
+    | (c, tok) :: rest ->
+      let* acc = parse_item c acc tok in
       collect acc rest
   in
-  collect none (items rest)
+  collect none (located c rest)

@@ -1,19 +1,25 @@
 (* Shared scanner for the compact command-line spec grammars
-   (--fault, --impair, --chaos). The three grammars are built from the
-   same few shapes — a CH: prefix, comma-separated items, NAME=VALUE
-   pairs, @TIME suffixes, A/B value pairs — and every parser used to
-   hand-roll them with near-identical code and error strings. This
-   module is that code, written once, with every error naming the
-   offending fragment, the spec kind, and the full spec string. *)
+   (--fault, --impair, --chaos, --health). The grammars are built from
+   the same few shapes — a CH: prefix, comma-separated items,
+   NAME=VALUE pairs, @TIME suffixes, A/B value pairs — and every parser
+   used to hand-roll them with near-identical code and error strings.
+   This module is that code, written once, with every error naming the
+   offending fragment, its character position, the spec kind, and the
+   full spec string. *)
 
-type ctx = { kind : string; spec : string }
+type ctx = { kind : string; spec : string; pos : int (* -1 = unknown *) }
 
-let ctx ~kind spec = { kind; spec }
+let ctx ~kind spec = { kind; spec; pos = -1 }
+let at c pos = { c with pos }
 let ( let* ) = Result.bind
 
 let errf c fmt =
   Printf.ksprintf
-    (fun m -> Error (Printf.sprintf "%s in %s spec %S" m c.kind c.spec))
+    (fun m ->
+      Error
+        (if c.pos >= 0 then
+           Printf.sprintf "%s at char %d in %s spec %S" m c.pos c.kind c.spec
+         else Printf.sprintf "%s in %s spec %S" m c.kind c.spec))
     fmt
 
 let float_ c ~what v =
@@ -48,10 +54,30 @@ let channel_prefix c =
   match String.index_opt c.spec ':' with
   | None -> errf c "missing CH: prefix"
   | Some i ->
-    let* ch = channel c ~what:"channel" (String.sub c.spec 0 i) in
+    let* ch = channel (at c 0) ~what:"channel" (String.sub c.spec 0 i) in
     Ok (ch, String.sub c.spec (i + 1) (String.length c.spec - i - 1))
 
 let items rest = List.map String.trim (String.split_on_char ',' rest)
+
+(* Comma-split [rest] into items, each paired with a ctx positioned at
+   the item's first non-blank character. [rest] must be a suffix of the
+   ctx's spec (which is what {!channel_prefix} returns and what parsers
+   without a prefix pass — the whole spec), so positions are offsets
+   into the full source string the user typed. *)
+let located c rest =
+  let base = String.length c.spec - String.length rest in
+  let cur = ref base in
+  List.map
+    (fun p ->
+      let start = !cur in
+      cur := !cur + String.length p + 1;
+      let lead = ref 0 in
+      let n = String.length p in
+      while !lead < n && (p.[!lead] = ' ' || p.[!lead] = '\t') do
+        incr lead
+      done;
+      (at c (start + !lead), String.trim p))
+    (String.split_on_char ',' rest)
 
 let kv tok =
   match String.index_opt tok '=' with

@@ -5,20 +5,29 @@
     [NAME=VALUE] items, [@TIME] suffixes, and [A/B] argument pairs.
     These are the shared pieces; each parser keeps only its own
     vocabulary. Every error message names the offending fragment, the
-    spec kind, and the complete spec string, so a mistyped flag is
-    diagnosable from the message alone. *)
+    spec kind, and the complete spec string — and, when the parser
+    walks items through {!located}, the character position of the
+    offending item — so a mistyped flag is diagnosable from the
+    message alone. *)
 
 type ctx
-(** A spec being parsed: its kind (for messages, e.g. ["fault"]) and
-    the full source string. *)
+(** A spec being parsed: its kind (for messages, e.g. ["fault"]), the
+    full source string, and optionally the character position the
+    parser is currently at. *)
 
 val ctx : kind:string -> string -> ctx
+
+val at : ctx -> int -> ctx
+(** The same ctx positioned at character offset [pos] of the source;
+    subsequent {!errf} messages carry [" at char POS"]. *)
 
 val ( let* ) :
   ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
 
 val errf : ctx -> ('a, unit, string, ('b, string) result) format4 -> 'a
-(** Build an [Error] whose message ends with [" in KIND spec SPEC"]. *)
+(** Build an [Error] whose message ends with [" in KIND spec SPEC"] —
+    or [" at char POS in KIND spec SPEC"] when the ctx is positioned
+    ({!at}, {!located}). *)
 
 val float_ : ctx -> what:string -> string -> (float, string) result
 (** A finite float; [what] names the field in the error. *)
@@ -40,6 +49,12 @@ val channel_prefix : ctx -> (int * string, string) result
 
 val items : string -> string list
 (** Comma-split and trim. *)
+
+val located : ctx -> string -> (ctx * string) list
+(** Like {!items}, but each trimmed item comes with a ctx positioned at
+    the item's first non-blank character. The string must be a suffix
+    of the ctx's source (the whole spec, or the remainder returned by
+    {!channel_prefix}), so positions index the string the user typed. *)
 
 val kv : string -> string * string option
 (** Split [NAME=VALUE] at the first [=]; [None] when there is none. *)

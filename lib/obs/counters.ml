@@ -24,6 +24,10 @@ type channel = {
   mutable corrupt_discards : int;
   mutable buffer_overflows : int;
   mutable retunes : int;
+  mutable health_suspects : int;
+  mutable probations : int;
+  mutable quarantines : int;
+  mutable reinstates : int;
 }
 
 (* The registry sits on the per-event path of every instrumented run, so
@@ -97,6 +101,10 @@ let channel t c =
     corrupt_discards = k Event.Corrupt_discard;
     buffer_overflows = k Event.Buffer_overflow;
     retunes = k Event.Retune;
+    health_suspects = k Event.Health_suspect;
+    probations = k Event.Probation;
+    quarantines = k Event.Quarantine;
+    reinstates = k Event.Reinstate;
   }
 
 let resets t = t.resets
@@ -164,6 +172,11 @@ let total_retunes t = total_kind t Event.Retune
 
 let total_member_changes t =
   total_kind t Event.Member_add + total_kind t Event.Member_remove
+
+let total_health_suspects t = total_kind t Event.Health_suspect
+let total_probations t = total_kind t Event.Probation
+let total_quarantines t = total_kind t Event.Quarantine
+let total_reinstates t = total_kind t Event.Reinstate
 
 let pp fmt t =
   for i = 0 to t.n - 1 do

@@ -49,6 +49,18 @@ type channel = {
   mutable retunes : int;
       (** Quantum changes applied to this channel by an adaptive retune
           ([Retune]). *)
+  mutable health_suspects : int;
+      (** Health-engine suspect transitions ([Health_suspect]). *)
+  mutable probations : int;
+      (** Health-engine probation entries — quantum cut to the probe
+          fraction ([Probation]). *)
+  mutable quarantines : int;
+      (** Health-engine quarantines — full suspension through the §5
+          barrier ([Quarantine]). *)
+  mutable reinstates : int;
+      (** Health-engine reinstatements — backoff expiry returning a
+          quarantined channel to probation, or a probation channel
+          restored to full quantum ([Reinstate]). *)
 }
 
 type t
@@ -100,5 +112,13 @@ val total_retunes : t -> int
 val total_member_changes : t -> int
 (** Live bundle membership changes observed ([Member_add] +
     [Member_remove]). *)
+
+val total_health_suspects : t -> int
+val total_probations : t -> int
+val total_quarantines : t -> int
+
+val total_reinstates : t -> int
+(** Health-engine transitions observed ([Health_suspect], [Probation],
+    [Quarantine], [Reinstate]) across all channels (PROTOCOL.md §13). *)
 
 val pp : Format.formatter -> t -> unit

@@ -29,6 +29,10 @@ type kind =
   | Restart
   | Epoch_discard
   | Violation
+  | Health_suspect
+  | Probation
+  | Quarantine
+  | Reinstate
 
 type t = {
   time : float;
@@ -44,7 +48,7 @@ let v ?(channel = -1) ?(round = -1) ?(dc = 0) ?(size = -1) ?(seq = -1) ~time
     kind =
   { time; kind; channel; round; dc; size; seq }
 
-let n_kinds = 30
+let n_kinds = 34
 
 (* Dense index for counter arrays; keep in sync with [kind] and
    [n_kinds]. *)
@@ -79,6 +83,10 @@ let kind_index = function
   | Restart -> 27
   | Epoch_discard -> 28
   | Violation -> 29
+  | Health_suspect -> 30
+  | Probation -> 31
+  | Quarantine -> 32
+  | Reinstate -> 33
 
 let kind_name = function
   | Enqueue -> "enqueue"
@@ -111,6 +119,10 @@ let kind_name = function
   | Restart -> "restart"
   | Epoch_discard -> "epoch_discard"
   | Violation -> "violation"
+  | Health_suspect -> "health_suspect"
+  | Probation -> "probation"
+  | Quarantine -> "quarantine"
+  | Reinstate -> "reinstate"
 
 let all_kinds =
   [
@@ -118,7 +130,8 @@ let all_kinds =
     Marker_applied; Skip; Block; Unblock; Reset_barrier; Deliver; Round;
     Channel_down; Channel_up; Watchdog_skip; Suspend; Resume; Dup_discard;
     Reorder_restore; Corrupt_discard; Buffer_overflow; Retune; Member_add;
-    Member_remove; Crash; Restart; Epoch_discard; Violation;
+    Member_remove; Crash; Restart; Epoch_discard; Violation; Health_suspect;
+    Probation; Quarantine; Reinstate;
   ]
 
 let kind_of_name s =

@@ -57,7 +57,19 @@
       for the invariant monitors ({!Monitor}): it is emitted by the
       monitor itself, never by protocol components, when an always-on
       invariant (FIFO-after-quiet, budget, progress, conservation) is
-      observed broken ([seq] = monitor-specific detail). *)
+      observed broken ([seq] = monitor-specific detail).
+    - {b Channel health} (PROTOCOL.md §13): the {!Stripe_core.Health}
+      engine owns the gray-failure lifecycle events — [Health_suspect]
+      (fused evidence score crossed the suspect threshold with
+      hysteresis), [Probation] (quantum cut to the probe fraction at a
+      round boundary; [size] = the scaled quantum in per-mille of
+      nominal), [Quarantine] (sustained failure: the channel is fully
+      suspended through the §5 reset barrier; [size] = the reinstatement
+      backoff in milliseconds), and [Reinstate] (a quarantined channel
+      returns to probation probing after its backoff, or a probation
+      channel is restored to full quantum; [seq] = the channel's flap
+      count). All four carry [channel]. Emitted only by the health
+      engine, never by protocol components. *)
 
 type kind =
   | Enqueue
@@ -90,6 +102,10 @@ type kind =
   | Restart
   | Epoch_discard
   | Violation
+  | Health_suspect
+  | Probation
+  | Quarantine
+  | Reinstate
 
 type t = {
   time : float;

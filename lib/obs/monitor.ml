@@ -20,6 +20,13 @@ type t = {
   budget_bytes : int option;
   wedge_intervals : int;
   forward : Sink.t;
+  (* Liveness: shadow of which channels the health engine holds in
+     quarantine ([Quarantine] sets, [Reinstate] clears). The health
+     engine must never quarantine the whole membership (PROTOCOL.md
+     §13); the moment every armed channel is dark it is a violation.
+     Empty array = monitor disarmed. *)
+  quarantined : bool array;
+  mutable n_quarantined : int;
   (* FIFO: highest data seq delivered so far (0 = nothing judged). *)
   mutable last_seq : int;
   mutable inversions : int;
@@ -36,18 +43,25 @@ type t = {
 }
 
 let create ?(quiet_after = 0.0) ?budget_bytes ?(wedge_intervals = 8)
-    ?(forward = Sink.null) () =
+    ?live_channels ?(forward = Sink.null) () =
   if wedge_intervals <= 0 then
     invalid_arg "Monitor.create: wedge_intervals must be positive";
   (match budget_bytes with
   | Some b when b <= 0 ->
     invalid_arg "Monitor.create: budget_bytes must be positive"
   | _ -> ());
+  (match live_channels with
+  | Some n when n <= 0 ->
+    invalid_arg "Monitor.create: live_channels must be positive"
+  | _ -> ());
   {
     quiet_after;
     budget_bytes;
     wedge_intervals;
     forward;
+    quarantined =
+      (match live_channels with Some n -> Array.make n false | None -> [||]);
+    n_quarantined = 0;
     last_seq = 0;
     inversions = 0;
     buffered = 0;
@@ -109,6 +123,25 @@ let on_event t (e : Event.t) =
     end
     else t.streak <- 0;
     t.delivered_since_marker <- false
+  | Event.Quarantine ->
+    let n = Array.length t.quarantined in
+    if n > 0 && e.channel >= 0 && e.channel < n then begin
+      if not t.quarantined.(e.channel) then begin
+        t.quarantined.(e.channel) <- true;
+        t.n_quarantined <- t.n_quarantined + 1
+      end;
+      if t.n_quarantined >= n then
+        violate t ~time:e.time
+          "liveness: quarantining channel %d leaves 0 of %d members active"
+          e.channel n
+    end
+  | Event.Reinstate ->
+    let n = Array.length t.quarantined in
+    if n > 0 && e.channel >= 0 && e.channel < n then
+      if t.quarantined.(e.channel) then begin
+        t.quarantined.(e.channel) <- false;
+        t.n_quarantined <- t.n_quarantined - 1
+      end
   | Event.Crash | Event.Restart ->
     (* An endpoint lost its state: the shadow restarts with it. The
        receiver pair wipes the buffer; delivered-order memory is void
@@ -129,6 +162,7 @@ let first_violation t =
 
 let all_violations t = List.rev t.violations
 let seq_inversions t = t.inversions
+let quarantined_channels t = t.n_quarantined
 let buffered_bytes t = t.buffered
 let events_seen t = t.n_events
 

@@ -12,7 +12,10 @@
       from [Enqueue]/[Deliver]/[Epoch_discard] events) never exceed the
       configured budget;
     - {b progress}: data never sits buffered across [wedge_intervals]
-      marker intervals with no delivery — the wedged-receiver detector.
+      marker intervals with no delivery — the wedged-receiver detector;
+    - {b liveness} (PROTOCOL.md §13): the health engine never drives a
+      bundle to zero active members — shadowed from
+      [Quarantine]/[Reinstate] events, armed by [live_channels].
 
     Violations are recorded with time and diagnosis, forwarded as
     [Violation] events (when a forward sink is given), and never raise:
@@ -28,6 +31,7 @@ val create :
   ?quiet_after:float ->
   ?budget_bytes:int ->
   ?wedge_intervals:int ->
+  ?live_channels:int ->
   ?forward:Sink.t ->
   unit ->
   t
@@ -36,8 +40,10 @@ val create :
     drain grace ({!set_quiet_after}). [budget_bytes] arms the budget
     monitor with the same bound handed to the resequencer.
     [wedge_intervals] (default 8) is the progress monitor's K.
-    [forward] receives a [Violation] event per violation, with [seq] =
-    the monitor's event ordinal at detection. *)
+    [live_channels] arms the liveness monitor with the bundle width:
+    a [Quarantine] event that leaves all of them quarantined at once
+    is a violation. [forward] receives a [Violation] event per
+    violation, with [seq] = the monitor's event ordinal at detection. *)
 
 val sink : t -> Sink.t
 (** The monitor as an event sink. Tee it into the observed component's
@@ -53,6 +59,10 @@ val first_violation : t -> (float * string) option
 
 val all_violations : t -> (float * string) list
 val seq_inversions : t -> int
+
+val quarantined_channels : t -> int
+(** The liveness monitor's current shadow of how many channels the
+    health engine holds in quarantine (0 when disarmed). *)
 
 val buffered_bytes : t -> int
 (** The budget monitor's current shadow of buffered data bytes. *)

@@ -9,7 +9,11 @@ module Sender = struct
     transmit : off:int -> size:int -> unit;
     mutable snd_una : int;
     mutable snd_nxt : int;
-    mutable outstanding : segment list;  (* oldest first *)
+    (* Oldest first. A FIFO queue, not a list: segments are appended at
+       the tail per fill and a cumulative ACK always covers a prefix, so
+       both sides are O(1) pops/pushes where list append + filter were
+       O(outstanding) per segment. *)
+    outstanding : segment Queue.t;
     mutable running : bool;
     mutable alive : bool;
     mutable rto : float;
@@ -30,7 +34,7 @@ module Sender = struct
       transmit;
       snd_una = 0;
       snd_nxt = 0;
-      outstanding = [];
+      outstanding = Queue.create ();
       running = false;
       alive = true;
       rto;
@@ -46,11 +50,14 @@ module Sender = struct
     t.timer_version <- t.timer_version + 1;
     let version = t.timer_version in
     Stripe_netsim.Sim.schedule_after t.sim ~delay:t.rto (fun () ->
-        if t.alive && version = t.timer_version && t.outstanding <> [] then begin
+        if
+          t.alive && version = t.timer_version
+          && not (Queue.is_empty t.outstanding)
+        then begin
           (* Go-back-N: resend everything outstanding, oldest first. *)
           t.n_timeouts <- t.n_timeouts + 1;
           t.rto <- Float.min (t.rto *. 2.0) (t.base_rto *. 8.0);
-          List.iter
+          Queue.iter
             (fun seg ->
               t.n_retx <- t.n_retx + 1;
               t.n_segments <- t.n_segments + 1;
@@ -69,14 +76,14 @@ module Sender = struct
           let size = t.next_segment_size () in
           if size <= 0 then invalid_arg "Tcp_lite: segment size must be positive";
           let seg = { off = t.snd_nxt; len = size } in
-          t.outstanding <- t.outstanding @ [ seg ];
+          Queue.push seg t.outstanding;
           t.snd_nxt <- t.snd_nxt + size;
           t.n_segments <- t.n_segments + 1;
           progressed := true;
           t.transmit ~off:seg.off ~size
         end
       done;
-      if !progressed && t.outstanding <> [] then arm_timer t
+      if !progressed && not (Queue.is_empty t.outstanding) then arm_timer t
     end
 
   let start t =
@@ -93,10 +100,19 @@ module Sender = struct
   let on_ack t a =
     if a > t.snd_una then begin
       t.snd_una <- a;
-      t.outstanding <-
-        List.filter (fun seg -> seg.off + seg.len > a) t.outstanding;
+      (* Cumulative: the ACK covers a prefix of the offset-ordered
+         queue, so only head pops are ever needed. *)
+      while
+        (not (Queue.is_empty t.outstanding))
+        &&
+        let seg = Queue.peek t.outstanding in
+        seg.off + seg.len <= a
+      do
+        ignore (Queue.pop t.outstanding)
+      done;
       t.rto <- t.base_rto;
-      if t.outstanding = [] then t.timer_version <- t.timer_version + 1
+      if Queue.is_empty t.outstanding then
+        t.timer_version <- t.timer_version + 1
       else arm_timer t;
       fill t
     end

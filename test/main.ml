@@ -39,6 +39,7 @@ let () =
          Test_adapt.suites;
          Test_fleet.suites;
          Test_chaos.suites;
+         Test_health.suites;
          Test_transport.suites;
          Test_workload.suites;
        ])

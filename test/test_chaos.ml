@@ -322,8 +322,10 @@ let test_chaos_random_plan_deterministic () =
   let times =
     List.map
       (function
-        | Chaos.Storm { at; _ } | Chaos.Crash { at; _ } | Chaos.Violate { at; _ }
-          ->
+        | Chaos.Storm { at; _ }
+        | Chaos.Crash { at; _ }
+        | Chaos.Violate { at; _ }
+        | Chaos.Degrade { at; _ } ->
           at)
       p
   in
@@ -334,7 +336,8 @@ let test_chaos_random_plan_deterministic () =
          (match a with
          | Chaos.Storm { at; duration; _ } -> at +. duration
          | Chaos.Crash { at; downtime; _ } -> at +. downtime
-         | Chaos.Violate { at; _ } -> at)
+         | Chaos.Violate { at; _ } -> at
+         | Chaos.Degrade { at; duration; _ } -> at +. duration)
          <= Chaos.horizon p)
        p);
   List.iter
@@ -345,7 +348,9 @@ let test_chaos_random_plan_deterministic () =
           (List.for_all (fun c -> c >= 0 && c < 4) channels)
       | Chaos.Crash { bundle; _ } ->
         check "crash bundle in range" true (bundle >= 0 && bundle < 8)
-      | Chaos.Violate _ -> ())
+      | Chaos.Violate _ -> ()
+      | Chaos.Degrade { channel; _ } ->
+        check "degrade channel in range" true (channel >= 0 && channel < 4))
     p
 
 let test_chaos_apply_numbers_events_in_time_order () =
@@ -358,6 +363,8 @@ let test_chaos_apply_numbers_events_in_time_order () =
       crash = (fun s b -> log := (Sim.now sim, `Crash (s, b)) :: !log);
       restart = (fun s b -> log := (Sim.now sim, `Restart (s, b)) :: !log);
       violate = (fun b -> log := (Sim.now sim, `Violate b) :: !log);
+      set_loss = (fun c _ -> log := (Sim.now sim, `Loss c) :: !log);
+      scale_rate = (fun c f -> log := (Sim.now sim, `Rate (c, f)) :: !log);
     }
   in
   (* Deliberately out of time order: apply must still number the

@@ -115,6 +115,47 @@ let test_tcp_window_bounds_inflight () =
   Tcp_lite.Sender.shutdown tx;
   Sim.run sim
 
+(* Pin the go-back-N retransmit discipline the FIFO outstanding queue
+   must preserve: a timeout resends every unacknowledged segment oldest
+   first, a cumulative ACK pops exactly the covered prefix, and the
+   window refills behind it. *)
+let test_tcp_retransmit_order () =
+  let sim = Sim.create () in
+  let sent = ref [] in
+  let tx =
+    Tcp_lite.Sender.create sim ~window:4000 ~rto:0.1
+      ~next_segment_size:(fun () -> 1000)
+      ~transmit:(fun ~off ~size:_ -> sent := off :: !sent)
+      ()
+  in
+  Tcp_lite.Sender.start tx;
+  Alcotest.(check (list int))
+    "initial fill in offset order" [ 0; 1000; 2000; 3000 ]
+    (List.rev !sent);
+  (* Nothing is acked: the timer fires and resends the whole window,
+     oldest first, then backs off and fires again. *)
+  sent := [];
+  Sim.run_until sim 0.15;
+  Alcotest.(check (list int))
+    "first timeout resends all outstanding oldest-first"
+    [ 0; 1000; 2000; 3000 ]
+    (List.rev !sent);
+  Alcotest.(check int) "one timeout" 1 (Tcp_lite.Sender.timeouts tx);
+  (* A partial cumulative ACK pops the covered prefix only; the next
+     timeout resends the surviving tail, still oldest first, after the
+     refill that the ACK's freed window admitted. *)
+  Tcp_lite.Sender.on_ack tx 2000;
+  sent := [];
+  Sim.run_until sim 0.3;
+  Alcotest.(check (list int))
+    "post-ack timeout resends the uncovered tail oldest-first"
+    [ 2000; 3000; 4000; 5000 ]
+    (List.rev !sent);
+  Alcotest.(check int) "retransmissions counted" 8
+    (Tcp_lite.Sender.retransmissions tx);
+  Tcp_lite.Sender.shutdown tx;
+  Sim.run sim
+
 let test_credit_sender_invariants () =
   let s = Credit.Sender.create ~n_channels:2 ~initial_limit:3 in
   Alcotest.(check bool) "initial credit available" true
@@ -270,6 +311,8 @@ let suites =
         Alcotest.test_case "tcp loss recovery" `Quick test_tcp_recovers_from_loss;
         Alcotest.test_case "tcp receiver reorders" `Quick test_tcp_receiver_reorders;
         Alcotest.test_case "tcp window" `Quick test_tcp_window_bounds_inflight;
+        Alcotest.test_case "tcp retransmit order" `Quick
+          test_tcp_retransmit_order;
         Alcotest.test_case "credit sender" `Quick test_credit_sender_invariants;
         Alcotest.test_case "credit loss presumption" `Quick
           test_credit_loss_presumption;
