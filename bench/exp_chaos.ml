@@ -38,6 +38,7 @@
 open Stripe_netsim
 open Stripe_core
 module Bundle_pool = Stripe_fleet.Bundle_pool
+module Sharded_pool = Stripe_fleet.Sharded_pool
 module Recovery = Stripe_metrics.Recovery
 module Monitor = Stripe_obs.Monitor
 
@@ -119,16 +120,34 @@ type run = {
 
 let side_index = function Chaos.Tx -> 0 | Chaos.Rx -> 1
 
-let run_cell ~profile ~bundles ~seed ~inject () =
+(* What one shard of a cell reports back to the merge barrier. With the
+   whole fleet in one shard ([--domains 1]) this is exactly the legacy
+   single-pool cell, and the merge of one shard is the identity. *)
+type shard_out = {
+  sr : run;  (* [tag] empty and [failure] = non-FIFO causes only *)
+  violate_event : int;
+  mttr_sum : float;
+  avail_sum : float;
+  first_viol : (float * int * int) option;  (* global bundle id *)
+}
+
+(* One shard: [locals] lists the global ids of the bundles it owns
+   (local id = index in [locals]); [fleet] is the global fleet size the
+   chaos plan and marker-cadence horizons are drawn against, so every
+   shard sees the same plan and the same quiet-line grace. Bundle
+   events for non-owned bundles are filtered at the driver; channel
+   events apply everywhere (a storm hits every shard's channels, as it
+   hit every bundle of the single pool). *)
+let run_shard ~profile ~fleet ~locals ~traffic_rate ~chaos_rng ~traffic_rng
+    ~size_rng ~seed ~inject () =
+  let bundles = Array.length locals in
+  let local_of_global = Array.make (max 1 fleet) (-1) in
+  Array.iteri (fun l g -> local_of_global.(g) <- l) locals;
   let sim = Sim.create () in
-  let rng = Rng.create seed in
-  let chaos_rng = Rng.split rng in
-  let traffic_rng = Rng.split rng in
-  let size_rng = Rng.split rng in
   let quanta =
     Srr.quanta_for_rates ~rates_bps:reference_rates ~quantum_unit:1500 ()
   in
-  let wd_fallback, grace = cell_horizons ~quanta ~bundles in
+  let wd_fallback, grace = cell_horizons ~quanta ~bundles:fleet in
   let health_on = profile.degrade_every > 0.0 in
   let health_monitor = Monitor.create ~live_channels:n_channels () in
   let pool =
@@ -150,7 +169,7 @@ let run_cell ~profile ~bundles ~seed ~inject () =
     ignore (Bundle_pool.acquire pool)
   done;
   let plan =
-    Chaos.random_plan ~rng:chaos_rng ~n_channels ~n_bundles:bundles
+    Chaos.random_plan ~rng:chaos_rng ~n_channels ~n_bundles:fleet
       ~horizon:chaos_horizon ~storm_every:profile.storm_every
       ~crash_every:profile.crash_every ~degrade_every:profile.degrade_every
       ~mean_outage:0.08 ~mean_downtime:0.08 ~mean_degrade:0.15 ()
@@ -170,8 +189,9 @@ let run_cell ~profile ~bundles ~seed ~inject () =
       Chaos.set_channel_up = (fun c up -> Bundle_pool.set_channel_up pool c up);
       crash =
         (fun side b ->
+          let b = local_of_global.(b) in
           let s = side_index side in
-          if Float.is_nan down_since.(s).(b) then begin
+          if b >= 0 && Float.is_nan down_since.(s).(b) then begin
             (match side with
             | Chaos.Tx -> Bundle_pool.crash_sender pool b
             | Chaos.Rx -> ignore (Bundle_pool.crash_receiver pool b));
@@ -179,8 +199,9 @@ let run_cell ~profile ~bundles ~seed ~inject () =
           end);
       restart =
         (fun side b ->
+          let b = local_of_global.(b) in
           let s = side_index side in
-          if not (Float.is_nan down_since.(s).(b)) then begin
+          if b >= 0 && not (Float.is_nan down_since.(s).(b)) then begin
             (match side with
             | Chaos.Tx -> Bundle_pool.restart_sender pool b
             | Chaos.Rx -> Bundle_pool.restart_receiver pool b);
@@ -189,7 +210,10 @@ let run_cell ~profile ~bundles ~seed ~inject () =
             down_since.(s).(b) <- Float.nan;
             last_restart.(s).(b) <- Sim.now sim
           end);
-      violate = (fun b -> Bundle_pool.inject_violation pool b);
+      violate =
+        (fun b ->
+          let b = local_of_global.(b) in
+          if b >= 0 then Bundle_pool.inject_violation pool b);
       set_loss = (fun c l -> Bundle_pool.set_channel_loss pool c l);
       scale_rate = (fun c f -> Bundle_pool.scale_channel_rate pool c f);
     }
@@ -287,11 +311,11 @@ let run_cell ~profile ~bundles ~seed ~inject () =
     if Sim.now sim < !traffic_until then begin
       Bundle_pool.push pool (Rng.int traffic_rng bundles) ~size:(gen_size ());
       Sim.schedule_after sim
-        ~delay:(Rng.exponential traffic_rng ~mean:(1.0 /. packet_rate))
+        ~delay:(Rng.exponential traffic_rng ~mean:(1.0 /. traffic_rate))
         traffic_tick
     end
   in
-  traffic_tick ();
+  if bundles > 0 then traffic_tick ();
   Sim.run sim;
   let run_end = Sim.now sim in
   (* Recovery per crashed endpoint. *)
@@ -319,7 +343,8 @@ let run_cell ~profile ~bundles ~seed ~inject () =
           incr recovered
         else if !first_unrecovered = None then
           first_unrecovered :=
-            Some (Printf.sprintf "%s/%d" (if s = 0 then "tx" else "rx") b)
+            Some
+              (Printf.sprintf "%s/%d" (if s = 0 then "tx" else "rx") locals.(b))
       end
     done
   done;
@@ -329,7 +354,7 @@ let run_cell ~profile ~bundles ~seed ~inject () =
   for b = 0 to bundles - 1 do
     match
       Monitor.check_conservation
-        ~what:(Printf.sprintf "bundle %d" b)
+        ~what:(Printf.sprintf "bundle %d" locals.(b))
         ~pushed:(Bundle_pool.pushed_packets pool b)
         ~delivered:(Bundle_pool.delivered_packets pool b)
         ~pending:(Bundle_pool.rx_pending_packets pool b)
@@ -349,6 +374,14 @@ let run_cell ~profile ~bundles ~seed ~inject () =
   done;
   let sums f = Array.init bundles (fun b -> f pool b) |> Array.fold_left ( + ) 0 in
   let violations = Bundle_pool.total_fifo_violations pool in
+  let first_viol =
+    match Bundle_pool.first_violation pool with
+    | Some (time, b, sq) -> Some (time, locals.(b), sq)
+    | None -> None
+  in
+  (* FIFO and injection verdicts need the fleet-wide violation count, so
+     they are rendered at the merge barrier; here only the failures this
+     shard can judge alone. *)
   let failure =
     let fail fmt =
       Printf.ksprintf
@@ -358,13 +391,7 @@ let run_cell ~profile ~bundles ~seed ~inject () =
                !last_event))
         fmt
     in
-    if violations > 0 && not inject then begin
-      match Bundle_pool.first_violation pool with
-      | Some (time, b, sq) ->
-        fail "FIFO violation: bundle %d seq %d at t=%.4f" b sq time
-      | None -> fail "FIFO violation"
-    end
-    else if !conservation_failures > 0 then
+    if !conservation_failures > 0 then
       fail "%s" (Option.value ~default:"conservation" !first_unconserved)
     else if !recovered < !crashed then
       fail "endpoint %s never delivered after restart"
@@ -374,36 +401,163 @@ let run_cell ~profile ~bundles ~seed ~inject () =
         (match Monitor.first_violation health_monitor with
         | Some (_, msg) -> msg
         | None -> "?")
+    else None
+  in
+  {
+    sr =
+      {
+        tag = "";
+        seed;
+        bundles;
+        chaos_events = !last_event + 1;
+        delivered = Bundle_pool.total_delivered_packets pool;
+        carrier_drops = sums Bundle_pool.carrier_drops;
+        crashes = Bundle_pool.crashes pool;
+        restarts = Bundle_pool.restarts pool;
+        crashed_endpoints = !crashed;
+        recovered = !recovered;
+        mttr_ms =
+          (if !crashed = 0 then -1.0
+           else 1000.0 *. !mttr_sum /. float_of_int !crashed);
+        avail_mean =
+          (if !crashed = 0 then 1.0 else !avail_sum /. float_of_int !crashed);
+        avail_min = !avail_min;
+        inversions = sums Bundle_pool.seq_inversions;
+        violations;
+        conservation_failures = !conservation_failures;
+        wd_dead = sums Bundle_pool.rx_dead_declarations;
+        quarantines = !quarantines;
+        health_violations = Monitor.violations health_monitor;
+        failure;
+      };
+    violate_event = !violate_event;
+    mttr_sum = !mttr_sum;
+    avail_sum = !avail_sum;
+    first_viol;
+  }
+
+(* A cell: the legacy single pool when [domains = 1] — bit-identical to
+   the pre-sharding benchmark, same RNG split order and all — else the
+   fleet partitioned by bundle id across N domains. Every shard replays
+   the same seeded chaos plan (channel events everywhere, bundle events
+   filtered to its own bundles), drives its proportional slice of the
+   offered load from indexed RNG substreams, and runs its own sim,
+   pool, health engine and monitors. The merge sums counters, pools the
+   recovery stats (endpoint-weighted MTTR/availability, min
+   availability) and renders the fleet-wide FIFO/injection verdicts.
+
+   Unlike exp_fleet's recorded tape, the quiet line here adapts to each
+   shard's own wire backlog and health-engine convergence, so cross-N
+   byte-equality of counters is not a contract for chaos cells — the
+   invariants (zero violations, conservation, full recovery) are. *)
+let run_cell ~profile ~bundles ~seed ~inject ~domains () =
+  let shards =
+    if domains = 1 then
+      let rng = Rng.create seed in
+      let chaos_rng = Rng.split rng in
+      let traffic_rng = Rng.split rng in
+      let size_rng = Rng.split rng in
+      [|
+        run_shard ~profile ~fleet:bundles
+          ~locals:(Array.init bundles (fun b -> b))
+          ~traffic_rate:packet_rate ~chaos_rng ~traffic_rng ~size_rng ~seed
+          ~inject ();
+      |]
+    else begin
+      let parts = Sharded_pool.split_fleet ~domains ~bundles in
+      let shard k () =
+        (* Each shard re-derives the identical plan from the seed's
+           first split; traffic and sizes come from indexed substreams
+           so the per-shard Poisson processes are independent. *)
+        let rng = Rng.create seed in
+        let chaos_rng = Rng.split rng in
+        let traffic_rng = Rng.stream ~seed ((2 * k) + 1) in
+        let size_rng = Rng.stream ~seed ((2 * k) + 2) in
+        let locals = parts.(k) in
+        run_shard ~profile ~fleet:bundles ~locals
+          ~traffic_rate:
+            (packet_rate
+            *. float_of_int (Array.length locals)
+            /. float_of_int bundles)
+          ~chaos_rng ~traffic_rng ~size_rng ~seed ~inject ()
+      in
+      let joins =
+        Array.init (domains - 1) (fun i -> Domain.spawn (shard (i + 1)))
+      in
+      let first = shard 0 () in
+      Array.append [| first |] (Array.map Domain.join joins)
+    end
+  in
+  let sum f = Array.fold_left (fun a s -> a + f s.sr) 0 shards in
+  let violations = sum (fun r -> r.violations) in
+  let crashed = sum (fun r -> r.crashed_endpoints) in
+  let mttr_sum = Array.fold_left (fun a s -> a +. s.mttr_sum) 0.0 shards in
+  let avail_sum = Array.fold_left (fun a s -> a +. s.avail_sum) 0.0 shards in
+  let chaos_events =
+    Array.fold_left (fun a s -> max a s.sr.chaos_events) 0 shards
+  in
+  let first_viol =
+    Array.fold_left
+      (fun acc s ->
+        match (acc, s.first_viol) with
+        | None, v | v, None -> v
+        | (Some (ta, _, _) as a), Some (tb, _, _) ->
+          if tb < ta then s.first_viol else a)
+      None shards
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Some
+          (Printf.sprintf "%s (seed %d, last chaos event %d)" msg seed
+             (chaos_events - 1)))
+      fmt
+  in
+  let shard_failure =
+    Array.fold_left
+      (fun acc s -> if acc = None then s.sr.failure else acc)
+      None shards
+  in
+  let failure =
+    if violations > 0 && not inject then begin
+      match first_viol with
+      | Some (time, b, sq) ->
+        fail "FIFO violation: bundle %d seq %d at t=%.4f" b sq time
+      | None -> fail "FIFO violation"
+    end
+    else if shard_failure <> None then shard_failure
     else if inject && violations = 0 then
       fail "injected violation was NOT caught"
     else None
   in
+  let tag0 = Printf.sprintf "%s-%d-s%d" profile.pname bundles seed in
   ( {
-      tag = Printf.sprintf "%s-%d-s%d" profile.pname bundles seed;
+      tag = (if domains = 1 then tag0 else Printf.sprintf "%s-d%d" tag0 domains);
       seed;
       bundles;
-      chaos_events = !last_event + 1;
-      delivered = Bundle_pool.total_delivered_packets pool;
-      carrier_drops = sums Bundle_pool.carrier_drops;
-      crashes = Bundle_pool.crashes pool;
-      restarts = Bundle_pool.restarts pool;
-      crashed_endpoints = !crashed;
-      recovered = !recovered;
+      chaos_events;
+      delivered = sum (fun r -> r.delivered);
+      carrier_drops = sum (fun r -> r.carrier_drops);
+      crashes = sum (fun r -> r.crashes);
+      restarts = sum (fun r -> r.restarts);
+      crashed_endpoints = crashed;
+      recovered = sum (fun r -> r.recovered);
       mttr_ms =
-        (if !crashed = 0 then -1.0
-         else 1000.0 *. !mttr_sum /. float_of_int !crashed);
+        (if crashed = 0 then -1.0
+         else 1000.0 *. mttr_sum /. float_of_int crashed);
       avail_mean =
-        (if !crashed = 0 then 1.0 else !avail_sum /. float_of_int !crashed);
-      avail_min = !avail_min;
-      inversions = sums Bundle_pool.seq_inversions;
+        (if crashed = 0 then 1.0 else avail_sum /. float_of_int crashed);
+      avail_min =
+        Array.fold_left (fun a s -> Float.min a s.sr.avail_min) 1.0 shards;
+      inversions = sum (fun r -> r.inversions);
       violations;
-      conservation_failures = !conservation_failures;
-      wd_dead = sums Bundle_pool.rx_dead_declarations;
-      quarantines = !quarantines;
-      health_violations = Monitor.violations health_monitor;
+      conservation_failures = sum (fun r -> r.conservation_failures);
+      wd_dead = sum (fun r -> r.wd_dead);
+      quarantines = sum (fun r -> r.quarantines);
+      health_violations = sum (fun r -> r.health_violations);
       failure;
     },
-    !violate_event )
+    Array.fold_left (fun a s -> max a s.violate_event) (-1) shards )
 
 let print_run r =
   Printf.printf
@@ -432,6 +586,7 @@ let () =
   let json_out = ref None in
   let inject = ref false in
   let profile_filter = ref None in
+  let domains = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -439,6 +594,9 @@ let () =
       parse rest
     | "--bundles" :: v :: rest ->
       bundles := Some (int_of_string v);
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := Sharded_pool.resolve_domains (int_of_string v);
       parse rest
     | "--seed" :: v :: rest ->
       seed := Some (int_of_string v);
@@ -488,8 +646,8 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "usage: exp_chaos [--quick] [--bundles N] [--seed S] [--profile \
-         storms|crashes|degrades|mixed] [--json FILE] [--inject-violation] \
-         [--health-selftest] (got %s)\n"
+         storms|crashes|degrades|mixed] [--domains N] [--json FILE] \
+         [--inject-violation] [--health-selftest] (got %s)\n"
         arg;
       exit 2
   in
@@ -519,7 +677,10 @@ let () =
        violation\n\
        %!"
       b s;
-    let r, violate_event = run_cell ~profile:mixed ~bundles:b ~seed:s ~inject:true () in
+    let r, violate_event =
+      run_cell ~profile:mixed ~bundles:b ~seed:s ~inject:true
+        ~domains:!domains ()
+    in
     print_run r;
     match r.failure with
     | Some msg ->
@@ -550,13 +711,18 @@ let () =
   in
   Printf.printf
     "exp_chaos: %d cells x 4ch SRR fleet, chaos horizon %.1fs, quiet line = \
-     last event + cadence-scaled grace (>= %.1fs), %.0fk pkts/s offered\n\
+     last event + cadence-scaled grace (>= %.1fs), %.0fk pkts/s offered%s\n\
      %!"
-    (List.length cells) chaos_horizon drain_grace (packet_rate /. 1000.0);
+    (List.length cells) chaos_horizon drain_grace
+    (packet_rate /. 1000.0)
+    (if !domains > 1 then Printf.sprintf ", %d domains" !domains else "");
   let runs =
     List.map
       (fun (p, n, s) ->
-        let r, _ = run_cell ~profile:p ~bundles:n ~seed:s ~inject:false () in
+        let r, _ =
+          run_cell ~profile:p ~bundles:n ~seed:s ~inject:false
+            ~domains:!domains ()
+        in
         print_run r;
         r)
       cells

@@ -5,11 +5,21 @@
    churned by a Poisson process — bundles arrive at a fixed rate, live
    an exponential lifetime, and die; a global Poisson packet process
    sprays bimodal data packets uniformly over whatever bundles are
-   alive. One shared Sim event loop carries the whole fleet.
+   alive.
+
+   The workload is generated once (a cheap protocol-free pass) and
+   recorded into a [Stripe_fleet.Sharded_pool], which replays it across
+   [--domains N] OCaml 5 domains, each shard carrying its slice of the
+   fleet on its own Sim event loop (DESIGN.md §10). The partition is by
+   pool slot, so the replay is bit-deterministic in the shard count:
+   [--domains 1] reproduces the legacy single-pool run byte-identically
+   (the BENCH_fleet.json anchor), and any N merges to the same
+   delivered/markers/share numbers — only wall-clock changes.
 
    Reported:
    - aggregate pps: data packets delivered per wall-clock second across
-     the fleet — the number the CI gate protects;
+     the fleet — the number the CI gate protects; with [--domains N],
+     also per-shard pps and a scaling-efficiency line;
    - per-bundle fairness: every bundle runs the same configuration and
      sees the same arrival statistics, so delivered goodput normalized
      by lifetime should be equal across bundles. The p50/p99 of the
@@ -23,18 +33,24 @@
      dune exec bench/exp_fleet.exe --                  # full run, table
      dune exec bench/exp_fleet.exe -- --quick          # 10k bundles
      dune exec bench/exp_fleet.exe -- --bundles 50000  # custom fleet
+     dune exec bench/exp_fleet.exe -- --domains 4      # 4 shards (0 = auto)
      dune exec bench/exp_fleet.exe -- --json FILE      # machine output
      dune exec bench/exp_fleet.exe -- --check FILE --max-regress 0.30
-       # CI gate: exit 1 if pps drops >30% below FILE's committed numbers
+       # CI gate: exit 1 if pps drops >30% below FILE's committed
+       # numbers, or if the protocol aggregates (delivered, markers,
+       # share p50/p99) drift from the committed single-domain anchor —
+       # the latter holds for every --domains N, so a multicore run is
+       # gated on aggregate equality, not wall-clock.
 
    Like exp_throughput, each engine runs [--repeat] times and the
    fastest run is reported (wall-clock noise is one-sided); the
    simulated behavior is seed-deterministic, so fairness numbers are
-   identical across repeats and engines. *)
+   identical across repeats, engines, and domain counts. *)
 
 open Stripe_netsim
 open Stripe_core
 module Bundle_pool = Stripe_fleet.Bundle_pool
+module Sharded_pool = Stripe_fleet.Sharded_pool
 
 let reference_rates = [| 10e6; 10e6; 5e6; 2.5e6 |]
 let reference_delays = [| 0.001; 0.002; 0.005; 0.010 |]
@@ -51,6 +67,7 @@ let min_measured_life = 0.02
 
 type result = {
   engine : string;
+  domains : int;
   bundles : int;
   peak_live : int;
   delivered : int;
@@ -60,6 +77,8 @@ type result = {
   share_p50 : float;
   share_p99 : float;
   sim_seconds : float;
+  efficiency : float;
+  shards : Sharded_pool.shard_report array;
 }
 
 let percentile sorted p =
@@ -69,15 +88,21 @@ let percentile sorted p =
     let i = int_of_float (p *. float_of_int (n - 1)) in
     sorted.(min (n - 1) (max 0 i))
 
-let run_once ~engine ~total_bundles () =
-  let sim = Sim.create ~engine () in
+let run_once ~engine ~total_bundles ~domains () =
+  (* Generation pass: protocol-free, so it always runs on the heap
+     engine of a private sim. The RNG stream structure and the dense
+     live-table dynamics are identical to the legacy single-pool loop,
+     so the recorded op tape is the exact op sequence that loop issued
+     against its pool. *)
+  let gsim = Sim.create ~engine:Sim.Heap () in
   let rng = Rng.create reference_seed in
   let arrivals_rng = Rng.split rng in
   let life_rng = Rng.split rng in
   let traffic_rng = Rng.split rng in
   let size_rng = Rng.split rng in
   let pool =
-    Bundle_pool.create ~sim
+    Sharded_pool.create ~engine ~clock:Unix.gettimeofday ~domains
+      ~seed:reference_seed
       {
         Bundle_pool.rate_bps = reference_rates;
         prop_delay = reference_delays;
@@ -93,22 +118,6 @@ let run_once ~engine ~total_bundles () =
   let ids = ref (Array.make 1024 0) in
   let pos = ref (Array.make 1024 (-1)) in
   let n_ids = ref 0 in
-  let peak_live = ref 0 in
-  let shares = ref (Array.make 4096 0.0) in
-  let n_shares = ref 0 in
-  let record_share id ~until =
-    let life = until -. Bundle_pool.birth_time pool id in
-    if life >= min_measured_life then begin
-      if !n_shares = Array.length !shares then begin
-        let bigger = Array.make (2 * !n_shares) 0.0 in
-        Array.blit !shares 0 bigger 0 !n_shares;
-        shares := bigger
-      end;
-      !shares.(!n_shares) <-
-        float_of_int (Bundle_pool.delivered_bytes pool id) /. life;
-      incr n_shares
-    end
-  in
   let add_live id =
     if !n_ids = Array.length !ids then begin
       let bigger = Array.make (2 * !n_ids) 0 in
@@ -122,8 +131,7 @@ let run_once ~engine ~total_bundles () =
        pos := bigger
      end);
     !pos.(id) <- !n_ids;
-    incr n_ids;
-    if !n_ids > !peak_live then peak_live := !n_ids
+    incr n_ids
   in
   let remove_live id =
     let i = !pos.(id) in
@@ -135,18 +143,17 @@ let run_once ~engine ~total_bundles () =
   in
   let arrivals_done = ref false in
   let start_bundle () =
-    let id = Bundle_pool.acquire pool in
+    let id = Sharded_pool.acquire pool ~at:(Sim.now gsim) in
     add_live id;
     let life = Rng.exponential life_rng ~mean:mean_life in
-    Sim.schedule_after sim ~delay:life (fun () ->
-        record_share id ~until:(Sim.now sim);
+    Sim.schedule_after gsim ~delay:life (fun () ->
         remove_live id;
-        Bundle_pool.release pool id)
+        Sharded_pool.release pool ~at:(Sim.now gsim) id)
   in
   let rec arrival_tick () =
-    if Bundle_pool.total_acquired pool < total_bundles then begin
+    if Sharded_pool.total_acquired pool < total_bundles then begin
       start_bundle ();
-      Sim.schedule_after sim
+      Sim.schedule_after gsim
         ~delay:(Rng.exponential arrivals_rng ~mean:(1.0 /. arrival_rate))
         arrival_tick
     end
@@ -159,9 +166,9 @@ let run_once ~engine ~total_bundles () =
     if not (!arrivals_done && !n_ids = 0) then begin
       if !n_ids > 0 then begin
         let id = !ids.(Rng.int traffic_rng !n_ids) in
-        Bundle_pool.push pool id ~size:(gen_size ())
+        Sharded_pool.push pool ~at:(Sim.now gsim) id ~size:(gen_size ())
       end;
-      Sim.schedule_after sim
+      Sim.schedule_after gsim
         ~delay:(Rng.exponential traffic_rng ~mean:(1.0 /. packet_rate))
         traffic_tick
     end
@@ -174,10 +181,34 @@ let run_once ~engine ~total_bundles () =
   done;
   arrival_tick ();
   traffic_tick ();
+  Sim.run gsim;
   Gc.compact ();
-  let t0 = Unix.gettimeofday () in
-  Sim.run sim;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let report = Sharded_pool.run pool in
+  (* Internal merge consistency: the aggregate the report carries must
+     equal the sum of its per-shard entries — always on, every run. *)
+  let shard_sum f =
+    Array.fold_left (fun acc s -> acc + f s) 0 report.Sharded_pool.shards
+  in
+  assert (
+    report.Sharded_pool.delivered_packets
+    = shard_sum (fun s -> s.Sharded_pool.delivered_packets)
+    && report.Sharded_pool.markers_sent
+       = shard_sum (fun s -> s.Sharded_pool.markers_sent));
+  let shares = ref (Array.make 4096 0.0) in
+  let n_shares = ref 0 in
+  Array.iter
+    (fun (g : Sharded_pool.gen_report) ->
+      let life = g.death -. g.birth in
+      if life >= min_measured_life then begin
+        if !n_shares = Array.length !shares then begin
+          let bigger = Array.make (2 * !n_shares) 0.0 in
+          Array.blit !shares 0 bigger 0 !n_shares;
+          shares := bigger
+        end;
+        !shares.(!n_shares) <- float_of_int g.delivered_bytes /. life;
+        incr n_shares
+      end)
+    report.Sharded_pool.gens;
   let n = !n_shares in
   let errors =
     let s = Array.sub !shares 0 n in
@@ -188,24 +219,44 @@ let run_once ~engine ~total_bundles () =
   in
   {
     engine = Sim.engine_name engine;
-    bundles = Bundle_pool.total_acquired pool;
-    peak_live = !peak_live;
-    delivered = Bundle_pool.total_delivered_packets pool;
-    markers = Bundle_pool.markers_sent pool;
-    wall_s;
-    pps = float_of_int (Bundle_pool.total_delivered_packets pool) /. wall_s;
+    domains = report.Sharded_pool.domains;
+    bundles = report.Sharded_pool.acquired;
+    peak_live = report.Sharded_pool.peak_live;
+    delivered = report.Sharded_pool.delivered_packets;
+    markers = report.Sharded_pool.markers_sent;
+    wall_s = report.Sharded_pool.wall_s;
+    pps =
+      float_of_int report.Sharded_pool.delivered_packets
+      /. report.Sharded_pool.wall_s;
     share_p50 = percentile errors 0.50;
     share_p99 = percentile errors 0.99;
-    sim_seconds = Sim.now sim;
+    sim_seconds = report.Sharded_pool.end_time;
+    efficiency = report.Sharded_pool.efficiency;
+    shards = report.Sharded_pool.shards;
   }
 
 let quick_tag engine = engine ^ "-quick"
+let domain_tag domains tag = Printf.sprintf "%s-d%d" tag domains
+
+let json_of_shard (s : Sharded_pool.shard_report) =
+  Printf.sprintf
+    "{\"shard\":%d,\"slots\":%d,\"generations\":%d,\"delivered\":%d,\"markers\":%d,\"wall_s\":%.4f}"
+    s.Sharded_pool.shard s.Sharded_pool.slots s.Sharded_pool.generations
+    s.Sharded_pool.delivered_packets s.Sharded_pool.markers_sent
+    s.Sharded_pool.wall_s
 
 let json_of_result ?(tag = fun e -> e) r =
+  let shard_part =
+    if r.domains = 1 then ""
+    else
+      Printf.sprintf ",\"efficiency\":%.3f,\"shards\":[%s]" r.efficiency
+        (String.concat ","
+           (Array.to_list (Array.map json_of_shard r.shards)))
+  in
   Printf.sprintf
-    "{\"engine\":\"%s\",\"bundles\":%d,\"peak_live\":%d,\"delivered\":%d,\"markers\":%d,\"wall_s\":%.4f,\"pps\":%.1f,\"share_p50\":%.4f,\"share_p99\":%.4f,\"sim_seconds\":%.4f}"
-    (tag r.engine) r.bundles r.peak_live r.delivered r.markers r.wall_s r.pps
-    r.share_p50 r.share_p99 r.sim_seconds
+    "{\"engine\":\"%s\",\"domains\":%d,\"bundles\":%d,\"peak_live\":%d,\"delivered\":%d,\"markers\":%d,\"wall_s\":%.4f,\"pps\":%.1f,\"share_p50\":%.4f,\"share_p99\":%.4f,\"sim_seconds\":%.4f%s}"
+    (tag r.engine) r.domains r.bundles r.peak_live r.delivered r.markers
+    r.wall_s r.pps r.share_p50 r.share_p99 r.sim_seconds shard_part
 
 let print_result r =
   Printf.printf
@@ -213,7 +264,21 @@ let print_result r =
      pkts/s  share err p50 %.3f p99 %.3f\n\
      %!"
     r.engine r.bundles r.peak_live r.delivered r.wall_s r.pps r.share_p50
-    r.share_p99
+    r.share_p99;
+  if r.domains > 1 then begin
+    let pps_of (s : Sharded_pool.shard_report) =
+      if s.Sharded_pool.wall_s > 0.0 then
+        float_of_int s.Sharded_pool.delivered_packets /. s.Sharded_pool.wall_s
+      else 0.0
+    in
+    Printf.printf "  %-10s %d domains: shard pps [%s]  efficiency %.0f%%\n%!" ""
+      r.domains
+      (String.concat " "
+         (Array.to_list
+            (Array.map (fun s -> Printf.sprintf "%.0fk" (pps_of s /. 1e3))
+               r.shards)))
+      (100.0 *. r.efficiency)
+  end
 
 (* Same minimal committed-JSON scanner as exp_throughput: find
    "FIELD":NUMBER after an "engine":"ENGINE" tag. *)
@@ -248,10 +313,10 @@ let scan_number ~engine ~field path =
       done;
       float_of_string_opt (String.sub s p (!stop - p)))
 
-let best_of ~repeat ~engine ~total_bundles () =
-  let best = ref (run_once ~engine ~total_bundles ()) in
+let best_of ~repeat ~engine ~total_bundles ~domains () =
+  let best = ref (run_once ~engine ~total_bundles ~domains ()) in
   for _ = 2 to repeat do
-    let r = run_once ~engine ~total_bundles () in
+    let r = run_once ~engine ~total_bundles ~domains () in
     if r.pps > !best.pps then best := r
   done;
   !best
@@ -266,6 +331,7 @@ let () =
   let check = ref None in
   let max_regress = ref 0.30 in
   let repeat = ref 3 in
+  let domains = ref 1 in
   let engines = ref [ Sim.Heap; Sim.Calendar ] in
   let rec parse = function
     | [] -> ()
@@ -277,6 +343,9 @@ let () =
       parse rest
     | "--repeat" :: v :: rest ->
       repeat := max 1 (int_of_string v);
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := Sharded_pool.resolve_domains (int_of_string v);
       parse rest
     | "--json" :: file :: rest ->
       json_out := Some file;
@@ -295,12 +364,14 @@ let () =
       parse rest
     | arg :: _ ->
       Printf.eprintf
-        "usage: exp_fleet [--quick] [--bundles N] [--repeat N] [--json FILE] \
-         [--check FILE] [--max-regress F] [--engine heap|calendar] (got %s)\n"
+        "usage: exp_fleet [--quick] [--bundles N] [--repeat N] [--domains N] \
+         [--json FILE] [--check FILE] [--max-regress F] [--engine \
+         heap|calendar] (got %s)\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let domains = !domains in
   let total_bundles =
     match !bundles with
     | Some n -> n
@@ -308,13 +379,27 @@ let () =
   in
   Printf.printf
     "exp_fleet: %d bundles x 4ch SRR markers=4, Poisson churn (%.0f/s, mean \
-     life %.2fs), %.0fk pkts/s offered, best of %d\n\
+     life %.2fs), %.0fk pkts/s offered, %d domain%s, best of %d\n\
      %!"
-    total_bundles arrival_rate mean_life (packet_rate /. 1000.0) !repeat;
+    total_bundles arrival_rate mean_life
+    (packet_rate /. 1000.0)
+    domains
+    (if domains = 1 then "" else "s")
+    !repeat;
   let results =
-    List.map (fun e -> best_of ~repeat:!repeat ~engine:e ~total_bundles ()) !engines
+    List.map
+      (fun e -> best_of ~repeat:!repeat ~engine:e ~total_bundles ~domains ())
+      !engines
   in
   List.iter print_result results;
+  (* The committed anchor entries are single-domain; a multi-domain run
+     tags its entries with the domain count and is gated purely on
+     aggregate equality against the anchor. *)
+  let base_tag r = if !quick then quick_tag r.engine else r.engine in
+  let entry_tag r =
+    let t = base_tag r in
+    if r.domains = 1 then t else domain_tag r.domains t
+  in
   (match !json_out with
   | None -> ()
   | Some file ->
@@ -325,14 +410,17 @@ let () =
       else
         List.map
           (fun e ->
-            json_of_result ~tag:quick_tag
-              (best_of ~repeat:!repeat ~engine:e ~total_bundles:quick_bundles ()))
+            let r =
+              best_of ~repeat:!repeat ~engine:e ~total_bundles:quick_bundles
+                ~domains ()
+            in
+            json_of_result
+              ~tag:(fun _ -> entry_tag { r with engine = quick_tag r.engine })
+              r)
           !engines
     in
     let entries =
-      List.map
-        (json_of_result ~tag:(if !quick then quick_tag else fun e -> e))
-        results
+      List.map (fun r -> json_of_result ~tag:(fun _ -> entry_tag r) r) results
       @ quick_entries
     in
     let oc = open_out file in
@@ -360,23 +448,65 @@ let () =
     let fail = ref false in
     List.iter
       (fun r ->
-        let tag = if !quick then quick_tag r.engine else r.engine in
-        match scan_number ~engine:tag ~field:"pps" file with
-        | None ->
-          Printf.eprintf
-            "  FAIL: no committed \"pps\" entry for engine \"%s\" in %s — \
-             regenerate the baseline with --json\n"
-            tag file;
-          fail := true
-        | Some committed ->
-          let floor = committed *. (1.0 -. !max_regress) in
-          Printf.printf "  check %-16s %.0f pps vs committed %.0f (floor %.0f)\n"
-            tag r.pps committed floor;
-          if r.pps < floor then begin
-            Printf.eprintf
-              "  FAIL: %s regressed more than %.0f%% (%.0f < %.0f pps)\n" tag
-              (100.0 *. !max_regress) r.pps floor;
-            fail := true
-          end)
+        let anchor = base_tag r in
+        (* Wall-clock gate: single-domain only (CI runners may be
+           single-core, so a sharded run's pps is not comparable). *)
+        (if r.domains = 1 then
+           match scan_number ~engine:anchor ~field:"pps" file with
+           | None ->
+             Printf.eprintf
+               "  FAIL: no committed \"pps\" entry for engine \"%s\" in %s — \
+                regenerate the baseline with --json\n"
+               anchor file;
+             fail := true
+           | Some committed ->
+             let floor = committed *. (1.0 -. !max_regress) in
+             Printf.printf
+               "  check %-16s %.0f pps vs committed %.0f (floor %.0f)\n" anchor
+               r.pps committed floor;
+             if r.pps < floor then begin
+               Printf.eprintf
+                 "  FAIL: %s regressed more than %.0f%% (%.0f < %.0f pps)\n"
+                 anchor
+                 (100.0 *. !max_regress)
+                 r.pps floor;
+               fail := true
+             end);
+        (* Determinism gate: the protocol aggregates must equal the
+           committed single-domain anchor — for every domain count. *)
+        let eq_int field actual =
+          match scan_number ~engine:anchor ~field file with
+          | None -> ()
+          | Some committed ->
+            if float_of_int actual <> committed then begin
+              Printf.eprintf
+                "  FAIL: %s (domains=%d): \"%s\" %d differs from committed \
+                 anchor %.0f\n"
+                anchor r.domains field actual committed;
+              fail := true
+            end
+        in
+        let eq_float field actual =
+          match scan_number ~engine:anchor ~field file with
+          | None -> ()
+          | Some committed ->
+            (* The committed JSON rounds to 4 decimals. *)
+            if Float.abs (actual -. committed) > 5e-5 then begin
+              Printf.eprintf
+                "  FAIL: %s (domains=%d): \"%s\" %.4f differs from committed \
+                 anchor %.4f\n"
+                anchor r.domains field actual committed;
+              fail := true
+            end
+        in
+        eq_int "delivered" r.delivered;
+        eq_int "markers" r.markers;
+        eq_float "share_p50" r.share_p50;
+        eq_float "share_p99" r.share_p99;
+        if r.domains > 1 then
+          Printf.printf
+            "  check %-16s domains=%d aggregates match the single-domain \
+             anchor\n"
+            anchor r.domains)
       results;
     if !fail then exit 1

@@ -141,6 +141,45 @@ let fragmenter_bench =
              (Stripe_packet.Packet.data ~seq ~size:700 ())
          done))
 
+(* The fleet-churn event population is bimodal: a dense cluster of wire
+   events within ~10 ms of now plus sparse bundle-lifetime timers
+   seconds out. A span-derived calendar bucket width degenerates on this
+   shape — the far timers stretch the span, the whole dense cluster
+   lands in one bucket, and every insert pays a cluster-sized memmove —
+   which is exactly the regression the quantile-derived width fixes.
+   Each fired event reschedules itself with a fresh bimodal delay, so a
+   steady ~4k-event population churns through schedule/pop pairs. *)
+let event_queue_bench ~name ~engine =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let sim = Stripe_netsim.Sim.create ~engine () in
+         let rng = Stripe_netsim.Rng.create 9 in
+         let bimodal_delay () =
+           if Stripe_netsim.Rng.bernoulli rng ~p:0.9 then
+             Stripe_netsim.Rng.exponential rng ~mean:0.01
+           else Stripe_netsim.Rng.uniform rng ~lo:1.0 ~hi:5.0
+         in
+         let ops = ref 16_384 in
+         let rec fire () =
+           if !ops > 0 then begin
+             decr ops;
+             Stripe_netsim.Sim.schedule_after sim ~delay:(bimodal_delay ()) fire
+           end
+         in
+         for _ = 1 to 4096 do
+           Stripe_netsim.Sim.schedule_after sim ~delay:(bimodal_delay ()) fire
+         done;
+         Stripe_netsim.Sim.run sim))
+
+let heap_churn_bench =
+  event_queue_bench ~name:"event queue, bimodal churn population: heap (20k ev)"
+    ~engine:Stripe_netsim.Sim.Heap
+
+let calendar_churn_bench =
+  event_queue_bench
+    ~name:"event queue, bimodal churn population: calendar (20k ev)"
+    ~engine:Stripe_netsim.Sim.Calendar
+
 (* The go-back-N sender's outstanding set is a FIFO queue: appends at
    fill and prefix pops at each cumulative ACK are O(1), where the old
    list representation paid O(window) per segment. This prices the
@@ -177,6 +216,8 @@ let tests =
       seq_resequencer_bench;
       mppp_bench;
       fragmenter_bench;
+      heap_churn_bench;
+      calendar_churn_bench;
       tcp_window_bench;
     ]
 

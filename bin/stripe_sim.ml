@@ -343,6 +343,20 @@ let health_spec =
            $(b,every=0.05,frac=0.25,backoff=0.5). Quasi mode with a CFQ \
            scheduler only.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) independent replicas of the scenario in parallel, one \
+           per OCaml 5 domain. Replica 0 keeps $(b,--seed) (and the \
+           $(b,--trace) path) so its report is exactly the single-domain \
+           output; the others draw seeds from indexed substreams of the \
+           master seed and write $(b,FILE.dK) traces. A merged summary \
+           (delivered/goodput sums, merged monitor verdicts, merged \
+           per-channel table when tracing) follows the per-replica reports. \
+           $(b,0) means auto: one replica per recommended domain.")
+
 (* One delivery sink shared by every mode. *)
 type sink = {
   reorder : Reorder.t;
@@ -364,14 +378,34 @@ let sink_deliver sink sim pkt =
   Stripe_metrics.Throughput.account sink.goodput ~now:(Sim.now sim)
     ~bytes:pkt.Packet.size
 
+(* What one scenario replica hands back to the main domain: its whole
+   report as text (buffered so parallel replicas never interleave on
+   stdout), plus the pieces the merged summary aggregates. *)
+type replica_out = {
+  text : string;
+  delivered : int;
+  ooo : int;
+  goodput_mbps : float;
+  verdict : Stripe_obs.Monitor.verdict option;
+  counters : Stripe_obs.Counters.t option;
+}
+
 let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     loss_stop seed engine replay_file trace_out trace_format fault_specs
     impair_specs chaos_specs guard_window rx_buffer overflow_policy crash_at
-    watchdog_k no_auto_suspend adapt_interval adapt_band health_spec =
+    watchdog_k no_auto_suspend adapt_interval adapt_band health_spec domains =
   let n = List.length channel_confs in
   if n = 0 then `Error (false, "need at least one channel")
   else begin
     let confs = Array.of_list channel_confs in
+    (* One self-contained scenario replica: its own sim, its own RNG
+       chain seeded below, its own report text. Replica 0 with the
+       master seed is the legacy run — with --domains 1 its text is
+       printed verbatim, so the single-domain output is unchanged. *)
+    let run_replica ~replica ~seed ~trace_out () =
+      let buf = Buffer.create 4096 in
+      let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      let warn s = if replica = 0 then prerr_endline s in
     let sim = Sim.create ~engine () in
     let rng = Rng.create seed in
     (* Structured observability: when --trace is given, every instrumented
@@ -452,7 +486,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     List.iter
       (fun (c, _) ->
         if c >= n then
-          Printf.eprintf "warning: --impair names channel %d of %d\n%!" c n)
+          warn (Printf.sprintf "warning: --impair names channel %d of %d" c n))
       impairs;
     let impair_for i =
       List.fold_left
@@ -546,8 +580,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
           match mode, engine_opt, guard_window with
           | `Quasi, Some _, Some _ -> Some (Channel_guard.Tx.create ~n)
           | _, _, Some _ ->
-            prerr_endline
-              "warning: --guard needs quasi mode with a CFQ scheduler";
+            warn "warning: --guard needs quasi mode with a CFQ scheduler";
             None
           | _, _, None -> None
         in
@@ -768,7 +801,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                   (join string_of_int (Deficit.quanta e));
               ])
         | Some _, _, _ ->
-          prerr_endline "warning: --adapt needs quasi mode with a CFQ scheduler"
+          warn "warning: --adapt needs quasi mode with a CFQ scheduler"
         | None, _, _ -> ());
         (* Gray-failure health engine (PROTOCOL.md §13): a recurring tick
            harvests each link's wire counters as evidence, fuses them into
@@ -872,7 +905,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
                   (per (fun c -> Printf.sprintf "%.2f" (Health.score h c)));
               ])
         | Some _, _, _ ->
-          prerr_endline "warning: --health needs quasi mode with a CFQ scheduler"
+          warn "warning: --health needs quasi mode with a CFQ scheduler"
         | None, _, _ -> ());
         (match mode, engine_opt with
         | `Quasi, Some e ->
@@ -1043,12 +1076,12 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     (match crash_at, !crash_ref with
     | Some t, Some reboot -> Fault.crash sim ~at:t reboot
     | Some _, None ->
-      prerr_endline "warning: --crash-at needs quasi mode with a CFQ scheduler"
+      warn "warning: --crash-at needs quasi mode with a CFQ scheduler"
     | None, _ -> ());
     (match chaos_actions, !chaos_ref with
     | [], _ -> ()
     | _ :: _, None ->
-      prerr_endline "warning: --chaos needs quasi mode with a CFQ scheduler"
+      warn "warning: --chaos needs quasi mode with a CFQ scheduler"
     | _ :: _, Some driver ->
       if
         List.exists
@@ -1058,7 +1091,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
             | Chaos.Storm _ | Chaos.Degrade _ -> false)
           chaos_actions
       then
-        prerr_endline
+        warn
           "warning: --chaos names a bundle other than 0; those actions do \
            nothing here";
       (* Quiet line: chaos legally degrades delivery to quasi-FIFO while
@@ -1113,40 +1146,40 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     in
     Sim.run sim;
     !finish_ref ();
-    Printf.printf "channels: %d  packets: %d  mode: %s\n" n n_offered
+    out "channels: %d  packets: %d  mode: %s\n" n n_offered
       (match mode with
       | `Quasi -> "quasi-FIFO (logical reception + markers)"
       | `Seq -> "guaranteed FIFO (sequence numbers)"
       | `None -> "no resequencing"
       | `Mppp -> "Multilink PPP (RFC 1717)"
       | `Fragment -> "fragmenting minipackets");
-    List.iter print_endline (describe ());
-    Printf.printf "delivered: %d  out-of-order: %d  max displacement: %d\n"
+    List.iter (fun line -> out "%s\n" line) (describe ());
+    out "delivered: %d  out-of-order: %d  max displacement: %d\n"
       (Reorder.observed sink.reorder)
       (Reorder.out_of_order sink.reorder)
       (Reorder.max_displacement sink.reorder);
-    Printf.printf "goodput: %.2f Mbps\n"
+    out "goodput: %.2f Mbps\n"
       (Stripe_metrics.Throughput.mbps sink.goodput);
     (match monitor with
     | Some m ->
-      Printf.printf
+      out
         "chaos: %d actions (last event index %d)  tx-crash-dropped: %d  \
          rx-crash-dropped: %d\n"
         (List.length chaos_actions)
         !last_chaos_event !tx_crash_drops !rx_crash_drops;
-      Printf.printf "monitors: violations=%d inversions=%d events-seen=%d\n"
+      out "monitors: violations=%d inversions=%d events-seen=%d\n"
         (Obs.Monitor.violations m)
         (Obs.Monitor.seq_inversions m)
         (Obs.Monitor.events_seen m);
       (match Obs.Monitor.first_violation m with
       | Some (t, msg) ->
-        Printf.printf "MONITOR VIOLATION at t=%.3f (seed %d, chaos event %d): %s\n"
+        out "MONITOR VIOLATION at t=%.3f (seed %d, chaos event %d): %s\n"
           t seed !last_chaos_event msg
       | None -> ())
     | None -> ());
     if fault_actions <> [] || crash_at <> None || chaos_actions <> [] then begin
       let end_ = Sim.now sim in
-      Printf.printf
+      out
         "availability: %.1f%% of 10 ms slots  longest outage: %.1f ms\n"
         (100.0
         *. Stripe_metrics.Recovery.availability sink.recovery ~from_:0.0
@@ -1159,20 +1192,82 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
     | Some t -> (
       match Stripe_metrics.Recovery.resync_time sink.recovery ~errors_stop:t with
       | Some dt ->
-        Printf.printf "resync after losses stopped: %.2f ms\n" (1000.0 *. dt)
-      | None -> Printf.printf "stream did not resynchronize\n")
+        out "resync after losses stopped: %.2f ms\n" (1000.0 *. dt)
+      | None -> out "stream did not resynchronize\n")
     | None -> ());
     (match obs_counters with
     | Some c ->
-      print_newline ();
-      Stripe_metrics.Table.print (Stripe_metrics.Channel_report.table c);
-      Printf.printf "trace: %d events, %d rounds, %d resets -> %s\n"
+      out "\n%s\n" (Stripe_metrics.Table.render (Stripe_metrics.Channel_report.table c));
+      out "trace: %d events, %d rounds, %d resets -> %s\n"
         (Obs.Counters.events_seen c) (Obs.Counters.rounds c)
         (Obs.Counters.resets c)
         (Option.value trace_out ~default:"-")
     | None -> ());
     obs_close ();
-    `Ok ()
+    {
+      text = Buffer.contents buf;
+      delivered = Reorder.observed sink.reorder;
+      ooo = Reorder.out_of_order sink.reorder;
+      goodput_mbps = Stripe_metrics.Throughput.mbps sink.goodput;
+      verdict = Option.map Obs.Monitor.verdict monitor;
+      counters = obs_counters;
+    }
+    in
+    let domains = Stripe_fleet.Sharded_pool.resolve_domains domains in
+    if domains = 1 then begin
+      let r = run_replica ~replica:0 ~seed ~trace_out () in
+      print_string r.text;
+      `Ok ()
+    end
+    else begin
+      (* N independent replicas of the scenario, one per domain: replica
+         0 keeps the master seed (and the --trace path), the others draw
+         their seeds from indexed substreams and write FILE.dK traces.
+         Each replica's report prints whole, then a merged summary. *)
+      let rseed k =
+        if k = 0 then seed else Rng.int (Rng.stream ~seed k) 0x3FFFFFFF
+      in
+      let trace_for k =
+        Option.map
+          (fun p -> if k = 0 then p else Printf.sprintf "%s.d%d" p k)
+          trace_out
+      in
+      let replica k () =
+        run_replica ~replica:k ~seed:(rseed k) ~trace_out:(trace_for k) ()
+      in
+      let joins =
+        Array.init (domains - 1) (fun i -> Domain.spawn (replica (i + 1)))
+      in
+      let rs = Array.append [| replica 0 () |] (Array.map Domain.join joins) in
+      Array.iteri
+        (fun k r ->
+          Printf.printf "=== replica %d (seed %d) ===\n%s" k (rseed k) r.text)
+        rs;
+      Printf.printf "=== merged (%d domains) ===\n" domains;
+      Printf.printf
+        "delivered: %d  out-of-order: %d  aggregate goodput: %.2f Mbps\n"
+        (Array.fold_left (fun a r -> a + r.delivered) 0 rs)
+        (Array.fold_left (fun a r -> a + r.ooo) 0 rs)
+        (Array.fold_left (fun a r -> a +. r.goodput_mbps) 0.0 rs);
+      (match Array.to_list rs |> List.filter_map (fun r -> r.verdict) with
+      | [] -> ()
+      | vs ->
+        let v = Stripe_obs.Monitor.merged_verdict vs in
+        Printf.printf "monitors: violations=%d inversions=%d events-seen=%d\n"
+          v.Stripe_obs.Monitor.violations v.seq_inversions v.events_seen;
+        (match v.first_violation with
+        | Some (t, msg) ->
+          Printf.printf "MONITOR VIOLATION at t=%.3f: %s\n" t msg
+        | None -> ()));
+      (match Array.to_list rs |> List.filter_map (fun r -> r.counters) with
+      | [] -> ()
+      | regs ->
+        print_newline ();
+        Stripe_metrics.Table.print
+          (Stripe_metrics.Channel_report.merged_table ~title:"all replicas"
+             regs));
+      `Ok ()
+    end
   end
 
 let cmd =
@@ -1185,6 +1280,6 @@ let cmd =
        $ markers $ loss_stop $ seed $ engine_arg $ replay_file $ trace_out
        $ trace_format $ fault_specs $ impair_specs $ chaos_specs $ guard_window
        $ rx_buffer $ overflow_policy $ crash_at $ watchdog_k $ no_auto_suspend
-       $ adapt_interval $ adapt_band $ health_spec))
+       $ adapt_interval $ adapt_band $ health_spec $ domains_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -414,10 +414,7 @@ let create ?(initial_capacity = 64) ?(stamp_seq = false) ?(sender_aware = true)
   grow_to t initial_capacity;
   t
 
-let acquire t =
-  if t.n_free = 0 then grow_to t (2 * t.cap);
-  t.n_free <- t.n_free - 1;
-  let id = t.free.(t.n_free) in
+let activate t id =
   t.live.(id) <- true;
   t.birth.(id) <- Sim.now t.sim;
   t.pushed_p.(id) <- 0;
@@ -449,7 +446,33 @@ let acquire t =
         Deficit.suspend t.tx.(id) c
     done;
   t.n_live <- t.n_live + 1;
-  t.n_acquired <- t.n_acquired + 1;
+  t.n_acquired <- t.n_acquired + 1
+
+let acquire t =
+  if t.n_free = 0 then grow_to t (2 * t.cap);
+  t.n_free <- t.n_free - 1;
+  let id = t.free.(t.n_free) in
+  activate t id;
+  id
+
+let acquire_slot t id =
+  if id < 0 then invalid_arg "Bundle_pool.acquire_slot: negative id";
+  while id >= t.cap do
+    grow_to t (2 * t.cap)
+  done;
+  if t.live.(id) then invalid_arg "Bundle_pool.acquire_slot: slot is live";
+  (* Swap-remove [id] from the free stack. Directed acquires do not
+     preserve the LIFO order of the remaining stack — a replay drives
+     every acquire explicitly, so the local stack order is never
+     consulted. *)
+  let i = ref 0 in
+  while !i < t.n_free && t.free.(!i) <> id do
+    incr i
+  done;
+  if !i >= t.n_free then invalid_arg "Bundle_pool.acquire_slot: slot not free";
+  t.n_free <- t.n_free - 1;
+  t.free.(!i) <- t.free.(t.n_free);
+  activate t id;
   id
 
 let release t id =

@@ -35,6 +35,8 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
   done;
   tbl
 
+let merged_table ?title regs = table ?title (Obs.Counters.merged regs)
+
 let render ?title reg =
   let s = Table.render (table ?title reg) in
   let no_ch = Obs.Counters.no_channel_drops reg in

@@ -11,6 +11,11 @@ val table : ?title:string -> Stripe_obs.Counters.t -> Table.t
     skips, carrier losses, markers sent/applied, and the high-water
     resequencing-buffer occupancy. *)
 
+val merged_table : ?title:string -> Stripe_obs.Counters.t list -> Table.t
+(** {!table} over the merge of per-shard registries
+    ({!Stripe_obs.Counters.merged}) — the aggregate view a sharded fleet
+    reports at its merge barrier. *)
+
 val render : ?title:string -> Stripe_obs.Counters.t -> string
 (** [Table.render] of {!table}, plus a trailing line with the
     channel-less drop count (packets the sender had no live channel for)

@@ -104,6 +104,8 @@ let merge_intervals ivs =
     in
     go a0 b0 [] rest
 
+let merge_parts parts = merge_intervals (List.concat parts)
+
 let total_down ivs =
   List.fold_left (fun s (a, b) -> s +. (b -. a)) 0.0 ivs
 

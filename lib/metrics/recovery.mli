@@ -58,6 +58,14 @@ val out_of_order_after : t -> time:float -> int
 val merge_intervals : (float * float) list -> (float * float) list
 (** The union: sorted, disjoint, touching intervals coalesced. *)
 
+val merge_parts : (float * float) list list -> (float * float) list
+(** Union across per-shard outage lists — {!merge_intervals} of the
+    concatenation. Because the union is idempotent and associative, any
+    partition of one outage set across shards merges to the same result
+    as the unsharded set; the downstream statistics ({!downtime},
+    {!interval_availability}, {!longest_outage}, {!mttr}) are functions
+    of the union, so they agree too. *)
+
 val downtime : (float * float) list -> float
 (** Total length of the union — the time at least one outage was in
     effect, each instant counted once. *)

@@ -36,6 +36,11 @@ type 'a t = {
   mutable blens : int array;
   mutable size : int;
   mutable next_seq : int;
+  mutable overload_stamp : int;
+      (* Population size at the last overload-triggered re-derivation
+         (see [add]); gates the next one behind a population doubling so
+         degenerate populations (all events simultaneous) cannot thrash
+         O(n) rehashes on every insert. *)
   mutable gidx : int;
       (* Virtual bucket index of the pop scan: bucket [gidx land mask],
          year bound [(gidx + 1) * width]. Meaningful only when
@@ -72,6 +77,7 @@ let create () =
     blens;
     size = 0;
     next_seq = 0;
+    overload_stamp = 0;
     gidx = 0;
     positioned = false;
     tmp_time = [| 0.0 |];
@@ -143,14 +149,35 @@ let bucket_take q b =
 (* --- sizing ----------------------------------------------------------- *)
 
 (* Re-derive the bucket width from the live population: ~3 mean
-   inter-event gaps per bucket, clamped so [t / width] stays exactly
-   representable (<= 2^40) for every queued time. Degenerate populations
-   (all events simultaneous) keep the previous width — bucketing quality
-   is then irrelevant anyway. *)
-let derive_width q ~tmin ~tmax =
-  let span = tmax -. tmin in
+   inter-event gaps per bucket, where the mean gap is measured over the
+   densest leading quantile of a sorted time sample rather than the full
+   [tmin, tmax] span. The classic span rule (3 * span / size, Brown
+   1988) assumes a roughly unimodal population; a churned fleet instead
+   holds a dense cluster of imminent wire events plus a long sparse tail
+   of lifetime timers spread over seconds, and a span-derived width
+   lumps the whole cluster into one or two buckets — every insert then
+   pays an O(cluster) scan-and-memmove, which is the 2x calendar-vs-heap
+   churn regression. The first quantile probe (q25, then q50/q75/q100
+   for degenerate prefixes) measures the gap scale where the pop scan
+   actually works; for unimodal populations the q100 fallback reduces
+   exactly to the classic rule. Clamped so [t / width] stays exactly
+   representable (<= 2^40) for every queued time. Fully degenerate
+   populations (all events simultaneous) keep the previous width —
+   bucketing quality is then irrelevant anyway. *)
+let derive_width q ~tmin ~tmax ~sample ~n =
   let w =
-    if span > 0.0 && q.size > 1 then 3.0 *. span /. float_of_int q.size
+    if tmax > tmin && q.size > 1 && n > 1 then begin
+      let rec probe k =
+        let extent = sample.((n - 1) * k / 4) -. tmin in
+        if extent > 0.0 then
+          (* ~k/4 of the population lies within [extent] of the head, so
+             the head-region mean gap is extent / (k/4 * size). *)
+          3.0 *. extent /. (float_of_int k /. 4.0 *. float_of_int q.size)
+        else if k < 4 then probe (k + 1)
+        else q.width
+      in
+      probe 1
+    end
     else q.width
   in
   let floor_w = Float.max 1e-12 (Float.max tmax (-.tmin) /. 1.099511627776e12)
@@ -163,19 +190,30 @@ let resize q nbuckets' =
   and old_bvals = q.bvals
   and old_blens = q.blens
   and old_n = q.nbuckets in
-  (* Population bounds for the new width. *)
+  (* Population bounds plus a deterministic stride sample (~256 times)
+     for the quantile width derivation. *)
   let tmin = ref infinity and tmax = ref neg_infinity in
+  let stride = 1 + (q.size / 256) in
+  let sample = Array.make (if q.size = 0 then 1 else 1 + ((q.size - 1) / stride)) 0.0 in
+  let si = ref 0 and seen = ref 0 in
   for b = 0 to old_n - 1 do
     for i = 0 to old_blens.(b) - 1 do
       let t = old_btimes.(b).(i) in
       if t < !tmin then tmin := t;
-      if t > !tmax then tmax := t
+      if t > !tmax then tmax := t;
+      if !seen mod stride = 0 && !si < Array.length sample then begin
+        sample.(!si) <- t;
+        incr si
+      end;
+      incr seen
     done
   done;
+  let sample = Array.sub sample 0 !si in
+  Array.sort Float.compare sample;
   let btimes, bseqs, bvals, blens = make_buckets nbuckets' in
   q.nbuckets <- nbuckets';
   q.mask <- nbuckets' - 1;
-  q.width <- derive_width q ~tmin:!tmin ~tmax:!tmax;
+  q.width <- derive_width q ~tmin:!tmin ~tmax:!tmax ~sample ~n:!si;
   q.btimes <- btimes;
   q.bseqs <- bseqs;
   q.bvals <- bvals;
@@ -195,13 +233,24 @@ let[@inline] add q ~time value =
   let seq = q.next_seq in
   q.next_seq <- seq + 1;
   let vb = vbucket q time in
+  let b = vb land q.mask in
   q.tmp_time.(0) <- time;
-  bucket_insert q (vb land q.mask) ~seq value;
+  bucket_insert q b ~seq value;
   q.size <- q.size + 1;
   (* An event landing before the scan's current year start would be
      passed over by the year check: force a re-position. *)
   if q.positioned && vb < q.gidx then q.positioned <- false;
   if q.size > 2 * q.nbuckets then resize q (2 * q.nbuckets)
+  else if q.blens.(b) >= 48 && q.size >= 2 * q.overload_stamp then begin
+    (* Overload guard: a single bucket 24x over the two-per-bucket
+       occupancy target means the event-time distribution drifted since
+       the width was last derived (resizes only fire on population
+       growth, not distribution change). Rehash at the same bucket count
+       to re-derive; the [overload_stamp] doubling gate bounds the cost
+       to O(n) amortized even when re-deriving cannot help. *)
+    q.overload_stamp <- q.size;
+    resize q q.nbuckets
+  end
 
 (* Point the scan at the bucket holding the global minimum. The queue
    must be non-empty. Equal minimum times share a bucket, so comparing

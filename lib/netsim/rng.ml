@@ -28,6 +28,18 @@ let[@inline] bits64 t =
 
 let split t = of_state (bits64 t)
 
+let stream ~seed index =
+  if index < 0 then invalid_arg "Rng.stream: index must be non-negative";
+  (* Two rounds of mix64 over (seed, index) in a golden-gamma Weyl
+     sequence: stream [i] depends only on the pair, never on how many
+     other streams were derived first, so shard [i] of a sharded run
+     draws the same sequence no matter how many shards exist. The extra
+     mix round decorrelates neighbouring indices, which differ by a
+     single gamma increment before mixing. *)
+  let base = mix64 (Int64.of_int seed) in
+  let z = Int64.add base (Int64.mul (Int64.of_int (index + 1)) golden_gamma) in
+  of_state (mix64 (mix64 z))
+
 let[@inline] int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for simulation purposes: modulo bias is negligible for

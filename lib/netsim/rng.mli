@@ -18,6 +18,14 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Use one split per stochastic model component. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed index] is the [index]-th independent generator derived
+    from the master [seed]. Unlike {!split}, the result depends only on
+    the [(seed, index)] pair — not on how many other streams were
+    derived before it — so it is bit-identical across runs and across
+    different shard counts. Used for per-shard streams in sharded
+    fleets. Requires [index >= 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -151,6 +151,34 @@ let observe t (e : Event.t) =
 
 let sink t = Sink.of_fn (observe t)
 
+let merge_into ~into t =
+  if t.n <> into.n then
+    invalid_arg "Counters.merge_into: channel counts differ";
+  let add dst src = Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src in
+  add into.counts t.counts;
+  add into.tx_bytes_ t.tx_bytes_;
+  add into.delivered_bytes_ t.delivered_bytes_;
+  add into.buffered_packets_ t.buffered_packets_;
+  add into.buffered_bytes_ t.buffered_bytes_;
+  (* High-water marks are not additive in general; summing them gives
+     the exact global high-water when each registry saw a disjoint
+     channel set (per-channel partitions), and a safe upper bound when
+     shards alias the same channel indices. *)
+  add into.hw_buffered_packets_ t.hw_buffered_packets_;
+  add into.hw_buffered_bytes_ t.hw_buffered_bytes_;
+  into.resets <- into.resets + t.resets;
+  into.rounds <- max into.rounds t.rounds;
+  into.n_events <- into.n_events + t.n_events;
+  into.no_channel_drops_ <- into.no_channel_drops_ + t.no_channel_drops_
+
+let merged = function
+  | [] -> invalid_arg "Counters.merged: empty list"
+  | t :: rest ->
+    let into = create ~n:t.n in
+    merge_into ~into t;
+    List.iter (fun s -> merge_into ~into s) rest;
+    into
+
 let total_kind t k =
   let s = ref 0 in
   for c = 0 to t.n - 1 do

@@ -74,6 +74,24 @@ val observe : t -> Event.t -> unit
 val sink : t -> Sink.t
 (** A sink that feeds this registry. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into t] folds [t]'s accumulated state into [into]:
+    occurrence counts, byte totals, occupancy gauges, [resets],
+    [events_seen] and [no_channel_drops] add; [rounds] takes the max.
+    Partitioning one event stream across registries and merging back
+    reproduces the unsharded registry exactly as long as each packet's
+    [Enqueue]/[Deliver] pair lands in one registry (the occupancy gauges
+    clamp at zero, so an orphaned [Deliver] under-counts) — occurrence
+    counts and byte totals are exact under any partition. The high-water
+    occupancy marks sum: exact when the registries saw disjoint
+    channels, an upper bound when shards alias the same channel indices.
+    Requires equal channel counts. *)
+
+val merged : t list -> t
+(** [merged ts] is a fresh registry holding the merge of [ts] (see
+    {!merge_into}). Requires a non-empty list of equal-width
+    registries. *)
+
 val n_channels : t -> int
 
 val channel : t -> int -> channel

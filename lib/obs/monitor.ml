@@ -166,6 +166,37 @@ let quarantined_channels t = t.n_quarantined
 let buffered_bytes t = t.buffered
 let events_seen t = t.n_events
 
+type verdict = {
+  violations : int;
+  seq_inversions : int;
+  first_violation : (float * string) option;
+  events_seen : int;
+}
+
+let verdict t =
+  {
+    violations = t.n_violations;
+    seq_inversions = t.inversions;
+    first_violation = first_violation t;
+    events_seen = t.n_events;
+  }
+
+let merge_verdicts a b =
+  {
+    violations = a.violations + b.violations;
+    seq_inversions = a.seq_inversions + b.seq_inversions;
+    first_violation =
+      (match (a.first_violation, b.first_violation) with
+      | None, v | v, None -> v
+      | Some (ta, _), Some (tb, _) ->
+        if tb < ta then b.first_violation else a.first_violation);
+    events_seen = a.events_seen + b.events_seen;
+  }
+
+let merged_verdict = function
+  | [] -> invalid_arg "Monitor.merged_verdict: empty list"
+  | v :: rest -> List.fold_left merge_verdicts v rest
+
 let conserved ~pushed ~delivered ~pending ~drops =
   pushed = delivered + pending + List.fold_left ( + ) 0 drops
 

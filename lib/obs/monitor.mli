@@ -69,6 +69,26 @@ val buffered_bytes : t -> int
 
 val events_seen : t -> int
 
+type verdict = {
+  violations : int;
+  seq_inversions : int;
+  first_violation : (float * string) option;
+  events_seen : int;
+}
+(** Immutable summary of a monitor's findings, detachable from the
+    monitor itself — the shape that crosses shard merge barriers. *)
+
+val verdict : t -> verdict
+(** Snapshot this monitor's findings. *)
+
+val merge_verdicts : verdict -> verdict -> verdict
+(** Counts add; [first_violation] keeps the earliest by violation time
+    (ties keep the left argument's, so folding over shards in shard
+    order is deterministic). *)
+
+val merged_verdict : verdict list -> verdict
+(** Left fold of {!merge_verdicts} over a non-empty list. *)
+
 val conserved :
   pushed:int -> delivered:int -> pending:int -> drops:int list -> bool
 (** The conservation identity over harvested counters: [pushed =

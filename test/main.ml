@@ -38,6 +38,7 @@ let () =
          Test_ipstack.suites;
          Test_adapt.suites;
          Test_fleet.suites;
+         Test_sharded.suites;
          Test_chaos.suites;
          Test_health.suites;
          Test_transport.suites;

@@ -22,6 +22,60 @@ let test_split_independence () =
   let ys = List.init 50 (fun _ -> Rng.bits64 child) in
   Alcotest.(check bool) "split stream differs from parent" true (xs <> ys)
 
+let test_stream_determinism () =
+  (* Indexed substreams are a pure function of (seed, index): same pair,
+     same sequence, however many other streams were made in between. *)
+  let a = Rng.stream ~seed:42 3 in
+  ignore (Rng.stream ~seed:42 0);
+  ignore (Rng.stream ~seed:7 3);
+  let b = Rng.stream ~seed:42 3 in
+  let xs = List.init 100 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 100 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "stream (seed, index) reproduces" true (xs = ys)
+
+let test_stream_distinctness () =
+  let take i =
+    let g = Rng.stream ~seed:42 i in
+    List.init 50 (fun _ -> Rng.bits64 g)
+  in
+  let streams = List.init 8 take in
+  List.iteri
+    (fun i xs ->
+      List.iteri
+        (fun j ys ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d and %d differ" i j)
+              true (xs <> ys))
+        streams)
+    streams;
+  let other_seed = take 0 in
+  let g = Rng.stream ~seed:43 0 in
+  let ys = List.init 50 (fun _ -> Rng.bits64 g) in
+  Alcotest.(check bool) "seed changes every stream" true (other_seed <> ys)
+
+let test_stream_rejects_negative () =
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.stream: index must be non-negative") (fun () ->
+      ignore (Rng.stream ~seed:1 (-1)))
+
+let test_stream_statistics () =
+  (* Statistical smoke over a whole fan of substreams, as the sharded
+     fleet uses them: pooled uniform draws must average near 1/2. *)
+  let sum = ref 0.0 in
+  let n_streams = 16 and per = 5_000 in
+  for k = 0 to n_streams - 1 do
+    let g = Rng.stream ~seed:1234 k in
+    for _ = 1 to per do
+      sum := !sum +. Rng.float g 1.0
+    done
+  done;
+  let mean = !sum /. float_of_int (n_streams * per) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled stream mean %.4f in [0.45, 0.55]" mean)
+    true
+    (mean > 0.45 && mean < 0.55)
+
 let test_int_range () =
   let rng = Rng.create 7 in
   let ok = ref true in
@@ -105,6 +159,10 @@ let suites =
         Alcotest.test_case "determinism" `Quick test_determinism;
         Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
         Alcotest.test_case "split independence" `Quick test_split_independence;
+        Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+        Alcotest.test_case "stream distinctness" `Quick test_stream_distinctness;
+        Alcotest.test_case "stream bad index" `Quick test_stream_rejects_negative;
+        Alcotest.test_case "stream statistics" `Quick test_stream_statistics;
         Alcotest.test_case "int range" `Quick test_int_range;
         Alcotest.test_case "int coverage" `Quick test_int_covers_range;
         Alcotest.test_case "int bad bound" `Quick test_int_rejects_nonpositive;
