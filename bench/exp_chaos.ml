@@ -138,8 +138,8 @@ type shard_out = {
    events for non-owned bundles are filtered at the driver; channel
    events apply everywhere (a storm hits every shard's channels, as it
    hit every bundle of the single pool). *)
-let run_shard ~profile ~fleet ~locals ~traffic_rate ~chaos_rng ~traffic_rng
-    ~size_rng ~seed ~inject () =
+let run_shard ~profile ~discipline ~fleet ~locals ~traffic_rate ~chaos_rng
+    ~traffic_rng ~size_rng ~seed ~inject () =
   let bundles = Array.length locals in
   let local_of_global = Array.make (max 1 fleet) (-1) in
   Array.iteri (fun l g -> local_of_global.(g) <- l) locals;
@@ -163,6 +163,7 @@ let run_shard ~profile ~fleet ~locals ~traffic_rate ~chaos_rng ~traffic_rng
         quanta;
         marker_every;
         guard = false;
+        discipline;
       }
   in
   for _ = 1 to bundles do
@@ -450,7 +451,7 @@ let run_shard ~profile ~fleet ~locals ~traffic_rate ~chaos_rng ~traffic_rng
    shard's own wire backlog and health-engine convergence, so cross-N
    byte-equality of counters is not a contract for chaos cells — the
    invariants (zero violations, conservation, full recovery) are. *)
-let run_cell ~profile ~bundles ~seed ~inject ~domains () =
+let run_cell ~profile ~discipline ~bundles ~seed ~inject ~domains () =
   let shards =
     if domains = 1 then
       let rng = Rng.create seed in
@@ -458,7 +459,7 @@ let run_cell ~profile ~bundles ~seed ~inject ~domains () =
       let traffic_rng = Rng.split rng in
       let size_rng = Rng.split rng in
       [|
-        run_shard ~profile ~fleet:bundles
+        run_shard ~profile ~discipline ~fleet:bundles
           ~locals:(Array.init bundles (fun b -> b))
           ~traffic_rate:packet_rate ~chaos_rng ~traffic_rng ~size_rng ~seed
           ~inject ();
@@ -474,7 +475,7 @@ let run_cell ~profile ~bundles ~seed ~inject ~domains () =
         let traffic_rng = Rng.stream ~seed ((2 * k) + 1) in
         let size_rng = Rng.stream ~seed ((2 * k) + 2) in
         let locals = parts.(k) in
-        run_shard ~profile ~fleet:bundles ~locals
+        run_shard ~profile ~discipline ~fleet:bundles ~locals
           ~traffic_rate:
             (packet_rate
             *. float_of_int (Array.length locals)
@@ -530,7 +531,14 @@ let run_cell ~profile ~bundles ~seed ~inject ~domains () =
       fail "injected violation was NOT caught"
     else None
   in
-  let tag0 = Printf.sprintf "%s-%d-s%d" profile.pname bundles seed in
+  let tag0 =
+    Printf.sprintf "%s%s-%d-s%d" profile.pname
+      (match discipline with
+      | Bundle_pool.Srr -> ""
+      | Bundle_pool.Sprinklers _ -> "-spr"
+      | Bundle_pool.Load_aware -> "-la")
+      bundles seed
+  in
   ( {
       tag = (if domains = 1 then tag0 else Printf.sprintf "%s-d%d" tag0 domains);
       seed;
@@ -587,6 +595,7 @@ let () =
   let inject = ref false in
   let profile_filter = ref None in
   let domains = ref 1 in
+  let discipline = ref Bundle_pool.Srr in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -603,6 +612,17 @@ let () =
       parse rest
     | "--profile" :: v :: rest ->
       profile_filter := Some v;
+      parse rest
+    | "--discipline" :: v :: rest ->
+      (discipline :=
+         match v with
+         | "srr" -> Bundle_pool.Srr
+         | "sprinklers" -> Bundle_pool.Sprinklers 0x5eed
+         | "load-aware" -> Bundle_pool.Load_aware
+         | _ ->
+           Printf.eprintf
+             "unknown discipline %S (want srr|sprinklers|load-aware)\n" v;
+           exit 2);
       parse rest
     | "--json" :: file :: rest ->
       json_out := Some file;
@@ -646,7 +666,8 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "usage: exp_chaos [--quick] [--bundles N] [--seed S] [--profile \
-         storms|crashes|degrades|mixed] [--domains N] [--json FILE] \
+         storms|crashes|degrades|mixed] [--discipline \
+         srr|sprinklers|load-aware] [--domains N] [--json FILE] \
          [--inject-violation] [--health-selftest] (got %s)\n"
         arg;
       exit 2
@@ -678,8 +699,8 @@ let () =
        %!"
       b s;
     let r, violate_event =
-      run_cell ~profile:mixed ~bundles:b ~seed:s ~inject:true
-        ~domains:!domains ()
+      run_cell ~profile:mixed ~discipline:!discipline ~bundles:b ~seed:s
+        ~inject:true ~domains:!domains ()
     in
     print_run r;
     match r.failure with
@@ -720,8 +741,8 @@ let () =
     List.map
       (fun (p, n, s) ->
         let r, _ =
-          run_cell ~profile:p ~bundles:n ~seed:s ~inject:false
-            ~domains:!domains ()
+          run_cell ~profile:p ~discipline:!discipline ~bundles:n ~seed:s
+            ~inject:false ~domains:!domains ()
         in
         print_run r;
         r)

@@ -110,6 +110,7 @@ let run_once ~engine ~total_bundles ~domains () =
           Srr.quanta_for_rates ~rates_bps:reference_rates ~quantum_unit:1500 ();
         marker_every = 4;
         guard = false;
+        discipline = Bundle_pool.Srr;
       }
   in
   let gen_size = Stripe_workload.Genpkt.bimodal ~rng:size_rng ~small:200 ~large:1000 () in

@@ -54,9 +54,24 @@ let channels =
 let scheduler_arg =
   Arg.(
     value
-    & opt (enum [ ("srr", `Srr); ("rr", `Rr); ("grr", `Grr); ("random", `Random) ]) `Srr
-    & info [ "s"; "scheduler" ] ~docv:"SCHED"
-        ~doc:"Striping algorithm: $(b,srr), $(b,rr), $(b,grr) or $(b,random).")
+    & opt
+        (enum
+           [
+             ("srr", `Srr); ("rr", `Rr); ("grr", `Grr); ("random", `Random);
+             ("rfq", `Rfq); ("sprinklers", `Sprinklers);
+             ("load-aware", `Load_aware);
+           ])
+        `Srr
+    & info [ "s"; "scheduler"; "discipline" ] ~docv:"SCHED"
+        ~doc:
+          "Striping discipline: $(b,srr), $(b,rr), $(b,grr), \
+           $(b,sprinklers) (randomized variable-size stripes — SRR quanta \
+           scaled to burst granularity with a seeded per-round permuted \
+           visit order; causal, works with quasi mode), $(b,rfq) (seeded \
+           randomized fair queuing, §3.4 — causal but engine-less), \
+           $(b,load-aware) (min-load selection by transmit-queue debt \
+           over relative rate; non-causal), or $(b,random). Engine-less \
+           disciplines deliver in arrival order under $(b,--mode quasi).")
 
 let mode_arg =
   Arg.(
@@ -445,13 +460,21 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
       | None -> obs_sink
     in
     let rates = Array.map (fun c -> c.rate) confs in
+    (* Load-aware's debt oracle: outstanding transmit-queue bytes per
+       link. The links are built after the scheduler (per mode), so the
+       oracle reads through a cell that [make_links] fills in. *)
+    let la_debt = ref (fun (_ : int) -> 0.0) in
     let engine_opt =
       match sched_kind with
       | `Srr ->
         Some (Srr.for_rates ~max_packet:1500 ~rates_bps:rates ~quantum_unit:1500 ())
       | `Rr -> Some (Rr.create ~n ())
       | `Grr -> Some (Grr.for_rates ~rates_bps:rates ())
-      | `Random -> None
+      | `Sprinklers ->
+        Some
+          (Sprinklers.for_rates ~max_packet:1500 ~seed ~rates_bps:rates
+             ~quantum_unit:1500 ())
+      | `Random | `Rfq | `Load_aware -> None
     in
     let make_scheduler () =
       match engine_opt with
@@ -459,9 +482,18 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
         Scheduler.of_deficit
           ~name:
             (match sched_kind with
-            | `Srr -> "SRR" | `Rr -> "RR" | `Grr -> "GRR" | `Random -> ".")
+            | `Srr -> "SRR" | `Rr -> "RR" | `Grr -> "GRR"
+            | `Sprinklers -> "Sprinklers"
+            | `Random | `Rfq | `Load_aware -> ".")
           e
-      | None -> Scheduler.random_selection ~n ~seed
+      | None -> (
+        match sched_kind with
+        | `Rfq -> Scheduler.seeded_rfq ~n ~seed
+        | `Load_aware ->
+          Scheduler.load_aware ~weights:rates
+            ~debt:(fun c -> !la_debt c)
+            ~n ()
+        | _ -> Scheduler.random_selection ~n ~seed)
     in
     let sink = make_sink () in
     let lossy = ref true in
@@ -535,6 +567,7 @@ let run channel_confs sched_kind mode n_packets workload_kind marker_rounds
               ())
           confs
       in
+      la_debt := (fun c -> float_of_int (Link.queue_bytes links.(c)));
       fault_ref := (fun schedule -> Fault.apply sim ~links schedule);
       clear_impair :=
         (fun () ->

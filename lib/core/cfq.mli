@@ -24,6 +24,14 @@
 type instance = {
   select : unit -> int;  (** [f(s)]: pick the queue/channel for the next packet. *)
   update : size:int -> unit;  (** [g(s, p)]: account for the transmitted packet. *)
+  reset : unit -> unit;
+      (** Return the instance to the initial state [s0]: the §5 reset
+          barrier's effect on the algorithm state. For deficit-backed
+          algorithms this is {!Deficit.reinit}; for {!seeded_random} it
+          reseeds the RNG {e and} discards any draw cached by a [select]
+          whose packet was never dispatched — a stale cached draw would
+          leave the sender one draw ahead of the receiver's replay
+          forever after. *)
 }
 
 type t = {
@@ -44,6 +52,17 @@ val seeded_random : name:string -> n:int -> seed:int -> t
     the algorithm is causal and a receiver that knows the seed can
     simulate it. Expected bytes per channel are identical, i.e. RFQ is
     fair in the randomized sense of §3.3. *)
+
+val load_aware : ?weights:float array -> name:string -> n:int -> unit -> t
+(** Min-load selection (the memec [StripeList] LOAD_AWARE idiom) in pure
+    form: each packet goes to the channel with the least cumulative
+    assigned bytes per unit [weight] (default all equal), ties to the
+    lowest index. Because the state is exactly the multiset of
+    previously transmitted packets, this pure variant is causal in the
+    §3.1 sense and satisfies the E ↔ E' duality; the fleet deployment
+    ({!Scheduler.load_aware}) replaces the cumulative counter with live
+    wire debt, which the receiver cannot see — that variant is not
+    causal. Weights must be positive. *)
 
 val load_share : t -> (int * 'a) list -> (int * (int * 'a)) list
 (** [load_share cfq packets] runs the transformed algorithm over an input

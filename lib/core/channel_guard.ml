@@ -38,6 +38,7 @@ type t = {
   mutable n_forwarded : int;
   mutable n_dups : int;
   mutable n_restores : int;
+  mutable n_late_releases : int;
   mutable n_corrupt : int;
   mutable n_held : int;
   mutable hw_held : int;
@@ -56,6 +57,7 @@ let create ~n ?(window = 32) ?(now = fun () -> 0.0) ?(sink = Obs.Sink.null)
     n_forwarded = 0;
     n_dups = 0;
     n_restores = 0;
+    n_late_releases = 0;
     n_corrupt = 0;
     n_held = 0;
     hw_held = 0;
@@ -70,9 +72,16 @@ let forward t ~channel pkt =
   t.n_forwarded <- t.n_forwarded + 1;
   t.deliver ~channel pkt
 
-(* Release every consecutively-held tag starting at [ch.next]. Packets
-   released here were held back and are now restored to tag order. *)
-let release_ready t ~channel ch =
+(* Release every consecutively-held tag starting at [ch.next].
+   [restored] classifies the release: [true] when an arrival filled the
+   gap and tag order is genuinely repaired (these are the
+   [Reorder_restore] events), [false] when the guard abandoned the gap
+   (window shed, teardown flush) — those packets leave the guard with
+   their predecessors declared lost, and it is the {e downstream}
+   delivery gauge that judges them (watchdog-skipped channels deliver
+   them late). Counting them as restores too would book the same packet
+   in both columns. *)
+let release_ready t ~restored ~channel ch =
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt ch.held ch.next with
@@ -83,9 +92,12 @@ let release_ready t ~channel ch =
       t.n_held <- t.n_held - 1;
       (match entry with
       | Some pkt ->
-        t.n_restores <- t.n_restores + 1;
-        emit t Obs.Event.Reorder_restore ~channel ~size:pkt.Packet.size
-          ~seq:pkt.Packet.seq;
+        if restored then begin
+          t.n_restores <- t.n_restores + 1;
+          emit t Obs.Event.Reorder_restore ~channel ~size:pkt.Packet.size
+            ~seq:pkt.Packet.seq
+        end
+        else t.n_late_releases <- t.n_late_releases + 1;
         forward t ~channel pkt
       | None -> ())
   done
@@ -101,7 +113,7 @@ let shed_overflow t ~channel ch =
       Hashtbl.fold (fun tag _ acc -> min tag acc) ch.held max_int
     in
     ch.next <- smallest;
-    release_ready t ~channel ch
+    release_ready t ~restored:false ~channel ch
   done
 
 let receive t ~channel ~tag pkt =
@@ -132,7 +144,8 @@ let receive t ~channel ~tag pkt =
   else if tag = ch.next then begin
     ch.next <- ch.next + 1;
     (match entry with Some pkt -> forward t ~channel pkt | None -> ());
-    if Hashtbl.length ch.held > 0 then release_ready t ~channel ch
+    if Hashtbl.length ch.held > 0 then
+      release_ready t ~restored:true ~channel ch
   end
   else begin
     Hashtbl.replace ch.held tag entry;
@@ -154,6 +167,7 @@ let recycle t =
   t.n_forwarded <- 0;
   t.n_dups <- 0;
   t.n_restores <- 0;
+  t.n_late_releases <- 0;
   t.n_corrupt <- 0;
   t.n_held <- 0;
   t.hw_held <- 0
@@ -166,13 +180,14 @@ let flush t =
           Hashtbl.fold (fun tag _ acc -> min tag acc) ch.held max_int
         in
         ch.next <- smallest;
-        release_ready t ~channel ch
+        release_ready t ~restored:false ~channel ch
       done)
     t.chans
 
 let forwarded t = t.n_forwarded
 let dup_discards t = t.n_dups
 let reorder_restores t = t.n_restores
+let late_releases t = t.n_late_releases
 let corrupt_discards t = t.n_corrupt
 let held_packets t = t.n_held
 let max_held_packets t = t.hw_held

@@ -2,6 +2,10 @@ type cost =
   | Bytes
   | Packets
 
+type order =
+  | Fixed
+  | Permuted of int
+
 type stamp = { round : int; dc : int }
 
 type event =
@@ -15,23 +19,81 @@ type event =
    and resized in place ([retune], [add_channel], [remove_channel],
    [reconfigure]) without invalidating the references other components
    hold. [pending] stages a same-width retune until the next round
-   boundary. *)
+   boundary.
+
+   [ptr] is a POSITION in the round's visit order, not a channel id;
+   [perm.(ptr)] is the channel under the pointer. Under [Fixed] order
+   [perm] is the identity, so position and channel coincide — the
+   classic round robin. Under [Permuted seed] each round's visit order
+   is a fresh pseudo-random permutation derived purely from
+   (seed, round, n), which is what makes the scheme causal: a receiver
+   cloning the engine deals the identical order with no shared RNG
+   state (Sprinklers-style randomized striping, PROTOCOL.md §14). *)
 type t = {
   mutable quanta : int array;
   cost_mode : cost;
   overdraw : bool;
   max_pkt : int option;
+  visit_order : order;
   mutable n : int;
   mutable dcs : int array;
   mutable susp : bool array;
   mutable pending : int array option;
+  mutable perm : int array;
   mutable ptr : int;
   mutable g : int;
   mutable serving : bool;
   mutable hook : (event -> unit) option;
 }
 
-let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ~quanta () =
+(* SplitMix64 finalizer: the avalanche that turns (seed, round) into an
+   independent shuffle stream per round. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+(* Deal the visit order for the current round. A pure function of
+   (seed, round, width): [reinit] and [set_round] land on exactly the
+   permutation a fresh engine at that round would use, and the
+   receiver's replay engine needs no RNG state beyond the seed. Fixed
+   order keeps the identity (resized lazily on membership change). *)
+let refresh_perm t =
+  match t.visit_order with
+  | Fixed ->
+    if Array.length t.perm <> t.n then t.perm <- Array.init t.n (fun i -> i)
+  | Permuted seed ->
+    if Array.length t.perm <> t.n then t.perm <- Array.init t.n (fun i -> i)
+    else for i = 0 to t.n - 1 do t.perm.(i) <- i done;
+    let state =
+      ref (mix64 (Int64.add (Int64.mul (Int64.of_int seed) golden)
+                    (Int64.of_int t.g)))
+    in
+    for i = t.n - 1 downto 1 do
+      state := mix64 (Int64.add !state golden);
+      (* Top 31 bits: always a non-negative OCaml int (Int64.to_int
+         truncates to 63 bits, so masking with Int64.max_int can still
+         come out negative). *)
+      let j = Int64.to_int (Int64.shift_right_logical !state 33) mod (i + 1) in
+      let tmp = t.perm.(i) in
+      t.perm.(i) <- t.perm.(j);
+      t.perm.(j) <- tmp
+    done
+
+(* Channel under the pointer. *)
+let chan t = t.perm.(t.ptr)
+
+(* Position of channel [c] in the current round's visit order. Linear:
+   only off the per-packet path (marker stamping), and [n] is small. *)
+let pos_of t c =
+  let rec go i = if t.perm.(i) = c then i else go (i + 1) in
+  go 0
+
+let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ?(order = Fixed)
+    ~quanta () =
   let n = Array.length quanta in
   if n = 0 then invalid_arg "Deficit.create: no channels";
   Array.iter
@@ -41,24 +103,30 @@ let create ?(cost = Bytes) ?(overdraw = true) ?max_packet ~quanta () =
   | Some m when m <= 0 ->
     invalid_arg "Deficit.create: max_packet must be positive"
   | Some _ | None -> ());
-  {
-    quanta = Array.copy quanta;
-    cost_mode = cost;
-    overdraw;
-    max_pkt = max_packet;
-    n;
-    dcs = Array.make n 0;
-    susp = Array.make n false;
-    pending = None;
-    ptr = 0;
-    g = 0;
-    serving = false;
-    hook = None;
-  }
+  let t =
+    {
+      quanta = Array.copy quanta;
+      cost_mode = cost;
+      overdraw;
+      max_pkt = max_packet;
+      visit_order = order;
+      n;
+      dcs = Array.make n 0;
+      susp = Array.make n false;
+      pending = None;
+      perm = Array.init n (fun i -> i);
+      ptr = 0;
+      g = 0;
+      serving = false;
+      hook = None;
+    }
+  in
+  refresh_perm t;
+  t
 
 let clone_initial t =
   create ~cost:t.cost_mode ~overdraw:t.overdraw ?max_packet:t.max_pkt
-    ~quanta:t.quanta ()
+    ~order:t.visit_order ~quanta:t.quanta ()
 
 (* Call sites guard on [t.hook] before building the event: constructing
    the record argument allocates even when nobody is listening, and
@@ -107,6 +175,7 @@ let reinit t =
   t.ptr <- 0;
   t.g <- 0;
   t.serving <- false;
+  refresh_perm t;
   match t.pending with
   | None -> ()
   | Some q ->
@@ -118,30 +187,40 @@ let quanta t = Array.copy t.quanta
 let cost t = t.cost_mode
 let max_packet t = t.max_pkt
 let round t = t.g
-let current t = t.ptr
+let current t = chan t
 let in_service t = t.serving
+let order t = t.visit_order
 let dc t c = t.dcs.(c)
 let set_dc t c v = t.dcs.(c) <- v
-let set_round t g = t.g <- g
+
+let set_round t g =
+  t.g <- g;
+  refresh_perm t
+
 let set_hook t hook = t.hook <- hook
 let cost_of t size = match t.cost_mode with Bytes -> size | Packets -> 1
 
 let begin_visit t =
   if not t.serving then begin
-    t.dcs.(t.ptr) <- t.dcs.(t.ptr) + t.quanta.(t.ptr);
+    let c = chan t in
+    t.dcs.(c) <- t.dcs.(c) + t.quanta.(c);
     t.serving <- true;
     if t.hook <> None then
-      emit t (Begin_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) })
+      emit t (Begin_visit { channel = c; round = t.g; dc = t.dcs.(c) })
   end
 
 let advance t =
-  if t.hook <> None then
-    emit t (End_visit { channel = t.ptr; round = t.g; dc = t.dcs.(t.ptr) });
+  if t.hook <> None then begin
+    let c = chan t in
+    emit t (End_visit { channel = c; round = t.g; dc = t.dcs.(c) })
+  end;
   t.serving <- false;
   t.ptr <- t.ptr + 1;
   if t.ptr = t.n then begin
     t.ptr <- 0;
     t.g <- t.g + 1;
+    (* Deal the new round's visit order before anyone reads [chan]. *)
+    (match t.visit_order with Fixed -> () | Permuted _ -> refresh_perm t);
     if t.hook <> None then emit t (New_round { round = t.g });
     match t.pending with
     | None -> ()
@@ -174,7 +253,7 @@ let suspend t c =
     t.susp.(c) <- true;
     (* If the pointer is parked on the channel being suspended, move it
        on so the next selection never serves a suspended channel. *)
-    if t.ptr = c && any_active t then advance t
+    if chan t = c && any_active t then advance t
   end
 
 let resume t c =
@@ -214,6 +293,12 @@ let add_channel t ~quantum =
   t.dcs <- Array.append t.dcs [| 0 |];
   t.susp <- Array.append t.susp [| false |];
   t.n <- t.n + 1;
+  (* Fixed order: the identity permutation grows and the comment above
+     holds verbatim. Permuted order: the round's order is re-dealt over
+     the new width — membership changes ride the §5 reset barrier, where
+     the engine sits at (ptr = 0, round 0), so sender and receiver
+     re-deal identically. *)
+  refresh_perm t;
   t.n - 1
 
 let splice a c = Array.init (Array.length a - 1) (fun i -> if i < c then a.(i) else a.(i + 1))
@@ -226,13 +311,20 @@ let remove_channel t c =
     invalid_arg "Deficit.remove_channel: a retune is pending";
   (* If the pointer is parked on [c], end its visit first so the engine
      never serves a channel that no longer exists; [advance] handles the
-     wrap (and round increment) if [c] was the last channel. *)
-  if t.ptr = c then advance t;
+     wrap (and round increment) if [c] was the position's last. *)
+  if chan t = c then advance t;
   t.quanta <- splice t.quanta c;
   t.dcs <- splice t.dcs c;
   t.susp <- splice t.susp c;
   t.n <- t.n - 1;
-  if t.ptr > c then t.ptr <- t.ptr - 1
+  (match t.visit_order with
+  | Fixed -> if t.ptr > c then t.ptr <- t.ptr - 1
+  | Permuted _ ->
+    (* Protocol use reaches here only through the §5 reset barrier
+       (ptr = 0, round 0); a mid-round removal re-deals the remainder of
+       the round over the surviving width. *)
+    if t.ptr >= t.n then t.ptr <- t.n - 1;
+    refresh_perm t)
 
 let reconfigure t ~quanta =
   if Array.length quanta = 0 then invalid_arg "Deficit.reconfigure: no channels";
@@ -255,14 +347,16 @@ let reconfigure t ~quanta =
   end;
   t.ptr <- 0;
   t.g <- 0;
-  t.serving <- false
+  t.serving <- false;
+  refresh_perm t
 
 let rec select t =
   if not t.overdraw then
     invalid_arg "Deficit.select: non-overdraw engine needs select_for";
   if not (any_active t) then
     invalid_arg "Deficit.select: all channels suspended";
-  if t.susp.(t.ptr) then begin
+  let c = chan t in
+  if t.susp.(c) then begin
     (* Suspended channels are passed over without receiving a quantum:
        their DC freezes until a reset barrier rebuilds the state. *)
     advance t;
@@ -270,7 +364,7 @@ let rec select t =
   end
   else begin
     begin_visit t;
-    if t.dcs.(t.ptr) > 0 then t.ptr
+    if t.dcs.(c) > 0 then c
     else begin
       advance t;
       select t
@@ -282,13 +376,14 @@ let rec select_for t ~size =
   else begin
     if not (any_active t) then
       invalid_arg "Deficit.select_for: all channels suspended";
-    if t.susp.(t.ptr) then begin
+    let c = chan t in
+    if t.susp.(c) then begin
       advance t;
       select_for t ~size
     end
     else begin
       begin_visit t;
-      if t.dcs.(t.ptr) >= cost_of t size then t.ptr
+      if t.dcs.(c) >= cost_of t size then c
       else begin
         advance t;
         select_for t ~size
@@ -299,24 +394,30 @@ let rec select_for t ~size =
 let consume t ~size =
   if not t.serving then
     invalid_arg "Deficit.consume: no visit in progress (call select first)";
-  let before = t.dcs.(t.ptr) in
+  let c = chan t in
+  let before = t.dcs.(c) in
   let after = before - cost_of t size in
-  t.dcs.(t.ptr) <- after;
+  t.dcs.(c) <- after;
   if t.hook <> None then
     emit t
-      (Consume { channel = t.ptr; round = t.g; dc_before = before; dc_after = after });
+      (Consume { channel = c; round = t.g; dc_before = before; dc_after = after });
   if after <= 0 then advance t
 
 let next_stamp t c =
   if c < 0 || c >= t.n then invalid_arg "Deficit.next_stamp: bad channel";
-  if t.serving && c = t.ptr && t.dcs.(c) > 0 then { round = t.g; dc = t.dcs.(c) }
+  if t.serving && c = chan t && t.dcs.(c) > 0 then
+    { round = t.g; dc = t.dcs.(c) }
   else begin
     (* Determine the first round in which channel [c] will be visited
        again, then simulate quantum additions until its DC is positive —
-       mirroring [select]'s skipping of deeply negative channels. *)
+       mirroring [select]'s skipping of deeply negative channels. The
+       comparison is in visit-order positions, so it holds under a
+       permuted order too; later rounds visit every channel exactly once
+       whatever their permutation, so only this round's order matters. *)
+    let pos = pos_of t c in
     let first_round =
-      if c > t.ptr then t.g
-      else if c = t.ptr && not t.serving then t.g
+      if pos > t.ptr then t.g
+      else if pos = t.ptr && not t.serving then t.g
       else t.g + 1
     in
     let rec settle r dc_val =
@@ -327,5 +428,6 @@ let next_stamp t c =
   end
 
 let pp_state fmt t =
-  Format.fprintf fmt "ptr=%d round=%d serving=%b dcs=[%s]" t.ptr t.g t.serving
+  Format.fprintf fmt "ptr=%d ch=%d round=%d serving=%b dcs=[%s]" t.ptr (chan t)
+    t.g t.serving
     (String.concat "; " (Array.to_list (Array.map string_of_int t.dcs)))

@@ -27,6 +27,16 @@ type cost =
   | Bytes  (** DC counts bytes; packets cost their size. *)
   | Packets  (** DC counts packets; every packet costs 1. *)
 
+type order =
+  | Fixed  (** Channels visited in index order every round (classic RR). *)
+  | Permuted of int
+      (** Each round's visit order is an independent pseudo-random
+          permutation derived purely from [(seed, round, width)] — the
+          Sprinklers-style randomized stripe placement. Still causal in
+          the §3.1 sense: a receiver that knows the seed deals the same
+          order with no shared RNG state, so implicit numbering, markers,
+          and reset barriers all carry over unchanged. *)
+
 type stamp = { round : int; dc : int }
 (** Implicit packet number: round number and DC before the send. *)
 
@@ -45,11 +55,12 @@ type event =
 type t
 
 val create :
-  ?cost:cost -> ?overdraw:bool -> ?max_packet:int -> quanta:int array ->
-  unit -> t
+  ?cost:cost -> ?overdraw:bool -> ?max_packet:int -> ?order:order ->
+  quanta:int array -> unit -> t
 (** [create ~quanta ()] builds an engine over [Array.length quanta]
     channels. Every quantum must be positive. [cost] defaults to [Bytes];
-    [overdraw] defaults to [true] (SRR semantics). [max_packet], when
+    [overdraw] defaults to [true] (SRR semantics); [order] defaults to
+    [Fixed] and is carried by {!clone_initial}. [max_packet], when
     known, records the largest packet the engine will carry (the [Max] of
     Theorem 3.2's fairness bound); it is carried by {!clone_initial} and
     read back with {!max_packet}. With [overdraw:false]
@@ -112,7 +123,11 @@ val round : t -> int
     wraps from the last channel to the first. *)
 
 val current : t -> int
-(** Channel the round-robin pointer is at. No side effects. *)
+(** Channel the round-robin pointer is at (under a permuted order, the
+    channel the current visit-order position maps to). No side effects. *)
+
+val order : t -> order
+(** The visit-order discipline declared at {!create}. *)
 
 val in_service : t -> bool
 (** Whether the current channel's visit has begun (quantum added). *)

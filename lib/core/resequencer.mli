@@ -322,6 +322,25 @@ val crash_syncs : t -> int
 (** Completed {e crash} barriers — reset barriers that adopted a new
     sender epoch (a subset of {!resets}). *)
 
+val reorder_depth_max : t -> int
+(** Largest arrival reorder depth seen: for each data arrival carrying a
+    sequence number, the depth is how far below the highest sequence
+    already arrived it lands (0 = arrived in order). This measures the
+    cross-channel interleave the striping discipline asks the receiver
+    to repair — the discipline-comparison gauge — independent of
+    buffering decisions. Reset by {!recycle}; survives
+    {!crash_restart} (it models the operator's metrics store). *)
+
+val reorder_depth_samples : t -> int
+(** Data arrivals judged by the depth gauge (those with [seq >= 0]). *)
+
+val reorder_depth_percentile : t -> p:float -> int
+(** [reorder_depth_percentile t ~p] is the smallest depth [d] such that
+    at least a fraction [p] of judged arrivals had depth [<= d].
+    Depths are histogrammed exactly up to an internal bound (128);
+    deeper samples clamp to {!reorder_depth_max}. [p] must be in
+    [(0, 1]]; 0 when nothing has been judged yet. *)
+
 val drain : t -> Stripe_packet.Packet.t list
 (** Remove and return all still-buffered data packets, interleaved
     round-robin from the per-channel buffers. Also clears the blocked

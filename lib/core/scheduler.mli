@@ -44,6 +44,41 @@ val srr : ?max_packet:int -> quanta:int array -> unit -> t
 val rr : n:int -> unit -> t
 val grr : ratios:int array -> unit -> t
 
+val sprinklers :
+  ?max_packet:int -> ?stripe_scale:int -> seed:int ->
+  rates_bps:float array -> quantum_unit:int -> unit -> t
+(** Sprinklers-style randomized variable-size striping: an SRR engine
+    with rate-proportional quanta scaled to burst granularity and a
+    per-round permuted visit order dealt from [seed] (see
+    {!Sprinklers}). Causal — the embedded engine replays at the
+    receiver — so the full marker/resequencer machinery applies. *)
+
+val seeded_rfq : n:int -> seed:int -> t
+(** §3.4 randomized fair queuing: every packet lands on a fresh seeded
+    draw. Causal in the paper's sense (the receiver shares the seed and
+    replays the draws), but engine-less: the quasi-FIFO machinery, which
+    replays a {!Deficit} engine, does not apply. *)
+
+val load_aware : ?weights:float array -> debt:(int -> float) -> n:int -> unit -> t
+(** Min-load selection (the memec [StripeList] LOAD_AWARE idiom): each
+    packet goes to the channel minimizing [debt c /. weight c], where
+    [debt] is the caller's oracle for outstanding serialization debt —
+    transmit-queue bytes, wire busy horizon ({!Stripe_fleet} exposes
+    [wire_busy_until]), or any other load signal the layer can see.
+    [weights] (default all 1.0, must be positive) express relative
+    channel capacity; swap them live with {!set_weights} when rates are
+    retuned. Non-causal: the receiver cannot reconstruct link state. *)
+
+val set_weights : t -> float array -> unit
+(** Replace the channel weight vector of a {!load_aware} scheduler in
+    place — live load migration on retune, no rebuild, takes effect from
+    the next selection. Raises [Invalid_argument] for schedulers without
+    weights ({!supports_weights} is [false]), on width mismatch, or on
+    non-positive weights. *)
+
+val supports_weights : t -> bool
+(** Whether {!set_weights} is available (only {!load_aware}). *)
+
 val random_selection : n:int -> seed:int -> t
 (** Random channel per packet (the [Bay95] Random Selection scheme).
     Shares load in expectation; provides no FIFO delivery. Marked

@@ -41,6 +41,29 @@
     except that its channels may still be busy with the predecessor's
     tail. *)
 
+(** Striping discipline run by every slot engine (PROTOCOL.md §14).
+
+    - [Srr]: the paper's surplus round robin — fixed cyclic visit
+      order, byte quanta, markers, full resequencer replay.
+    - [Sprinklers seed]: Sprinklers-style randomized striping. Same
+      quanta, same [Max + 2*Quantum] fairness bound, but each round
+      visits the channels in a fresh pseudo-random permutation derived
+      from [seed] and the round number ({!Stripe_core.Deficit.order}).
+      Each slot derives its own sub-seed, so the fleet's permutations
+      decorrelate. The permutation is a pure function of (seed, round),
+      so the receiver's cloned engine replays it and the whole
+      marker/reset machinery works unchanged. Pair with larger quanta
+      (see {!Stripe_core.Sprinklers}) for variable-size stripes.
+    - [Load_aware]: non-causal min-completion-time selection — each
+      push goes to the channel that would finish serving it soonest
+      given current wire serialization debt and effective rate
+      (suspensions/quarantines still honored). No receiver engine can
+      replay wire state, so these slots deliver in {e arrival} order
+      (the resequencer is bypassed, markers are discarded, reset
+      barriers and health retunes are no-ops): {!seq_inversions} is a
+      diagnostic, not a violation, and FIFO checks do not apply. *)
+type discipline = Srr | Sprinklers of int | Load_aware
+
 type config = {
   rate_bps : float array;  (** Per-channel wire rate (bits/s, > 0). *)
   prop_delay : float array;  (** Per-channel one-way delay (s, >= 0). *)
@@ -57,6 +80,7 @@ type config = {
           wires are perfect FIFOs, so the guard rides its in-order fast
           path; enabling it measures the guard's fleet-scale cost and
           recycles its state with the slot. *)
+  discipline : discipline;  (** Striping discipline, fleet-wide. *)
 }
 (** All arrays must have the same positive length (the channel count).
     The pool copies them at {!create}; later mutation has no effect. *)

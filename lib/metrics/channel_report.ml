@@ -7,7 +7,7 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
         [
           "ch"; "tx pkts"; "tx bytes"; "arrived"; "delivered"; "dropped";
           "txq drop"; "skips"; "wd skip"; "down"; "mk tx"; "mk rx"; "buf hw";
-          "dup"; "reord"; "crpt"; "ovfl";
+          "dup"; "reord"; "rdepth"; "crpt"; "ovfl";
         ]
   in
   for i = 0 to Obs.Counters.n_channels reg - 1 do
@@ -29,6 +29,7 @@ let table ?(title = "per-channel counters") (reg : Obs.Counters.t) =
         string_of_int c.Obs.Counters.hw_buffered_packets;
         string_of_int c.Obs.Counters.dup_discards;
         string_of_int c.Obs.Counters.reorder_restores;
+        string_of_int c.Obs.Counters.reorder_depth;
         string_of_int c.Obs.Counters.corrupt_discards;
         string_of_int c.Obs.Counters.buffer_overflows;
       ]

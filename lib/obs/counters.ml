@@ -21,6 +21,7 @@ type channel = {
   mutable resumes : int;
   mutable dup_discards : int;
   mutable reorder_restores : int;
+  mutable reorder_depth : int;
   mutable corrupt_discards : int;
   mutable buffer_overflows : int;
   mutable retunes : int;
@@ -45,6 +46,12 @@ type t = {
   buffered_bytes_ : int array;
   hw_buffered_packets_ : int array;
   hw_buffered_bytes_ : int array;
+  (* Arrival reorder-depth gauge, fed by [Enqueue] events carrying a
+     sequence number: per-channel maximum of (highest seq already
+     enqueued anywhere) - seq. [rd_max_seq_] is the global running
+     maximum the depth is judged against. *)
+  rdepth_ : int array;
+  mutable rd_max_seq_ : int;
   mutable resets : int;
   mutable rounds : int;
   mutable n_events : int;
@@ -62,6 +69,8 @@ let create ~n =
     buffered_bytes_ = Array.make n 0;
     hw_buffered_packets_ = Array.make n 0;
     hw_buffered_bytes_ = Array.make n 0;
+    rdepth_ = Array.make n 0;
+    rd_max_seq_ = -1;
     resets = 0;
     rounds = 0;
     n_events = 0;
@@ -98,6 +107,7 @@ let channel t c =
     resumes = k Event.Resume;
     dup_discards = k Event.Dup_discard;
     reorder_restores = k Event.Reorder_restore;
+    reorder_depth = t.rdepth_.(c);
     corrupt_discards = k Event.Corrupt_discard;
     buffer_overflows = k Event.Buffer_overflow;
     retunes = k Event.Retune;
@@ -131,6 +141,11 @@ let observe t (e : Event.t) =
       t.buffered_packets_.(ch) <- t.buffered_packets_.(ch) + 1;
       if e.size > 0 then
         t.buffered_bytes_.(ch) <- t.buffered_bytes_.(ch) + e.size;
+      if e.seq >= 0 then begin
+        if e.seq > t.rd_max_seq_ then t.rd_max_seq_ <- e.seq
+        else if t.rd_max_seq_ - e.seq > t.rdepth_.(ch) then
+          t.rdepth_.(ch) <- t.rd_max_seq_ - e.seq
+      end;
       if t.buffered_packets_.(ch) > t.hw_buffered_packets_.(ch) then
         t.hw_buffered_packets_.(ch) <- t.buffered_packets_.(ch);
       if t.buffered_bytes_.(ch) > t.hw_buffered_bytes_.(ch) then
@@ -166,6 +181,13 @@ let merge_into ~into t =
      shards alias the same channel indices. *)
   add into.hw_buffered_packets_ t.hw_buffered_packets_;
   add into.hw_buffered_bytes_ t.hw_buffered_bytes_;
+  (* Depth is a maximum, not a count: merging takes the elementwise max
+     (exact for disjoint channel sets, and the right reading — worst
+     observed depth — when shards alias channels). *)
+  Array.iteri
+    (fun i v -> if v > into.rdepth_.(i) then into.rdepth_.(i) <- v)
+    t.rdepth_;
+  if t.rd_max_seq_ > into.rd_max_seq_ then into.rd_max_seq_ <- t.rd_max_seq_;
   into.resets <- into.resets + t.resets;
   into.rounds <- max into.rounds t.rounds;
   into.n_events <- into.n_events + t.n_events;
@@ -194,6 +216,7 @@ let total_watchdog_skips t = total_kind t Event.Watchdog_skip
 let total_downs t = total_kind t Event.Channel_down
 let total_dup_discards t = total_kind t Event.Dup_discard
 let total_reorder_restores t = total_kind t Event.Reorder_restore
+let max_reorder_depth t = Array.fold_left max 0 t.rdepth_
 let total_corrupt_discards t = total_kind t Event.Corrupt_discard
 let total_buffer_overflows t = total_kind t Event.Buffer_overflow
 let total_retunes t = total_kind t Event.Retune

@@ -40,6 +40,11 @@ type channel = {
   mutable reorder_restores : int;
       (** Out-of-order arrivals held and re-released in tag order by the
           channel guard ([Reorder_restore]). *)
+  mutable reorder_depth : int;
+      (** Arrival reorder-depth gauge: maximum over this channel's
+          [Enqueue] events (with a sequence number) of how far the
+          arriving packet trailed the highest sequence already enqueued
+          on {e any} channel. 0 means arrivals never ran behind. *)
   mutable corrupt_discards : int;
       (** Corrupted packets discarded — by the link CRC or the guard's
           marker-checksum check ([Corrupt_discard]). *)
@@ -120,6 +125,12 @@ val total_watchdog_skips : t -> int
 val total_downs : t -> int
 val total_dup_discards : t -> int
 val total_reorder_restores : t -> int
+
+val max_reorder_depth : t -> int
+(** Worst arrival reorder depth observed on any channel (see the
+    [reorder_depth] field of {!channel}). Merging registries takes the
+    elementwise max, so the merged value is the global worst case. *)
+
 val total_corrupt_discards : t -> int
 val total_buffer_overflows : t -> int
 

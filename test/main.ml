@@ -41,6 +41,7 @@ let () =
          Test_sharded.suites;
          Test_chaos.suites;
          Test_health.suites;
+         Test_disciplines.suites;
          Test_transport.suites;
          Test_workload.suites;
        ])

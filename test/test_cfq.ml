@@ -95,6 +95,56 @@ let prop_duality_seeded_random =
       let input = List.mapi (fun i size -> (size, i)) sizes in
       duality_roundtrip cfq input)
 
+(* The audit the fixed-interleaving tests above miss: [Srr.for_rates]
+   derives quanta by scaling and rounding a rate vector (clamping to
+   >= 1, inflating to restore Quantum_i >= Max), so the engine the
+   duality runs over is itself a function of arbitrary float inputs.
+   Random rate skews x random size sequences probe exactly the
+   clamp/rounding corners. *)
+let rates_gen = QCheck.(list_of_size (Gen.int_range 1 5) (int_range 1 40))
+
+let rates_bps_of mbps =
+  Array.of_list (List.map (fun m -> 1e6 *. float_of_int m) mbps)
+
+let prop_duality_for_rates =
+  QCheck.Test.make
+    ~name:"duality: for_rates-derived quanta under random sizes" ~count:200
+    QCheck.(pair rates_gen sizes_gen)
+    (fun (mbps, sizes) ->
+      let rates_bps = rates_bps_of mbps in
+      let cfq =
+        Cfq.of_deficit ~name:"SRR/for_rates" (fun () ->
+            Srr.for_rates ~max_packet:1500 ~rates_bps ~quantum_unit:1500 ())
+      in
+      let input = List.mapi (fun i size -> (size, i)) sizes in
+      duality_roundtrip cfq input)
+
+let prop_duality_sprinklers =
+  QCheck.Test.make
+    ~name:"duality holds for Sprinklers (seeded permuted rounds)" ~count:200
+    QCheck.(triple small_nat rates_gen sizes_gen)
+    (fun (seed, mbps, sizes) ->
+      let rates_bps = rates_bps_of mbps in
+      let cfq =
+        Cfq.of_deficit ~name:"Sprinklers" (fun () ->
+            Sprinklers.for_rates ~max_packet:1500 ~seed ~rates_bps
+              ~quantum_unit:1500 ())
+      in
+      let input = List.mapi (fun i size -> (size, i)) sizes in
+      duality_roundtrip cfq input)
+
+let prop_duality_load_aware =
+  QCheck.Test.make ~name:"duality holds for pure min-load selection"
+    ~count:200
+    QCheck.(pair rates_gen sizes_gen)
+    (fun (w, sizes) ->
+      let weights = Array.of_list (List.map float_of_int w) in
+      let cfq =
+        Cfq.load_aware ~weights ~name:"LA" ~n:(Array.length weights) ()
+      in
+      let input = List.mapi (fun i size -> (size, i)) sizes in
+      duality_roundtrip cfq input)
+
 let test_seeded_random_is_causal () =
   (* Two instances from the same configuration make identical decisions:
      exactly what lets a seed-sharing receiver simulate the sender. *)
@@ -116,6 +166,50 @@ let test_seeded_random_select_stable () =
     (inst.Cfq.select ());
   inst.Cfq.update ~size:1;
   ignore (inst.Cfq.select ())
+
+(* §5 reset-barrier degenerate cases. The reseed point must discard a
+   draw cached by a [select] whose packet never dispatched (a packet
+   selected but still queued when the barrier fired): keeping it would
+   leave the sender consuming draw k while the receiver's replay
+   consumes draw k+1, permanently offset. *)
+let test_seeded_random_reset_discards_cached_draw () =
+  let cfq = Cfq.seeded_random ~name:"RFQ" ~n:5 ~seed:7 in
+  let sender = cfq.Cfq.fresh () in
+  for _ = 1 to 17 do
+    ignore (sender.Cfq.select ());
+    sender.Cfq.update ~size:100
+  done;
+  (* A selection that never reaches [update]... *)
+  ignore (sender.Cfq.select ());
+  (* ...then the barrier. *)
+  sender.Cfq.reset ();
+  (* The receiver joins the barrier by restarting its replay at s0. *)
+  let receiver = cfq.Cfq.fresh () in
+  let stream inst =
+    List.init 100 (fun _ ->
+        let c = inst.Cfq.select () in
+        inst.Cfq.update ~size:100;
+        c)
+  in
+  Alcotest.(check (list int)) "post-barrier selection streams aligned"
+    (stream receiver) (stream sender)
+
+let test_seeded_random_single_channel_reset () =
+  (* n = 1: every draw maps to channel 0, so a desync would be silent —
+     the reset still must not raise, must stay on channel 0, and must
+     keep sender and replay draw-aligned (observable once the membership
+     grows back, covered by the n > 1 test above). *)
+  let cfq = Cfq.seeded_random ~name:"RFQ" ~n:1 ~seed:3 in
+  let inst = cfq.Cfq.fresh () in
+  ignore (inst.Cfq.select ());
+  inst.Cfq.reset ();
+  for _ = 1 to 50 do
+    Alcotest.(check int) "single channel" 0 (inst.Cfq.select ());
+    inst.Cfq.update ~size:10
+  done;
+  inst.Cfq.reset ();
+  Alcotest.(check int) "still channel 0 after second barrier" 0
+    (inst.Cfq.select ())
 
 let test_seeded_random_spread () =
   let cfq = Cfq.seeded_random ~name:"RFQ" ~n:4 ~seed:11 in
@@ -143,9 +237,16 @@ let suites =
         Alcotest.test_case "seeded random stable select" `Quick
           test_seeded_random_select_stable;
         Alcotest.test_case "seeded random spread" `Quick test_seeded_random_spread;
+        Alcotest.test_case "seeded random reset discards cached draw" `Quick
+          test_seeded_random_reset_discards_cached_draw;
+        Alcotest.test_case "seeded random n=1 reset" `Quick
+          test_seeded_random_single_channel_reset;
         QCheck_alcotest.to_alcotest prop_duality_srr;
         QCheck_alcotest.to_alcotest prop_duality_uneven_quanta;
         QCheck_alcotest.to_alcotest prop_duality_rr;
         QCheck_alcotest.to_alcotest prop_duality_seeded_random;
+        QCheck_alcotest.to_alcotest prop_duality_for_rates;
+        QCheck_alcotest.to_alcotest prop_duality_sprinklers;
+        QCheck_alcotest.to_alcotest prop_duality_load_aware;
       ] );
   ]

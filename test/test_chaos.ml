@@ -445,6 +445,7 @@ let config () =
     quanta = Srr.quanta_for_rates ~rates_bps:rates ~quantum_unit:1500 ();
     marker_every = 4;
     guard = false;
+    discipline = Bundle_pool.Srr;
   }
 
 let sizes = [| 200; 1000; 400; 1500; 700; 200; 1200 |]

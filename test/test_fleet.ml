@@ -15,13 +15,14 @@ let check_int = Alcotest.(check int)
 let rates = [| 10e6; 10e6; 5e6; 2.5e6 |]
 let delays = [| 0.001; 0.002; 0.005; 0.010 |]
 
-let config ?(guard = false) () =
+let config ?(guard = false) ?(discipline = Bundle_pool.Srr) () =
   {
     Bundle_pool.rate_bps = rates;
     prop_delay = delays;
     quanta = Srr.quanta_for_rates ~rates_bps:rates ~quantum_unit:1500 ();
     marker_every = 4;
     guard;
+    discipline;
   }
 
 let sizes = [| 200; 1000; 400; 1500; 700; 200; 1200 |]

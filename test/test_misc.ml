@@ -111,7 +111,7 @@ let test_fairness_pp () =
 let test_deficit_pp_state () =
   let d = Stripe_core.Srr.create ~quanta:[| 100; 200 |] () in
   let rendered = Format.asprintf "%a" Stripe_core.Deficit.pp_state d in
-  Alcotest.(check string) "state dump" "ptr=0 round=0 serving=false dcs=[0; 0]"
+  Alcotest.(check string) "state dump" "ptr=0 ch=0 round=0 serving=false dcs=[0; 0]"
     rendered
 
 let test_packet_pp_reset_and_credit () =

@@ -134,6 +134,7 @@ let fleet_config () =
     quanta;
     marker_every = 4;
     guard = false;
+    discipline = Bundle_pool.Srr;
   }
 
 type op =
